@@ -1,0 +1,182 @@
+package cloudmonatt
+
+// One testing.B benchmark per table/figure of the paper's evaluation, each
+// delegating to the experiment runner in internal/bench. The benchmarks
+// report the headline number of the corresponding figure as a custom
+// metric, so `go test -bench=.` regenerates the paper's results and their
+// shape in one run. cmd/monatt-bench prints the full rows/series.
+
+import (
+	"testing"
+	"time"
+
+	"cloudmonatt/internal/bench"
+	"cloudmonatt/internal/workload"
+)
+
+// BenchmarkTable1APIs exercises the four monitoring/attestation request
+// APIs of Table 1 end to end.
+func BenchmarkTable1APIs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Table1(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if !row.OK {
+				b.Fatalf("%s failed: %s", row.API, row.Detail)
+			}
+		}
+	}
+}
+
+// BenchmarkFig4CovertChannelTrace regenerates the covert-channel leakage
+// trace and reports the achieved bandwidth (paper: ~200 bps).
+func BenchmarkFig4CovertChannelTrace(b *testing.B) {
+	var bw float64
+	for i := 0; i < b.N; i++ {
+		r := bench.Fig4(int64(i+1), 200)
+		bw = r.BandwidthBps
+	}
+	b.ReportMetric(bw, "bps")
+}
+
+// BenchmarkFig5IntervalDistribution regenerates the covert vs. benign
+// interval distributions measured through the Trust Evidence Registers.
+func BenchmarkFig5IntervalDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig5(int64(i+1), 2*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.CovertFlagged || r.BenignFlagged {
+			b.Fatalf("detector shape broken: covert=%v benign=%v", r.CovertFlagged, r.BenignFlagged)
+		}
+	}
+}
+
+// BenchmarkFig6AvailabilityAttack regenerates the victim-slowdown sweep and
+// reports the attack slowdown (paper: >10x).
+func BenchmarkFig6AvailabilityAttack(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig6(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, v := range workload.VictimNames {
+			if s := r.Cells[v]["cpu_avail"]; s > worst {
+				worst = s
+			}
+		}
+	}
+	b.ReportMetric(worst, "x-slowdown")
+}
+
+// BenchmarkFig7CPUUsage regenerates the relative-CPU-usage measurements of
+// the availability case study and reports the starved victim share.
+func BenchmarkFig7CPUUsage(b *testing.B) {
+	var share float64
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig7(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		share = r.Victim.Cells["bzip2"]["cpu_avail"]
+	}
+	b.ReportMetric(share*100, "%victim-share")
+}
+
+// BenchmarkFig9VMLaunch regenerates the launch-stage sweep and reports the
+// attestation stage's share of launch time (paper: ~20%).
+func BenchmarkFig9VMLaunch(b *testing.B) {
+	var share float64
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig9(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		share = r.AttestationShare
+	}
+	b.ReportMetric(share*100, "%attest-share")
+}
+
+// BenchmarkFig10PeriodicAttestation regenerates the periodic-attestation
+// overhead sweep and reports the worst relative performance (paper: no
+// degradation).
+func BenchmarkFig10PeriodicAttestation(b *testing.B) {
+	worst := 1.0
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig10(int64(i+1), time.Minute)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, svc := range workload.ServiceNames {
+			for _, f := range []string{"1min", "10s", "5s"} {
+				if rel := r.Cells[svc][f]; rel < worst {
+					worst = rel
+				}
+			}
+		}
+	}
+	b.ReportMetric(worst*100, "%worst-rel-perf")
+}
+
+// BenchmarkFig11Responses regenerates the response-time sweep and reports
+// the large-VM migration reaction time (the slowest response).
+func BenchmarkFig11Responses(b *testing.B) {
+	var mig float64
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig11(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		mig = r.Reaction.Cells["migration"]["large"]
+	}
+	b.ReportMetric(mig, "s-migration-large")
+}
+
+// BenchmarkAblationScheduler quantifies both attacks under the scheduler
+// variants (default / no-BOOST / exact accounting).
+func BenchmarkAblationScheduler(b *testing.B) {
+	var restored float64
+	for i := 0; i < b.N; i++ {
+		r := bench.AblationScheduler(int64(i + 1))
+		restored = r.VictimShare[len(r.VictimShare)-1]
+	}
+	b.ReportMetric(restored*100, "%share-exact-acct")
+}
+
+// BenchmarkAblationBinCount evaluates the covert-channel detector across
+// histogram granularities.
+func BenchmarkAblationBinCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblationBins(int64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBaselineComparison contrasts vTPM binary attestation with
+// CloudMonatt across the five-threat sweep and reports how many threats
+// each detects.
+func BenchmarkBaselineComparison(b *testing.B) {
+	var base, cm int
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Comparison(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		base, cm = 0, 0
+		for j := range r.Threats {
+			if r.Baseline[j] {
+				base++
+			}
+			if r.CloudMonat[j] {
+				cm++
+			}
+		}
+	}
+	b.ReportMetric(float64(base), "baseline-detected")
+	b.ReportMetric(float64(cm), "cloudmonatt-detected")
+}

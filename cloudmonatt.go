@@ -1,0 +1,87 @@
+// Package cloudmonatt is a full reproduction of "CloudMonatt: an
+// Architecture for Security Health Monitoring and Attestation of Virtual
+// Machines in Cloud Computing" (Zhang & Lee, ISCA 2015) as a Go library.
+//
+// It provides property-based attestation of a VM's security health in an
+// IaaS cloud: a Cloud Controller (OpenStack-Nova-like), an Attestation
+// Server with a privacy CA, and cloud servers whose Trust Module and
+// Monitor Module collect signed measurements for four concrete security
+// properties — startup integrity, runtime integrity, covert-channel
+// freedom (confidentiality), and CPU availability — over an unforgeable
+// protocol with per-session attestation keys.
+//
+// The public API assembles a complete in-process cloud:
+//
+//	tb, _ := cloudmonatt.NewTestbed(cloudmonatt.Options{Seed: 1})
+//	alice, _ := tb.NewCustomer("alice")
+//	vm, _ := alice.Launch(cloudmonatt.LaunchRequest{
+//		ImageName: "ubuntu", Flavor: "small", Workload: "database",
+//		Props: cloudmonatt.AllProperties, Pin: -1,
+//	})
+//	verdict, _ := alice.Attest(vm.Vid, cloudmonatt.RuntimeIntegrity)
+//
+// Every substrate the paper depends on is implemented in internal/
+// packages: a Xen-credit-scheduler simulator (with the paper's two novel
+// scheduler attacks), a software TPM, the Trust Evidence Registers, VM
+// introspection, the secure channels, and a bounded symbolic verifier for
+// the attestation protocol. internal/bench regenerates every table and
+// figure of the paper's evaluation; see DESIGN.md and EXPERIMENTS.md.
+package cloudmonatt
+
+import (
+	"cloudmonatt/internal/cloudsim"
+	"cloudmonatt/internal/controller"
+	"cloudmonatt/internal/properties"
+)
+
+// Testbed is a complete in-process CloudMonatt cloud: controller,
+// attestation server, privacy CA and N cloud servers on a shared virtual
+// clock.
+type Testbed = cloudsim.Testbed
+
+// Options configures NewTestbed.
+type Options = cloudsim.Options
+
+// Customer is a cloud customer handle: the attestation initiator and
+// end-verifier.
+type Customer = cloudsim.Customer
+
+// LaunchRequest asks for a VM with monitoring/attestation options.
+type LaunchRequest = controller.LaunchRequest
+
+// LaunchResult reports a launch outcome including the Fig. 9 stage timings.
+type LaunchResult = controller.LaunchResult
+
+// Property identifies a security property of a VM.
+type Property = properties.Property
+
+// Verdict is an attestation result for one property.
+type Verdict = properties.Verdict
+
+// ResponseKind selects a remediation response (termination, suspension,
+// migration).
+type ResponseKind = controller.ResponseKind
+
+// The four security properties realized by the paper's case studies.
+const (
+	StartupIntegrity     = properties.StartupIntegrity
+	RuntimeIntegrity     = properties.RuntimeIntegrity
+	CovertChannelFreedom = properties.CovertChannelFreedom
+	CPUAvailability      = properties.CPUAvailability
+)
+
+// The remediation responses of §5.2.
+const (
+	Terminate = controller.Terminate
+	Suspend   = controller.Suspend
+	Migrate   = controller.Migrate
+)
+
+// AllProperties lists every supported property.
+var AllProperties = properties.All
+
+// NewTestbed assembles and starts an in-process cloud.
+func NewTestbed(opts Options) (*Testbed, error) { return cloudsim.New(opts) }
+
+// DefaultPolicy returns the default property→response mapping.
+func DefaultPolicy() map[Property]ResponseKind { return controller.DefaultPolicy() }

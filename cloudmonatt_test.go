@@ -1,0 +1,65 @@
+package cloudmonatt
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPublicAPIQuickstart exercises the documented package example end to
+// end through the exported facade.
+func TestPublicAPIQuickstart(t *testing.T) {
+	tb, err := NewTestbed(Options{Seed: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := tb.NewCustomer("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := alice.Launch(LaunchRequest{
+		ImageName: "ubuntu", Flavor: "small", Workload: "database",
+		Props:     AllProperties,
+		Allowlist: []string{"init", "sshd", "cron", "rsyslogd", "agetty"},
+		MinShare:  0.2,
+		Pin:       -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vm.OK {
+		t.Fatalf("launch rejected: %s", vm.Reason)
+	}
+	tb.RunFor(time.Second)
+	for _, p := range AllProperties {
+		v, err := alice.Attest(vm.Vid, p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if !v.Healthy {
+			t.Fatalf("%s unhealthy on a clean VM: %v", p, v)
+		}
+	}
+	if err := alice.Terminate(vm.Vid); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultPolicyExported(t *testing.T) {
+	p := DefaultPolicy()
+	if p[RuntimeIntegrity] != Terminate {
+		t.Fatalf("unexpected default policy: %v", p)
+	}
+	if p[CPUAvailability] != Migrate || p[CovertChannelFreedom] != Migrate {
+		t.Fatalf("unexpected default policy: %v", p)
+	}
+	_ = Suspend // all three responses are exported
+}
+
+func TestPropertiesExported(t *testing.T) {
+	if len(AllProperties) != 4 {
+		t.Fatalf("AllProperties = %v", AllProperties)
+	}
+	if StartupIntegrity == RuntimeIntegrity || CovertChannelFreedom == CPUAvailability {
+		t.Fatal("property constants collide")
+	}
+}

@@ -1,0 +1,271 @@
+// Command monatt-cli is the cloud customer: it connects to a running
+// monatt-cloud over TCP with its enrolled identity and drives the nova api,
+// including the four attestation commands of Table 1. Every attestation
+// report is end-verified (controller signature, nonce N1, quote Q1) before
+// it is displayed — the CLI is the paper's "end-verifier".
+//
+// Usage:
+//
+//	monatt-cli [-bootstrap monatt-bootstrap.json] <command> [flags]
+//
+// Commands:
+//
+//	launch    -image ubuntu -flavor small -workload database \
+//	          -props startup-integrity,runtime-integrity -allowlist init,sshd
+//	attest    -vid vm-0001 -prop cpu-availability
+//	periodic  -vid vm-0001 -prop cpu-availability -freq 5s
+//	fetch     -vid vm-0001 -prop cpu-availability
+//	stop      -vid vm-0001 -prop cpu-availability
+//	terminate -vid vm-0001
+//	list                 (this customer's VMs)
+//	events               (remediation responses executed on them)
+package main
+
+import (
+	"crypto/ed25519"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"cloudmonatt/internal/controller"
+	"cloudmonatt/internal/cryptoutil"
+	"cloudmonatt/internal/properties"
+	"cloudmonatt/internal/rpc"
+	"cloudmonatt/internal/secchan"
+	"cloudmonatt/internal/wire"
+)
+
+type bootstrap struct {
+	ControllerAddr string `json:"controller_addr"`
+	ControllerKey  string `json:"controller_key"`
+	CustomerName   string `json:"customer_name"`
+	CustomerSeed   string `json:"customer_seed"`
+}
+
+type cli struct {
+	client  *rpc.Client
+	ctrlKey ed25519.PublicKey
+}
+
+func connect(path string) (*cli, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading bootstrap (is monatt-cloud running?): %w", err)
+	}
+	var bs bootstrap
+	if err := json.Unmarshal(data, &bs); err != nil {
+		return nil, err
+	}
+	ctrlKey, err := base64.StdEncoding.DecodeString(bs.ControllerKey)
+	if err != nil {
+		return nil, err
+	}
+	seed, err := base64.StdEncoding.DecodeString(bs.CustomerSeed)
+	if err != nil {
+		return nil, err
+	}
+	id, err := cryptoutil.IdentityFromSeed(bs.CustomerName, seed)
+	if err != nil {
+		return nil, err
+	}
+	verify := func(name string, key ed25519.PublicKey) error {
+		if name != "cloud-controller" || !cryptoutil.KeyEqual(key, ctrlKey) {
+			return errors.New("controller identity mismatch")
+		}
+		return nil
+	}
+	client, err := rpc.Dial(rpc.TCPNetwork{}, bs.ControllerAddr, secchan.Config{Identity: id, Verify: verify})
+	if err != nil {
+		return nil, fmt.Errorf("dialing controller: %w", err)
+	}
+	return &cli{client: client, ctrlKey: ctrlKey}, nil
+}
+
+func parseProp(s string) (properties.Property, error) {
+	p := properties.Property(s)
+	if !properties.Valid(p) {
+		return "", fmt.Errorf("unknown property %q (valid: %v)", s, properties.All)
+	}
+	return p, nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+func main() {
+	log.SetFlags(0)
+	bootstrapPath := flag.String("bootstrap", "monatt-bootstrap.json", "bootstrap file from monatt-cloud")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		log.Fatal("usage: monatt-cli [-bootstrap FILE] <launch|attest|periodic|fetch|stop|terminate> [flags]")
+	}
+	c, err := connect(*bootstrapPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.client.Close()
+
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	switch cmd {
+	case "launch":
+		fs := flag.NewFlagSet("launch", flag.ExitOnError)
+		img := fs.String("image", "ubuntu", "VM image (cirros, fedora, ubuntu)")
+		flavor := fs.String("flavor", "small", "flavor (small, medium, large)")
+		work := fs.String("workload", "database", "workload name")
+		props := fs.String("props", "startup-integrity,runtime-integrity,covert-channel-freedom,cpu-availability", "requested security properties")
+		allow := fs.String("allowlist", "init,sshd,cron,rsyslogd,agetty", "task allowlist for runtime integrity")
+		minShare := fs.Float64("minshare", 0.25, "SLA CPU-share floor")
+		fs.Parse(args)
+		var ps []properties.Property
+		for _, s := range splitList(*props) {
+			p, err := parseProp(s)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ps = append(ps, p)
+		}
+		var res controller.LaunchResult
+		err := c.client.Call(controller.MethodLaunchVM, controller.LaunchRequest{
+			ImageName: *img, Flavor: *flavor, Workload: *work,
+			Props: ps, Allowlist: splitList(*allow), MinShare: *minShare, Pin: -1,
+		}, &res)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.OK {
+			log.Fatalf("launch rejected: %s", res.Reason)
+		}
+		fmt.Printf("launched %s (startup attestation: %s)\n", res.Vid, res.Verdict.Reason)
+		for _, st := range res.Stages {
+			fmt.Printf("  %-22s %6.2fs\n", st.Stage, st.Duration.Seconds())
+		}
+
+	case "attest":
+		fs := flag.NewFlagSet("attest", flag.ExitOnError)
+		vid := fs.String("vid", "", "VM id")
+		prop := fs.String("prop", string(properties.RuntimeIntegrity), "property to attest")
+		fs.Parse(args)
+		p, err := parseProp(*prop)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n1 := cryptoutil.MustNonce()
+		method := controller.MethodRuntimeAttestCurrent
+		if p == properties.StartupIntegrity {
+			method = controller.MethodStartupAttestCurrent
+		}
+		var rep wire.CustomerReport
+		if err := c.client.Call(method, wire.AttestRequest{Vid: *vid, Prop: p, N1: n1}, &rep); err != nil {
+			log.Fatal(err)
+		}
+		if err := wire.VerifyCustomerReport(&rep, c.ctrlKey, *vid, p, n1); err != nil {
+			log.Fatalf("REJECTING report: %v", err)
+		}
+		fmt.Println(rep.Verdict.String())
+		for k, v := range rep.Verdict.Details {
+			fmt.Printf("  %s: %s\n", k, v)
+		}
+
+	case "periodic":
+		fs := flag.NewFlagSet("periodic", flag.ExitOnError)
+		vid := fs.String("vid", "", "VM id")
+		prop := fs.String("prop", string(properties.CPUAvailability), "property")
+		freq := fs.Duration("freq", 5*time.Second, "attestation frequency")
+		fs.Parse(args)
+		p, err := parseProp(*prop)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := c.client.Call(controller.MethodRuntimeAttestPeriodic, wire.PeriodicRequest{
+			Vid: *vid, Prop: p, Freq: *freq, N1: cryptoutil.MustNonce(),
+		}, nil); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("periodic attestation of %s armed at %v; use `fetch` for fresh results\n", p, *freq)
+
+	case "fetch", "stop":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		vid := fs.String("vid", "", "VM id")
+		prop := fs.String("prop", string(properties.CPUAvailability), "property")
+		fs.Parse(args)
+		p, err := parseProp(*prop)
+		if err != nil {
+			log.Fatal(err)
+		}
+		method := controller.MethodFetchPeriodic
+		if cmd == "stop" {
+			method = controller.MethodStopAttestPeriodic
+		}
+		n1 := cryptoutil.MustNonce()
+		var reps []*wire.CustomerReport
+		if err := c.client.Call(method, wire.StopPeriodicRequest{Vid: *vid, Prop: p, N1: n1}, &reps); err != nil {
+			log.Fatal(err)
+		}
+		for _, rep := range reps {
+			if err := wire.VerifyCustomerReport(rep, c.ctrlKey, *vid, p, n1); err != nil {
+				log.Fatalf("REJECTING report: %v", err)
+			}
+			fmt.Println(rep.Verdict.String())
+		}
+		if cmd == "stop" {
+			fmt.Println("periodic attestation stopped")
+		} else if len(reps) == 0 {
+			fmt.Println("no fresh results yet")
+		}
+
+	case "terminate":
+		fs := flag.NewFlagSet("terminate", flag.ExitOnError)
+		vid := fs.String("vid", "", "VM id")
+		fs.Parse(args)
+		if err := c.client.Call(controller.MethodTerminateVM, struct{ Vid string }{*vid}, nil); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s terminated\n", *vid)
+
+	case "list":
+		var vms []controller.VMSummary
+		if err := c.client.Call(controller.MethodListVMs, struct{}{}, &vms); err != nil {
+			log.Fatal(err)
+		}
+		if len(vms) == 0 {
+			fmt.Println("no VMs")
+			return
+		}
+		fmt.Printf("%-10s %-8s %-8s %-14s %-10s %s\n", "VID", "IMAGE", "FLAVOR", "WORKLOAD", "STATE", "PROPERTIES")
+		for _, vm := range vms {
+			props := make([]string, len(vm.Props))
+			for i, p := range vm.Props {
+				props[i] = string(p)
+			}
+			fmt.Printf("%-10s %-8s %-8s %-14s %-10s %s\n",
+				vm.Vid, vm.ImageName, vm.Flavor, vm.Workload, vm.State, strings.Join(props, ","))
+		}
+
+	case "events":
+		var events []controller.ResponseEvent
+		if err := c.client.Call(controller.MethodListEvents, struct{}{}, &events); err != nil {
+			log.Fatal(err)
+		}
+		if len(events) == 0 {
+			fmt.Println("no remediation responses executed")
+			return
+		}
+		for _, ev := range events {
+			fmt.Printf("t=%-8s %-11s %-8s prop=%-24s %.1fs  %s\n",
+				ev.At.Round(time.Millisecond), ev.Response, ev.Vid, ev.Prop, ev.Duration.Seconds(), ev.Reason)
+		}
+
+	default:
+		log.Fatalf("unknown command %q", cmd)
+	}
+}

@@ -1,0 +1,80 @@
+package cloudmonatt_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cloudmonatt"
+)
+
+// Example shows the basic flow: assemble a cloud, launch a monitored VM,
+// and attest its runtime integrity.
+func Example() {
+	tb, err := cloudmonatt.NewTestbed(cloudmonatt.Options{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	alice, err := tb.NewCustomer("alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	vm, err := alice.Launch(cloudmonatt.LaunchRequest{
+		ImageName: "ubuntu",
+		Flavor:    "small",
+		Workload:  "database",
+		Props:     cloudmonatt.AllProperties,
+		Allowlist: []string{"init", "sshd", "cron", "rsyslogd", "agetty"},
+		MinShare:  0.25,
+		Pin:       -1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb.RunFor(time.Second)
+	verdict, err := alice.Attest(vm.Vid, cloudmonatt.RuntimeIntegrity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(verdict)
+	// Output: runtime-integrity: HEALTHY (all 5 tasks match the customer allowlist)
+}
+
+// ExampleCustomer_StartPeriodic arms Table 1's periodic attestation and
+// drains the verified results.
+func ExampleCustomer_StartPeriodic() {
+	tb, err := cloudmonatt.NewTestbed(cloudmonatt.Options{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bob, err := tb.NewCustomer("bob")
+	if err != nil {
+		log.Fatal(err)
+	}
+	vm, err := bob.Launch(cloudmonatt.LaunchRequest{
+		ImageName: "cirros", Flavor: "small", Workload: "web",
+		Props: cloudmonatt.AllProperties, MinShare: 0.2, Pin: -1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := bob.StartPeriodic(vm.Vid, cloudmonatt.CPUAvailability, 5*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	tb.RunFor(12 * time.Second)
+	verdicts, err := bob.FetchPeriodic(vm.Vid, cloudmonatt.CPUAvailability)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fresh verified results: %d, all healthy: %v\n", len(verdicts), allHealthy(verdicts))
+	// Output: fresh verified results: 2, all healthy: true
+}
+
+func allHealthy(vs []cloudmonatt.Verdict) bool {
+	for _, v := range vs {
+		if !v.Healthy {
+			return false
+		}
+	}
+	return true
+}

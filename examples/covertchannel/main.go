@@ -1,0 +1,78 @@
+// Covert channel: reproduce case study III (paper §4.4). A colluding
+// insider in the customer's VM modulates its CPU-usage intervals to leak
+// data to a co-resident receiver VM; the Performance Monitor Unit bins the
+// intervals into the 30 Trust Evidence Registers and the Attestation
+// Server's clustering flags the bimodal signature. The response policy
+// migrates the VM away from the hostile neighborhood.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cloudmonatt"
+)
+
+func main() {
+	tb, err := cloudmonatt.NewTestbed(cloudmonatt.Options{Seed: 7, Servers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	alice, err := tb.NewCustomer("alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The customer's VM — with a covert-channel sender inside (e.g. a
+	// compromised library leaking the VM's crypto keys).
+	vm, err := alice.Launch(cloudmonatt.LaunchRequest{
+		ImageName: "fedora",
+		Flavor:    "small",
+		Workload:  "attack:covert-sender",
+		Props:     cloudmonatt.AllProperties,
+		MinShare:  0.05,
+		Pin:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !vm.OK {
+		log.Fatalf("launch rejected: %s", vm.Reason)
+	}
+	fmt.Printf("launched %s on %s (with a covert-channel sender inside)\n", vm.Vid, vm.Server)
+
+	// The attacker places a receiver VM next to it, probing its own
+	// execution time to read the channel.
+	receiver, err := tb.LaunchCoResident(vm.Server, "probe", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("attacker co-located receiver %s on the same pCPU\n", receiver)
+
+	// Run for half a second of virtual time, then attest confidentiality.
+	tb.RunFor(500 * time.Millisecond)
+	v, err := alice.Attest(vm.Vid, cloudmonatt.CovertChannelFreedom)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nattestation: %s\n", v)
+	for k, d := range v.Details {
+		fmt.Printf("  %s: %s\n", k, d)
+	}
+	if v.Healthy {
+		log.Fatal("expected the covert channel to be detected")
+	}
+
+	// The controller's response policy (Migration for confidentiality
+	// breaches) has already moved the VM.
+	for _, ev := range tb.Ctrl.Events() {
+		fmt.Printf("\nresponse: %s of %s (%s) in %.1fs → now on %s\n",
+			ev.Response, ev.Vid, ev.Reason, ev.Duration.Seconds(), ev.NewServer)
+	}
+	where, err := tb.Ctrl.VMServer(vm.Vid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s now runs on %s, away from the receiver\n", vm.Vid, where)
+}

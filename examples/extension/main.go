@@ -1,0 +1,142 @@
+// Extension: integrate a deployment-defined fifth security property into
+// CloudMonatt — the paper's headline architectural claim ("the CloudMonatt
+// architecture is flexible and allows the integration of an arbitrary
+// number of security properties and monitoring mechanisms", §4).
+//
+// The new property, guest-kernel-integrity, checks via VM introspection
+// that the guest's measured boot chain still matches known-good digests.
+// Three registrations — the property→measurement mapping, the Monitor
+// Module collector, and the Property Interpretation Module interpreter —
+// and the property flows through the entire architecture: launch
+// provisioning, the signed protocol, responses, everything.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cloudmonatt"
+	"cloudmonatt/internal/attestsrv"
+	"cloudmonatt/internal/controller"
+	"cloudmonatt/internal/cryptoutil"
+	"cloudmonatt/internal/guest"
+	"cloudmonatt/internal/interpret"
+	"cloudmonatt/internal/monitor"
+	"cloudmonatt/internal/properties"
+	"cloudmonatt/internal/server"
+)
+
+const (
+	propKernel properties.Property        = "guest-kernel-integrity"
+	kindChain  properties.MeasurementKind = "guest-bootchain"
+)
+
+func registerProperty() error {
+	golden := make(map[string][32]byte)
+	for _, c := range guest.NewOS().BootChain() {
+		golden[c.Name] = c.Digest()
+	}
+
+	// 1. Attestation Server: property → measurements.
+	if err := properties.Register(propKernel, properties.Request{
+		Kinds: []properties.MeasurementKind{kindChain},
+	}); err != nil {
+		return err
+	}
+	// 2. Monitor Module: how to collect the new measurement (VMI).
+	if err := monitor.RegisterCollector(kindChain, func(vm *monitor.VM, nonce [16]byte) (properties.Measurement, error) {
+		m := properties.Measurement{Kind: kindChain}
+		for _, c := range vm.Guest.BootChain() {
+			m.LogNames = append(m.LogNames, c.Name)
+			m.LogSums = append(m.LogSums, c.Digest())
+		}
+		return m, nil
+	}); err != nil {
+		return err
+	}
+	// 3. Property Interpretation Module: measurements → verdict.
+	return interpret.RegisterInterpreter(propKernel, func(ms []properties.Measurement, nonce cryptoutil.Nonce, refs interpret.References) properties.Verdict {
+		for _, m := range ms {
+			if m.Kind != kindChain {
+				continue
+			}
+			for i, name := range m.LogNames {
+				if want, ok := golden[name]; !ok || m.LogSums[i] != want {
+					return properties.Verdict{Property: propKernel, Healthy: false,
+						Reason: "guest boot component modified", Details: map[string]string{"component": name}}
+				}
+			}
+			return properties.Verdict{Property: propKernel, Healthy: true,
+				Reason: "guest boot chain matches known-good digests"}
+		}
+		return properties.Verdict{Property: propKernel, Healthy: false, Reason: "missing boot chain measurement"}
+	})
+}
+
+func main() {
+	if err := registerProperty(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registered custom properties: %v\n", properties.Registered())
+
+	tb, err := cloudmonatt.NewTestbed(cloudmonatt.Options{Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Advertise the new monitoring capability for every cloud server.
+	for _, rec := range tb.Attest.Servers() {
+		rec.Properties = append(rec.Properties, propKernel)
+		tb.Attest.RegisterServer(rec)
+	}
+	for _, rec := range tb.Attest.Servers() {
+		tb.Ctrl.RegisterServer(controller.ServerEntry{
+			Name: rec.Name, Addr: rec.Addr,
+			Capacity: capacityOf(tb, rec),
+			Props:    append(append([]properties.Property{}, properties.All...), propKernel),
+		})
+	}
+
+	eve, err := tb.NewCustomer("eve")
+	if err != nil {
+		log.Fatal(err)
+	}
+	vm, err := eve.Launch(cloudmonatt.LaunchRequest{
+		ImageName: "fedora", Flavor: "small", Workload: "web",
+		Props: append(append([]cloudmonatt.Property{}, cloudmonatt.AllProperties...), propKernel),
+		Pin:   -1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !vm.OK {
+		log.Fatalf("launch rejected: %s", vm.Reason)
+	}
+	tb.RunFor(time.Second)
+
+	v, err := eve.Attest(vm.Vid, propKernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clean guest:    %s\n", v)
+
+	g, err := tb.GuestOf(vm.Vid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := g.TamperBootChain("guest-kernel"); err != nil {
+		log.Fatal(err)
+	}
+	v, err = eve.Attest(vm.Vid, propKernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tampered guest: %s (component: %s)\n", v, v.Details["component"])
+	st, _ := tb.Ctrl.VMState(vm.Vid)
+	fmt.Printf("response:       VM is now %q — the custom property drives the response machinery too\n", st)
+}
+
+// capacityOf recovers the testbed's per-server capacity for re-registration.
+func capacityOf(tb *cloudmonatt.Testbed, rec attestsrv.ServerRecord) server.Capacity {
+	return tb.Servers[rec.Name].Free()
+}

@@ -1,0 +1,117 @@
+// Lifecycle: attestation at every stage of a VM's life (paper §5) — a
+// rejected launch from a corrupted image, rescheduling off a trojaned
+// platform, runtime integrity catching a rootkit, and the suspension
+// response with recovery.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cloudmonatt"
+	"cloudmonatt/internal/guest"
+)
+
+func main() {
+	// Server 1 boots with a trojaned hypervisor; the other two are pristine.
+	policy := cloudmonatt.DefaultPolicy()
+	policy[cloudmonatt.RuntimeIntegrity] = cloudmonatt.Suspend
+	tb, err := cloudmonatt.NewTestbed(cloudmonatt.Options{
+		Seed:           3,
+		Servers:        3,
+		TamperPlatform: map[string]bool{"cloud-server-1": true},
+		Policy:         policy,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	carol, err := tb.NewCustomer("carol")
+	if err != nil {
+		log.Fatal(err)
+	}
+	req := cloudmonatt.LaunchRequest{
+		ImageName: "fedora",
+		Flavor:    "small",
+		Workload:  "web",
+		Props:     cloudmonatt.AllProperties,
+		Allowlist: []string{"init", "sshd", "cron", "rsyslogd", "agetty"},
+		MinShare:  0.1,
+		Pin:       -1,
+	}
+
+	// 1. Launch with a corrupted image: rejected outright (§5.1).
+	tb.CorruptNextImage()
+	res, err := carol.Launch(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("1. corrupted image  → launch ok=%v: %s\n", res.OK, res.Reason)
+
+	// 2. Clean launch: the startup attestation steers the VM off the
+	// trojaned platform onto a pristine one.
+	res, err = carol.Launch(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.OK {
+		log.Fatalf("clean launch rejected: %s", res.Reason)
+	}
+	fmt.Printf("2. clean launch     → %s placed on %s (trojaned cloud-server-1 avoided)\n", res.Vid, res.Server)
+
+	// 3. Runtime integrity while clean.
+	tb.RunFor(time.Second)
+	v, err := carol.Attest(res.Vid, cloudmonatt.RuntimeIntegrity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("3. clean runtime    → %s\n", v)
+
+	// 4. A rootkit infects the guest; VMI sees through its hiding.
+	g, err := tb.GuestOf(res.Vid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g.InfectRootkit("kworker-evil")
+	v, err = carol.Attest(res.Vid, cloudmonatt.RuntimeIntegrity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("4. after rootkit    → %s\n", v)
+	st, _ := tb.Ctrl.VMState(res.Vid)
+	fmt.Printf("   response policy  → VM %s is now %q\n", res.Vid, st)
+
+	// 5. The controller rechecks (§5.2): while the rootkit persists, the VM
+	// stays suspended; after the operator cleans the guest, the recheck
+	// attests healthy and resumes it.
+	if v, resumed, err := tb.Ctrl.RecheckAndResume(res.Vid); err != nil || resumed {
+		log.Fatalf("recheck of the still-infected VM resumed it (%v, %v)", v, err)
+	}
+	fmt.Printf("5. recheck (infected)→ still suspended, as it should be\n")
+	if pid := findRootkitPID(g); pid != 0 {
+		if err := g.Kill(pid); err != nil {
+			log.Fatal(err)
+		}
+	}
+	v2, resumed, err := tb.Ctrl.RecheckAndResume(res.Vid)
+	if err != nil || !resumed {
+		log.Fatalf("recheck of the cleaned VM did not resume it (%v, %v)", v2, err)
+	}
+	fmt.Printf("6. cleaned, recheck → %s (VM resumed)\n", v2)
+
+	// 7. Retire the VM.
+	if err := carol.Terminate(res.Vid); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("7. terminated       → lifecycle complete at virtual t=%v\n", tb.Clock.Now().Round(time.Millisecond))
+}
+
+// findRootkitPID locates the hidden process in the true (VMI) task view.
+func findRootkitPID(g *guest.OS) int {
+	for _, p := range g.TrueTasks() {
+		if p.Hidden {
+			return p.PID
+		}
+	}
+	return 0
+}

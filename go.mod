@@ -1,0 +1,3 @@
+module cloudmonatt
+
+go 1.22

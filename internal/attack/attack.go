@@ -1,0 +1,217 @@
+// Package attack implements the two cloud-based attacks designed in the
+// CloudMonatt paper, plus the decoding logic their victims/monitors need:
+//
+//   - the CPU covert channel (§4.4.1): a sender inside the victim VM
+//     modulates its CPU-occupancy interval to transmit bits to a co-resident
+//     receiver VM that infers the sender's activity from gaps in its own
+//     execution;
+//   - the CPU availability attack (§4.5.1): an attacker VM with colluding
+//     vCPUs ping-pongs IPIs so one of its vCPUs always holds BOOST priority,
+//     starving the victim.
+//
+// Both attacks rest on the same scheduler weaknesses: credit debiting
+// samples only the vCPU running at tick instants (so a tick-evading vCPU is
+// never charged and stays UNDER), and UNDER vCPUs get BOOST on every wakeup.
+package attack
+
+import (
+	"fmt"
+	"time"
+
+	"cloudmonatt/internal/sim"
+	"cloudmonatt/internal/xen"
+)
+
+// Bit is one covert-channel symbol.
+type Bit byte
+
+// BitEvent records when the sender transmitted a bit.
+type BitEvent struct {
+	At  sim.Time
+	Bit Bit
+}
+
+// CovertSender is a vCPU program that encodes bits as distinct CPU-occupancy
+// interval lengths: D0 for a "0", D1 for a "1", separated by Gap of idleness
+// so the receiver can delimit intervals. Bursts are placed between scheduler
+// ticks (with safety Margin) so the sender is never debited, keeps its
+// credits, and every timer wake grants BOOST — letting it preempt the
+// receiver at will, which is what makes the interval lengths visible.
+type CovertSender struct {
+	Bits   []Bit
+	D0, D1 sim.Time
+	Gap    sim.Time
+	Margin sim.Time
+	Repeat bool // retransmit the message forever (for long windows)
+
+	sent    int
+	history []BitEvent
+	doneAt  sim.Time
+}
+
+// NewCovertSender returns a sender with the calibration used throughout the
+// experiments: 3 ms ≙ 0, 7 ms ≙ 1, 1 ms inter-bit gap, 700 µs tick margin.
+func NewCovertSender(bits []Bit, repeat bool) *CovertSender {
+	return &CovertSender{
+		Bits:   bits,
+		D0:     3 * time.Millisecond,
+		D1:     7 * time.Millisecond,
+		Gap:    time.Millisecond,
+		Margin: 700 * time.Microsecond,
+		Repeat: repeat,
+	}
+}
+
+// Validate checks that the symbol durations fit between scheduler ticks.
+func (s *CovertSender) Validate(tick sim.Time) error {
+	if s.D1 >= tick-2*s.Margin {
+		return fmt.Errorf("attack: D1 %v does not fit the %v inter-tick window with margin %v", s.D1, tick, s.Margin)
+	}
+	if s.D0 >= s.D1 {
+		return fmt.Errorf("attack: D0 %v must be shorter than D1 %v", s.D0, s.D1)
+	}
+	return nil
+}
+
+// NextBurst implements xen.Program.
+func (s *CovertSender) NextBurst(env xen.Env, self *xen.VCPU) xen.Burst {
+	if s.sent >= len(s.Bits) {
+		if !s.Repeat {
+			s.doneAt = env.Now()
+			return xen.Burst{Done: true}
+		}
+		s.sent = 0
+	}
+	now := env.Now()
+	tick := env.TickPeriod()
+	next := (now/tick + 1) * tick
+	d := s.D0
+	if s.Bits[s.sent] != 0 {
+		d = s.D1
+	}
+	if now+d > next-s.Margin {
+		// The symbol would span a tick and get us sampled: hide until the
+		// tick has passed, then transmit.
+		return xen.Burst{Run: 0, Block: next + s.Margin - now}
+	}
+	s.history = append(s.history, BitEvent{At: now, Bit: s.Bits[s.sent]})
+	s.sent++
+	return xen.Burst{Run: d, Block: s.Gap}
+}
+
+// Sent returns the bit-transmission log.
+func (s *CovertSender) Sent() []BitEvent { return s.history }
+
+// SentCount returns how many bits have been transmitted so far.
+func (s *CovertSender) SentCount() int { return len(s.history) }
+
+// Bandwidth returns the achieved bits/second over the observation window.
+func (s *CovertSender) Bandwidth(elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(len(s.history)) / elapsed.Seconds()
+}
+
+// DecodeGaps converts receiver-observed execution gaps back into bits using
+// a midpoint threshold between the two symbol durations. Gaps outside
+// [D0/2, D1*3/2] are scheduler noise (ticks, accounting) and are skipped.
+func (s *CovertSender) DecodeGaps(gaps []xen.Segment) []Bit {
+	lo, hi := s.D0/2, s.D1*3/2
+	threshold := (s.D0 + s.D1) / 2
+	var out []Bit
+	for _, g := range gaps {
+		d := g.Duration()
+		if d < lo || d > hi {
+			continue
+		}
+		if d < threshold {
+			out = append(out, 0)
+		} else {
+			out = append(out, 1)
+		}
+	}
+	return out
+}
+
+// BitErrorRate compares transmitted and decoded bit streams, aligning at the
+// start, and returns the fraction of mismatches over min(len(sent), len(got))
+// plus a penalty for missing bits.
+func BitErrorRate(sent, got []Bit) float64 {
+	if len(sent) == 0 {
+		return 0
+	}
+	n := len(sent)
+	if len(got) < n {
+		n = len(got)
+	}
+	errs := len(sent) - n // undelivered bits count as errors
+	for i := 0; i < n; i++ {
+		if sent[i] != got[i] {
+			errs++
+		}
+	}
+	return float64(errs) / float64(len(sent))
+}
+
+// Starver is one colluding vCPU of the CPU availability attack. Two Starver
+// programs sharing a peer reference alternate ownership of every inter-tick
+// window: the active one runs from just after a tick to just before the
+// next, then IPIs its peer and halts; the peer wakes with BOOST (it is
+// never tick-sampled, so always UNDER) and preempts the victim immediately.
+// The victim gets the CPU only inside the small [tick-StopBefore,
+// tick+ResumeAfter] windows the attackers must vacate — and absorbs every
+// credit debit while doing so, pinning it to OVER priority.
+type Starver struct {
+	StopBefore  sim.Time // vacate the CPU this long before a nominal tick
+	ResumeAfter sim.Time // stay off the CPU this long after a nominal tick
+
+	peer *xen.VCPU
+}
+
+// NewStarverPair returns the two colluding programs with the calibration
+// used in the experiments (500 µs stop-before, 300 µs resume-after; safe
+// against the default ±200 µs tick jitter).
+func NewStarverPair() (*Starver, *Starver) {
+	a := &Starver{StopBefore: 500 * time.Microsecond, ResumeAfter: 300 * time.Microsecond}
+	b := &Starver{StopBefore: 500 * time.Microsecond, ResumeAfter: 300 * time.Microsecond}
+	return a, b
+}
+
+// Bind wires the colluders to each other's vCPUs after domain creation.
+func Bind(a, b *Starver, dom *xen.Domain) error {
+	vs := dom.VCPUs()
+	if len(vs) < 2 {
+		return fmt.Errorf("attack: starver domain needs 2 vCPUs, has %d", len(vs))
+	}
+	a.peer = vs[1]
+	b.peer = vs[0]
+	return nil
+}
+
+// NextBurst implements xen.Program.
+func (s *Starver) NextBurst(env xen.Env, self *xen.VCPU) xen.Burst {
+	now := env.Now()
+	tick := env.TickPeriod()
+	next := (now/tick + 1) * tick
+	runUntil := next - s.StopBefore
+	if runUntil <= now {
+		// Inside the danger zone around a tick: hide until it has passed.
+		return xen.Burst{Run: 0, Block: next + s.ResumeAfter - now}
+	}
+	// Own the rest of this inter-tick window, then hand the BOOST baton to
+	// the peer and vanish before the tick can sample us.
+	return xen.Burst{Run: runUntil - now, Halt: true, IPITo: s.peer}
+}
+
+// NewStarvationDomain creates the attacker domain (2 colluding vCPUs pinned
+// to the victim's pCPU) and starts the IPI ping-pong.
+func NewStarvationDomain(hv *xen.Hypervisor, name string, pin int) (*xen.Domain, error) {
+	a, b := NewStarverPair()
+	dom := hv.NewDomain(name, 256, pin, a, b)
+	if err := Bind(a, b, dom); err != nil {
+		return nil, err
+	}
+	dom.WakeAll()
+	return dom, nil
+}

@@ -1,0 +1,60 @@
+package attack
+
+import (
+	"time"
+
+	"cloudmonatt/internal/sim"
+	"cloudmonatt/internal/xen"
+)
+
+// BusCovertSender is the memory-bus covert channel of Wu et al. (paper ref
+// [44], "Whispers in the hyper-space"): the sender signals bits by issuing
+// dense bursts of locked (bus-serializing) atomic operations — a "1" locks
+// the bus and measurably delays every other VM's memory traffic, a "0"
+// stays quiet. Unlike the CPU-interval channel, the sender's *scheduling*
+// pattern is unremarkable (steady small bursts); the signal lives in the
+// bus-lock performance-counter event train, which is what the Monitor
+// Module's bus watch captures (the CC-hunter observation, paper ref [11]).
+type BusCovertSender struct {
+	Bits       []Bit
+	SlotLen    sim.Time // one symbol slot
+	LocksPerOn int      // locked ops issued during a "1" slot
+	Repeat     bool
+
+	sent int
+}
+
+// NewBusCovertSender returns the calibration used by the experiments:
+// 10 ms symbol slots, 60 locked ops per "1".
+func NewBusCovertSender(bits []Bit, repeat bool) *BusCovertSender {
+	return &BusCovertSender{
+		Bits:       bits,
+		SlotLen:    10 * time.Millisecond,
+		LocksPerOn: 60,
+		Repeat:     repeat,
+	}
+}
+
+// SentCount returns the number of transmitted symbols.
+func (s *BusCovertSender) SentCount() int { return s.sent }
+
+// NextBurst implements xen.Program: one slot per burst — a short compute
+// burst carrying either a dense lock train or none, then sleep out the
+// slot. The CPU profile is identical for both symbols, so the CPU-interval
+// histogram looks benign; only the bus counter carries the signal.
+func (s *BusCovertSender) NextBurst(env xen.Env, self *xen.VCPU) xen.Burst {
+	if s.sent >= len(s.Bits) {
+		if !s.Repeat {
+			return xen.Burst{Done: true}
+		}
+		s.sent = 0
+	}
+	bit := s.Bits[s.sent]
+	s.sent++
+	locks := 0
+	if bit != 0 {
+		locks = s.LocksPerOn
+	}
+	run := 2 * time.Millisecond
+	return xen.Burst{Run: run, BusLocks: locks, Block: s.SlotLen - run}
+}

@@ -1,0 +1,50 @@
+package attack
+
+import (
+	"time"
+
+	"cloudmonatt/internal/sim"
+	"cloudmonatt/internal/workload"
+	"cloudmonatt/internal/xen"
+)
+
+// ResourceFreeing is the Resource-Freeing Attack of Varadarajan et al.
+// (cited as [40] in the paper §1/§4.5.1): instead of fighting the victim
+// for CPU, the attacker modifies the *victim's* behavior so it gives the
+// CPU up voluntarily — here by polluting the storage cache its requests
+// depend on, which shifts the victim's bottleneck onto the slow shared
+// disk. The attacker then greedily consumes the freed CPU.
+//
+// Modeling note: the real attack raises the victim's miss ratio by sending
+// crafted requests that evict its hot set; the simulation applies the
+// effect directly through CachedServer.SetMissRatio while the attacker
+// pays a small CPU cost per pollution round.
+type ResourceFreeing struct {
+	Target *workload.CachedServer
+	// PollutedMissRatio is the miss ratio the attacker's pollution sustains.
+	PollutedMissRatio float64
+	// PolluteCost is the CPU the attacker spends per round keeping the
+	// victim's cache cold.
+	PolluteCost sim.Time
+	// HarvestRun is the CPU burst the attacker runs per round to consume
+	// the freed CPU.
+	HarvestRun sim.Time
+}
+
+// NewResourceFreeing returns the calibration used by the experiments:
+// pollution to a 90% miss ratio, 300 µs pollution cost, 9 ms harvest
+// bursts.
+func NewResourceFreeing(target *workload.CachedServer) *ResourceFreeing {
+	return &ResourceFreeing{
+		Target:            target,
+		PollutedMissRatio: 0.9,
+		PolluteCost:       300 * time.Microsecond,
+		HarvestRun:        9 * time.Millisecond,
+	}
+}
+
+// NextBurst implements xen.Program.
+func (r *ResourceFreeing) NextBurst(env xen.Env, self *xen.VCPU) xen.Burst {
+	r.Target.SetMissRatio(r.PollutedMissRatio)
+	return xen.Burst{Run: r.PolluteCost + r.HarvestRun, Block: time.Millisecond}
+}

@@ -1,0 +1,96 @@
+package attack
+
+import (
+	"testing"
+	"time"
+
+	"cloudmonatt/internal/sim"
+	"cloudmonatt/internal/workload"
+	"cloudmonatt/internal/xen"
+)
+
+// rfaRun measures the cached victim against a co-tenant for 20s (after a
+// 1s warmup) and returns (victim requests/s, victim CPU share, co-tenant
+// CPU share).
+func rfaRun(t *testing.T, cotenant string) (float64, float64, float64) {
+	t.Helper()
+	k := sim.NewKernel(13)
+	hv := xen.New(k, xen.DefaultConfig(), 1)
+	victim := workload.NewCachedServer()
+	vd := hv.NewDomain("victim", 256, 0, victim)
+	vd.WakeAll()
+	var co *xen.Domain
+	switch cotenant {
+	case "idle":
+		co = hv.NewDomain("co", 256, 0, workload.Idle())
+	case "spinner":
+		co = hv.NewDomain("co", 256, 0, workload.Spinner(10*time.Millisecond))
+	case "rfa":
+		co = hv.NewDomain("co", 256, 0, NewResourceFreeing(victim))
+	default:
+		t.Fatalf("unknown cotenant %q", cotenant)
+	}
+	co.WakeAll()
+	warm := time.Second
+	window := 20 * time.Second
+	k.RunUntil(warm)
+	served0 := victim.Served()
+	v0, c0 := vd.TotalRuntime(), co.TotalRuntime()
+	k.RunUntil(warm + window)
+	rate := float64(victim.Served()-served0) / window.Seconds()
+	vShare := float64(vd.TotalRuntime()-v0) / float64(window)
+	cShare := float64(co.TotalRuntime()-c0) / float64(window)
+	return rate, vShare, cShare
+}
+
+func TestRFAStarvesVictimThroughput(t *testing.T) {
+	baseRate, baseShare, _ := rfaRun(t, "idle")
+	fairRate, fairShare, fairCo := rfaRun(t, "spinner")
+	rfaRate, rfaShare, rfaCo := rfaRun(t, "rfa")
+
+	if baseRate < 100 {
+		t.Fatalf("baseline victim rate %.0f req/s implausibly low", baseRate)
+	}
+	// A fair CPU hog halves-ish the victim; RFA must be far worse.
+	if fairRate < baseRate/4 {
+		t.Fatalf("fair contention already collapsed the victim: %.0f vs %.0f", fairRate, baseRate)
+	}
+	if rfaRate > fairRate/2 {
+		t.Fatalf("RFA victim rate %.0f not clearly worse than fair contention %.0f", rfaRate, fairRate)
+	}
+	if rfaRate > baseRate/3 {
+		t.Fatalf("RFA victim rate %.0f, want >=3x below baseline %.0f", rfaRate, baseRate)
+	}
+	// The freeing effect: the attacker harvests MORE than a fair co-tenant
+	// can get, because the victim stopped competing for the CPU.
+	if rfaCo < fairCo+0.2 {
+		t.Fatalf("attacker CPU share %.2f not above fair co-tenant share %.2f — nothing was freed", rfaCo, fairCo)
+	}
+	// And the victim's CPU share collapses — which is exactly what the
+	// availability property measures, so CloudMonatt flags RFA the same way
+	// it flags scheduler starvation.
+	if rfaShare > 0.15 {
+		t.Fatalf("victim CPU share %.2f under RFA, want < 0.15 (base %.2f, fair %.2f)", rfaShare, baseShare, fairShare)
+	}
+}
+
+func TestRFARestorationAfterAttackerLeaves(t *testing.T) {
+	k := sim.NewKernel(13)
+	hv := xen.New(k, xen.DefaultConfig(), 1)
+	victim := workload.NewCachedServer()
+	vd := hv.NewDomain("victim", 256, 0, victim)
+	vd.WakeAll()
+	co := hv.NewDomain("co", 256, 0, NewResourceFreeing(victim))
+	co.WakeAll()
+	k.RunUntil(5 * time.Second)
+	// The attacker's VM is destroyed (e.g. by a response); the cache warms
+	// back up (modeled by the ratio recovering) and throughput returns.
+	hv.DestroyDomain(co)
+	victim.SetMissRatio(0.05)
+	s0 := victim.Served()
+	k.RunUntil(15 * time.Second)
+	rate := float64(victim.Served()-s0) / 10
+	if rate < 100 {
+		t.Fatalf("victim did not recover after the attacker left: %.0f req/s", rate)
+	}
+}

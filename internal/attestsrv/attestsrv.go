@@ -1,0 +1,404 @@
+// Package attestsrv implements the CloudMonatt Attestation Server (paper
+// §3.2.3): the attestation requester and appraiser. It maps requested
+// security properties to measurement requests, collects signed evidence
+// from cloud servers over secure channels, validates the quote chain,
+// interprets measurements into health verdicts (Property Interpretation
+// Module), signs attestation reports (Property Certification Module), and
+// runs the periodic-attestation engine.
+package attestsrv
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"cloudmonatt/internal/cryptoutil"
+	"cloudmonatt/internal/interpret"
+	"cloudmonatt/internal/latency"
+	"cloudmonatt/internal/metrics"
+	"cloudmonatt/internal/properties"
+	"cloudmonatt/internal/rpc"
+	"cloudmonatt/internal/secchan"
+	"cloudmonatt/internal/server"
+	"cloudmonatt/internal/vclock"
+	"cloudmonatt/internal/wire"
+)
+
+// ServerRecord is one provisioned cloud server in the oat database.
+type ServerRecord struct {
+	Name string
+	Addr string
+	// IdentityKey (VKs) authenticates the secure channel to the server.
+	IdentityKey []byte
+	// AIK verifies the server's TPM platform quotes.
+	AIK []byte
+	// Properties lists the security properties the server can monitor.
+	Properties []properties.Property
+}
+
+// Supports reports whether the server can monitor property p.
+func (r *ServerRecord) Supports(p properties.Property) bool {
+	for _, q := range r.Properties {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// VMRecord holds the per-VM appraisal references (from the nova database:
+// what the customer declared at launch).
+type VMRecord struct {
+	Vid           string
+	ExpectedImage [32]byte
+	TaskAllowlist []string
+	MinCPUShare   float64
+}
+
+// Config configures the Attestation Server.
+type Config struct {
+	Identity *cryptoutil.Identity
+	PCAName  string
+	PCAKey   []byte
+	Network  rpc.Network
+	Clock    *vclock.Clock
+	Latency  *latency.Model
+	Verify   secchan.VerifyPeer
+	Rand     io.Reader
+}
+
+// Server is the Attestation Server.
+type Server struct {
+	cfg Config
+
+	mu      sync.Mutex
+	servers map[string]*ServerRecord
+	vms     map[string]*VMRecord
+	clients map[string]*rpc.Client
+	replay  *cryptoutil.ReplayCache
+
+	periodic map[string]*periodicTask
+	metrics  *metrics.Registry
+}
+
+// New creates an Attestation Server.
+func New(cfg Config) *Server {
+	return &Server{
+		cfg:      cfg,
+		servers:  make(map[string]*ServerRecord),
+		vms:      make(map[string]*VMRecord),
+		clients:  make(map[string]*rpc.Client),
+		replay:   cryptoutil.NewReplayCache(4096),
+		periodic: make(map[string]*periodicTask),
+		metrics:  metrics.NewRegistry(),
+	}
+}
+
+// Metrics exposes the appraisal-timing registry (virtual-time cost of each
+// appraisal per property — the Ceilometer view of §7).
+func (s *Server) Metrics() *metrics.Registry { return s.metrics }
+
+// RegisterServer records a provisioned cloud server (its address, identity
+// key, TPM AIK, and monitoring capabilities).
+func (s *Server) RegisterServer(rec ServerRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := rec
+	s.servers[rec.Name] = &cp
+}
+
+// Servers lists the registered cloud servers.
+func (s *Server) Servers() []ServerRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ServerRecord, 0, len(s.servers))
+	for _, r := range s.servers {
+		out = append(out, *r)
+	}
+	return out
+}
+
+// ServerSupports reports whether a registered server can monitor p.
+func (s *Server) ServerSupports(name string, p properties.Property) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.servers[name]
+	return ok && r.Supports(p)
+}
+
+// RegisterVM records the appraisal references for a VM.
+func (s *Server) RegisterVM(rec VMRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := rec
+	s.vms[rec.Vid] = &cp
+}
+
+// RebindVM points a VM's periodic tasks at its new host after a migration,
+// so ongoing monitoring follows the VM through its lifecycle (paper §5.3).
+func (s *Server) RebindVM(vid, serverID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range s.periodic {
+		if t.vid == vid {
+			t.serverID = serverID
+		}
+	}
+}
+
+// ForgetVM drops a VM's records and any periodic tasks (termination).
+func (s *Server) ForgetVM(vid string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.vms, vid)
+	for key, t := range s.periodic {
+		if t.vid == vid {
+			delete(s.periodic, key)
+		}
+	}
+}
+
+// client returns (establishing if needed) the secure channel to a server.
+func (s *Server) client(rec *ServerRecord) (*rpc.Client, error) {
+	s.mu.Lock()
+	c, ok := s.clients[rec.Name]
+	s.mu.Unlock()
+	if ok {
+		return c, nil
+	}
+	c, err := rpc.Dial(s.cfg.Network, rec.Addr, secchan.Config{
+		Identity: s.cfg.Identity,
+		Verify:   s.cfg.Verify,
+		Rand:     s.cfg.Rand,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("attestsrv: dialing %s: %w", rec.Name, err)
+	}
+	s.mu.Lock()
+	s.clients[rec.Name] = c
+	s.mu.Unlock()
+	return c, nil
+}
+
+// Appraise serves one attestation (the middle of Fig. 3): request
+// measurements from the VM's cloud server, validate the signed evidence,
+// interpret it, and return the signed report for the controller.
+//
+// Virtual-time accounting: the two protocol RTTs, the server-side quote and
+// certification costs, and the interpretation cost are advanced here; a
+// windowed measurement additionally advances the clock inside the cloud
+// server's Monitor Kernel. Together these compose the attestation-stage
+// latency of Fig. 9 (≈ latency.Model.AttestationExchange plus the window).
+func (s *Server) Appraise(req wire.AppraisalRequest) (*wire.Report, error) {
+	start := s.cfg.Clock.Now()
+	defer func() {
+		s.metrics.Summary("appraise/" + string(req.Prop)).Observe(s.cfg.Clock.Now() - start)
+	}()
+	if !properties.Valid(req.Prop) {
+		return nil, fmt.Errorf("attestsrv: unsupported property %q", req.Prop)
+	}
+	if !s.replay.Check(req.N2) {
+		return nil, fmt.Errorf("attestsrv: replayed request nonce")
+	}
+	s.mu.Lock()
+	srvRec, okS := s.servers[req.ServerID]
+	vmRec, okV := s.vms[req.Vid]
+	s.mu.Unlock()
+	if !okS {
+		return nil, fmt.Errorf("attestsrv: unknown cloud server %q", req.ServerID)
+	}
+	if !okV {
+		return nil, fmt.Errorf("attestsrv: no references for VM %q", req.Vid)
+	}
+	if !srvRec.Supports(req.Prop) {
+		return nil, fmt.Errorf("attestsrv: server %s cannot monitor %s", req.ServerID, req.Prop)
+	}
+
+	rM, err := properties.MapToMeasurements(req.Prop)
+	if err != nil {
+		return nil, err
+	}
+	n3, err := cryptoutil.NewNonce(s.cfg.Rand)
+	if err != nil {
+		return nil, err
+	}
+	c, err := s.client(srvRec)
+	if err != nil {
+		return nil, err
+	}
+
+	if lat := s.cfg.Latency; lat != nil {
+		s.cfg.Clock.Advance(lat.HopRTT + lat.QuoteCost + lat.CertifyCost)
+	}
+	var ev wire.Evidence
+	if err := c.Call(server.MethodMeasure, wire.MeasureRequest{Vid: req.Vid, Req: rM, N3: n3}, &ev); err != nil {
+		return nil, fmt.Errorf("attestsrv: measurement collection failed: %w", err)
+	}
+	if err := wire.VerifyEvidence(&ev, s.cfg.PCAName, ed25519.PublicKey(s.cfg.PCAKey), req.Vid, rM, n3); err != nil {
+		return nil, fmt.Errorf("attestsrv: rejecting evidence: %w", err)
+	}
+
+	if lat := s.cfg.Latency; lat != nil {
+		s.cfg.Clock.Advance(lat.InterpretCost)
+	}
+	verdict := interpret.Interpret(req.Prop, ev.Measurements, n3, interpret.References{
+		ServerAIK:      ed25519.PublicKey(srvRec.AIK),
+		PlatformGolden: interpret.GoldenPlatform(),
+		ExpectedImage:  vmRec.ExpectedImage,
+		Vid:            req.Vid,
+		TaskAllowlist:  vmRec.TaskAllowlist,
+		MinCPUShare:    vmRec.MinCPUShare,
+	})
+	return wire.BuildReport(s.cfg.Identity, req.Vid, req.ServerID, req.Prop, verdict, req.N2), nil
+}
+
+// --- periodic attestation engine (paper §3.2.1, §5.2) ---
+
+type periodicTask struct {
+	vid      string
+	serverID string
+	prop     properties.Property
+	freq     time.Duration
+	random   bool // randomize each interval (Table 1's "random intervals")
+	nextDue  time.Duration
+	results  []*wire.Report
+}
+
+// interval returns the next gap: the fixed frequency, or — in random mode —
+// uniform in [freq/2, 3·freq/2], so an attacker cannot time malicious
+// activity to dodge the measurement windows (paper §3.2.1, §4.4.3).
+func (t *periodicTask) interval(draw func(max int64) int64) time.Duration {
+	if !t.random {
+		return t.freq
+	}
+	half := int64(t.freq / 2)
+	if half <= 0 {
+		return t.freq
+	}
+	return t.freq/2 + time.Duration(draw(int64(t.freq)))
+}
+
+func taskKey(vid string, p properties.Property) string { return vid + "|" + string(p) }
+
+// StartPeriodic arms periodic attestation of (vid, prop) at the given
+// frequency. Random mode jitters each interval so the schedule is
+// unpredictable to a co-resident attacker.
+func (s *Server) StartPeriodic(vid, serverID string, p properties.Property, freq time.Duration) error {
+	return s.startPeriodic(vid, serverID, p, freq, false)
+}
+
+// StartPeriodicRandom arms periodic attestation at random intervals with
+// the given mean frequency.
+func (s *Server) StartPeriodicRandom(vid, serverID string, p properties.Property, freq time.Duration) error {
+	return s.startPeriodic(vid, serverID, p, freq, true)
+}
+
+func (s *Server) startPeriodic(vid, serverID string, p properties.Property, freq time.Duration, random bool) error {
+	if freq <= 0 {
+		return fmt.Errorf("attestsrv: periodic frequency must be positive")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := &periodicTask{
+		vid:      vid,
+		serverID: serverID,
+		prop:     p,
+		freq:     freq,
+		random:   random,
+	}
+	t.nextDue = s.cfg.Clock.Now() + t.interval(s.drawJitter)
+	s.periodic[taskKey(vid, p)] = t
+	return nil
+}
+
+// drawJitter draws a uniform value in [0, max) from crypto-grade entropy —
+// the schedule must be unpredictable to the adversary, so the simulation
+// RNG (which an attacker could re-derive) is deliberately not used.
+func (s *Server) drawJitter(max int64) int64 {
+	if max <= 0 {
+		return 0
+	}
+	var buf [8]byte
+	if _, err := io.ReadFull(s.cfg.Rand, buf[:]); err != nil {
+		return max / 2
+	}
+	v := int64(uint64(buf[0])<<56|uint64(buf[1])<<48|uint64(buf[2])<<40|uint64(buf[3])<<32|
+		uint64(buf[4])<<24|uint64(buf[5])<<16|uint64(buf[6])<<8|uint64(buf[7])) & (1<<62 - 1)
+	return v % max
+}
+
+// StopPeriodic disarms a periodic attestation and returns any undelivered
+// results.
+func (s *Server) StopPeriodic(vid string, p properties.Property) []*wire.Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := taskKey(vid, p)
+	t, ok := s.periodic[key]
+	if !ok {
+		return nil
+	}
+	delete(s.periodic, key)
+	return t.results
+}
+
+// FetchPeriodic drains the accumulated fresh results for (vid, prop).
+func (s *Server) FetchPeriodic(vid string, p properties.Property) []*wire.Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.periodic[taskKey(vid, p)]
+	if !ok {
+		return nil
+	}
+	out := t.results
+	t.results = nil
+	return out
+}
+
+// RunDue executes every periodic task whose next due time has passed,
+// accumulating fresh reports. The testbed calls it as virtual time
+// advances. It returns the reports produced in this pass.
+func (s *Server) RunDue() []*wire.Report {
+	now := s.cfg.Clock.Now()
+	s.mu.Lock()
+	var due []*periodicTask
+	for _, t := range s.periodic {
+		if now >= t.nextDue {
+			due = append(due, t)
+		}
+	}
+	s.mu.Unlock()
+	var produced []*wire.Report
+	for _, t := range due {
+		n2, err := cryptoutil.NewNonce(s.cfg.Rand)
+		if err != nil {
+			continue
+		}
+		rep, err := s.Appraise(wire.AppraisalRequest{Vid: t.vid, ServerID: t.serverID, Prop: t.prop, N2: n2})
+		s.mu.Lock()
+		t.nextDue = s.cfg.Clock.Now() + t.interval(s.drawJitter)
+		if err == nil {
+			t.results = append(t.results, rep)
+			produced = append(produced, rep)
+		}
+		s.mu.Unlock()
+	}
+	return produced
+}
+
+// NextDue returns the earliest pending periodic deadline, or false if no
+// periodic tasks are armed.
+func (s *Server) NextDue() (time.Duration, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var min time.Duration
+	found := false
+	for _, t := range s.periodic {
+		if !found || t.nextDue < min {
+			min = t.nextDue
+			found = true
+		}
+	}
+	return min, found
+}

@@ -1,0 +1,110 @@
+package attestsrv
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"cloudmonatt/internal/properties"
+	"cloudmonatt/internal/rpc"
+	"cloudmonatt/internal/secchan"
+	"cloudmonatt/internal/wire"
+)
+
+// RPC methods served by the Attestation Server (for the Cloud Controller).
+const (
+	MethodAppraise      = "appraise"
+	MethodRegisterVM    = "register-vm"
+	MethodForgetVM      = "forget-vm"
+	MethodPeriodicStart = "periodic-start"
+	MethodPeriodicStop  = "periodic-stop"
+	MethodPeriodicFetch = "periodic-fetch"
+	MethodRebindVM      = "rebind-vm"
+)
+
+// RebindRequest re-points a VM's periodic tasks after migration.
+type RebindRequest struct {
+	Vid      string
+	ServerID string
+}
+
+// PeriodicControl starts or addresses a periodic attestation task.
+type PeriodicControl struct {
+	Vid      string
+	ServerID string
+	Prop     properties.Property
+	Freq     time.Duration
+	Random   bool
+}
+
+// Handler returns the RPC dispatch for the Attestation Server.
+func (s *Server) Handler() rpc.Handler {
+	return func(peer rpc.Peer, method string, body []byte) ([]byte, error) {
+		switch method {
+		case MethodAppraise:
+			var req wire.AppraisalRequest
+			if err := rpc.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			rep, err := s.Appraise(req)
+			if err != nil {
+				return nil, err
+			}
+			return rpc.Encode(rep)
+		case MethodRegisterVM:
+			var rec VMRecord
+			if err := rpc.Decode(body, &rec); err != nil {
+				return nil, err
+			}
+			s.RegisterVM(rec)
+			return rpc.Encode(true)
+		case MethodForgetVM:
+			var req struct{ Vid string }
+			if err := rpc.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			s.ForgetVM(req.Vid)
+			return rpc.Encode(true)
+		case MethodPeriodicStart:
+			var req PeriodicControl
+			if err := rpc.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			var err error
+			if req.Random {
+				err = s.StartPeriodicRandom(req.Vid, req.ServerID, req.Prop, req.Freq)
+			} else {
+				err = s.StartPeriodic(req.Vid, req.ServerID, req.Prop, req.Freq)
+			}
+			if err != nil {
+				return nil, err
+			}
+			return rpc.Encode(true)
+		case MethodPeriodicStop:
+			var req PeriodicControl
+			if err := rpc.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			return rpc.Encode(s.StopPeriodic(req.Vid, req.Prop))
+		case MethodPeriodicFetch:
+			var req PeriodicControl
+			if err := rpc.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			return rpc.Encode(s.FetchPeriodic(req.Vid, req.Prop))
+		case MethodRebindVM:
+			var req RebindRequest
+			if err := rpc.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			s.RebindVM(req.Vid, req.ServerID)
+			return rpc.Encode(true)
+		}
+		return nil, fmt.Errorf("attestsrv: unknown method %q", method)
+	}
+}
+
+// Serve starts the Attestation Server's RPC endpoint on l.
+func (s *Server) Serve(l net.Listener, verify secchan.VerifyPeer) {
+	go rpc.Serve(l, secchan.Config{Identity: s.cfg.Identity, Verify: verify, Rand: s.cfg.Rand}, s.Handler())
+}

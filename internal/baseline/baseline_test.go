@@ -1,0 +1,149 @@
+package baseline
+
+import (
+	"crypto/rand"
+	"testing"
+
+	"cloudmonatt/internal/cryptoutil"
+	"cloudmonatt/internal/guest"
+	"cloudmonatt/internal/vtpm"
+)
+
+func rig(t *testing.T, g *guest.OS) (*Agent, References) {
+	t.Helper()
+	mgr, err := vtpm.NewManager("srv", rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := Install(mgr, "vm-1", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return agent, References{
+		HardwareKey:   mgr.HardwareKey(),
+		GoldenBoot:    GoldenBoot(),
+		TaskAllowlist: []string{"init", "sshd", "cron", "rsyslogd", "agetty"},
+	}
+}
+
+func attest(t *testing.T, a *Agent, refs References) Verdict {
+	t.Helper()
+	nonce := cryptoutil.MustNonce()
+	ev, err := a.Attest(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Verify(ev, nonce, refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestCleanGuestHealthy(t *testing.T) {
+	a, refs := rig(t, guest.NewOS())
+	if v := attest(t, a, refs); !v.Healthy {
+		t.Fatalf("clean guest judged unhealthy: %v", v)
+	}
+}
+
+func TestDetectsBootTamper(t *testing.T) {
+	g := guest.NewOS()
+	if err := g.TamperBootChain("guest-kernel"); err != nil {
+		t.Fatal(err)
+	}
+	a, refs := rig(t, g)
+	if v := attest(t, a, refs); v.Healthy {
+		t.Fatal("tampered boot chain passed binary attestation")
+	}
+}
+
+func TestDetectsVisibleMalware(t *testing.T) {
+	g := guest.NewOS()
+	a, refs := rig(t, g)
+	g.Spawn("cryptominer")
+	if v := attest(t, a, refs); v.Healthy {
+		t.Fatal("visible malware passed binary attestation")
+	}
+}
+
+// TestRootkitBlindSpot documents the structural flaw: the in-guest agent
+// reports the guest-visible task list, so a rootkit that hides from the
+// guest OS is invisible to binary attestation. (CloudMonatt's VMI path
+// catches this — see interpret.TestRuntimeIntegrityDetectsRootkit.)
+func TestRootkitBlindSpot(t *testing.T) {
+	g := guest.NewOS()
+	a, refs := rig(t, g)
+	g.InfectRootkit("stealth-miner")
+	v := attest(t, a, refs)
+	if !v.Healthy {
+		t.Fatalf("expected the baseline to MISS the rootkit (its defining blind spot); got %v", v)
+	}
+}
+
+func TestVerifyRejectsForgery(t *testing.T) {
+	a, refs := rig(t, guest.NewOS())
+	nonce := cryptoutil.MustNonce()
+	ev, err := a.Attest(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stale nonce.
+	if _, err := Verify(ev, cryptoutil.MustNonce(), refs); err == nil {
+		t.Fatal("replayed evidence accepted")
+	}
+	// Tampered log.
+	ev2, _ := a.Attest(nonce)
+	_ = ev2
+	nonce2 := cryptoutil.MustNonce()
+	ev3, _ := a.Attest(nonce2)
+	ev3.Log[0].Measurement[0] ^= 1
+	if _, err := Verify(ev3, nonce2, refs); err == nil {
+		t.Fatal("tampered log accepted")
+	}
+	// Nil evidence.
+	if _, err := Verify(nil, nonce, refs); err == nil {
+		t.Fatal("nil evidence accepted")
+	}
+	// Foreign hardware root.
+	otherMgr, _ := vtpm.NewManager("other", rand.Reader)
+	badRefs := refs
+	badRefs.HardwareKey = otherMgr.HardwareKey()
+	nonce3 := cryptoutil.MustNonce()
+	ev4, _ := a.Attest(nonce3)
+	if _, err := Verify(ev4, nonce3, badRefs); err == nil {
+		t.Fatal("evidence accepted under foreign hardware root")
+	}
+}
+
+func TestSupportsMatrix(t *testing.T) {
+	for threat, want := range map[string]bool{
+		"boot-tamper":     true,
+		"visible-malware": true,
+		"rootkit":         false,
+		"covert-channel":  false,
+		"cpu-starvation":  false,
+		"unknown":         false,
+	} {
+		if got := Supports(threat); got != want {
+			t.Errorf("Supports(%q) = %v, want %v", threat, got, want)
+		}
+	}
+}
+
+func TestRuntimeRemeasurementIsFresh(t *testing.T) {
+	// The task PCR is reset and re-extended per attestation, so a process
+	// that exits no longer taints later attestations.
+	g := guest.NewOS()
+	a, refs := rig(t, g)
+	p := g.Spawn("cryptominer")
+	if v := attest(t, a, refs); v.Healthy {
+		t.Fatal("malware missed while running")
+	}
+	if err := g.Kill(p.PID); err != nil {
+		t.Fatal(err)
+	}
+	if v := attest(t, a, refs); !v.Healthy {
+		t.Fatalf("guest still unhealthy after malware exited: %v", v)
+	}
+}

@@ -1,0 +1,104 @@
+// Package bench regenerates every table and figure of the CloudMonatt
+// paper's evaluation (§7) plus the case-study figures (§4), as structured
+// results with text rendering. Each Fig*/Table* function runs the relevant
+// experiment end to end on the simulated cloud and returns the same rows or
+// series the paper plots; cmd/monatt-bench prints them and bench_test.go
+// wraps them as testing.B benchmarks.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Series is one named sequence of (x, y) points.
+type Series struct {
+	Name   string
+	XLabel string
+	YLabel string
+	X      []float64
+	Y      []float64
+}
+
+// Table is a labeled grid of values.
+type Table struct {
+	Title   string
+	RowName string
+	Rows    []string
+	Cols    []string
+	// Cells[row][col]
+	Cells map[string]map[string]float64
+	// Unit annotates the cell values ("x", "s", "%").
+	Unit string
+}
+
+// NewTable allocates a table.
+func NewTable(title, rowName, unit string, rows, cols []string) *Table {
+	cells := make(map[string]map[string]float64, len(rows))
+	for _, r := range rows {
+		cells[r] = make(map[string]float64, len(cols))
+	}
+	return &Table{Title: title, RowName: rowName, Rows: rows, Cols: cols, Cells: cells, Unit: unit}
+}
+
+// Set stores one cell.
+func (t *Table) Set(row, col string, v float64) {
+	if t.Cells[row] == nil {
+		t.Cells[row] = make(map[string]float64)
+		t.Rows = append(t.Rows, row)
+	}
+	t.Cells[row][col] = v
+}
+
+// Render prints the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s)\n", t.Title, t.Unit)
+	fmt.Fprintf(&b, "%-24s", t.RowName)
+	for _, c := range t.Cols {
+		fmt.Fprintf(&b, "%12s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-24s", r)
+		for _, c := range t.Cols {
+			fmt.Fprintf(&b, "%12.3f", t.Cells[r][c])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderSeries prints series as aligned columns.
+func RenderSeries(title string, series ...Series) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, title)
+	for _, s := range series {
+		fmt.Fprintf(&b, "  series %q (%s vs %s): %d points\n", s.Name, s.YLabel, s.XLabel, len(s.X))
+		n := len(s.X)
+		const maxShown = 40
+		step := 1
+		if n > maxShown {
+			step = n / maxShown
+		}
+		for i := 0; i < n; i += step {
+			fmt.Fprintf(&b, "    %10.3f %10.4f\n", s.X[i], s.Y[i])
+		}
+	}
+	return b.String()
+}
+
+// seconds converts a duration to float seconds.
+func seconds(d time.Duration) float64 { return d.Seconds() }
+
+// sortedKeys returns map keys in stable order.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

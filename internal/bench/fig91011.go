@@ -1,0 +1,239 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"cloudmonatt/internal/cloudsim"
+	"cloudmonatt/internal/controller"
+	"cloudmonatt/internal/image"
+	"cloudmonatt/internal/properties"
+	"cloudmonatt/internal/workload"
+)
+
+// LaunchStages lists the pipeline stages in order (Fig. 9).
+var LaunchStages = []string{"scheduling", "networking", "block_device_mapping", "spawning", "attestation"}
+
+// Fig9Result reproduces Fig. 9: per-stage VM launch time for every
+// image × flavor combination.
+type Fig9Result struct {
+	*Table // rows = image-flavor, cols = stages; seconds
+	// AttestationShare is the mean fraction of launch time the attestation
+	// stage adds (the paper reports ≈20 % overhead).
+	AttestationShare float64
+}
+
+// Fig9 launches one VM per image × flavor on a fresh testbed and reports
+// the stage breakdown measured through the real pipeline.
+func Fig9(seed int64) (Fig9Result, error) {
+	var rows []string
+	for _, img := range image.ImageNames {
+		for _, fl := range image.FlavorNames {
+			rows = append(rows, img+"-"+fl)
+		}
+	}
+	t := NewTable("Figure 9: VM launch time by stage", "image-flavor", "s", rows, LaunchStages)
+	var attSum, totSum float64
+	for _, img := range image.ImageNames {
+		for _, fl := range image.FlavorNames {
+			tb, err := cloudsim.New(cloudsim.Options{Seed: seed})
+			if err != nil {
+				return Fig9Result{}, err
+			}
+			cu, err := tb.NewCustomer("bench")
+			if err != nil {
+				return Fig9Result{}, err
+			}
+			res, err := cu.Launch(controller.LaunchRequest{
+				ImageName: img, Flavor: fl, Workload: "idle",
+				Props: properties.All, Pin: -1,
+			})
+			if err != nil {
+				return Fig9Result{}, err
+			}
+			if !res.OK {
+				return Fig9Result{}, fmt.Errorf("bench: launch %s-%s rejected: %s", img, fl, res.Reason)
+			}
+			row := img + "-" + fl
+			var total, att float64
+			for _, st := range res.Stages {
+				t.Set(row, st.Stage, seconds(st.Duration))
+				total += seconds(st.Duration)
+				if st.Stage == "attestation" {
+					att += seconds(st.Duration)
+				}
+			}
+			attSum += att
+			totSum += total
+		}
+	}
+	share := 0.0
+	if totSum > 0 {
+		share = attSum / totSum
+	}
+	return Fig9Result{Table: t, AttestationShare: share}, nil
+}
+
+// Render formats Fig. 9.
+func (r Fig9Result) Render() string {
+	return r.Table.Render() + fmt.Sprintf("mean attestation share of launch: %.1f%%\n", r.AttestationShare*100)
+}
+
+// PeriodicFrequencies is the attestation-frequency sweep of Fig. 10.
+var PeriodicFrequencies = []struct {
+	Name string
+	Freq time.Duration
+}{
+	{"no attest", 0},
+	{"1min", time.Minute},
+	{"10s", 10 * time.Second},
+	{"5s", 5 * time.Second},
+}
+
+// Fig10Result reproduces Fig. 10: relative performance of the cloud
+// benchmarks under periodic runtime attestation.
+type Fig10Result struct {
+	*Table // rows = benchmarks, cols = frequencies; relative performance
+}
+
+// Fig10 runs each cloud service in an ubuntu-large VM for the observation
+// period while CPU-availability attestations fire at the given frequency,
+// and reports useful work (guest CPU time) relative to the no-attestation
+// baseline. The VM shares its pCPU with Dom0, so any measurement cost that
+// did intercept the guest would show up here.
+func Fig10(seed int64, horizon time.Duration) (Fig10Result, error) {
+	if horizon <= 0 {
+		horizon = 2 * time.Minute
+	}
+	var cols []string
+	for _, f := range PeriodicFrequencies {
+		cols = append(cols, f.Name)
+	}
+	t := NewTable("Figure 10: relative performance under periodic attestation", "benchmark", "rel", workload.ServiceNames, cols)
+
+	for _, svc := range workload.ServiceNames {
+		var baseline time.Duration
+		for _, fr := range PeriodicFrequencies {
+			tb, err := cloudsim.New(cloudsim.Options{Seed: seed})
+			if err != nil {
+				return Fig10Result{}, err
+			}
+			cu, err := tb.NewCustomer("bench")
+			if err != nil {
+				return Fig10Result{}, err
+			}
+			res, err := cu.Launch(controller.LaunchRequest{
+				ImageName: "ubuntu", Flavor: "large", Workload: svc,
+				Props: properties.All, MinShare: 0.05, Pin: 0, // share pCPU 0 with Dom0
+			})
+			if err != nil {
+				return Fig10Result{}, err
+			}
+			if !res.OK {
+				return Fig10Result{}, fmt.Errorf("bench: launch rejected: %s", res.Reason)
+			}
+			srv, err := tb.ServerOf(res.Vid)
+			if err != nil {
+				return Fig10Result{}, err
+			}
+			if fr.Freq > 0 {
+				if err := cu.StartPeriodic(res.Vid, properties.CPUAvailability, fr.Freq); err != nil {
+					return Fig10Result{}, err
+				}
+			}
+			start := tb.Clock.Now()
+			info0, err := srv.Info(res.Vid)
+			if err != nil {
+				return Fig10Result{}, err
+			}
+			tb.RunFor(horizon)
+			info1, err := srv.Info(res.Vid)
+			if err != nil {
+				return Fig10Result{}, err
+			}
+			elapsed := tb.Clock.Now() - start
+			work := float64(info1.Runtime-info0.Runtime) / elapsed.Seconds()
+			if fr.Freq == 0 {
+				baseline = time.Duration(work * float64(time.Second))
+			}
+			rel := 1.0
+			if baseline > 0 {
+				rel = work * float64(time.Second) / float64(baseline)
+			}
+			t.Set(svc, fr.Name, rel)
+		}
+	}
+	return Fig10Result{t}, nil
+}
+
+// Responses lists the remediation responses in Fig. 11's order.
+var Responses = []controller.ResponseKind{controller.Terminate, controller.Suspend, controller.Migrate}
+
+// Fig11Result reproduces Fig. 11: attestation time and reaction time per
+// response strategy and flavor.
+type Fig11Result struct {
+	Attestation *Table // seconds to detect (runtime availability attestation)
+	Reaction    *Table // seconds to execute the response
+}
+
+// Fig11 launches a victim per flavor, co-locates the CPU availability
+// attacker, lets the (failing) attestation trigger each response policy,
+// and measures both phases on the virtual clock.
+func Fig11(seed int64) (Fig11Result, error) {
+	var rows []string
+	for _, r := range Responses {
+		rows = append(rows, string(r))
+	}
+	att := NewTable("Figure 11: attestation time", "response", "s", rows, image.FlavorNames)
+	rea := NewTable("Figure 11: reaction time", "response", "s", rows, image.FlavorNames)
+	for _, resp := range Responses {
+		for _, fl := range image.FlavorNames {
+			policy := controller.DefaultPolicy()
+			policy[properties.CPUAvailability] = resp
+			tb, err := cloudsim.New(cloudsim.Options{Seed: seed, Servers: 2, Policy: policy})
+			if err != nil {
+				return Fig11Result{}, err
+			}
+			cu, err := tb.NewCustomer("bench")
+			if err != nil {
+				return Fig11Result{}, err
+			}
+			res, err := cu.Launch(controller.LaunchRequest{
+				ImageName: "ubuntu", Flavor: fl, Workload: "spinner",
+				Props: properties.All, MinShare: 0.25, Pin: 1,
+			})
+			if err != nil {
+				return Fig11Result{}, err
+			}
+			if !res.OK {
+				return Fig11Result{}, fmt.Errorf("bench: launch rejected: %s", res.Reason)
+			}
+			if _, err := tb.LaunchCoResident(res.Server, "attack:cpu-starver", 1); err != nil {
+				return Fig11Result{}, err
+			}
+			tb.RunFor(500 * time.Millisecond)
+			start := tb.Clock.Now()
+			v, err := cu.Attest(res.Vid, properties.CPUAvailability)
+			if err != nil {
+				return Fig11Result{}, err
+			}
+			if v.Healthy {
+				return Fig11Result{}, fmt.Errorf("bench: attack not detected for %s/%s", resp, fl)
+			}
+			total := tb.Clock.Now() - start
+			events := tb.Ctrl.Events()
+			if len(events) == 0 {
+				return Fig11Result{}, fmt.Errorf("bench: no response executed for %s/%s", resp, fl)
+			}
+			ev := events[len(events)-1]
+			att.Set(string(resp), fl, seconds(total-ev.Duration))
+			rea.Set(string(resp), fl, seconds(ev.Duration))
+		}
+	}
+	return Fig11Result{Attestation: att, Reaction: rea}, nil
+}
+
+// Render formats Fig. 11.
+func (r Fig11Result) Render() string {
+	return r.Attestation.Render() + "\n" + r.Reaction.Render()
+}

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cloudmonatt/internal/attack"
+	"cloudmonatt/internal/interpret"
+	"cloudmonatt/internal/properties"
+	"cloudmonatt/internal/sim"
+	"cloudmonatt/internal/workload"
+	"cloudmonatt/internal/xen"
+)
+
+// RFAResult measures the Resource-Freeing Attack (Varadarajan et al.,
+// paper ref [40]) against the cached-server victim, and whether
+// CloudMonatt's availability property flags it.
+type RFAResult struct {
+	Cotenants     []string
+	VictimReqPerS []float64
+	VictimShare   []float64
+	CotenantShare []float64
+	DiskUtil      []float64
+	Flagged       []bool // availability verdict for the victim
+}
+
+// RFA sweeps the victim across {idle, fair CPU hog, RFA attacker}.
+func RFA(seed int64) (RFAResult, error) {
+	var res RFAResult
+	for _, co := range []string{"idle", "cpu-hog", "rfa"} {
+		k := sim.NewKernel(seed)
+		hv := xen.New(k, xen.DefaultConfig(), 1)
+		victim := workload.NewCachedServer()
+		vd := hv.NewDomain("victim", 256, 0, victim)
+		vd.WakeAll()
+		var cd *xen.Domain
+		switch co {
+		case "idle":
+			cd = hv.NewDomain("co", 256, 0, workload.Idle())
+		case "cpu-hog":
+			cd = hv.NewDomain("co", 256, 0, workload.Spinner(10*time.Millisecond))
+		case "rfa":
+			cd = hv.NewDomain("co", 256, 0, attack.NewResourceFreeing(victim))
+		}
+		cd.WakeAll()
+		warm := time.Second
+		window := 20 * time.Second
+		k.RunUntil(warm)
+		served0 := victim.Served()
+		v0, c0 := vd.TotalRuntime(), cd.TotalRuntime()
+		k.RunUntil(warm + window)
+		vShare := float64(vd.TotalRuntime()-v0) / float64(window)
+		cShare := float64(cd.TotalRuntime()-c0) / float64(window)
+
+		// CloudMonatt's availability interpretation of the victim's share.
+		verdict := interpret.Availability([]properties.Measurement{{
+			Kind:     properties.KindCPUTime,
+			CPUTime:  vd.TotalRuntime() - v0,
+			WallTime: window,
+		}}, interpret.References{MinCPUShare: 0.25})
+
+		res.Cotenants = append(res.Cotenants, co)
+		res.VictimReqPerS = append(res.VictimReqPerS, float64(victim.Served()-served0)/window.Seconds())
+		res.VictimShare = append(res.VictimShare, vShare)
+		res.CotenantShare = append(res.CotenantShare, cShare)
+		res.DiskUtil = append(res.DiskUtil, hv.Disk().Utilization())
+		res.Flagged = append(res.Flagged, !verdict.Healthy)
+	}
+	return res, nil
+}
+
+// Render formats the RFA experiment.
+func (r RFAResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Resource-Freeing Attack (paper ref [40]) against the cached server\n")
+	b.WriteString("  co-tenant   victim req/s   victim CPU   co-tenant CPU   disk util   availability flagged\n")
+	for i, co := range r.Cotenants {
+		fmt.Fprintf(&b, "  %-10s  %10.0f   %9.1f%%   %12.1f%%   %8.1f%%   %v\n",
+			co, r.VictimReqPerS[i], r.VictimShare[i]*100, r.CotenantShare[i]*100, r.DiskUtil[i]*100, r.Flagged[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,530 @@
+// Package cloudsim assembles the complete in-process CloudMonatt testbed:
+// one Cloud Controller, one Attestation Server with its privacy CA, and N
+// cloud servers, all speaking the real attestation protocol over
+// authenticated encrypted channels on an in-memory network, with every
+// hypervisor and latency model driven by one shared virtual clock. It is
+// the equivalent of the paper's three-machine OpenStack deployment (§7),
+// squeezed into a deterministic process.
+package cloudsim
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"cloudmonatt/internal/attestsrv"
+	"cloudmonatt/internal/controller"
+	"cloudmonatt/internal/cryptoutil"
+	"cloudmonatt/internal/guest"
+	"cloudmonatt/internal/image"
+	"cloudmonatt/internal/latency"
+	"cloudmonatt/internal/monitor"
+	"cloudmonatt/internal/pca"
+	"cloudmonatt/internal/properties"
+	"cloudmonatt/internal/rpc"
+	"cloudmonatt/internal/secchan"
+	"cloudmonatt/internal/server"
+	"cloudmonatt/internal/sim"
+	"cloudmonatt/internal/vclock"
+	"cloudmonatt/internal/wire"
+	"cloudmonatt/internal/xen"
+)
+
+// Options configures the testbed.
+type Options struct {
+	Seed           int64
+	Servers        int
+	PCPUsPerServer int
+	// AttestServers shards the cloud servers across this many Attestation
+	// Servers (paper §3.2.3's scalability claim). Default 1. Cloud server i
+	// belongs to cluster i mod AttestServers.
+	AttestServers int
+	// TamperPlatform lists server names booted with a trojaned hypervisor.
+	TamperPlatform map[string]bool
+	// Policy overrides the controller's response policy.
+	Policy map[properties.Property]controller.ResponseKind
+	// SchedConfig overrides the hypervisor scheduler on every server
+	// (ablation benches disable BOOST here).
+	SchedConfig *xen.Config
+	// Capacity overrides the per-server allocatable resources.
+	Capacity server.Capacity
+	// Network selects the transport. nil assembles the cloud on an
+	// in-memory network; rpc.TCPNetwork{} runs the same entities over real
+	// loopback TCP (used by cmd/monatt-cloud and examples/distributed).
+	Network rpc.Network
+}
+
+// Testbed is the assembled cloud.
+type Testbed struct {
+	Clock  *vclock.Clock
+	Net    rpc.Network
+	Lat    *latency.Model
+	Images *image.Library
+	PCA    *pca.PCA
+	// Attest is the cluster-0 Attestation Server (the only one unless
+	// Options.AttestServers > 1); AttestServers lists all of them.
+	Attest        *attestsrv.Server
+	AttestServers []*attestsrv.Server
+	Ctrl          *controller.Controller
+	Servers       map[string]*server.Server
+
+	// ControllerAddr is where the nova api listens (useful with TCP).
+	ControllerAddr string
+
+	mu         sync.Mutex
+	opMu       sync.Mutex // serializes kernel-driving logical operations
+	directory  map[string]ed25519.PublicKey
+	tamperNext bool
+	nextCoVM   int
+}
+
+// serverName formats the i-th cloud server's name.
+func serverName(i int) string { return fmt.Sprintf("cloud-server-%d", i+1) }
+
+// New builds and starts the testbed.
+func New(opts Options) (*Testbed, error) {
+	if opts.Servers <= 0 {
+		opts.Servers = 3
+	}
+	if opts.PCPUsPerServer <= 0 {
+		opts.PCPUsPerServer = 2
+	}
+	if opts.Capacity == (server.Capacity{}) {
+		opts.Capacity = server.Capacity{VCPUs: 16, MemoryMB: 32768, DiskGB: 500}
+	}
+	kernel := sim.NewKernel(opts.Seed)
+	network := opts.Network
+	if network == nil {
+		network = rpc.NewMemNetwork()
+	}
+	tb := &Testbed{
+		Clock:     vclock.New(kernel),
+		Net:       network,
+		Lat:       latency.New(opts.Seed + 1),
+		Images:    image.NewLibrary(opts.Seed + 2),
+		Servers:   make(map[string]*server.Server),
+		directory: make(map[string]ed25519.PublicKey),
+	}
+	// listen binds an endpoint: symbolic names on the in-memory network,
+	// OS-assigned loopback ports on TCP.
+	listen := func(role string) (net.Listener, string, error) {
+		bind := role
+		if _, isMem := network.(*rpc.MemNetwork); !isMem {
+			bind = "127.0.0.1:0"
+		}
+		l, err := network.Listen(bind)
+		if err != nil {
+			return nil, "", err
+		}
+		return l, l.Addr().String(), nil
+	}
+
+	caSrv, err := pca.New("privacy-ca", rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	tb.PCA = caSrv
+
+	if opts.AttestServers <= 0 {
+		opts.AttestServers = 1
+	}
+	ctrlID := cryptoutil.MustIdentity("cloud-controller")
+	tb.register("cloud-controller", ctrlID.Public())
+	attIDs := make([]*cryptoutil.Identity, opts.AttestServers)
+	for i := range attIDs {
+		name := "attestation-server"
+		if i > 0 {
+			name = fmt.Sprintf("attestation-server-%d", i)
+		}
+		attIDs[i] = cryptoutil.MustIdentity(name)
+		tb.register(name, attIDs[i].Public())
+	}
+
+	// Cloud servers.
+	serverAddrs := make(map[string]string, opts.Servers)
+	for i := 0; i < opts.Servers; i++ {
+		name := serverName(i)
+		cfg := server.Config{
+			Name:        name,
+			Clock:       tb.Clock,
+			PCPUs:       opts.PCPUsPerServer,
+			Capacity:    opts.Capacity,
+			Certifier:   caSrv,
+			Rand:        rand.Reader,
+			SchedConfig: opts.SchedConfig,
+		}
+		if opts.TamperPlatform[name] {
+			cfg.Platform = trojanedPlatform()
+		}
+		srv, err := server.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		tb.Servers[name] = srv
+		tb.register(name, srv.Identity().Public())
+		caSrv.RegisterServer(name, srv.Identity().Public())
+		l, addr, err := listen("server:" + name)
+		if err != nil {
+			return nil, err
+		}
+		serverAddrs[name] = addr
+		srv.Serve(l, tb.Verify)
+	}
+
+	// Attestation Servers, one per cluster; each cloud server registers
+	// with its cluster's appraiser only.
+	attestAddrs := make([]string, opts.AttestServers)
+	for i, id := range attIDs {
+		as := attestsrv.New(attestsrv.Config{
+			Identity: id,
+			PCAName:  caSrv.Name(),
+			PCAKey:   caSrv.PublicKey(),
+			Network:  tb.Net,
+			Clock:    tb.Clock,
+			Latency:  tb.Lat,
+			Verify:   tb.Verify,
+			Rand:     rand.Reader,
+		})
+		tb.AttestServers = append(tb.AttestServers, as)
+		al, addr, err := listen(id.Name)
+		if err != nil {
+			return nil, err
+		}
+		attestAddrs[i] = addr
+		as.Serve(al, tb.Verify)
+	}
+	tb.Attest = tb.AttestServers[0]
+	for i := 0; i < opts.Servers; i++ {
+		name := serverName(i)
+		srv := tb.Servers[name]
+		tb.AttestServers[i%opts.AttestServers].RegisterServer(attestsrv.ServerRecord{
+			Name:        name,
+			Addr:        serverAddrs[name],
+			IdentityKey: srv.IdentityKey(),
+			AIK:         srv.AIK(),
+			Properties:  properties.All,
+		})
+	}
+
+	// Cloud Controller.
+	tb.Ctrl = controller.New(controller.Config{
+		Identity:    ctrlID,
+		Network:     tb.Net,
+		Clock:       tb.Clock,
+		Latency:     tb.Lat,
+		Images:      tb.Images,
+		Verify:      tb.Verify,
+		Rand:        rand.Reader,
+		AttestAddrs: attestAddrs,
+		Policy:      opts.Policy,
+		AutoRespond: true,
+		ImageTamper: tb.imageTamper,
+		Serialize:   &tb.opMu,
+	})
+	for i, id := range attIDs {
+		tb.Ctrl.SetAttestKeyFor(i, id.Public())
+	}
+	for i := 0; i < opts.Servers; i++ {
+		name := serverName(i)
+		tb.Ctrl.RegisterServer(controller.ServerEntry{
+			Name:     name,
+			Addr:     serverAddrs[name],
+			Capacity: opts.Capacity,
+			Props:    properties.All,
+			Cluster:  i % opts.AttestServers,
+		})
+	}
+	cl, ctrlAddr, err := listen("cloud-controller")
+	if err != nil {
+		return nil, err
+	}
+	tb.ControllerAddr = ctrlAddr
+	tb.Ctrl.Serve(cl, tb.Verify)
+	return tb, nil
+}
+
+// trojanedPlatform returns a platform stack with a modified hypervisor, as
+// measured at (compromised) server boot.
+func trojanedPlatform() []monitor.Component {
+	platform := monitor.StandardPlatform()
+	for i := range platform {
+		if platform[i].Name == "hypervisor" {
+			platform[i].Data = append(platform[i].Data, []byte(" +rootkit")...)
+		}
+	}
+	return platform
+}
+
+func (tb *Testbed) register(name string, key ed25519.PublicKey) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	tb.directory[name] = append(ed25519.PublicKey(nil), key...)
+}
+
+// Verify is the testbed's identity registry: every entity authenticates
+// channel peers against it.
+func (tb *Testbed) Verify(name string, key ed25519.PublicKey) error {
+	tb.mu.Lock()
+	want, ok := tb.directory[name]
+	tb.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("cloudsim: unknown peer %q", name)
+	}
+	if !cryptoutil.KeyEqual(want, key) {
+		return fmt.Errorf("cloudsim: identity key mismatch for %q", name)
+	}
+	return nil
+}
+
+// CorruptNextImage makes the next launch stream a tampered image (the
+// startup-integrity failure injection).
+func (tb *Testbed) CorruptNextImage() {
+	tb.mu.Lock()
+	tb.tamperNext = true
+	tb.mu.Unlock()
+}
+
+func (tb *Testbed) imageTamper(name string, data []byte) []byte {
+	tb.mu.Lock()
+	tamper := tb.tamperNext
+	tb.tamperNext = false
+	tb.mu.Unlock()
+	if !tamper {
+		return data
+	}
+	out := append([]byte(nil), data...)
+	if len(out) > 0 {
+		out[0] ^= 0xFF
+	}
+	return out
+}
+
+// RunFor advances virtual time by d, executing periodic attestations as
+// they come due. It serializes against in-flight nova api requests: the
+// shared discrete-event kernel admits one logical driver at a time.
+func (tb *Testbed) RunFor(d time.Duration) {
+	tb.opMu.Lock()
+	defer tb.opMu.Unlock()
+	end := tb.Clock.Now() + d
+	for {
+		due, ok := tb.nextPeriodicDue()
+		if !ok || due > end {
+			break
+		}
+		if now := tb.Clock.Now(); due > now {
+			tb.Clock.Advance(due - now)
+		}
+		for _, as := range tb.AttestServers {
+			as.RunDue()
+		}
+	}
+	if now := tb.Clock.Now(); now < end {
+		tb.Clock.Advance(end - now)
+	}
+}
+
+// nextPeriodicDue returns the earliest periodic deadline across all
+// attestation clusters.
+func (tb *Testbed) nextPeriodicDue() (time.Duration, bool) {
+	var min time.Duration
+	found := false
+	for _, as := range tb.AttestServers {
+		if due, ok := as.NextDue(); ok && (!found || due < min) {
+			min = due
+			found = true
+		}
+	}
+	return min, found
+}
+
+// ServerOf returns the server object hosting the VM.
+func (tb *Testbed) ServerOf(vid string) (*server.Server, error) {
+	name, err := tb.Ctrl.VMServer(vid)
+	if err != nil {
+		return nil, err
+	}
+	srv, ok := tb.Servers[name]
+	if !ok {
+		return nil, fmt.Errorf("cloudsim: controller names unknown server %q", name)
+	}
+	return srv, nil
+}
+
+// GuestOf returns the guest OS inside a hosted VM (for infection).
+func (tb *Testbed) GuestOf(vid string) (*guest.OS, error) {
+	srv, err := tb.ServerOf(vid)
+	if err != nil {
+		return nil, err
+	}
+	return srv.Guest(vid)
+}
+
+// LaunchCoResident places a VM directly on a named server (bypassing the
+// scheduler) — how the experiments position attacker VMs next to victims.
+func (tb *Testbed) LaunchCoResident(serverName, workloadName string, pin int) (string, error) {
+	srv, ok := tb.Servers[serverName]
+	if !ok {
+		return "", fmt.Errorf("cloudsim: no server %q", serverName)
+	}
+	tb.mu.Lock()
+	tb.nextCoVM++
+	vid := fmt.Sprintf("covm-%03d", tb.nextCoVM)
+	tb.mu.Unlock()
+	img, err := tb.Images.Get("cirros")
+	if err != nil {
+		return "", err
+	}
+	flavor, err := image.FlavorByName("small")
+	if err != nil {
+		return "", err
+	}
+	if workloadName == "attack:cpu-starver" {
+		flavor.VCPUs = 2
+	}
+	err = srv.Launch(server.LaunchSpec{
+		Vid:         vid,
+		ImageName:   "cirros",
+		ImageDigest: img.Digest(),
+		Flavor:      flavor,
+		Workload:    workloadName,
+		Pin:         pin,
+	})
+	if err != nil {
+		return "", err
+	}
+	return vid, nil
+}
+
+// LaunchRFACoResident places a Resource-Freeing attacker next to a
+// cached-server victim on its host.
+func (tb *Testbed) LaunchRFACoResident(targetVid string, pin int) (string, error) {
+	srv, err := tb.ServerOf(targetVid)
+	if err != nil {
+		return "", err
+	}
+	tb.mu.Lock()
+	tb.nextCoVM++
+	vid := fmt.Sprintf("covm-%03d", tb.nextCoVM)
+	tb.mu.Unlock()
+	img, err := tb.Images.Get("cirros")
+	if err != nil {
+		return "", err
+	}
+	flavor, err := image.FlavorByName("small")
+	if err != nil {
+		return "", err
+	}
+	if err := srv.LaunchRFA(vid, targetVid, flavor, pin, img.Digest()); err != nil {
+		return "", err
+	}
+	return vid, nil
+}
+
+// Customer is a cloud customer: the protocol initiator and end-verifier.
+type Customer struct {
+	id      *cryptoutil.Identity
+	client  *rpc.Client
+	ctrlKey ed25519.PublicKey
+}
+
+// NewCustomer registers a fresh customer identity and connects it to the
+// controller's nova api.
+func (tb *Testbed) NewCustomer(name string) (*Customer, error) {
+	return tb.NewCustomerWithIdentity(cryptoutil.MustIdentity(name))
+}
+
+// NewCustomerWithIdentity registers an existing identity (e.g. one whose
+// seed was provisioned to an external CLI) and connects it.
+func (tb *Testbed) NewCustomerWithIdentity(id *cryptoutil.Identity) (*Customer, error) {
+	tb.register(id.Name, id.Public())
+	client, err := rpc.Dial(tb.Net, tb.ControllerAddr, secchan.Config{Identity: id, Verify: tb.Verify})
+	if err != nil {
+		return nil, err
+	}
+	return &Customer{id: id, client: client, ctrlKey: tb.Ctrl.PublicKey()}, nil
+}
+
+// RegisterIdentity adds an externally provisioned identity (like a CLI
+// customer's) to the trust directory so its channels authenticate.
+func (tb *Testbed) RegisterIdentity(name string, pub ed25519.PublicKey) {
+	tb.register(name, pub)
+}
+
+// Launch requests a VM.
+func (cu *Customer) Launch(req controller.LaunchRequest) (controller.LaunchResult, error) {
+	req.Owner = cu.id.Name
+	var res controller.LaunchResult
+	err := cu.client.Call(controller.MethodLaunchVM, req, &res)
+	return res, err
+}
+
+// Attest issues a one-time attestation and end-verifies the report chain:
+// the customer checks the controller's signature, its own nonce N1, and the
+// quote Q1 before trusting the verdict.
+func (cu *Customer) Attest(vid string, p properties.Property) (properties.Verdict, error) {
+	n1 := cryptoutil.MustNonce()
+	method := controller.MethodRuntimeAttestCurrent
+	if p == properties.StartupIntegrity {
+		method = controller.MethodStartupAttestCurrent
+	}
+	var rep wire.CustomerReport
+	if err := cu.client.Call(method, wire.AttestRequest{Vid: vid, Prop: p, N1: n1}, &rep); err != nil {
+		return properties.Verdict{}, err
+	}
+	if err := wire.VerifyCustomerReport(&rep, cu.ctrlKey, vid, p, n1); err != nil {
+		return properties.Verdict{}, fmt.Errorf("customer: rejecting report: %w", err)
+	}
+	return rep.Verdict, nil
+}
+
+// StartPeriodic arms periodic attestation (runtime_attest_periodic).
+func (cu *Customer) StartPeriodic(vid string, p properties.Property, freq time.Duration) error {
+	return cu.client.Call(controller.MethodRuntimeAttestPeriodic,
+		wire.PeriodicRequest{Vid: vid, Prop: p, Freq: freq, N1: cryptoutil.MustNonce()}, nil)
+}
+
+// StartPeriodicRandom arms periodic attestation at random intervals around
+// the given mean frequency, so a co-resident attacker cannot predict the
+// measurement windows.
+func (cu *Customer) StartPeriodicRandom(vid string, p properties.Property, freq time.Duration) error {
+	return cu.client.Call(controller.MethodRuntimeAttestPeriodic,
+		wire.PeriodicRequest{Vid: vid, Prop: p, Freq: freq, Random: true, N1: cryptoutil.MustNonce()}, nil)
+}
+
+// FetchPeriodic drains and end-verifies accumulated periodic results.
+func (cu *Customer) FetchPeriodic(vid string, p properties.Property) ([]properties.Verdict, error) {
+	return cu.periodicCall(controller.MethodFetchPeriodic, vid, p)
+}
+
+// StopPeriodic stops periodic attestation (stop_attest_periodic) and
+// returns any undelivered verified results.
+func (cu *Customer) StopPeriodic(vid string, p properties.Property) ([]properties.Verdict, error) {
+	return cu.periodicCall(controller.MethodStopAttestPeriodic, vid, p)
+}
+
+func (cu *Customer) periodicCall(method, vid string, p properties.Property) ([]properties.Verdict, error) {
+	n1 := cryptoutil.MustNonce()
+	var reps []*wire.CustomerReport
+	if err := cu.client.Call(method, wire.StopPeriodicRequest{Vid: vid, Prop: p, N1: n1}, &reps); err != nil {
+		return nil, err
+	}
+	var out []properties.Verdict
+	for _, rep := range reps {
+		if err := wire.VerifyCustomerReport(rep, cu.ctrlKey, vid, p, n1); err != nil {
+			return nil, fmt.Errorf("customer: rejecting periodic report: %w", err)
+		}
+		out = append(out, rep.Verdict)
+	}
+	return out, nil
+}
+
+// Terminate releases the VM.
+func (cu *Customer) Terminate(vid string) error {
+	return cu.client.Call(controller.MethodTerminateVM, struct{ Vid string }{vid}, nil)
+}
+
+// Close tears down the customer's channel.
+func (cu *Customer) Close() error { return cu.client.Close() }

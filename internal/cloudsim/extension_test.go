@@ -1,0 +1,404 @@
+package cloudsim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"cloudmonatt/internal/controller"
+	"cloudmonatt/internal/cryptoutil"
+	"cloudmonatt/internal/guest"
+	"cloudmonatt/internal/interpret"
+	"cloudmonatt/internal/monitor"
+	"cloudmonatt/internal/properties"
+)
+
+// TestCustomPropertyEndToEnd exercises the paper's extensibility claim
+// (§4: "the CloudMonatt architecture is flexible and allows the
+// integration of an arbitrary number of security properties and monitoring
+// mechanisms"): a deployment-defined fifth property — guest kernel
+// integrity via VM introspection of the guest boot chain — is registered
+// with the three extension points and then flows through the full
+// protocol, launch pipeline and response machinery without any change to
+// the architecture.
+func TestCustomPropertyEndToEnd(t *testing.T) {
+	const (
+		propKernel properties.Property        = "guest-kernel-integrity"
+		kindChain  properties.MeasurementKind = "guest-bootchain"
+	)
+
+	// Golden references: the digests of a pristine guest's boot chain.
+	golden := make(map[string][32]byte)
+	for _, c := range guest.NewOS().BootChain() {
+		golden[c.Name] = c.Digest()
+	}
+
+	// 1. Property → measurement mapping (Attestation Server side).
+	if err := properties.Register(propKernel, properties.Request{
+		Kinds: []properties.MeasurementKind{kindChain},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer properties.Unregister(propKernel)
+
+	// 2. Collector (Monitor Module side): VMI reads the guest boot chain.
+	if err := monitor.RegisterCollector(kindChain, func(vm *monitor.VM, nonce [16]byte) (properties.Measurement, error) {
+		m := properties.Measurement{Kind: kindChain}
+		for _, c := range vm.Guest.BootChain() {
+			m.LogNames = append(m.LogNames, c.Name)
+			m.LogSums = append(m.LogSums, c.Digest())
+		}
+		return m, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer monitor.UnregisterCollector(kindChain)
+
+	// 3. Interpreter (Property Interpretation Module side).
+	if err := interpret.RegisterInterpreter(propKernel, func(ms []properties.Measurement, nonce cryptoutil.Nonce, refs interpret.References) properties.Verdict {
+		for _, m := range ms {
+			if m.Kind != kindChain {
+				continue
+			}
+			for i, name := range m.LogNames {
+				want, known := golden[name]
+				if !known || m.LogSums[i] != want {
+					return properties.Verdict{Property: propKernel, Healthy: false,
+						Reason: "guest boot component modified", Details: map[string]string{"component": name}}
+				}
+			}
+			return properties.Verdict{Property: propKernel, Healthy: true,
+				Reason: "guest boot chain matches known-good digests"}
+		}
+		return properties.Verdict{Property: propKernel, Healthy: false, Reason: "missing boot chain measurement"}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer interpret.UnregisterInterpreter(propKernel)
+
+	tb := newTB(t, Options{Seed: 77})
+	cu, _ := tb.NewCustomer("alice")
+
+	// The cloud servers advertise the new capability.
+	for _, rec := range tb.Attest.Servers() {
+		rec.Properties = append(rec.Properties, propKernel)
+		tb.Attest.RegisterServer(rec)
+	}
+	for name := range tb.Servers {
+		tb.Ctrl.RegisterServer(ctrlEntryWithProp(tb, name, propKernel))
+	}
+
+	req := basicLaunch()
+	req.Props = append(req.Props, propKernel)
+	res := launch(t, cu, req)
+	tb.RunFor(time.Second)
+
+	// Clean guest: healthy.
+	v, err := cu.Attest(res.Vid, propKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Healthy {
+		t.Fatalf("pristine guest kernel judged modified: %v", v)
+	}
+
+	// Tamper with the guest kernel; the custom property must catch it and
+	// the default response (termination) must fire.
+	g, err := tb.GuestOf(res.Vid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.TamperBootChain("guest-kernel"); err != nil {
+		t.Fatal(err)
+	}
+	v, err = cu.Attest(res.Vid, propKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Healthy {
+		t.Fatal("tampered guest kernel passed the custom property")
+	}
+	if !strings.Contains(v.Details["component"], "guest-kernel") {
+		t.Fatalf("wrong component blamed: %v", v.Details)
+	}
+	events := tb.Ctrl.Events()
+	if len(events) != 1 {
+		t.Fatalf("expected one response, got %+v", events)
+	}
+	if st, _ := tb.Ctrl.VMState(res.Vid); st != "terminated" {
+		t.Fatalf("VM state %q after failed custom-property attestation", st)
+	}
+}
+
+// ctrlEntryWithProp rebuilds a controller server entry advertising an
+// additional property.
+func ctrlEntryWithProp(tb *Testbed, name string, p properties.Property) (e controllerServerEntry) {
+	for _, rec := range tb.Attest.Servers() {
+		if rec.Name == name {
+			e.Name = name
+			e.Addr = rec.Addr
+			e.Props = append(append([]properties.Property{}, properties.All...), p)
+		}
+	}
+	e.Capacity = serverCap(16, 32768, 500)
+	return
+}
+
+// Keep periodic monitoring following a migration (regression test for the
+// rebind path).
+func TestPeriodicFollowsMigration(t *testing.T) {
+	tb := newTB(t, Options{Seed: 78, Servers: 2})
+	cu, _ := tb.NewCustomer("alice")
+	req := basicLaunch()
+	req.Workload = "spinner"
+	req.Pin = 1
+	res := launch(t, cu, req)
+	if err := cu.StartPeriodic(res.Vid, properties.CPUAvailability, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.LaunchCoResident(res.Server, "attack:cpu-starver", 1); err != nil {
+		t.Fatal(err)
+	}
+	tb.RunFor(12 * time.Second) // detection + automatic migration
+	if _, err := cu.FetchPeriodic(res.Vid, properties.CPUAvailability); err != nil {
+		t.Fatal(err)
+	}
+	newServer, _ := tb.Ctrl.VMServer(res.Vid)
+	if newServer == res.Server {
+		t.Fatal("VM was not migrated")
+	}
+	// After migration, periodic results keep arriving and are healthy.
+	tb.RunFor(15 * time.Second)
+	vs, err := cu.FetchPeriodic(res.Vid, properties.CPUAvailability)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) == 0 {
+		t.Fatal("no periodic results after migration (task not rebound)")
+	}
+	for _, v := range vs {
+		if !v.Healthy {
+			t.Fatalf("post-migration verdict unhealthy: %v", v)
+		}
+	}
+}
+
+// controllerServerEntry aliases the controller's entry type for the helper.
+type controllerServerEntry = controller.ServerEntry
+
+// TestRFADetectedAndMigrated runs the Resource-Freeing Attack through the
+// full cloud: the availability attestation flags the starved victim, the
+// controller migrates it, and on the new host (fresh cache, no attacker)
+// its CPU share recovers.
+func TestRFADetectedAndMigrated(t *testing.T) {
+	tb := newTB(t, Options{Seed: 79, Servers: 2})
+	cu, _ := tb.NewCustomer("alice")
+	req := basicLaunch()
+	req.Workload = "cached-server"
+	req.MinShare = 0.25
+	req.Pin = 1
+	res := launch(t, cu, req)
+	srcServer := res.Server
+
+	// Healthy while alone.
+	tb.RunFor(time.Second)
+	v, err := cu.Attest(res.Vid, properties.CPUAvailability)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Healthy {
+		t.Fatalf("unattacked cached server failed availability: %v", v)
+	}
+
+	// The RFA attacker arrives on the same pCPU.
+	if _, err := tb.LaunchRFACoResident(res.Vid, 1); err != nil {
+		t.Fatal(err)
+	}
+	tb.RunFor(2 * time.Second)
+	v, err = cu.Attest(res.Vid, properties.CPUAvailability)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Healthy {
+		t.Fatalf("RFA-starved victim judged healthy: %v", v)
+	}
+	newServer, _ := tb.Ctrl.VMServer(res.Vid)
+	if newServer == srcServer {
+		t.Fatal("victim not migrated off the attacked server")
+	}
+
+	// Fresh host, fresh cache, no attacker: availability recovers.
+	tb.RunFor(2 * time.Second)
+	v, err = cu.Attest(res.Vid, properties.CPUAvailability)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Healthy {
+		t.Fatalf("migrated victim still starved: %v", v)
+	}
+}
+
+// TestBusCovertChannelEndToEnd: the memory-bus covert channel flows
+// through the full protocol and the confidentiality property flags it.
+func TestBusCovertChannelEndToEnd(t *testing.T) {
+	tb := newTB(t, Options{Seed: 80, Servers: 2})
+	cu, _ := tb.NewCustomer("alice")
+	req := basicLaunch()
+	req.Workload = "attack:bus-covert-sender"
+	req.Allowlist = nil
+	req.Pin = 1
+	res := launch(t, cu, req)
+	tb.RunFor(500 * time.Millisecond)
+	v, err := cu.Attest(res.Vid, properties.CovertChannelFreedom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Healthy {
+		t.Fatalf("bus covert channel not detected end to end: %v", v)
+	}
+	// The migration policy for confidentiality fires.
+	events := tb.Ctrl.Events()
+	if len(events) != 1 || events[0].Response != controller.Migrate {
+		t.Fatalf("expected migration response, got %+v", events)
+	}
+}
+
+// TestSuspensionRecheckLoop exercises §5.2's full Suspension semantics: a
+// failing attestation suspends the VM; while the breach persists, rechecks
+// re-suspend it; once the guest is cleaned, the recheck resumes it.
+func TestSuspensionRecheckLoop(t *testing.T) {
+	policy := controller.DefaultPolicy()
+	policy[properties.RuntimeIntegrity] = controller.Suspend
+	tb := newTB(t, Options{Seed: 81, Policy: policy})
+	cu, _ := tb.NewCustomer("alice")
+	res := launch(t, cu, basicLaunch())
+	g, err := tb.GuestOf(res.Vid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rk := g.InfectRootkit("stealth-miner")
+	if v, err := cu.Attest(res.Vid, properties.RuntimeIntegrity); err != nil || v.Healthy {
+		t.Fatalf("infection not flagged: %v %v", v, err)
+	}
+	if st, _ := tb.Ctrl.VMState(res.Vid); st != "suspended" {
+		t.Fatalf("state %q after failing attestation", st)
+	}
+
+	// First recheck: the rootkit is still there → back to suspended.
+	v, resumed, err := tb.Ctrl.RecheckAndResume(res.Vid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed || v.Healthy {
+		t.Fatalf("recheck resumed a still-infected VM: %v", v)
+	}
+	if st, _ := tb.Ctrl.VMState(res.Vid); st != "suspended" {
+		t.Fatalf("state %q after failing recheck", st)
+	}
+
+	// The operator removes the rootkit; the next recheck resumes the VM.
+	if err := g.Kill(rk.PID); err != nil {
+		t.Fatal(err)
+	}
+	v, resumed, err = tb.Ctrl.RecheckAndResume(res.Vid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed || !v.Healthy {
+		t.Fatalf("recheck did not resume a clean VM: %v", v)
+	}
+	if st, _ := tb.Ctrl.VMState(res.Vid); st != "active" {
+		t.Fatalf("state %q after healthy recheck", st)
+	}
+	// Rechecking an active VM is an error.
+	if _, _, err := tb.Ctrl.RecheckAndResume(res.Vid); err == nil {
+		t.Fatal("recheck of an active VM succeeded")
+	}
+}
+
+// TestMultipleAttestationServers exercises §3.2.3's scalability claim:
+// cloud servers shard across attestation clusters, each with its own
+// Attestation Server; attestation, periodic monitoring and migration all
+// route to the VM's cluster.
+func TestMultipleAttestationServers(t *testing.T) {
+	tb := newTB(t, Options{Seed: 82, Servers: 4, AttestServers: 2})
+	if len(tb.AttestServers) != 2 {
+		t.Fatalf("attestation servers: %d", len(tb.AttestServers))
+	}
+	cu, _ := tb.NewCustomer("alice")
+
+	// Fill the cloud so both clusters host VMs.
+	clusters := map[string][]string{}
+	req := basicLaunch()
+	req.Flavor = "small"
+	for i := 0; i < 4; i++ {
+		res := launch(t, cu, req)
+		clusters[res.Server] = append(clusters[res.Server], res.Vid)
+	}
+	if len(clusters) != 4 {
+		t.Fatalf("VMs not spread over all servers: %v", clusters)
+	}
+	tb.RunFor(time.Second)
+
+	// Every VM attests healthy through its own cluster's appraiser.
+	var vids []string
+	for _, vs := range clusters {
+		vids = append(vids, vs...)
+	}
+	for _, vid := range vids {
+		v, err := cu.Attest(vid, properties.RuntimeIntegrity)
+		if err != nil {
+			t.Fatalf("%s: %v", vid, err)
+		}
+		if !v.Healthy {
+			t.Fatalf("%s unhealthy: %v", vid, v)
+		}
+	}
+	// Both appraisers did real work (launch startup attestations at least).
+	for i, as := range tb.AttestServers {
+		if as.Metrics().Summary("appraise/"+string(properties.StartupIntegrity)).Count() == 0 {
+			t.Fatalf("attestation server %d appraised nothing", i)
+		}
+	}
+
+	// Periodic monitoring works for VMs in the second cluster too.
+	vid := clusters[serverName(1)][0] // cluster 1 (index 1 % 2)
+	if err := cu.StartPeriodic(vid, properties.CPUAvailability, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	tb.RunFor(12 * time.Second)
+	vs, err := cu.FetchPeriodic(vid, properties.CPUAvailability)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) == 0 {
+		t.Fatal("no periodic results from the second cluster")
+	}
+
+	// Migration keeps the VM inside its attestation cluster.
+	srcName, _ := tb.Ctrl.VMServer(vid)
+	dest, err := tb.Ctrl.MigrateVM(vid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcIdx := serverIndex(t, srcName)
+	destIdx := serverIndex(t, dest)
+	if srcIdx%2 != destIdx%2 {
+		t.Fatalf("migration crossed clusters: %s -> %s", srcName, dest)
+	}
+	// And the VM still attests at its new home.
+	if v, err := cu.Attest(vid, properties.RuntimeIntegrity); err != nil || !v.Healthy {
+		t.Fatalf("post-migration attest: %v %v", v, err)
+	}
+}
+
+// serverIndex parses "cloud-server-N" back to its zero-based index.
+func serverIndex(t *testing.T, name string) int {
+	t.Helper()
+	var n int
+	if _, err := fmt.Sscanf(name, "cloud-server-%d", &n); err != nil {
+		t.Fatalf("bad server name %q", name)
+	}
+	return n - 1
+}

@@ -1,0 +1,375 @@
+package controller
+
+import (
+	"fmt"
+
+	"cloudmonatt/internal/attestsrv"
+	"cloudmonatt/internal/cryptoutil"
+	"cloudmonatt/internal/properties"
+	"cloudmonatt/internal/server"
+	"cloudmonatt/internal/wire"
+)
+
+// vmFor validates that the VM exists and the property was provisioned.
+func (c *Controller) vmFor(vid string, p properties.Property) (*vmRecord, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.vms[vid]
+	if !ok {
+		return nil, fmt.Errorf("controller: no such VM %q", vid)
+	}
+	if rec.State == "terminated" {
+		return nil, fmt.Errorf("controller: VM %q is terminated", vid)
+	}
+	if p == properties.StartupIntegrity {
+		return rec, nil // always provisioned: every launch is attested
+	}
+	for _, q := range rec.Props {
+		if q == p {
+			return rec, nil
+		}
+	}
+	return nil, fmt.Errorf("controller: VM %q was not provisioned with property %q", vid, p)
+}
+
+// Attest serves the one-time attestation APIs of Table 1
+// (startup_attest_current and runtime_attest_current): it forwards the
+// request to the Attestation Server with a fresh N2, validates the signed
+// report, triggers the Response Module on failure, and re-signs the result
+// for the customer with SKc and the customer's N1.
+func (c *Controller) Attest(req wire.AttestRequest) (*wire.CustomerReport, error) {
+	if !c.replay.Check(req.N1) {
+		return nil, fmt.Errorf("controller: replayed customer nonce")
+	}
+	rec, err := c.vmFor(req.Vid, req.Prop)
+	if err != nil {
+		return nil, err
+	}
+	ac, cluster, err := c.attestClientOfVM(req.Vid)
+	if err != nil {
+		return nil, err
+	}
+	n2, err := cryptoutil.NewNonce(c.cfg.Rand)
+	if err != nil {
+		return nil, err
+	}
+	c.cfg.Clock.Advance(c.cfg.Latency.HopRTT)
+	var rep wire.Report
+	if err := ac.Call(attestsrv.MethodAppraise, wire.AppraisalRequest{
+		Vid: req.Vid, ServerID: rec.Server, Prop: req.Prop, N2: n2,
+	}, &rep); err != nil {
+		return nil, fmt.Errorf("controller: appraisal failed: %w", err)
+	}
+	if err := wire.VerifyReport(&rep, c.attestKey(cluster), req.Vid, req.Prop, n2); err != nil {
+		return nil, fmt.Errorf("controller: rejecting attestation report: %w", err)
+	}
+	if !rep.Verdict.Healthy && c.cfg.AutoRespond {
+		c.Respond(req.Vid, req.Prop, rep.Verdict.Reason)
+	}
+	return wire.BuildCustomerReport(c.cfg.Identity, req.Vid, req.Prop, rep.Verdict, req.N1), nil
+}
+
+// StartPeriodic serves runtime_attest_periodic.
+func (c *Controller) StartPeriodic(req wire.PeriodicRequest) error {
+	rec, err := c.vmFor(req.Vid, req.Prop)
+	if err != nil {
+		return err
+	}
+	ac, _, err := c.attestClientOfVM(req.Vid)
+	if err != nil {
+		return err
+	}
+	return ac.Call(attestsrv.MethodPeriodicStart, attestsrv.PeriodicControl{
+		Vid: req.Vid, ServerID: rec.Server, Prop: req.Prop, Freq: req.Freq, Random: req.Random,
+	}, nil)
+}
+
+// StopPeriodic serves stop_attest_periodic, returning undelivered results.
+func (c *Controller) StopPeriodic(req wire.StopPeriodicRequest) ([]*wire.CustomerReport, error) {
+	if _, err := c.vmFor(req.Vid, req.Prop); err != nil {
+		return nil, err
+	}
+	ac, cluster, err := c.attestClientOfVM(req.Vid)
+	if err != nil {
+		return nil, err
+	}
+	var reports []*wire.Report
+	if err := ac.Call(attestsrv.MethodPeriodicStop, attestsrv.PeriodicControl{Vid: req.Vid, Prop: req.Prop}, &reports); err != nil {
+		return nil, err
+	}
+	return c.repackage(req.Vid, req.Prop, req.N1, cluster, reports)
+}
+
+// FetchPeriodic drains fresh periodic results for the customer.
+func (c *Controller) FetchPeriodic(req wire.StopPeriodicRequest) ([]*wire.CustomerReport, error) {
+	if _, err := c.vmFor(req.Vid, req.Prop); err != nil {
+		return nil, err
+	}
+	ac, cluster, err := c.attestClientOfVM(req.Vid)
+	if err != nil {
+		return nil, err
+	}
+	var reports []*wire.Report
+	if err := ac.Call(attestsrv.MethodPeriodicFetch, attestsrv.PeriodicControl{Vid: req.Vid, Prop: req.Prop}, &reports); err != nil {
+		return nil, err
+	}
+	return c.repackage(req.Vid, req.Prop, req.N1, cluster, reports)
+}
+
+// repackage validates appraiser reports and re-signs them for the customer.
+// Failed verdicts trigger the Response Module (once per batch).
+func (c *Controller) repackage(vid string, p properties.Property, n1 cryptoutil.Nonce, cluster int, reports []*wire.Report) ([]*wire.CustomerReport, error) {
+	var out []*wire.CustomerReport
+	responded := false
+	for _, rep := range reports {
+		if rep.Vid != vid || rep.Prop != p {
+			continue
+		}
+		if err := wire.VerifyReport(rep, c.attestKey(cluster), vid, p, rep.N2); err != nil {
+			continue
+		}
+		if !rep.Verdict.Healthy && c.cfg.AutoRespond && !responded {
+			c.Respond(vid, p, rep.Verdict.Reason)
+			responded = true
+		}
+		out = append(out, wire.BuildCustomerReport(c.cfg.Identity, vid, p, rep.Verdict, n1))
+	}
+	return out, nil
+}
+
+// --- Response Module (paper §5.2) ---
+
+// Respond executes the policy response for a failed property on a VM and
+// records the event with its modeled reaction time (Fig. 11).
+func (c *Controller) Respond(vid string, p properties.Property, reason string) (ResponseEvent, error) {
+	c.mu.Lock()
+	rec, ok := c.vms[vid]
+	kind := c.policy[p]
+	c.mu.Unlock()
+	if !ok {
+		return ResponseEvent{}, fmt.Errorf("controller: no such VM %q", vid)
+	}
+	if kind == "" {
+		kind = Terminate
+	}
+	ev := ResponseEvent{Vid: vid, Prop: p, Response: kind, Reason: reason, At: c.cfg.Clock.Now()}
+	var err error
+	switch kind {
+	case Terminate:
+		err = c.TerminateVM(vid)
+		ev.Terminated = true
+		ev.Duration = c.cfg.Latency.Termination(rec.Flavor)
+	case Suspend:
+		err = c.SuspendVM(vid)
+		ev.Duration = c.cfg.Latency.Suspension(rec.Flavor)
+		c.mu.Lock()
+		rec.SuspendedFor = p
+		c.mu.Unlock()
+	case Migrate:
+		var dest string
+		dest, err = c.MigrateVM(vid)
+		ev.NewServer = dest
+		ev.Duration = c.cfg.Latency.Migration(rec.Flavor)
+		if err != nil {
+			// No qualified destination: the VM is terminated for safety
+			// (paper §5.3).
+			if terr := c.TerminateVM(vid); terr == nil {
+				ev.Terminated = true
+			}
+		}
+	}
+	c.cfg.Clock.Advance(ev.Duration)
+	c.mu.Lock()
+	c.events = append(c.events, ev)
+	c.mu.Unlock()
+	return ev, err
+}
+
+// TerminateVM shuts a VM down (#1 Termination).
+func (c *Controller) TerminateVM(vid string) error {
+	c.mu.Lock()
+	rec, ok := c.vms[vid]
+	if !ok || rec.State == "terminated" {
+		c.mu.Unlock()
+		return fmt.Errorf("controller: no active VM %q", vid)
+	}
+	rec.State = "terminated"
+	srv, flavor := rec.Server, rec.Flavor
+	c.mu.Unlock()
+	c.release(srv, flavor)
+	mgmt, err := c.mgmtClient(srv)
+	if err != nil {
+		return err
+	}
+	if err := mgmt.Call(server.MethodTerminate, server.VidRequest{Vid: vid}, nil); err != nil {
+		return err
+	}
+	if ac, err := c.attestClientFor(c.clusterOfServer(srv)); err == nil {
+		ac.Call(attestsrv.MethodForgetVM, struct{ Vid string }{vid}, nil)
+	}
+	return nil
+}
+
+// SuspendVM pauses a VM (#2 Suspension).
+func (c *Controller) SuspendVM(vid string) error {
+	c.mu.Lock()
+	rec, ok := c.vms[vid]
+	if !ok || rec.State != "active" {
+		c.mu.Unlock()
+		return fmt.Errorf("controller: no active VM %q", vid)
+	}
+	rec.State = "suspended"
+	srv := rec.Server
+	c.mu.Unlock()
+	mgmt, err := c.mgmtClient(srv)
+	if err != nil {
+		return err
+	}
+	return mgmt.Call(server.MethodSuspend, server.VidRequest{Vid: vid}, nil)
+}
+
+// ResumeVM continues a suspended VM after the platform re-attests healthy.
+func (c *Controller) ResumeVM(vid string) error {
+	c.mu.Lock()
+	rec, ok := c.vms[vid]
+	if !ok || rec.State != "suspended" {
+		c.mu.Unlock()
+		return fmt.Errorf("controller: VM %q is not suspended", vid)
+	}
+	rec.State = "active"
+	srv := rec.Server
+	c.mu.Unlock()
+	mgmt, err := c.mgmtClient(srv)
+	if err != nil {
+		return err
+	}
+	return mgmt.Call(server.MethodResume, server.VidRequest{Vid: vid}, nil)
+}
+
+// RecheckAndResume implements the second half of the Suspension response
+// (paper §5.2): the controller initiates further checking and resumes the
+// VM only if the attestation shows security health has returned. Because
+// runtime properties need the VM executing to be measured, the flow is
+// resume → re-attest the property that triggered the suspension →
+// re-suspend on a still-failing verdict. It returns the fresh verdict and
+// whether the VM is now active.
+func (c *Controller) RecheckAndResume(vid string) (properties.Verdict, bool, error) {
+	c.mu.Lock()
+	rec, ok := c.vms[vid]
+	if !ok || rec.State != "suspended" {
+		c.mu.Unlock()
+		return properties.Verdict{}, false, fmt.Errorf("controller: VM %q is not suspended", vid)
+	}
+	prop := rec.SuspendedFor
+	srv := rec.Server
+	c.mu.Unlock()
+	if prop == "" {
+		prop = properties.RuntimeIntegrity
+	}
+	if err := c.ResumeVM(vid); err != nil {
+		return properties.Verdict{}, false, err
+	}
+	ac, cluster, err := c.attestClientOfVM(vid)
+	if err != nil {
+		return properties.Verdict{}, false, err
+	}
+	n2, err := cryptoutil.NewNonce(c.cfg.Rand)
+	if err != nil {
+		return properties.Verdict{}, false, err
+	}
+	c.cfg.Clock.Advance(c.cfg.Latency.HopRTT)
+	var rep wire.Report
+	if err := ac.Call(attestsrv.MethodAppraise, wire.AppraisalRequest{
+		Vid: vid, ServerID: srv, Prop: prop, N2: n2,
+	}, &rep); err != nil {
+		// Could not re-check: fail safe, back to suspended.
+		c.SuspendVM(vid)
+		return properties.Verdict{}, false, fmt.Errorf("controller: recheck failed: %w", err)
+	}
+	if err := wire.VerifyReport(&rep, c.attestKey(cluster), vid, prop, n2); err != nil {
+		c.SuspendVM(vid)
+		return properties.Verdict{}, false, fmt.Errorf("controller: rejecting recheck report: %w", err)
+	}
+	if !rep.Verdict.Healthy {
+		if err := c.SuspendVM(vid); err != nil {
+			return rep.Verdict, false, err
+		}
+		return rep.Verdict, false, nil
+	}
+	c.mu.Lock()
+	rec.SuspendedFor = ""
+	c.mu.Unlock()
+	return rep.Verdict, true, nil
+}
+
+// MigrateVM moves a VM to another qualified server (#3 Migration) and
+// returns the destination.
+func (c *Controller) MigrateVM(vid string) (string, error) {
+	c.mu.Lock()
+	rec, ok := c.vms[vid]
+	if !ok || rec.State == "terminated" {
+		c.mu.Unlock()
+		return "", fmt.Errorf("controller: no active VM %q", vid)
+	}
+	src, flavor, props := rec.Server, rec.Flavor, rec.Props
+	c.mu.Unlock()
+
+	// Destinations are restricted to the VM's attestation cluster so its
+	// appraisal state stays with one Attestation Server (paper §3.2.3).
+	cands := c.candidates(flavor, props, src, c.clusterOfServer(src))
+	if len(cands) == 0 {
+		return "", fmt.Errorf("controller: no qualified destination for %s", vid)
+	}
+	dest := cands[0]
+	srcMgmt, err := c.mgmtClient(src)
+	if err != nil {
+		return "", err
+	}
+	var spec server.LaunchSpec
+	if err := srcMgmt.Call(server.MethodMigrateOut, server.VidRequest{Vid: vid}, &spec); err != nil {
+		return "", err
+	}
+	c.release(src, flavor)
+	destMgmt, err := c.mgmtClient(dest.Name)
+	if err != nil {
+		return "", err
+	}
+	var launched bool
+	if err := destMgmt.Call(server.MethodLaunch, spec, &launched); err != nil {
+		return "", fmt.Errorf("controller: relaunch on %s failed: %w", dest.Name, err)
+	}
+	c.reserve(dest.Name, flavor)
+	c.mu.Lock()
+	rec.Server = dest.Name
+	c.mu.Unlock()
+	// Ongoing periodic monitoring follows the VM to its new host.
+	if ac, err := c.attestClientFor(dest.Cluster); err == nil {
+		ac.Call(attestsrv.MethodRebindVM, attestsrv.RebindRequest{Vid: vid, ServerID: dest.Name}, nil)
+	}
+	return dest.Name, nil
+}
+
+// VMServer returns the server currently hosting the VM.
+func (c *Controller) VMServer(vid string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.vms[vid]
+	if !ok {
+		return "", fmt.Errorf("controller: no such VM %q", vid)
+	}
+	return rec.Server, nil
+}
+
+// VMState returns the lifecycle state of the VM.
+func (c *Controller) VMState(vid string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.vms[vid]
+	if !ok {
+		return "", fmt.Errorf("controller: no such VM %q", vid)
+	}
+	return rec.State, nil
+}
+
+// PublicKey returns VKc, the key customers verify reports under.
+func (c *Controller) PublicKey() []byte { return c.cfg.Identity.Public() }

@@ -1,0 +1,606 @@
+// Package controller implements the CloudMonatt Cloud Controller (paper
+// §3.2.2, Fig. 8's modified OpenStack Nova): the nova api serving the
+// Table 1 attestation commands, the nova database of VMs and server
+// capabilities, the property-aware filter scheduler (Policy Validation
+// Module), the five-stage launch pipeline (Deployment Module), the
+// attest_service brokering attestations through the Attestation Server,
+// and the Response Module executing Termination / Suspension / Migration
+// when a VM's security health fails.
+package controller
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"cloudmonatt/internal/attestsrv"
+	"cloudmonatt/internal/cryptoutil"
+	"cloudmonatt/internal/image"
+	"cloudmonatt/internal/latency"
+	"cloudmonatt/internal/properties"
+	"cloudmonatt/internal/rpc"
+	"cloudmonatt/internal/secchan"
+	"cloudmonatt/internal/server"
+	"cloudmonatt/internal/vclock"
+	"cloudmonatt/internal/wire"
+)
+
+// ResponseKind is one remediation response (paper §5.2).
+type ResponseKind string
+
+// The three implemented responses.
+const (
+	Terminate ResponseKind = "termination"
+	Suspend   ResponseKind = "suspension"
+	Migrate   ResponseKind = "migration"
+)
+
+// DefaultPolicy maps each property to the response its failure triggers.
+func DefaultPolicy() map[properties.Property]ResponseKind {
+	return map[properties.Property]ResponseKind{
+		properties.RuntimeIntegrity:     Terminate,
+		properties.CovertChannelFreedom: Migrate,
+		properties.CPUAvailability:      Migrate,
+	}
+}
+
+// ServerEntry is one cloud server known to the controller.
+type ServerEntry struct {
+	Name     string
+	Addr     string
+	Capacity server.Capacity
+	Props    []properties.Property
+	// Cluster selects which Attestation Server appraises this server's
+	// VMs (paper §3.2.3: "different Attestation Servers for different
+	// clusters of cloud servers, enabling scalability"). Migration keeps a
+	// VM within its cluster, so its appraisal state stays with one
+	// Attestation Server.
+	Cluster int
+}
+
+func (e *ServerEntry) supports(ps []properties.Property) bool {
+	have := make(map[properties.Property]bool, len(e.Props))
+	for _, p := range e.Props {
+		have[p] = true
+	}
+	for _, p := range ps {
+		if !have[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// vmRecord is the nova database row for one VM.
+type vmRecord struct {
+	Vid       string
+	Owner     string
+	Server    string
+	ImageName string
+	Flavor    image.Flavor
+	Props     []properties.Property
+	Allowlist []string
+	MinShare  float64
+	Workload  string
+	State     string // active | suspended | terminated
+	// SuspendedFor records which failing property triggered a suspension,
+	// so the recheck (paper §5.2 response #2) re-attests the same property.
+	SuspendedFor properties.Property
+}
+
+// ResponseEvent records one executed remediation response.
+type ResponseEvent struct {
+	Vid        string
+	Prop       properties.Property
+	Response   ResponseKind
+	Reason     string
+	At         time.Duration // virtual time of execution
+	Duration   time.Duration // modeled reaction time
+	NewServer  string        // for migrations
+	Terminated bool
+}
+
+// Config configures the Cloud Controller.
+type Config struct {
+	Identity *cryptoutil.Identity
+	Network  rpc.Network
+	Clock    *vclock.Clock
+	Latency  *latency.Model
+	Images   *image.Library
+	Verify   secchan.VerifyPeer
+	Rand     io.Reader
+	// AttestAddr is the single Attestation Server's endpoint (cluster 0).
+	// Deployments sharding across clusters set AttestAddrs instead.
+	AttestAddr string
+	// AttestAddrs lists one Attestation Server endpoint per cluster.
+	AttestAddrs []string
+	Policy      map[properties.Property]ResponseKind
+	// AutoRespond executes the policy response when an attestation comes
+	// back unhealthy (paper §5.2). On by default in the testbed.
+	AutoRespond bool
+	// ImageTamper, when set, corrupts image bytes in storage/transit before
+	// they are measured on the cloud server (failure injection for the
+	// startup-integrity case study).
+	ImageTamper func(name string, data []byte) []byte
+	// Serialize, when set, is held for the duration of each nova api
+	// request. The whole testbed shares one discrete-event kernel, which is
+	// single-threaded by nature; serializing at the customer-facing entry
+	// keeps exactly one logical operation driving virtual time while the
+	// channel/crypto layers stay concurrent.
+	Serialize *sync.Mutex
+}
+
+// Controller is the Cloud Controller.
+type Controller struct {
+	cfg Config
+
+	mu         sync.Mutex
+	servers    map[string]*ServerEntry
+	used       map[string]server.Capacity
+	vms        map[string]*vmRecord
+	mgmt       map[string]*rpc.Client
+	attest     map[int]*rpc.Client
+	attestPubs map[int][]byte
+	nextVid    int
+	replay     *cryptoutil.ReplayCache
+	events     []ResponseEvent
+	policy     map[properties.Property]ResponseKind
+}
+
+// New creates a controller.
+func New(cfg Config) *Controller {
+	if cfg.Policy == nil {
+		cfg.Policy = DefaultPolicy()
+	}
+	if len(cfg.AttestAddrs) == 0 && cfg.AttestAddr != "" {
+		cfg.AttestAddrs = []string{cfg.AttestAddr}
+	}
+	return &Controller{
+		cfg:        cfg,
+		servers:    make(map[string]*ServerEntry),
+		used:       make(map[string]server.Capacity),
+		vms:        make(map[string]*vmRecord),
+		mgmt:       make(map[string]*rpc.Client),
+		attest:     make(map[int]*rpc.Client),
+		attestPubs: make(map[int][]byte),
+		replay:     cryptoutil.NewReplayCache(4096),
+		policy:     cfg.Policy,
+	}
+}
+
+// RegisterServer adds a cloud server to the scheduling pool.
+func (c *Controller) RegisterServer(e ServerEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp := e
+	c.servers[e.Name] = &cp
+}
+
+// Events returns the executed remediation responses.
+func (c *Controller) Events() []ResponseEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]ResponseEvent(nil), c.events...)
+}
+
+// VMSummary is one row of the nova database as shown to its owner.
+type VMSummary struct {
+	Vid       string
+	ImageName string
+	Flavor    string
+	Workload  string
+	Props     []properties.Property
+	State     string
+}
+
+// ListVMs returns the (non-terminated) VMs belonging to owner, sorted by id.
+func (c *Controller) ListVMs(owner string) []VMSummary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []VMSummary
+	for _, rec := range c.vms {
+		if rec.Owner != owner || rec.State == "terminated" {
+			continue
+		}
+		out = append(out, VMSummary{
+			Vid:       rec.Vid,
+			ImageName: rec.ImageName,
+			Flavor:    rec.Flavor.Name,
+			Workload:  rec.Workload,
+			Props:     append([]properties.Property(nil), rec.Props...),
+			State:     rec.State,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Vid < out[j].Vid })
+	return out
+}
+
+// EventsFor returns the remediation responses executed on owner's VMs.
+func (c *Controller) EventsFor(owner string) []ResponseEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []ResponseEvent
+	for _, ev := range c.events {
+		rec, ok := c.vms[ev.Vid]
+		if ok && rec.Owner == owner {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// attestClientFor lazily dials the Attestation Server of a cluster.
+func (c *Controller) attestClientFor(cluster int) (*rpc.Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cl, ok := c.attest[cluster]; ok {
+		return cl, nil
+	}
+	if cluster < 0 || cluster >= len(c.cfg.AttestAddrs) {
+		return nil, fmt.Errorf("controller: no attestation server for cluster %d", cluster)
+	}
+	cl, err := rpc.Dial(c.cfg.Network, c.cfg.AttestAddrs[cluster], secchan.Config{
+		Identity: c.cfg.Identity, Verify: c.cfg.Verify, Rand: c.cfg.Rand,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("controller: dialing attestation server %d: %w", cluster, err)
+	}
+	c.attest[cluster] = cl
+	return cl, nil
+}
+
+// clusterOfServer returns the cluster a cloud server belongs to.
+func (c *Controller) clusterOfServer(name string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.servers[name]; ok {
+		return e.Cluster
+	}
+	return 0
+}
+
+// attestClientOfVM returns the Attestation Server client and cluster for
+// the VM's current host.
+func (c *Controller) attestClientOfVM(vid string) (*rpc.Client, int, error) {
+	c.mu.Lock()
+	rec, ok := c.vms[vid]
+	var cluster int
+	if ok {
+		if e, okS := c.servers[rec.Server]; okS {
+			cluster = e.Cluster
+		}
+	}
+	c.mu.Unlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("controller: no such VM %q", vid)
+	}
+	cl, err := c.attestClientFor(cluster)
+	return cl, cluster, err
+}
+
+// mgmtClient lazily dials a cloud server's management endpoint.
+func (c *Controller) mgmtClient(name string) (*rpc.Client, error) {
+	c.mu.Lock()
+	entry, ok := c.servers[name]
+	if !ok {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("controller: unknown server %q", name)
+	}
+	if cl, ok := c.mgmt[name]; ok {
+		c.mu.Unlock()
+		return cl, nil
+	}
+	c.mu.Unlock()
+	cl, err := rpc.Dial(c.cfg.Network, entry.Addr, secchan.Config{
+		Identity: c.cfg.Identity, Verify: c.cfg.Verify, Rand: c.cfg.Rand,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("controller: dialing server %s: %w", name, err)
+	}
+	c.mu.Lock()
+	c.mgmt[name] = cl
+	c.mu.Unlock()
+	return cl, nil
+}
+
+// --- Policy Validation Module: the property-aware filter scheduler ---
+
+// candidates returns servers passing the property_filter (capability check)
+// and the capacity filter, best-first (most free vCPUs, then memory — the
+// OpenStack workload-balance weigher). cluster restricts the pool to one
+// attestation cluster (-1 = any; migrations stay within the VM's cluster).
+func (c *Controller) candidates(f image.Flavor, props []properties.Property, exclude string, cluster int) []*ServerEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*ServerEntry
+	for _, e := range c.servers {
+		if e.Name == exclude {
+			continue
+		}
+		if cluster >= 0 && e.Cluster != cluster {
+			continue
+		}
+		if !e.supports(props) {
+			continue
+		}
+		used := c.used[e.Name]
+		if f.VCPUs > e.Capacity.VCPUs-used.VCPUs ||
+			f.MemoryMB > e.Capacity.MemoryMB-used.MemoryMB ||
+			f.DiskGB > e.Capacity.DiskGB-used.DiskGB {
+			continue
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ui, uj := c.used[out[i].Name], c.used[out[j].Name]
+		fi := out[i].Capacity.VCPUs - ui.VCPUs
+		fj := out[j].Capacity.VCPUs - uj.VCPUs
+		if fi != fj {
+			return fi > fj
+		}
+		mi := out[i].Capacity.MemoryMB - ui.MemoryMB
+		mj := out[j].Capacity.MemoryMB - uj.MemoryMB
+		if mi != mj {
+			return mi > mj
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+func (c *Controller) reserve(name string, f image.Flavor) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	u := c.used[name]
+	u.VCPUs += f.VCPUs
+	u.MemoryMB += f.MemoryMB
+	u.DiskGB += f.DiskGB
+	c.used[name] = u
+}
+
+func (c *Controller) release(name string, f image.Flavor) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	u := c.used[name]
+	u.VCPUs -= f.VCPUs
+	u.MemoryMB -= f.MemoryMB
+	u.DiskGB -= f.DiskGB
+	c.used[name] = u
+}
+
+// --- Deployment Module: the five-stage launch pipeline ---
+
+// LaunchRequest is the customer's VM request (nova api extended with the
+// monitoring/attestation options, §6.1).
+type LaunchRequest struct {
+	Owner     string
+	ImageName string
+	Flavor    string
+	Workload  string
+	Props     []properties.Property
+	Allowlist []string
+	MinShare  float64
+	// Pin requests a specific pCPU on the host (co-residency experiments).
+	Pin int
+}
+
+// StageTiming is one launch-pipeline stage's duration (Fig. 9).
+type StageTiming struct {
+	Stage    string
+	Duration time.Duration
+}
+
+// LaunchResult reports the outcome of a launch.
+type LaunchResult struct {
+	Vid     string
+	Server  string
+	OK      bool
+	Reason  string
+	Stages  []StageTiming
+	Verdict properties.Verdict // startup attestation result
+}
+
+// LaunchVM runs the launch pipeline: Scheduling → Networking →
+// Block_device_mapping → Spawning → Attestation (the fifth stage
+// CloudMonatt adds, §7.1.1). A platform-integrity failure reschedules onto
+// the next qualified server; an image-integrity failure rejects the launch
+// (paper §5.1).
+func (c *Controller) LaunchVM(req LaunchRequest) (LaunchResult, error) {
+	flavor, err := image.FlavorByName(req.Flavor)
+	if err != nil {
+		return LaunchResult{}, err
+	}
+	for _, p := range req.Props {
+		if !properties.Valid(p) {
+			return LaunchResult{}, fmt.Errorf("controller: unsupported property %q", p)
+		}
+	}
+	img, err := c.cfg.Images.Get(req.ImageName)
+	if err != nil {
+		return LaunchResult{}, err
+	}
+	if c.cfg.ImageTamper != nil {
+		tampered := c.cfg.ImageTamper(req.ImageName, img.Bytes())
+		copy(img.Bytes(), tampered)
+	}
+	golden, err := c.cfg.Images.GoldenDigest(req.ImageName)
+	if err != nil {
+		return LaunchResult{}, err
+	}
+
+	c.mu.Lock()
+	c.nextVid++
+	vid := fmt.Sprintf("vm-%04d", c.nextVid)
+	c.mu.Unlock()
+
+	result := LaunchResult{Vid: vid}
+	stage := func(name string, d time.Duration) {
+		c.cfg.Clock.Advance(d)
+		result.Stages = append(result.Stages, StageTiming{Stage: name, Duration: d})
+	}
+
+	// Stage 1: Scheduling (the property_filter consults the capability DB).
+	cands := c.candidates(flavor, req.Props, "", -1)
+	stage("scheduling", c.cfg.Latency.Scheduling(len(c.servers)))
+	if len(cands) == 0 {
+		result.Reason = "no qualified server supports the requested properties with free capacity"
+		return result, nil
+	}
+
+	// Stages 2–5, retrying on another qualified server if the platform
+	// fails its integrity attestation.
+	for attempt, cand := range cands {
+		ok, reason, verdict, err := c.placeAndAttest(vid, req, flavor, img, golden, cand, &result, attempt == 0)
+		if err != nil {
+			return result, err
+		}
+		result.Verdict = verdict
+		if ok {
+			result.OK = true
+			result.Server = cand.Name
+			return result, nil
+		}
+		result.Reason = reason
+		if verdict.Details["component"] == "" && !verdict.Healthy && reasonIsImage(reason) {
+			// Compromised VM image: rejecting, not rescheduling.
+			return result, nil
+		}
+	}
+	return result, nil
+}
+
+func reasonIsImage(reason string) bool {
+	return contains(reason, "image")
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// placeAndAttest runs stages 2–5 on one candidate server.
+func (c *Controller) placeAndAttest(vid string, req LaunchRequest, flavor image.Flavor, img *image.Image, golden [32]byte, cand *ServerEntry, result *LaunchResult, firstAttempt bool) (bool, string, properties.Verdict, error) {
+	stage := func(name string, d time.Duration) {
+		c.cfg.Clock.Advance(d)
+		result.Stages = append(result.Stages, StageTiming{Stage: name, Duration: d})
+	}
+	mgmt, err := c.mgmtClient(cand.Name)
+	if err != nil {
+		// An unreachable server is a candidate failure, not a launch
+		// failure: the scheduler moves on to the next qualified host.
+		return false, fmt.Sprintf("server %s unreachable: %v", cand.Name, err), properties.Verdict{}, nil
+	}
+
+	stage("networking", c.cfg.Latency.Networking(flavor))
+	stage("block_device_mapping", c.cfg.Latency.BlockDeviceMapping(flavor))
+
+	spec := server.LaunchSpec{
+		Vid:         vid,
+		ImageName:   req.ImageName,
+		ImageDigest: img.Digest(), // what actually arrived at the server
+		Flavor:      flavor,
+		Workload:    req.Workload,
+		Pin:         req.Pin,
+	}
+	var launched bool
+	if err := mgmt.Call(server.MethodLaunch, spec, &launched); err != nil {
+		return false, fmt.Sprintf("spawn failed on %s: %v", cand.Name, err), properties.Verdict{}, nil
+	}
+	c.reserve(cand.Name, flavor)
+	stage("spawning", c.cfg.Latency.Spawning(img, flavor))
+
+	// Register appraisal references (with the candidate's cluster
+	// Attestation Server) and record the VM before attesting.
+	ac, err := c.attestClientFor(cand.Cluster)
+	if err != nil {
+		return false, "", properties.Verdict{}, err
+	}
+	if err := ac.Call(attestsrv.MethodRegisterVM, attestsrv.VMRecord{
+		Vid:           vid,
+		ExpectedImage: golden,
+		TaskAllowlist: req.Allowlist,
+		MinCPUShare:   req.MinShare,
+	}, nil); err != nil {
+		return false, "", properties.Verdict{}, err
+	}
+	c.mu.Lock()
+	c.vms[vid] = &vmRecord{
+		Vid: vid, Owner: req.Owner, Server: cand.Name,
+		ImageName: req.ImageName, Flavor: flavor, Props: req.Props,
+		Allowlist: req.Allowlist, MinShare: req.MinShare,
+		Workload: req.Workload, State: "active",
+	}
+	c.mu.Unlock()
+
+	// Stage 5: Attestation — startup integrity of platform and image.
+	attStart := c.cfg.Clock.Now()
+	n2, err := cryptoutil.NewNonce(c.cfg.Rand)
+	if err != nil {
+		return false, "", properties.Verdict{}, err
+	}
+	c.cfg.Clock.Advance(c.cfg.Latency.HopRTT) // controller ↔ attestation server
+	var rep wire.Report
+	if err := ac.Call(attestsrv.MethodAppraise, wire.AppraisalRequest{
+		Vid: vid, ServerID: cand.Name, Prop: properties.StartupIntegrity, N2: n2,
+	}, &rep); err != nil {
+		c.teardown(vid)
+		return false, fmt.Sprintf("startup attestation failed: %v", err), properties.Verdict{}, nil
+	}
+	if err := wire.VerifyReport(&rep, c.attestKey(cand.Cluster), vid, properties.StartupIntegrity, n2); err != nil {
+		c.teardown(vid)
+		return false, fmt.Sprintf("attestation report rejected: %v", err), properties.Verdict{}, nil
+	}
+	result.Stages = append(result.Stages, StageTiming{Stage: "attestation", Duration: c.cfg.Clock.Now() - attStart})
+
+	if !rep.Verdict.Healthy {
+		c.teardown(vid)
+		return false, rep.Verdict.Reason, rep.Verdict, nil
+	}
+	return true, "", rep.Verdict, nil
+}
+
+// teardown removes a VM that failed its launch attestation.
+func (c *Controller) teardown(vid string) {
+	c.mu.Lock()
+	rec, ok := c.vms[vid]
+	if ok {
+		delete(c.vms, vid)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return
+	}
+	c.release(rec.Server, rec.Flavor)
+	if mgmt, err := c.mgmtClient(rec.Server); err == nil {
+		mgmt.Call(server.MethodTerminate, server.VidRequest{Vid: vid}, nil)
+	}
+	if ac, err := c.attestClientFor(c.clusterOfServer(rec.Server)); err == nil {
+		ac.Call(attestsrv.MethodForgetVM, struct{ Vid string }{vid}, nil)
+	}
+}
+
+// attestKey returns the public report-signing key of a cluster's
+// Attestation Server.
+func (c *Controller) attestKey(cluster int) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.attestPubs[cluster]
+}
+
+// SetAttestKey installs the cluster-0 Attestation Server's public
+// report-signing key (provisioned out of band, like any trust anchor).
+func (c *Controller) SetAttestKey(pub []byte) { c.SetAttestKeyFor(0, pub) }
+
+// SetAttestKeyFor installs the report-signing key for one cluster's
+// Attestation Server.
+func (c *Controller) SetAttestKeyFor(cluster int, pub []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.attestPubs[cluster] = append([]byte(nil), pub...)
+}

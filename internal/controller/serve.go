@@ -1,0 +1,111 @@
+package controller
+
+import (
+	"fmt"
+	"net"
+
+	"cloudmonatt/internal/rpc"
+	"cloudmonatt/internal/secchan"
+	"cloudmonatt/internal/wire"
+)
+
+// RPC methods of the customer-facing nova api, including the four
+// attestation commands of Table 1.
+const (
+	MethodLaunchVM              = "launch_vm"
+	MethodTerminateVM           = "terminate_vm"
+	MethodStartupAttestCurrent  = "startup_attest_current"
+	MethodRuntimeAttestCurrent  = "runtime_attest_current"
+	MethodRuntimeAttestPeriodic = "runtime_attest_periodic"
+	MethodStopAttestPeriodic    = "stop_attest_periodic"
+	MethodFetchPeriodic         = "fetch_attest_periodic"
+	MethodListVMs               = "list_vms"
+	MethodListEvents            = "list_events"
+)
+
+// Handler returns the nova api dispatch.
+func (c *Controller) Handler() rpc.Handler {
+	return func(peer rpc.Peer, method string, body []byte) ([]byte, error) {
+		if c.cfg.Serialize != nil {
+			c.cfg.Serialize.Lock()
+			defer c.cfg.Serialize.Unlock()
+		}
+		switch method {
+		case MethodLaunchVM:
+			var req LaunchRequest
+			if err := rpc.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			if req.Owner == "" {
+				req.Owner = peer.Name
+			}
+			res, err := c.LaunchVM(req)
+			if err != nil {
+				return nil, err
+			}
+			return rpc.Encode(res)
+		case MethodTerminateVM:
+			var req struct{ Vid string }
+			if err := rpc.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			if err := c.TerminateVM(req.Vid); err != nil {
+				return nil, err
+			}
+			return rpc.Encode(true)
+		case MethodStartupAttestCurrent, MethodRuntimeAttestCurrent:
+			// Both map to a one-time attestation; startup_attest_current is
+			// issued before relying on a freshly launched VM, while
+			// runtime_attest_current covers the running VM (Table 1).
+			var req wire.AttestRequest
+			if err := rpc.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			rep, err := c.Attest(req)
+			if err != nil {
+				return nil, err
+			}
+			return rpc.Encode(rep)
+		case MethodRuntimeAttestPeriodic:
+			var req wire.PeriodicRequest
+			if err := rpc.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			if err := c.StartPeriodic(req); err != nil {
+				return nil, err
+			}
+			return rpc.Encode(true)
+		case MethodStopAttestPeriodic:
+			var req wire.StopPeriodicRequest
+			if err := rpc.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			reps, err := c.StopPeriodic(req)
+			if err != nil {
+				return nil, err
+			}
+			return rpc.Encode(reps)
+		case MethodFetchPeriodic:
+			var req wire.StopPeriodicRequest
+			if err := rpc.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			reps, err := c.FetchPeriodic(req)
+			if err != nil {
+				return nil, err
+			}
+			return rpc.Encode(reps)
+		case MethodListVMs:
+			// Scoped to the authenticated peer: a customer sees only its VMs.
+			return rpc.Encode(c.ListVMs(peer.Name))
+		case MethodListEvents:
+			return rpc.Encode(c.EventsFor(peer.Name))
+		}
+		return nil, fmt.Errorf("controller: unknown method %q", method)
+	}
+}
+
+// Serve starts the nova api endpoint on l.
+func (c *Controller) Serve(l net.Listener, verify secchan.VerifyPeer) {
+	go rpc.Serve(l, secchan.Config{Identity: c.cfg.Identity, Verify: verify, Rand: c.cfg.Rand}, c.Handler())
+}

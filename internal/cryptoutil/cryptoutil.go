@@ -1,0 +1,215 @@
+// Package cryptoutil provides the cryptographic primitives shared by every
+// CloudMonatt entity: Ed25519 identities, a minimal certificate format, the
+// canonical hash used for protocol quotes (Q1/Q2/Q3 in Fig. 3 of the paper),
+// and nonce generation with replay detection.
+//
+// Everything is stdlib-only (crypto/ed25519, crypto/sha256, crypto/rand).
+package cryptoutil
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// NonceSize is the byte length of protocol nonces (N1, N2, N3).
+const NonceSize = 16
+
+// Nonce is a freshness value attached to every protocol message.
+type Nonce [NonceSize]byte
+
+// String renders the nonce in hex.
+func (n Nonce) String() string { return fmt.Sprintf("%x", n[:]) }
+
+// NewNonce draws a fresh random nonce from the given source (crypto/rand
+// in production, a deterministic reader in tests).
+func NewNonce(r io.Reader) (Nonce, error) {
+	var n Nonce
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return Nonce{}, fmt.Errorf("cryptoutil: drawing nonce: %w", err)
+	}
+	return n, nil
+}
+
+// MustNonce is NewNonce from crypto/rand, panicking on failure (the system
+// cannot operate without randomness).
+func MustNonce() Nonce {
+	n, err := NewNonce(rand.Reader)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Identity is a named Ed25519 key pair identifying one entity (customer,
+// Cloud Controller, Attestation Server, or the Trust Module of a cloud
+// server). The private key never leaves the owning process.
+type Identity struct {
+	Name string
+	priv ed25519.PrivateKey
+	pub  ed25519.PublicKey
+}
+
+// NewIdentity generates a fresh identity using the given entropy source.
+func NewIdentity(name string, r io.Reader) (*Identity, error) {
+	pub, priv, err := ed25519.GenerateKey(r)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: generating identity %q: %w", name, err)
+	}
+	return &Identity{Name: name, priv: priv, pub: pub}, nil
+}
+
+// MustIdentity is NewIdentity from crypto/rand, panicking on failure.
+func MustIdentity(name string) *Identity {
+	id, err := NewIdentity(name, rand.Reader)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Public returns the verification key.
+func (id *Identity) Public() ed25519.PublicKey { return id.pub }
+
+// Seed exports the 32-byte private seed for out-of-band provisioning (e.g.
+// handing a CLI customer its enrolled identity). Handle with care.
+func (id *Identity) Seed() []byte { return id.priv.Seed() }
+
+// IdentityFromSeed reconstructs an identity from a provisioned seed.
+func IdentityFromSeed(name string, seed []byte) (*Identity, error) {
+	if len(seed) != ed25519.SeedSize {
+		return nil, fmt.Errorf("cryptoutil: seed must be %d bytes, got %d", ed25519.SeedSize, len(seed))
+	}
+	priv := ed25519.NewKeyFromSeed(seed)
+	return &Identity{Name: name, priv: priv, pub: priv.Public().(ed25519.PublicKey)}, nil
+}
+
+// Sign signs msg with the private key.
+func (id *Identity) Sign(msg []byte) []byte { return ed25519.Sign(id.priv, msg) }
+
+// Verify checks sig over msg under pub.
+func Verify(pub ed25519.PublicKey, msg, sig []byte) bool {
+	return len(pub) == ed25519.PublicKeySize && ed25519.Verify(pub, msg, sig)
+}
+
+// Hash computes the canonical domain-separated hash of a list of fields:
+// SHA-256 over tag ‖ len(f1) ‖ f1 ‖ len(f2) ‖ f2 ‖ … . Length prefixes make
+// the encoding injective, so H(a‖b) collisions across field boundaries are
+// impossible; the tag separates protocol contexts (e.g. "Q1" vs "Q3").
+func Hash(tag string, fields ...[]byte) [32]byte {
+	h := sha256.New()
+	var lbuf [8]byte
+	binary.BigEndian.PutUint64(lbuf[:], uint64(len(tag)))
+	h.Write(lbuf[:])
+	io.WriteString(h, tag)
+	for _, f := range fields {
+		binary.BigEndian.PutUint64(lbuf[:], uint64(len(f)))
+		h.Write(lbuf[:])
+		h.Write(f)
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// Certificate binds a public key to a subject string for a purpose, signed
+// by an issuer. For attestation-key certificates the privacy CA sets the
+// subject to an anonymous serial so the certificate does not reveal which
+// cloud server is attesting (paper §3.4.2).
+type Certificate struct {
+	Subject string
+	Purpose string
+	Key     ed25519.PublicKey
+	Issuer  string
+	Serial  uint64
+	Sig     []byte
+}
+
+// certBody returns the byte string the issuer signs.
+func certBody(c *Certificate) []byte {
+	var serial [8]byte
+	binary.BigEndian.PutUint64(serial[:], c.Serial)
+	sum := Hash("cloudmonatt-cert",
+		[]byte(c.Subject), []byte(c.Purpose), c.Key, []byte(c.Issuer), serial[:])
+	return sum[:]
+}
+
+// IssueCertificate creates a certificate over key signed by issuer.
+func IssueCertificate(issuer *Identity, subject, purpose string, key ed25519.PublicKey, serial uint64) *Certificate {
+	c := &Certificate{
+		Subject: subject,
+		Purpose: purpose,
+		Key:     append(ed25519.PublicKey(nil), key...),
+		Issuer:  issuer.Name,
+		Serial:  serial,
+	}
+	c.Sig = issuer.Sign(certBody(c))
+	return c
+}
+
+// VerifyCertificate checks the certificate signature under the issuer's
+// public key and that the issuer name matches.
+func VerifyCertificate(c *Certificate, issuerName string, issuerKey ed25519.PublicKey) error {
+	if c == nil {
+		return errors.New("cryptoutil: nil certificate")
+	}
+	if c.Issuer != issuerName {
+		return fmt.Errorf("cryptoutil: certificate issued by %q, want %q", c.Issuer, issuerName)
+	}
+	if !Verify(issuerKey, certBody(c), c.Sig) {
+		return errors.New("cryptoutil: certificate signature invalid")
+	}
+	return nil
+}
+
+// KeyEqual reports whether two public keys are identical.
+func KeyEqual(a, b ed25519.PublicKey) bool { return bytes.Equal(a, b) }
+
+// ReplayCache remembers recently seen nonces and rejects duplicates. It is
+// bounded: when full, the oldest entries are evicted (FIFO), which is safe
+// because a replayed nonce old enough to have been evicted also fails the
+// session binding of the surrounding protocol.
+type ReplayCache struct {
+	mu    sync.Mutex
+	seen  map[Nonce]struct{}
+	order []Nonce
+	cap   int
+}
+
+// NewReplayCache creates a cache holding up to capacity nonces.
+func NewReplayCache(capacity int) *ReplayCache {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &ReplayCache{seen: make(map[Nonce]struct{}, capacity), cap: capacity}
+}
+
+// Check records n and reports whether it was fresh (true) or replayed (false).
+func (rc *ReplayCache) Check(n Nonce) bool {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if _, dup := rc.seen[n]; dup {
+		return false
+	}
+	if len(rc.order) >= rc.cap {
+		old := rc.order[0]
+		rc.order = rc.order[1:]
+		delete(rc.seen, old)
+	}
+	rc.seen[n] = struct{}{}
+	rc.order = append(rc.order, n)
+	return true
+}
+
+// Len returns the number of nonces currently remembered.
+func (rc *ReplayCache) Len() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return len(rc.seen)
+}

@@ -1,0 +1,214 @@
+// Package dolevyao implements a concrete network attacker in the standard
+// Dolev-Yao model (paper §3.3 adversary 2): it owns the network between any
+// two CloudMonatt entities and can eavesdrop on, tamper with, drop, replay
+// and inject frames. Plugged into rpc.MemNetwork's Intercept hook, it
+// attacks the *real* protocol implementation; the tests then assert that
+// every active manipulation is detected and that passive observation yields
+// only ciphertext.
+package dolevyao
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"sync"
+)
+
+// Direction labels the flow of a captured frame.
+type Direction int
+
+// Frame flow directions.
+const (
+	ClientToServer Direction = iota
+	ServerToClient
+)
+
+// Frame is one captured protocol frame (length-delimited payload).
+type Frame struct {
+	Dir     Direction
+	Index   int // per-direction sequence number
+	Payload []byte
+}
+
+// Transform decides what the attacker does with frame n flowing in one
+// direction: return (replacement frames, true) to substitute — an empty
+// slice drops the frame — or (nil, false) to pass it through unchanged.
+type Transform func(n int, payload []byte) ([][]byte, bool)
+
+// Attacker is a man-in-the-middle for framed connections.
+type Attacker struct {
+	mu     sync.Mutex
+	frames []Frame
+
+	// C2S and S2C are the active manipulation hooks (nil = pass-through).
+	C2S Transform
+	S2C Transform
+}
+
+// Observed returns everything the attacker has captured so far.
+func (a *Attacker) Observed() []Frame {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Frame(nil), a.frames...)
+}
+
+// ObservedPayloads concatenates every captured payload (for "does the
+// plaintext appear anywhere" assertions).
+func (a *Attacker) ObservedPayloads() []byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []byte
+	for _, f := range a.frames {
+		out = append(out, f.Payload...)
+	}
+	return out
+}
+
+func (a *Attacker) record(dir Direction, idx int, payload []byte) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.frames = append(a.frames, Frame{Dir: dir, Index: idx, Payload: append([]byte(nil), payload...)})
+}
+
+// Intercept is the rpc.MemNetwork hook: it splices the attacker between the
+// two ends of a new connection.
+func (a *Attacker) Intercept(addr string, client, server net.Conn) (net.Conn, net.Conn) {
+	// Fresh pipes facing the application; the attacker pumps between them
+	// and the original pair is unused.
+	client.Close()
+	server.Close()
+	appClient, atkClientSide := net.Pipe()
+	appServer, atkServerSide := net.Pipe()
+	go a.pump(atkClientSide, atkServerSide, ClientToServer, a.transform(ClientToServer))
+	go a.pump(atkServerSide, atkClientSide, ServerToClient, a.transform(ServerToClient))
+	return appClient, appServer
+}
+
+func (a *Attacker) transform(dir Direction) Transform {
+	if dir == ClientToServer {
+		return a.C2S
+	}
+	return a.S2C
+}
+
+// pump forwards frames from src to dst, recording and transforming.
+func (a *Attacker) pump(src, dst net.Conn, dir Direction, tf Transform) {
+	defer dst.Close()
+	for n := 0; ; n++ {
+		payload, err := readFrame(src)
+		if err != nil {
+			return
+		}
+		a.record(dir, n, payload)
+		outs := [][]byte{payload}
+		if tf != nil {
+			if repl, act := tf(n, payload); act {
+				outs = repl
+			}
+		}
+		for _, out := range outs {
+			if err := writeFrame(dst, out); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > 1<<22 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// --- canned attacks ---
+
+// TamperFrame flips a bit in frame n.
+func TamperFrame(n int) Transform {
+	return func(i int, payload []byte) ([][]byte, bool) {
+		if i != n || len(payload) == 0 {
+			return nil, false
+		}
+		mut := append([]byte(nil), payload...)
+		mut[len(mut)/2] ^= 0x01
+		return [][]byte{mut}, true
+	}
+}
+
+// TamperFrom flips a bit in every frame from index n onward (e.g. n=2
+// spares the handshake and corrupts all data records).
+func TamperFrom(n int) Transform {
+	return func(i int, payload []byte) ([][]byte, bool) {
+		if i < n || len(payload) == 0 {
+			return nil, false
+		}
+		mut := append([]byte(nil), payload...)
+		mut[len(mut)/2] ^= 0x01
+		return [][]byte{mut}, true
+	}
+}
+
+// DropFrame silently discards frame n.
+func DropFrame(n int) Transform {
+	return func(i int, payload []byte) ([][]byte, bool) {
+		if i != n {
+			return nil, false
+		}
+		return nil, true
+	}
+}
+
+// ReplayFrame duplicates frame n (delivers it twice): a later legitimate
+// frame is then out of sequence at the receiver.
+func ReplayFrame(n int) Transform {
+	return func(i int, payload []byte) ([][]byte, bool) {
+		if i != n {
+			return nil, false
+		}
+		return [][]byte{payload, payload}, true
+	}
+}
+
+// InjectBefore delivers a forged payload before frame n.
+func InjectBefore(n int, forged []byte) Transform {
+	return func(i int, payload []byte) ([][]byte, bool) {
+		if i != n {
+			return nil, false
+		}
+		return [][]byte{forged, payload}, true
+	}
+}
+
+// SwapFrames buffers frame n and emits it after frame n+1 (reordering).
+func SwapFrames(n int) Transform {
+	var held []byte
+	return func(i int, payload []byte) ([][]byte, bool) {
+		switch i {
+		case n:
+			held = append([]byte(nil), payload...)
+			return [][]byte{}, true
+		case n + 1:
+			return [][]byte{payload, held}, true
+		}
+		return nil, false
+	}
+}

@@ -1,0 +1,157 @@
+// Package guest models the inside of a guest VM for the runtime-integrity
+// case study (paper §4.3): a boot chain of measured components and a
+// process table. The crucial semantics are the two views of the task list:
+//
+//   - the in-guest view, what a (possibly compromised) guest OS reports to
+//     its user — a rootkit hides its processes here;
+//   - the true view, what hypervisor-level VM introspection reconstructs
+//     from the VM's memory, which the rootkit cannot falsify.
+//
+// The diff between the two views is the malware evidence CloudMonatt's VMI
+// monitor reports.
+package guest
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Process is one entry of the guest's task table.
+type Process struct {
+	PID    int
+	Name   string
+	Hidden bool // a rootkit process that filters itself from in-guest queries
+}
+
+// BootComponent is one measured element of the guest boot chain.
+type BootComponent struct {
+	Name string
+	Data []byte
+}
+
+// Digest returns the measurement of the component.
+func (b BootComponent) Digest() [32]byte { return sha256.Sum256(b.Data) }
+
+// OS is a running guest operating system instance.
+type OS struct {
+	mu      sync.Mutex
+	nextPID int
+	procs   map[int]*Process
+	boot    []BootComponent
+}
+
+// NewOS boots a guest with the standard service set.
+func NewOS() *OS {
+	g := &OS{nextPID: 100, procs: make(map[int]*Process)}
+	for _, name := range []string{"init", "sshd", "cron", "rsyslogd", "agetty"} {
+		g.spawnLocked(name, false)
+	}
+	g.boot = []BootComponent{
+		{Name: "guest-kernel", Data: []byte("guest-kernel v5.4 pristine")},
+		{Name: "guest-initrd", Data: []byte("guest-initrd pristine")},
+	}
+	return g
+}
+
+func (g *OS) spawnLocked(name string, hidden bool) *Process {
+	p := &Process{PID: g.nextPID, Name: name, Hidden: hidden}
+	g.nextPID++
+	g.procs[p.PID] = p
+	return p
+}
+
+// Spawn starts a visible process and returns it.
+func (g *OS) Spawn(name string) *Process {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.spawnLocked(name, false)
+}
+
+// Kill removes a process by PID.
+func (g *OS) Kill(pid int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.procs[pid]; !ok {
+		return fmt.Errorf("guest: no such process %d", pid)
+	}
+	delete(g.procs, pid)
+	return nil
+}
+
+// InfectRootkit plants a rootkit process: it runs (true view) but hides
+// itself from in-guest queries.
+func (g *OS) InfectRootkit(name string) *Process {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.spawnLocked(name, true)
+}
+
+// TamperBootChain corrupts a boot component, modeling malware inserted into
+// the VM image or guest kernel (startup-integrity case study).
+func (g *OS) TamperBootChain(component string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i := range g.boot {
+		if g.boot[i].Name == component {
+			g.boot[i].Data = append(g.boot[i].Data, []byte(" +malware")...)
+			return nil
+		}
+	}
+	return fmt.Errorf("guest: no boot component %q", component)
+}
+
+// BootChain returns a deep copy of the guest's measured boot components.
+func (g *OS) BootChain() []BootComponent {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]BootComponent, len(g.boot))
+	for i, b := range g.boot {
+		out[i] = BootComponent{Name: b.Name, Data: append([]byte(nil), b.Data...)}
+	}
+	return out
+}
+
+// GuestVisibleTasks is the task list as reported from *inside* the guest:
+// rootkit processes filter themselves out. This is what the customer sees
+// when querying the (compromised) guest OS.
+func (g *OS) GuestVisibleTasks() []Process {
+	return g.tasks(false)
+}
+
+// TrueTasks is the task list as reconstructed by hypervisor-level VM
+// introspection from guest memory: it includes hidden processes.
+func (g *OS) TrueTasks() []Process {
+	return g.tasks(true)
+}
+
+func (g *OS) tasks(includeHidden bool) []Process {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []Process
+	for _, p := range g.procs {
+		if p.Hidden && !includeHidden {
+			continue
+		}
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
+	return out
+}
+
+// HiddenTasks returns the processes present in the true view but absent
+// from the guest-visible view — direct rootkit evidence.
+func HiddenTasks(truth, visible []Process) []Process {
+	seen := make(map[int]bool, len(visible))
+	for _, p := range visible {
+		seen[p.PID] = true
+	}
+	var out []Process
+	for _, p := range truth {
+		if !seen[p.PID] {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package guest
+
+import "testing"
+
+func TestFreshGuestViewsAgree(t *testing.T) {
+	g := NewOS()
+	truth, visible := g.TrueTasks(), g.GuestVisibleTasks()
+	if len(truth) != len(visible) {
+		t.Fatalf("pristine guest views differ: %d vs %d", len(truth), len(visible))
+	}
+	if hidden := HiddenTasks(truth, visible); len(hidden) != 0 {
+		t.Fatalf("pristine guest has hidden tasks: %v", hidden)
+	}
+}
+
+func TestRootkitHidesFromGuestView(t *testing.T) {
+	g := NewOS()
+	rk := g.InfectRootkit("kworker-evil")
+	truth, visible := g.TrueTasks(), g.GuestVisibleTasks()
+	if len(truth) != len(visible)+1 {
+		t.Fatalf("true view %d, visible %d; want exactly one hidden", len(truth), len(visible))
+	}
+	hidden := HiddenTasks(truth, visible)
+	if len(hidden) != 1 || hidden[0].PID != rk.PID || hidden[0].Name != "kworker-evil" {
+		t.Fatalf("hidden diff = %v", hidden)
+	}
+}
+
+func TestVisibleMalwareAppearsInBothViews(t *testing.T) {
+	g := NewOS()
+	g.Spawn("cryptominer")
+	if hidden := HiddenTasks(g.TrueTasks(), g.GuestVisibleTasks()); len(hidden) != 0 {
+		t.Fatalf("visible process reported as hidden: %v", hidden)
+	}
+}
+
+func TestSpawnAndKill(t *testing.T) {
+	g := NewOS()
+	p := g.Spawn("nginx")
+	if err := g.Kill(p.PID); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Kill(p.PID); err == nil {
+		t.Fatal("double kill succeeded")
+	}
+	for _, q := range g.TrueTasks() {
+		if q.PID == p.PID {
+			t.Fatal("killed process still listed")
+		}
+	}
+}
+
+func TestTasksSortedByPID(t *testing.T) {
+	g := NewOS()
+	for i := 0; i < 10; i++ {
+		g.Spawn("w")
+	}
+	tasks := g.TrueTasks()
+	for i := 1; i < len(tasks); i++ {
+		if tasks[i].PID <= tasks[i-1].PID {
+			t.Fatal("task list not sorted by PID")
+		}
+	}
+}
+
+func TestBootChainTamperChangesDigest(t *testing.T) {
+	g := NewOS()
+	before := g.BootChain()
+	if err := g.TamperBootChain("guest-kernel"); err != nil {
+		t.Fatal(err)
+	}
+	after := g.BootChain()
+	if before[0].Digest() == after[0].Digest() {
+		t.Fatal("tampering did not change the kernel digest")
+	}
+	if before[1].Digest() != after[1].Digest() {
+		t.Fatal("tampering changed an unrelated component")
+	}
+	if err := g.TamperBootChain("nosuch"); err == nil {
+		t.Fatal("tampering unknown component succeeded")
+	}
+}
+
+func TestBootChainCopied(t *testing.T) {
+	g := NewOS()
+	chain := g.BootChain()
+	chain[0].Data[0] ^= 1
+	if g.BootChain()[0].Digest() == chain[0].Digest() {
+		t.Fatal("external mutation reached the guest boot chain")
+	}
+}

@@ -1,0 +1,134 @@
+// Package image models VM images and flavors. The paper's launch experiment
+// (Fig. 9) sweeps three images (cirros, fedora, ubuntu) across three flavors
+// (small, medium, large); image bytes here are synthetic but size-calibrated
+// so stage latencies that scale with image/flavor size reproduce the
+// figure's shape, and image digests feed the startup-integrity case study.
+package image
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Flavor describes the resources of a VM shape (OpenStack flavor).
+type Flavor struct {
+	Name     string
+	VCPUs    int
+	MemoryMB int
+	DiskGB   int
+}
+
+// Flavors used in the paper's sweeps.
+var flavors = map[string]Flavor{
+	"small":  {Name: "small", VCPUs: 1, MemoryMB: 2048, DiskGB: 20},
+	"medium": {Name: "medium", VCPUs: 2, MemoryMB: 4096, DiskGB: 40},
+	"large":  {Name: "large", VCPUs: 4, MemoryMB: 8192, DiskGB: 80},
+}
+
+// FlavorNames lists the flavors in the paper's presentation order.
+var FlavorNames = []string{"small", "medium", "large"}
+
+// FlavorByName returns the named flavor.
+func FlavorByName(name string) (Flavor, error) {
+	f, ok := flavors[name]
+	if !ok {
+		return Flavor{}, fmt.Errorf("image: unknown flavor %q", name)
+	}
+	return f, nil
+}
+
+// Image is a VM image: a name, synthetic content standing in for the disk
+// image, and a nominal size that drives launch-latency modeling.
+type Image struct {
+	Name   string
+	SizeMB int
+	data   []byte
+}
+
+// imageSpecs calibrates the three paper images. Sizes shape the spawning
+// stage latency (cirros is tiny; ubuntu is the largest).
+var imageSpecs = []struct {
+	name   string
+	sizeMB int
+}{
+	{"cirros", 13},
+	{"fedora", 200},
+	{"ubuntu", 250},
+}
+
+// ImageNames lists the images in the paper's presentation order.
+var ImageNames = []string{"cirros", "fedora", "ubuntu"}
+
+// Library is a catalog of images with their known-good digests — the
+// reference values an appraiser uses for startup-integrity attestation.
+type Library struct {
+	images map[string]*Image
+	golden map[string][32]byte
+}
+
+// NewLibrary builds the three paper images with deterministic synthetic
+// content (seeded), and records their pristine digests.
+func NewLibrary(seed int64) *Library {
+	rng := rand.New(rand.NewSource(seed))
+	lib := &Library{
+		images: make(map[string]*Image),
+		golden: make(map[string][32]byte),
+	}
+	for _, spec := range imageSpecs {
+		// 4 KiB of synthetic content per image is plenty: digests only need
+		// to change when the content changes.
+		data := make([]byte, 4096)
+		rng.Read(data)
+		img := &Image{Name: spec.name, SizeMB: spec.sizeMB, data: data}
+		lib.images[spec.name] = img
+		lib.golden[spec.name] = img.Digest()
+	}
+	return lib
+}
+
+// Get returns a *copy* of the named image, as a launch would stream it to a
+// cloud server. Corrupting the copy does not affect the library original.
+func (l *Library) Get(name string) (*Image, error) {
+	img, ok := l.images[name]
+	if !ok {
+		return nil, fmt.Errorf("image: unknown image %q", name)
+	}
+	cp := &Image{Name: img.Name, SizeMB: img.SizeMB, data: append([]byte(nil), img.data...)}
+	return cp, nil
+}
+
+// GoldenDigest returns the known-good digest for the named image.
+func (l *Library) GoldenDigest(name string) ([32]byte, error) {
+	d, ok := l.golden[name]
+	if !ok {
+		return [32]byte{}, fmt.Errorf("image: no golden digest for %q", name)
+	}
+	return d, nil
+}
+
+// Digest hashes the image content.
+func (i *Image) Digest() [32]byte { return sha256.Sum256(i.data) }
+
+// Bytes exposes the image content (for measurement).
+func (i *Image) Bytes() []byte { return i.data }
+
+// Corrupt flips bytes of the image, modeling tampering in storage or
+// transit (paper §4.2.1). The digest no longer matches the golden value.
+func (i *Image) Corrupt() {
+	if len(i.data) == 0 {
+		return
+	}
+	i.data[0] ^= 0xFF
+	i.data[len(i.data)/2] ^= 0xA5
+}
+
+// TransferTime models how long copying the image takes at the given
+// throughput (used by the launch pipeline's spawning stage).
+func (i *Image) TransferTime(mbPerSec float64) time.Duration {
+	if mbPerSec <= 0 {
+		return 0
+	}
+	return time.Duration(float64(i.SizeMB) / mbPerSec * float64(time.Second))
+}

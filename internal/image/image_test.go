@@ -1,0 +1,104 @@
+package image
+
+import "testing"
+
+func TestLibraryHasPaperImagesAndFlavors(t *testing.T) {
+	lib := NewLibrary(1)
+	for _, name := range ImageNames {
+		img, err := lib.Get(name)
+		if err != nil {
+			t.Fatalf("missing image %s: %v", name, err)
+		}
+		if img.SizeMB <= 0 {
+			t.Fatalf("%s has no size", name)
+		}
+	}
+	for _, name := range FlavorNames {
+		f, err := FlavorByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.VCPUs <= 0 || f.MemoryMB <= 0 {
+			t.Fatalf("flavor %s has empty resources: %+v", name, f)
+		}
+	}
+}
+
+func TestFlavorOrdering(t *testing.T) {
+	small, _ := FlavorByName("small")
+	medium, _ := FlavorByName("medium")
+	large, _ := FlavorByName("large")
+	if !(small.MemoryMB < medium.MemoryMB && medium.MemoryMB < large.MemoryMB) {
+		t.Fatal("flavor memory not increasing")
+	}
+	if !(small.VCPUs <= medium.VCPUs && medium.VCPUs <= large.VCPUs) {
+		t.Fatal("flavor vCPUs not increasing")
+	}
+}
+
+func TestUnknownLookups(t *testing.T) {
+	lib := NewLibrary(1)
+	if _, err := lib.Get("nosuch"); err == nil {
+		t.Fatal("unknown image returned")
+	}
+	if _, err := lib.GoldenDigest("nosuch"); err == nil {
+		t.Fatal("unknown golden digest returned")
+	}
+	if _, err := FlavorByName("nosuch"); err == nil {
+		t.Fatal("unknown flavor returned")
+	}
+}
+
+func TestGoldenDigestMatchesPristineCopy(t *testing.T) {
+	lib := NewLibrary(7)
+	for _, name := range ImageNames {
+		img, _ := lib.Get(name)
+		golden, _ := lib.GoldenDigest(name)
+		if img.Digest() != golden {
+			t.Fatalf("%s: pristine copy digest differs from golden", name)
+		}
+	}
+}
+
+func TestCorruptionDetectedAndIsolated(t *testing.T) {
+	lib := NewLibrary(7)
+	img, _ := lib.Get("ubuntu")
+	img.Corrupt()
+	golden, _ := lib.GoldenDigest("ubuntu")
+	if img.Digest() == golden {
+		t.Fatal("corrupted image still matches golden digest")
+	}
+	fresh, _ := lib.Get("ubuntu")
+	if fresh.Digest() != golden {
+		t.Fatal("corrupting a copy corrupted the library original")
+	}
+}
+
+func TestDeterministicLibrary(t *testing.T) {
+	a, b := NewLibrary(3), NewLibrary(3)
+	for _, name := range ImageNames {
+		da, _ := a.GoldenDigest(name)
+		db, _ := b.GoldenDigest(name)
+		if da != db {
+			t.Fatalf("%s digests differ across same-seed libraries", name)
+		}
+	}
+	c := NewLibrary(4)
+	dc, _ := c.GoldenDigest("ubuntu")
+	da, _ := a.GoldenDigest("ubuntu")
+	if dc == da {
+		t.Fatal("different seeds produced identical image content")
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	lib := NewLibrary(1)
+	cirros, _ := lib.Get("cirros")
+	ubuntu, _ := lib.Get("ubuntu")
+	if cirros.TransferTime(100) >= ubuntu.TransferTime(100) {
+		t.Fatal("cirros should transfer faster than ubuntu")
+	}
+	if ubuntu.TransferTime(0) != 0 {
+		t.Fatal("zero throughput should yield zero (guarded) transfer time")
+	}
+}

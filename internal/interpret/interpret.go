@@ -1,0 +1,536 @@
+// Package interpret implements the Property Interpretation Module of the
+// Attestation Server (paper §4.1): it validates raw measurements and maps
+// them to a health verdict for the requested security property. One
+// interpreter per case study:
+//
+//   - startup integrity: TPM quote + measurement log appraisal against
+//     known-good platform digests and the VM's expected image digest;
+//   - runtime integrity: true task list vs. the customer's allowlist;
+//   - covert-channel freedom: two-cluster analysis of the CPU-usage
+//     interval histogram (two well-separated short-interval peaks ⇒ covert
+//     channel; a single peak, or mass at the 30 ms default interval ⇒ benign);
+//   - CPU availability: relative CPU usage vs. the SLA minimum share.
+package interpret
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cloudmonatt/internal/cryptoutil"
+	"cloudmonatt/internal/monitor"
+	"cloudmonatt/internal/properties"
+	"cloudmonatt/internal/tpm"
+)
+
+// References holds the appraisal inputs for one VM's attestation: what the
+// Attestation Server knows from its databases (oat database + nova database
+// in the prototype, Fig. 8).
+type References struct {
+	// ServerAIK verifies the platform TPM quote of the attested server.
+	ServerAIK ed25519.PublicKey
+	// PlatformGolden maps platform component names to known-good digests.
+	PlatformGolden map[string][32]byte
+	// ApprovedVersions lists additional acceptable platform catalogs (an
+	// IMA-style appraiser knows every approved build, not just the newest:
+	// a fleet mid-upgrade runs several pristine hypervisor versions at
+	// once). A measured component passes if it matches PlatformGolden or
+	// any approved catalog.
+	ApprovedVersions []map[string][32]byte
+	// ExpectedImage is the pristine digest of the VM's image.
+	ExpectedImage [32]byte
+	// Vid is the attested VM's identifier (to pick its image-log entries).
+	Vid string
+	// TaskAllowlist is the customer-declared set of legitimate processes.
+	TaskAllowlist []string
+	// MinCPUShare is the SLA floor for relative CPU usage (0..1).
+	MinCPUShare float64
+}
+
+// GoldenPlatform returns the reference digests of the standard platform
+// stack (what a pristine CloudMonatt server measures at boot). The digests
+// use the TPM's measurement function (plain SHA-256 of the content).
+func GoldenPlatform() map[string][32]byte {
+	out := make(map[string][32]byte)
+	for _, c := range monitor.StandardPlatform() {
+		out[c.Name] = sha256.Sum256(c.Data)
+	}
+	return out
+}
+
+// Interpreter maps validated measurements to a verdict for one custom
+// property (the Attestation Server side of the paper's extension claim).
+type Interpreter func(ms []properties.Measurement, nonce cryptoutil.Nonce, refs References) properties.Verdict
+
+var (
+	interpMu     sync.RWMutex
+	interpreters = map[properties.Property]Interpreter{}
+)
+
+// RegisterInterpreter installs the interpreter for a custom property.
+// Built-in properties cannot be overridden.
+func RegisterInterpreter(p properties.Property, f Interpreter) error {
+	switch p {
+	case properties.StartupIntegrity, properties.RuntimeIntegrity,
+		properties.CovertChannelFreedom, properties.CPUAvailability:
+		return fmt.Errorf("interpret: %q is built in", p)
+	}
+	if f == nil {
+		return fmt.Errorf("interpret: nil interpreter for %q", p)
+	}
+	interpMu.Lock()
+	defer interpMu.Unlock()
+	if _, dup := interpreters[p]; dup {
+		return fmt.Errorf("interpret: interpreter for %q already registered", p)
+	}
+	interpreters[p] = f
+	return nil
+}
+
+// UnregisterInterpreter removes a custom interpreter (mainly for tests).
+func UnregisterInterpreter(p properties.Property) {
+	interpMu.Lock()
+	defer interpMu.Unlock()
+	delete(interpreters, p)
+}
+
+// Interpret dispatches to the property's interpreter.
+func Interpret(p properties.Property, ms []properties.Measurement, nonce cryptoutil.Nonce, refs References) properties.Verdict {
+	switch p {
+	case properties.StartupIntegrity:
+		return StartupIntegrity(ms, nonce, refs)
+	case properties.RuntimeIntegrity:
+		return RuntimeIntegrity(ms, refs)
+	case properties.CovertChannelFreedom:
+		return CovertChannel(ms)
+	case properties.CPUAvailability:
+		return Availability(ms, refs)
+	}
+	interpMu.RLock()
+	f, ok := interpreters[p]
+	interpMu.RUnlock()
+	if ok {
+		return f(ms, nonce, refs)
+	}
+	return properties.Verdict{Property: p, Healthy: false, Reason: "unsupported property"}
+}
+
+func find(ms []properties.Measurement, kind properties.MeasurementKind) (properties.Measurement, bool) {
+	for _, m := range ms {
+		if m.Kind == kind {
+			return m, true
+		}
+	}
+	return properties.Measurement{}, false
+}
+
+func unhealthy(p properties.Property, reason string, details map[string]string) properties.Verdict {
+	return properties.Verdict{Property: p, Healthy: false, Reason: reason, Details: details}
+}
+
+// StartupIntegrity appraises the platform quote and the VM image digest
+// (case study I). The verdict distinguishes a compromised platform from a
+// compromised image because the remediation differs (reschedule vs. reject,
+// paper §5.1).
+func StartupIntegrity(ms []properties.Measurement, nonce cryptoutil.Nonce, refs References) properties.Verdict {
+	const p = properties.StartupIntegrity
+	quote, ok := find(ms, properties.KindPlatformQuote)
+	if !ok {
+		return unhealthy(p, "missing platform quote", nil)
+	}
+	img, ok := find(ms, properties.KindImageDigest)
+	if !ok {
+		return unhealthy(p, "missing image digest", nil)
+	}
+
+	// 1. The quote signature must verify under the server's TPM AIK and be
+	// bound to our nonce.
+	q := &tpm.Quote{Nonce: nonce, Sig: quote.QuoteSig}
+	for i, pcr := range quote.QuotePCR {
+		q.PCRs = append(q.PCRs, int(pcr))
+		q.Values = append(q.Values, quote.QuoteVal[i])
+	}
+	if err := tpm.VerifyQuote(q, refs.ServerAIK, nonce); err != nil {
+		return unhealthy(p, "platform quote rejected: "+err.Error(), nil)
+	}
+
+	// 2. The measurement log must explain the quoted PCR values.
+	events, err := parseLog(quote)
+	if err != nil {
+		return unhealthy(p, err.Error(), nil)
+	}
+	replayed := tpm.ReplayLog(events)
+	for i, pcr := range q.PCRs {
+		if replayed[pcr] != q.Values[i] {
+			return unhealthy(p, fmt.Sprintf("measurement log does not explain PCR %d", pcr), nil)
+		}
+	}
+
+	// 3. Every logged platform component must be known-good; our VM's image
+	// entry must match the expected image. (Other VMs' image entries are
+	// appraised by their own attestations.)
+	for i, e := range events {
+		desc := quote.LogNames[i]
+		name := desc[strings.Index(desc, ":")+1:]
+		if strings.HasPrefix(name, "vm-image-") {
+			if name == "vm-image-"+refs.Vid && e.Measurement != refs.ExpectedImage {
+				return unhealthy(p, "VM image measurement differs from pristine image",
+					map[string]string{"component": name})
+			}
+			continue
+		}
+		if !approvedComponent(refs, name, e.Measurement) {
+			if _, known := refs.PlatformGolden[name]; !known && !knownInAnyVersion(refs, name) {
+				return unhealthy(p, "unknown software measured into platform",
+					map[string]string{"component": name})
+			}
+			return unhealthy(p, "platform component differs from known-good build",
+				map[string]string{"component": name})
+		}
+	}
+
+	// 4. Belt and braces: the directly reported image digest must also match.
+	if img.Digest != refs.ExpectedImage {
+		return unhealthy(p, "VM image digest mismatch", nil)
+	}
+	return properties.Verdict{Property: p, Healthy: true, Reason: "platform and VM image match known-good measurements"}
+}
+
+// approvedComponent checks a measured component against every approved
+// catalog.
+func approvedComponent(refs References, name string, m [32]byte) bool {
+	if golden, ok := refs.PlatformGolden[name]; ok && m == golden {
+		return true
+	}
+	for _, cat := range refs.ApprovedVersions {
+		if golden, ok := cat[name]; ok && m == golden {
+			return true
+		}
+	}
+	return false
+}
+
+// knownInAnyVersion reports whether any approved catalog names the component.
+func knownInAnyVersion(refs References, name string) bool {
+	for _, cat := range refs.ApprovedVersions {
+		if _, ok := cat[name]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// parseLog reconstructs TPM events from the measurement's "pcr:description"
+// encoded log names.
+func parseLog(m properties.Measurement) ([]tpm.Event, error) {
+	if len(m.LogNames) != len(m.LogSums) {
+		return nil, fmt.Errorf("malformed measurement log")
+	}
+	events := make([]tpm.Event, len(m.LogNames))
+	for i, n := range m.LogNames {
+		idx := strings.Index(n, ":")
+		if idx <= 0 {
+			return nil, fmt.Errorf("malformed log entry %q", n)
+		}
+		pcr, err := strconv.Atoi(n[:idx])
+		if err != nil {
+			return nil, fmt.Errorf("malformed log entry %q", n)
+		}
+		events[i] = tpm.Event{PCR: pcr, Description: n[idx+1:], Measurement: m.LogSums[i]}
+	}
+	return events, nil
+}
+
+// RuntimeIntegrity compares the introspected (true) task list against the
+// customer's allowlist (case study II). Processes the guest hides cannot
+// hide here, because the list comes from hypervisor-level VMI.
+func RuntimeIntegrity(ms []properties.Measurement, refs References) properties.Verdict {
+	const p = properties.RuntimeIntegrity
+	tl, ok := find(ms, properties.KindTaskList)
+	if !ok {
+		return unhealthy(p, "missing task list", nil)
+	}
+	allowed := make(map[string]bool, len(refs.TaskAllowlist))
+	for _, n := range refs.TaskAllowlist {
+		allowed[n] = true
+	}
+	var rogue []string
+	for _, task := range tl.Tasks {
+		if !allowed[task] {
+			rogue = append(rogue, task)
+		}
+	}
+	if len(rogue) > 0 {
+		sort.Strings(rogue)
+		return unhealthy(p, "unknown software running in VM",
+			map[string]string{"tasks": strings.Join(rogue, ",")})
+	}
+	return properties.Verdict{Property: p, Healthy: true,
+		Reason: fmt.Sprintf("all %d tasks match the customer allowlist", len(tl.Tasks))}
+}
+
+// HistogramAnalysis summarizes the covert-channel detector's clustering of
+// an interval histogram (exported for the Fig. 5 bench and for tests).
+type HistogramAnalysis struct {
+	Total       uint64
+	Dist        []float64 // normalized probability per bin
+	Mean1       time.Duration
+	Mean2       time.Duration // Mean1 <= Mean2
+	Mass1       float64
+	Mass2       float64
+	Spread1     time.Duration // weighted std-dev within cluster 1
+	Spread2     time.Duration
+	Separation  time.Duration
+	ValleyRatio float64 // valley density / lower peak density (1 if no valley)
+	Bimodal     bool
+}
+
+// AnalyzeHistogram runs weighted two-means clustering on the interval
+// distribution (the "machine learning technique to cluster covert-channel
+// and benign results" of §4.4.3).
+func AnalyzeHistogram(counters []uint64) HistogramAnalysis {
+	var a HistogramAnalysis
+	a.Dist = make([]float64, len(counters))
+	for _, c := range counters {
+		a.Total += c
+	}
+	if a.Total == 0 {
+		return a
+	}
+	for i, c := range counters {
+		a.Dist[i] = float64(c) / float64(a.Total)
+	}
+	// Initialize the two centroids at the extremes of observed mass.
+	lo, hi := -1, -1
+	for i, c := range counters {
+		if c > 0 {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+		}
+	}
+	c1, c2 := mid(lo), mid(hi)
+	for iter := 0; iter < 32; iter++ {
+		var s1, s2, w1, w2 float64
+		for i, p := range a.Dist {
+			if p == 0 {
+				continue
+			}
+			m := mid(i)
+			if abs(m-c1) <= abs(m-c2) {
+				s1 += m * p
+				w1 += p
+			} else {
+				s2 += m * p
+				w2 += p
+			}
+		}
+		n1, n2 := c1, c2
+		if w1 > 0 {
+			n1 = s1 / w1
+		}
+		if w2 > 0 {
+			n2 = s2 / w2
+		}
+		if n1 == c1 && n2 == c2 {
+			a.Mass1, a.Mass2 = w1, w2
+			break
+		}
+		c1, c2 = n1, n2
+		a.Mass1, a.Mass2 = w1, w2
+	}
+	if c1 > c2 {
+		c1, c2 = c2, c1
+		a.Mass1, a.Mass2 = a.Mass2, a.Mass1
+	}
+	a.Mean1 = time.Duration(c1 * float64(time.Millisecond))
+	a.Mean2 = time.Duration(c2 * float64(time.Millisecond))
+	a.Separation = a.Mean2 - a.Mean1
+
+	// Within-cluster spread: covert symbols are fixed durations, so their
+	// clusters are narrow; scheduler-fragmentation noise is broad.
+	var s1, s2, w1, w2 float64
+	for i, p := range a.Dist {
+		if p == 0 {
+			continue
+		}
+		m := mid(i)
+		if abs(m-c1) <= abs(m-c2) {
+			s1 += p * (m - c1) * (m - c1)
+			w1 += p
+		} else {
+			s2 += p * (m - c2) * (m - c2)
+			w2 += p
+		}
+	}
+	if w1 > 0 {
+		a.Spread1 = time.Duration(math.Sqrt(s1/w1) * float64(time.Millisecond))
+	}
+	if w2 > 0 {
+		a.Spread2 = time.Duration(math.Sqrt(s2/w2) * float64(time.Millisecond))
+	}
+
+	// Valley test: genuine bimodality shows a dip between the two modal
+	// bins. A broad single hump split by two-means has no dip, so it must
+	// not be flagged. Find the modal bin of each cluster (assignment by
+	// distance to the final centroids), then the minimum density strictly
+	// between them.
+	m1, m2 := -1, -1
+	for i, p := range a.Dist {
+		if p == 0 {
+			continue
+		}
+		if abs(mid(i)-c1) <= abs(mid(i)-c2) {
+			if m1 < 0 || p > a.Dist[m1] {
+				m1 = i
+			}
+		} else if m2 < 0 || p > a.Dist[m2] {
+			m2 = i
+		}
+	}
+	a.ValleyRatio = 1
+	if m1 >= 0 && m2 >= 0 && m2 > m1+1 {
+		valley := a.Dist[m1+1]
+		for i := m1 + 1; i < m2; i++ {
+			if a.Dist[i] < valley {
+				valley = a.Dist[i]
+			}
+		}
+		lowerPeak := a.Dist[m1]
+		if a.Dist[m2] < lowerPeak {
+			lowerPeak = a.Dist[m2]
+		}
+		if lowerPeak > 0 {
+			a.ValleyRatio = valley / lowerPeak
+		}
+	}
+
+	// Covert-channel signature: two *narrow* clusters with real mass,
+	// separated by a genuine dip, both short — sustainable covert symbols
+	// must fit between the 10 ms credit-sampling ticks, so the long cluster
+	// sits well below the 30 ms default interval of benign CPU-bound VMs,
+	// and fixed symbol durations keep each cluster tight.
+	const maxSpread = 1200 * time.Microsecond
+	a.Bimodal = a.Mass1 >= 0.15 && a.Mass2 >= 0.15 &&
+		a.Separation >= 3*time.Millisecond &&
+		a.Mean2 < 15*time.Millisecond &&
+		a.ValleyRatio < 0.5 &&
+		a.Spread1 <= maxSpread && a.Spread2 <= maxSpread
+	return a
+}
+
+// mid returns the midpoint of bin i in milliseconds.
+func mid(i int) float64 { return float64(i) + 0.5 }
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// BusLockRatePerSecond is the detection threshold for the memory-bus
+// covert channel: locked bus operations are so disruptive that benign
+// software issues only a trickle (tens per second — atomics in allocators
+// and refcounts), while the [44]-style channel needs thousands per second
+// to signal. Hardware bus-lock detection (e.g. Intel's) uses the same
+// rate-based approach.
+const BusLockRatePerSecond = 600.0
+
+// BusAnalysis summarizes the bus-lock trace appraisal.
+type BusAnalysis struct {
+	Total      uint64
+	RatePerSec float64
+	ActiveBins int // bins carrying a meaningful share of the locks
+	Flagged    bool
+}
+
+// AnalyzeBusTrace evaluates a time-binned bus-lock trace against the rate
+// threshold, assuming the bins span window.
+func AnalyzeBusTrace(counters []uint64, window time.Duration) BusAnalysis {
+	var a BusAnalysis
+	if window <= 0 {
+		window = time.Second
+	}
+	var max uint64
+	for _, c := range counters {
+		a.Total += c
+		if c > max {
+			max = c
+		}
+	}
+	for _, c := range counters {
+		if c*4 >= max && c > 0 {
+			a.ActiveBins++
+		}
+	}
+	a.RatePerSec = float64(a.Total) / window.Seconds()
+	a.Flagged = a.RatePerSec >= BusLockRatePerSecond
+	return a
+}
+
+// CovertChannel interprets both covert-channel monitors (case study III
+// plus the bus-lock monitor of §4.4.3's "other types of covert channels"):
+// either signal yields a compromised verdict.
+func CovertChannel(ms []properties.Measurement) properties.Verdict {
+	const p = properties.CovertChannelFreedom
+	h, ok := find(ms, properties.KindIntervalHistogram)
+	if !ok {
+		return unhealthy(p, "missing interval histogram", nil)
+	}
+	a := AnalyzeHistogram(h.Counters)
+	details := map[string]string{
+		"peak1": fmt.Sprintf("%.1fms@%.0f%%", a.Mean1.Seconds()*1000, a.Mass1*100),
+		"peak2": fmt.Sprintf("%.1fms@%.0f%%", a.Mean2.Seconds()*1000, a.Mass2*100),
+	}
+	if a.Bimodal {
+		return unhealthy(p, "bimodal CPU-usage-interval distribution indicates covert-channel modulation", details)
+	}
+
+	if bus, ok := find(ms, properties.KindBusLockTrace); ok {
+		ba := AnalyzeBusTrace(bus.Counters, properties.DefaultWindow)
+		details["bus-lock-rate"] = fmt.Sprintf("%.0f/s", ba.RatePerSec)
+		if ba.Flagged {
+			return unhealthy(p, "sustained bus-lock storm indicates a memory-bus covert channel", details)
+		}
+	}
+
+	if a.Total == 0 {
+		return properties.Verdict{Property: p, Healthy: true, Reason: "VM idle during the detection window", Details: details}
+	}
+	return properties.Verdict{Property: p, Healthy: true,
+		Reason: "interval distribution and bus activity consistent with benign execution", Details: details}
+}
+
+// Availability interprets the VM's relative CPU usage (case study IV).
+func Availability(ms []properties.Measurement, refs References) properties.Verdict {
+	const p = properties.CPUAvailability
+	ct, ok := find(ms, properties.KindCPUTime)
+	if !ok {
+		return unhealthy(p, "missing cpu-time measurement", nil)
+	}
+	if ct.WallTime <= 0 {
+		return unhealthy(p, "empty measurement window", nil)
+	}
+	share := float64(ct.CPUTime) / float64(ct.WallTime)
+	min := refs.MinCPUShare
+	if min <= 0 {
+		min = 0.25
+	}
+	details := map[string]string{
+		"share": fmt.Sprintf("%.1f%%", share*100),
+		"floor": fmt.Sprintf("%.1f%%", min*100),
+	}
+	if share < min {
+		return unhealthy(p, fmt.Sprintf("relative CPU usage %.1f%% below the SLA floor %.0f%%", share*100, min*100), details)
+	}
+	return properties.Verdict{Property: p, Healthy: true,
+		Reason: fmt.Sprintf("relative CPU usage %.1f%% meets the SLA floor", share*100), Details: details}
+}

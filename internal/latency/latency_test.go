@@ -1,0 +1,130 @@
+package latency
+
+import (
+	"testing"
+	"time"
+
+	"cloudmonatt/internal/image"
+)
+
+func flavors(t *testing.T) (small, medium, large image.Flavor) {
+	t.Helper()
+	var err error
+	if small, err = image.FlavorByName("small"); err != nil {
+		t.Fatal(err)
+	}
+	if medium, err = image.FlavorByName("medium"); err != nil {
+		t.Fatal(err)
+	}
+	if large, err = image.FlavorByName("large"); err != nil {
+		t.Fatal(err)
+	}
+	return
+}
+
+func TestAllDurationsPositive(t *testing.T) {
+	m := New(1)
+	small, _, large := flavors(t)
+	lib := image.NewLibrary(1)
+	img, _ := lib.Get("ubuntu")
+	for name, d := range map[string]time.Duration{
+		"scheduling":  m.Scheduling(3),
+		"networking":  m.Networking(small),
+		"bdm":         m.BlockDeviceMapping(small),
+		"spawning":    m.Spawning(img, small),
+		"attestation": m.AttestationExchange(),
+		"terminate":   m.Termination(small),
+		"suspend":     m.Suspension(large),
+		"migrate":     m.Migration(large),
+	} {
+		if d <= 0 {
+			t.Errorf("%s duration %v", name, d)
+		}
+	}
+}
+
+func TestResponseOrdering(t *testing.T) {
+	// Paper Fig. 11: Termination < Suspension < Migration for every flavor.
+	m := New(2)
+	small, medium, large := flavors(t)
+	for _, f := range []image.Flavor{small, medium, large} {
+		term, susp, mig := m.Termination(f), m.Suspension(f), m.Migration(f)
+		if !(term < susp && susp < mig) {
+			t.Errorf("%s: term=%v susp=%v mig=%v not ordered", f.Name, term, susp, mig)
+		}
+	}
+}
+
+func TestMigrationScalesWithFlavor(t *testing.T) {
+	m := New(3)
+	m.Jitter = 0
+	small, _, large := flavors(t)
+	if m.Migration(small) >= m.Migration(large) {
+		t.Fatal("migration of a large VM should cost more than a small one")
+	}
+	if m.Suspension(small) >= m.Suspension(large) {
+		t.Fatal("suspension should scale with memory")
+	}
+}
+
+func TestSpawningScalesWithImage(t *testing.T) {
+	m := New(4)
+	m.Jitter = 0
+	lib := image.NewLibrary(1)
+	cirros, _ := lib.Get("cirros")
+	ubuntu, _ := lib.Get("ubuntu")
+	small, _, _ := flavors(t)
+	if m.Spawning(cirros, small) >= m.Spawning(ubuntu, small) {
+		t.Fatal("spawning should scale with image size")
+	}
+}
+
+func TestAttestationShareOfLaunch(t *testing.T) {
+	// Paper §7.1.1: the attestation stage adds roughly 20% to VM launch.
+	m := New(5)
+	m.Jitter = 0
+	lib := image.NewLibrary(1)
+	small, _, large := flavors(t)
+	cirros, _ := lib.Get("cirros")
+	ubuntu, _ := lib.Get("ubuntu")
+	type cfg struct {
+		img *image.Image
+		f   image.Flavor
+	}
+	var shares []float64
+	for _, c := range []cfg{{cirros, small}, {ubuntu, large}} {
+		base := m.Scheduling(3) + m.Networking(c.f) + m.BlockDeviceMapping(c.f) + m.Spawning(c.img, c.f)
+		att := m.AttestationExchange()
+		shares = append(shares, float64(att)/float64(base+att))
+	}
+	mean := (shares[0] + shares[1]) / 2
+	if mean < 0.10 || mean > 0.30 {
+		t.Fatalf("mean attestation share %.2f outside the paper's ~20%% band (%v)", mean, shares)
+	}
+}
+
+func TestJitterBoundedAndReproducible(t *testing.T) {
+	a, b := New(7), New(7)
+	small, _, _ := flavors(t)
+	for i := 0; i < 100; i++ {
+		da, db := a.Networking(small), b.Networking(small)
+		if da != db {
+			t.Fatal("same-seed models diverged")
+		}
+		nominal := 620*time.Millisecond + 35*time.Millisecond
+		lo := time.Duration(float64(nominal) * 0.94)
+		hi := time.Duration(float64(nominal) * 1.06)
+		if da < lo || da > hi {
+			t.Fatalf("jittered %v outside ±5%%+ε of %v", da, nominal)
+		}
+	}
+}
+
+func TestZeroJitterIsExact(t *testing.T) {
+	m := New(8)
+	m.Jitter = 0
+	small, _, _ := flavors(t)
+	if m.Networking(small) != m.Networking(small) {
+		t.Fatal("zero-jitter model not deterministic")
+	}
+}

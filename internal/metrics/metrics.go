@@ -1,0 +1,151 @@
+// Package metrics provides the timing instrumentation the paper obtains
+// from OpenStack Ceilometer (§7): bounded duration summaries with
+// percentiles, grouped in a registry. The Attestation Server records every
+// appraisal's virtual-time cost per property; benches and operators read
+// the summaries.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// maxSamples bounds a summary's memory; when full, reservoir-style
+// replacement keeps the summary representative without growing.
+const maxSamples = 4096
+
+// Summary accumulates duration observations.
+type Summary struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	count   uint64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+// Observe records one duration.
+func (s *Summary) Observe(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.count++
+	s.sum += d
+	if s.count == 1 || d < s.min {
+		s.min = d
+	}
+	if d > s.max {
+		s.max = d
+	}
+	if len(s.samples) < maxSamples {
+		s.samples = append(s.samples, d)
+		return
+	}
+	// Deterministic replacement keyed by the running count: cheap and
+	// unbiased enough for operational percentiles.
+	s.samples[int(s.count)%maxSamples] = d
+}
+
+// Count returns the number of observations.
+func (s *Summary) Count() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Mean returns the average observation.
+func (s *Summary) Mean() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == 0 {
+		return 0
+	}
+	return s.sum / time.Duration(s.count)
+}
+
+// Min returns the smallest observation.
+func (s *Summary) Min() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.min
+}
+
+// Max returns the largest observation.
+func (s *Summary) Max() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.max
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the retained samples.
+func (s *Summary) Quantile(q float64) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), s.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// String renders the summary compactly.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v min=%v max=%v",
+		s.Count(), s.Mean().Round(time.Millisecond),
+		s.Quantile(0.5).Round(time.Millisecond), s.Quantile(0.95).Round(time.Millisecond),
+		s.Min().Round(time.Millisecond), s.Max().Round(time.Millisecond))
+}
+
+// Registry groups named summaries.
+type Registry struct {
+	mu        sync.Mutex
+	summaries map[string]*Summary
+}
+
+// NewRegistry allocates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{summaries: make(map[string]*Summary)}
+}
+
+// Summary returns (creating if needed) the named summary.
+func (r *Registry) Summary(name string) *Summary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.summaries[name]
+	if !ok {
+		s = &Summary{}
+		r.summaries[name] = s
+	}
+	return s
+}
+
+// Names lists the registered summaries in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.summaries))
+	for n := range r.summaries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Render prints every summary.
+func (r *Registry) Render() string {
+	var b strings.Builder
+	for _, n := range r.Names() {
+		fmt.Fprintf(&b, "%-40s %s\n", n, r.Summary(n).String())
+	}
+	return b.String()
+}

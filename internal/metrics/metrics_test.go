@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.Count() != 0 || s.Mean() != 0 || s.Quantile(0.5) != 0 {
+		t.Fatal("zero-value summary not empty")
+	}
+	s.Observe(10 * time.Millisecond)
+	s.Observe(20 * time.Millisecond)
+	s.Observe(30 * time.Millisecond)
+	if s.Count() != 3 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if s.Mean() != 20*time.Millisecond {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 10*time.Millisecond || s.Max() != 30*time.Millisecond {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if q := s.Quantile(0.5); q != 20*time.Millisecond {
+		t.Fatalf("p50 = %v", q)
+	}
+	if q := s.Quantile(0); q != 10*time.Millisecond {
+		t.Fatalf("p0 = %v", q)
+	}
+	if q := s.Quantile(1); q != 30*time.Millisecond {
+		t.Fatalf("p100 = %v", q)
+	}
+	if !strings.Contains(s.String(), "n=3") {
+		t.Fatalf("String: %s", s.String())
+	}
+}
+
+func TestSummaryBounded(t *testing.T) {
+	var s Summary
+	for i := 0; i < 3*maxSamples; i++ {
+		s.Observe(time.Duration(i))
+	}
+	if s.Count() != uint64(3*maxSamples) {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	s.mu.Lock()
+	n := len(s.samples)
+	s.mu.Unlock()
+	if n > maxSamples {
+		t.Fatalf("samples grew to %d", n)
+	}
+	if s.Max() != time.Duration(3*maxSamples-1) {
+		t.Fatalf("Max lost: %v", s.Max())
+	}
+}
+
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(ms []uint16) bool {
+		var s Summary
+		for _, m := range ms {
+			s.Observe(time.Duration(m) * time.Microsecond)
+		}
+		return s.Quantile(0.1) <= s.Quantile(0.5) &&
+			s.Quantile(0.5) <= s.Quantile(0.9) &&
+			s.Min() <= s.Quantile(0.5) && s.Quantile(0.5) <= s.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryConcurrent(t *testing.T) {
+	var s Summary
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				s.Observe(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Count() != 4000 {
+		t.Fatalf("lost observations: %d", s.Count())
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Summary("b").Observe(time.Second)
+	r.Summary("a").Observe(time.Second)
+	if r.Summary("a") != r.Summary("a") {
+		t.Fatal("Summary not idempotent")
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names = %v", names)
+	}
+	if out := r.Render(); !strings.Contains(out, "a") || !strings.Contains(out, "n=1") {
+		t.Fatalf("Render: %s", out)
+	}
+}

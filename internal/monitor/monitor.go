@@ -1,0 +1,539 @@
+// Package monitor implements the Monitor Module of a CloudMonatt cloud
+// server (paper Fig. 2): the Monitor Kernel that dispatches measurement
+// requests, and four monitor tools —
+//
+//   - the Integrity Measurement Unit (IMU), which measures the platform
+//     boot chain and VM images into the Trust Module's TPM;
+//   - the VM Introspection (VMI) tool, which reads the *true* task list of
+//     a guest from outside the VM;
+//   - the VMM Profile tool, which accounts a VM's virtual running time over
+//     a measurement window without intercepting its execution;
+//   - the Performance Monitor Unit (PMU), which bins the target VM's
+//     CPU-usage intervals into the 30 Trust Evidence Registers used by the
+//     covert-channel detector (§4.4.2).
+package monitor
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cloudmonatt/internal/guest"
+	"cloudmonatt/internal/properties"
+	"cloudmonatt/internal/sim"
+	"cloudmonatt/internal/tpm"
+	"cloudmonatt/internal/trust"
+	"cloudmonatt/internal/xen"
+)
+
+// HistogramBins is the number of interval bins (and Trust Evidence
+// Registers) used by the covert-channel detector: 1 ms granularity over the
+// 30 ms default execution interval (paper §4.4.2).
+const HistogramBins = 30
+
+// BinWidth is the width of one interval bin.
+const BinWidth = time.Millisecond
+
+// CPUTimeRegister is the Trust Evidence Register holding CPU_measure.
+const CPUTimeRegister = HistogramBins
+
+// mergeEps is the maximum scheduler-artifact gap folded into one logical
+// CPU-usage interval: IPI latency, dispatch overheads, and sub-half-ms
+// preemptions by fine-grained probing co-tenants all merge, so a benign
+// VM's long bursts are not shredded into pseudo-symbols. The covert
+// sender's inter-symbol gap (1 ms) stays above this, so real symbols still
+// delimit. (A sender could evade the PMU with sub-eps gaps, but then its
+// receiver gets only sub-eps probe slots, crippling the channel.)
+const mergeEps = 500 * time.Microsecond
+
+// Component is one measured platform element.
+type Component struct {
+	Name string
+	Data []byte
+}
+
+// StandardPlatform returns the pristine platform software stack every
+// CloudMonatt-secure server boots. The appraiser knows these contents, so
+// it can compute the expected measurements.
+func StandardPlatform() []Component {
+	return []Component{
+		{Name: "firmware", Data: []byte("seabios-1.7 pristine")},
+		{Name: "hypervisor", Data: []byte("xen-4.2 pristine")},
+		{Name: "host-os", Data: []byte("dom0-linux-3.8 pristine")},
+		{Name: "platform-config", Data: []byte("cloudmonatt-node.conf v1")},
+	}
+}
+
+// componentPCR maps a platform component to the PCR it extends.
+func componentPCR(name string) int {
+	switch name {
+	case "firmware":
+		return tpm.PCRFirmware
+	case "hypervisor":
+		return tpm.PCRHypervisor
+	case "host-os":
+		return tpm.PCRHostOS
+	default:
+		return tpm.PCRConfig
+	}
+}
+
+// VM is the monitor's handle on one hosted virtual machine.
+type VM struct {
+	Vid         string
+	Domain      *xen.Domain
+	Guest       *guest.OS
+	ImageDigest [32]byte
+}
+
+// Module is the Monitor Module of one cloud server.
+type Module struct {
+	hv *xen.Hypervisor
+	tm *trust.Module
+
+	mu         sync.Mutex
+	vms        map[string]*VM
+	watches    map[string]*intervalWatch
+	busWatches map[string]*busWatch
+	profiles   map[string]*profileWindow
+}
+
+// New creates the Monitor Module, wires the PMU into the hypervisor's run
+// trace, and boots the IMU by measuring the platform components into the
+// TPM. Passing tampered components models a compromised platform.
+func New(hv *xen.Hypervisor, tm *trust.Module, platform []Component) (*Module, error) {
+	m := &Module{
+		hv:         hv,
+		tm:         tm,
+		vms:        make(map[string]*VM),
+		watches:    make(map[string]*intervalWatch),
+		busWatches: make(map[string]*busWatch),
+		profiles:   make(map[string]*profileWindow),
+	}
+	for _, c := range platform {
+		if _, err := tm.TPM().Measure(componentPCR(c.Name), c.Name, c.Data); err != nil {
+			return nil, fmt.Errorf("monitor: measuring %s: %w", c.Name, err)
+		}
+	}
+	hv.Observe(xen.RunSegmentFunc(m.observe))
+	hv.ObserveBus(xen.BusLockFunc(m.observeBus))
+	return m, nil
+}
+
+// AddVM registers a hosted VM with the monitor. The image digest must be
+// the measurement taken before launch (IMU extends it into the image PCR).
+func (m *Module) AddVM(vm *VM) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.vms[vm.Vid]; dup {
+		return fmt.Errorf("monitor: VM %s already registered", vm.Vid)
+	}
+	m.vms[vm.Vid] = vm
+	return m.tm.TPM().Extend(tpm.PCRVMImage, "vm-image-"+vm.Vid, vm.ImageDigest)
+}
+
+// RemoveVM forgets a VM (termination or migration away).
+func (m *Module) RemoveVM(vid string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.vms, vid)
+	delete(m.watches, vid)
+	delete(m.busWatches, vid)
+	delete(m.profiles, vid)
+}
+
+// vm looks up a registered VM.
+func (m *Module) vm(vid string) (*VM, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.vms[vid]
+	if !ok {
+		return nil, fmt.Errorf("monitor: unknown VM %s", vid)
+	}
+	return v, nil
+}
+
+// --- Performance Monitor Unit -------------------------------------------
+
+// intervalWatch accumulates one VM's CPU-usage intervals online: contiguous
+// run segments (separated by less than mergeEps) extend the current
+// interval; a real preemption closes it and bumps the matching bin.
+type intervalWatch struct {
+	dom     *xen.Domain
+	bins    [HistogramBins]uint64
+	accRun  sim.Time
+	lastEnd sim.Time
+	open    bool
+}
+
+func (w *intervalWatch) observe(start, end sim.Time) {
+	if w.open && start-w.lastEnd <= mergeEps {
+		w.accRun += end - start
+		w.lastEnd = end
+		return
+	}
+	w.closeInterval()
+	w.accRun = end - start
+	w.lastEnd = end
+	w.open = true
+}
+
+func (w *intervalWatch) closeInterval() {
+	if !w.open || w.accRun <= 0 {
+		return
+	}
+	idx := int((w.accRun - 1) / BinWidth)
+	if idx >= HistogramBins {
+		idx = HistogramBins - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	w.bins[idx]++
+	w.open = false
+	w.accRun = 0
+}
+
+// observe routes hypervisor run segments to the active PMU watches.
+func (m *Module) observe(v *xen.VCPU, start, end sim.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, w := range m.watches {
+		if w.dom == v.Domain() {
+			w.observe(start, end)
+		}
+	}
+}
+
+// StartIntervalWatch arms the PMU on the VM's domain, zeroing the histogram
+// registers.
+func (m *Module) StartIntervalWatch(vid string) error {
+	vm, err := m.vm(vid)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.watches[vid] = &intervalWatch{dom: vm.Domain}
+	return nil
+}
+
+// CollectIntervalHistogram stops the watch, loads the bin counts into Trust
+// Evidence Registers 0..29, and returns the histogram measurement.
+func (m *Module) CollectIntervalHistogram(vid string) (properties.Measurement, error) {
+	m.mu.Lock()
+	w, ok := m.watches[vid]
+	if ok {
+		delete(m.watches, vid)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return properties.Measurement{}, fmt.Errorf("monitor: no interval watch armed for %s", vid)
+	}
+	w.closeInterval()
+	regs := m.tm.Registers()
+	counters := make([]uint64, HistogramBins)
+	for i, c := range w.bins {
+		if err := regs.Set(i, c); err != nil {
+			return properties.Measurement{}, err
+		}
+		counters[i] = c
+	}
+	return properties.Measurement{Kind: properties.KindIntervalHistogram, Counters: counters}, nil
+}
+
+// --- bus-lock watch ---------------------------------------------------------
+
+// busWatch bins a VM's locked-operation counts into HistogramBins time
+// slices of the observation window — a second bank of programmable Trust
+// Evidence Registers, monitoring the memory-bus covert channel the paper's
+// §4.4.3 anticipates ("other types of covert channels can also be
+// monitored, with more Trust Evidence Registers and mechanisms").
+type busWatch struct {
+	dom     *xen.Domain
+	start   sim.Time
+	binLen  sim.Time
+	bins    [HistogramBins]uint64
+	overrun uint64 // locks observed past the window (collected late)
+}
+
+func (w *busWatch) observe(at sim.Time, count int) {
+	idx := int((at - w.start) / w.binLen)
+	if idx < 0 {
+		return
+	}
+	if idx >= HistogramBins {
+		w.overrun += uint64(count)
+		return
+	}
+	w.bins[idx] += uint64(count)
+}
+
+// observeBus routes bus-lock events to the active watches.
+func (m *Module) observeBus(v *xen.VCPU, at sim.Time, count int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, w := range m.busWatches {
+		if w.dom == v.Domain() {
+			w.observe(at, count)
+		}
+	}
+}
+
+// StartBusWatch arms the bus-lock monitor on the VM for the given window.
+func (m *Module) StartBusWatch(vid string, window sim.Time) error {
+	vm, err := m.vm(vid)
+	if err != nil {
+		return err
+	}
+	if window <= 0 {
+		window = sim.Time(HistogramBins) * 10 * time.Millisecond
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.busWatches[vid] = &busWatch{
+		dom:    vm.Domain,
+		start:  m.hv.Kernel().Now(),
+		binLen: window / HistogramBins,
+	}
+	return nil
+}
+
+// CollectBusTrace stops the bus watch and returns the time-binned counts.
+func (m *Module) CollectBusTrace(vid string) (properties.Measurement, error) {
+	m.mu.Lock()
+	w, ok := m.busWatches[vid]
+	if ok {
+		delete(m.busWatches, vid)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return properties.Measurement{}, fmt.Errorf("monitor: no bus watch armed for %s", vid)
+	}
+	counters := make([]uint64, HistogramBins)
+	copy(counters, w.bins[:])
+	return properties.Measurement{Kind: properties.KindBusLockTrace, Counters: counters}, nil
+}
+
+// --- VMM Profile Tool -----------------------------------------------------
+
+// profileWindow snapshots a VM's accumulated runtime at window start.
+type profileWindow struct {
+	dom     *xen.Domain
+	startAt sim.Time
+	startRT sim.Time
+}
+
+// StartProfile begins a CPU-time measurement window for the VM. The profile
+// observes vCPU transitions only (no interception of the VM's execution),
+// which is why periodic attestation costs the guest nothing (paper §7.1.2).
+func (m *Module) StartProfile(vid string) error {
+	vm, err := m.vm(vid)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.profiles[vid] = &profileWindow{
+		dom:     vm.Domain,
+		startAt: m.hv.Kernel().Now(),
+		startRT: vm.Domain.TotalRuntime(),
+	}
+	return nil
+}
+
+// CollectProfile ends the window, stores CPU_measure (µs) into its Trust
+// Evidence Register, and returns the cpu-time measurement.
+func (m *Module) CollectProfile(vid string) (properties.Measurement, error) {
+	m.mu.Lock()
+	p, ok := m.profiles[vid]
+	if ok {
+		delete(m.profiles, vid)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return properties.Measurement{}, fmt.Errorf("monitor: no profile window open for %s", vid)
+	}
+	cpu := p.dom.TotalRuntime() - p.startRT
+	wall := m.hv.Kernel().Now() - p.startAt
+	if err := m.tm.Registers().Set(CPUTimeRegister, uint64(cpu/time.Microsecond)); err != nil {
+		return properties.Measurement{}, err
+	}
+	return properties.Measurement{Kind: properties.KindCPUTime, CPUTime: cpu, WallTime: wall}, nil
+}
+
+// --- VM Introspection tool -------------------------------------------------
+
+// CollectTaskList probes the guest's memory from the hypervisor and returns
+// the true task list, including processes a rootkit hides from in-guest
+// queries (paper §4.3.2).
+func (m *Module) CollectTaskList(vid string) (properties.Measurement, error) {
+	vm, err := m.vm(vid)
+	if err != nil {
+		return properties.Measurement{}, err
+	}
+	if vm.Guest == nil {
+		return properties.Measurement{}, fmt.Errorf("monitor: VM %s has no introspectable guest", vid)
+	}
+	var names []string
+	for _, p := range vm.Guest.TrueTasks() {
+		names = append(names, p.Name)
+	}
+	return properties.Measurement{Kind: properties.KindTaskList, Tasks: names}, nil
+}
+
+// --- Integrity Measurement Unit ---------------------------------------------
+
+// PlatformQuote produces the measured-boot evidence: a TPM quote over the
+// platform PCRs bound to the verifier's nonce, plus the measurement log
+// that explains it.
+func (m *Module) PlatformQuote(nonce [16]byte) (properties.Measurement, error) {
+	pcrs := []int{tpm.PCRFirmware, tpm.PCRHypervisor, tpm.PCRHostOS, tpm.PCRConfig, tpm.PCRVMImage}
+	q, err := m.tm.TPM().GenerateQuote(pcrs, nonce)
+	if err != nil {
+		return properties.Measurement{}, err
+	}
+	meas := properties.Measurement{Kind: properties.KindPlatformQuote, QuoteSig: q.Sig}
+	for i, p := range q.PCRs {
+		meas.QuotePCR = append(meas.QuotePCR, uint32(p))
+		meas.QuoteVal = append(meas.QuoteVal, q.Values[i])
+	}
+	for _, e := range m.tm.TPM().Log() {
+		meas.LogNames = append(meas.LogNames, fmt.Sprintf("%d:%s", e.PCR, e.Description))
+		meas.LogSums = append(meas.LogSums, e.Measurement)
+	}
+	return meas, nil
+}
+
+// ImageDigest returns the measurement of the VM's image taken before launch.
+func (m *Module) ImageDigest(vid string) (properties.Measurement, error) {
+	vm, err := m.vm(vid)
+	if err != nil {
+		return properties.Measurement{}, err
+	}
+	return properties.Measurement{Kind: properties.KindImageDigest, Digest: vm.ImageDigest}, nil
+}
+
+// --- extension collectors ----------------------------------------------------
+
+// Collector gathers one custom measurement kind from a hosted VM. It runs
+// inside the Monitor Kernel with the same access the built-in tools have.
+type Collector func(vm *VM, nonce [16]byte) (properties.Measurement, error)
+
+var (
+	collectorMu sync.RWMutex
+	collectors  = map[properties.MeasurementKind]Collector{}
+)
+
+// RegisterCollector installs a collector for a custom measurement kind
+// (the Monitor Module side of the paper's property-extension claim, §4).
+// Built-in kinds cannot be overridden.
+func RegisterCollector(kind properties.MeasurementKind, c Collector) error {
+	switch kind {
+	case properties.KindPlatformQuote, properties.KindImageDigest,
+		properties.KindTaskList, properties.KindIntervalHistogram,
+		properties.KindBusLockTrace, properties.KindCPUTime:
+		return fmt.Errorf("monitor: %q is a built-in measurement kind", kind)
+	}
+	if c == nil {
+		return fmt.Errorf("monitor: nil collector for %q", kind)
+	}
+	collectorMu.Lock()
+	defer collectorMu.Unlock()
+	if _, dup := collectors[kind]; dup {
+		return fmt.Errorf("monitor: collector for %q already registered", kind)
+	}
+	collectors[kind] = c
+	return nil
+}
+
+// UnregisterCollector removes a custom collector (mainly for tests).
+func UnregisterCollector(kind properties.MeasurementKind) {
+	collectorMu.Lock()
+	defer collectorMu.Unlock()
+	delete(collectors, kind)
+}
+
+func lookupCollector(kind properties.MeasurementKind) (Collector, bool) {
+	collectorMu.RLock()
+	defer collectorMu.RUnlock()
+	c, ok := collectors[kind]
+	return c, ok
+}
+
+// --- Monitor Kernel ----------------------------------------------------------
+
+// Collect is the Monitor Kernel: it serves a measurement request end to
+// end. For windowed kinds it arms the watches, asks the caller to advance
+// virtual time by the window (the cloud server owns the simulation clock),
+// then gathers the results.
+func (m *Module) Collect(vid string, req properties.Request, nonce [16]byte, advance func(sim.Time)) ([]properties.Measurement, error) {
+	needsWindow := false
+	for _, k := range req.Kinds {
+		switch k {
+		case properties.KindIntervalHistogram:
+			if err := m.StartIntervalWatch(vid); err != nil {
+				return nil, err
+			}
+			needsWindow = true
+		case properties.KindBusLockTrace:
+			w := req.Window
+			if w <= 0 {
+				w = properties.DefaultWindow
+			}
+			if err := m.StartBusWatch(vid, w); err != nil {
+				return nil, err
+			}
+			needsWindow = true
+		case properties.KindCPUTime:
+			if err := m.StartProfile(vid); err != nil {
+				return nil, err
+			}
+			needsWindow = true
+		}
+	}
+	if needsWindow {
+		w := req.Window
+		if w <= 0 {
+			w = properties.DefaultWindow
+		}
+		if advance == nil {
+			return nil, fmt.Errorf("monitor: windowed measurement requires a clock driver")
+		}
+		advance(w)
+	}
+	var out []properties.Measurement
+	for _, k := range req.Kinds {
+		var meas properties.Measurement
+		var err error
+		switch k {
+		case properties.KindPlatformQuote:
+			meas, err = m.PlatformQuote(nonce)
+		case properties.KindImageDigest:
+			meas, err = m.ImageDigest(vid)
+		case properties.KindTaskList:
+			meas, err = m.CollectTaskList(vid)
+		case properties.KindIntervalHistogram:
+			meas, err = m.CollectIntervalHistogram(vid)
+		case properties.KindBusLockTrace:
+			meas, err = m.CollectBusTrace(vid)
+		case properties.KindCPUTime:
+			meas, err = m.CollectProfile(vid)
+		default:
+			if c, ok := lookupCollector(k); ok {
+				var vm *VM
+				vm, err = m.vm(vid)
+				if err == nil {
+					meas, err = c(vm, nonce)
+				}
+			} else {
+				err = fmt.Errorf("monitor: unsupported measurement kind %q", k)
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, meas)
+	}
+	return out, nil
+}

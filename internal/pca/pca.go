@@ -1,0 +1,95 @@
+// Package pca implements the privacy Certificate Authority of CloudMonatt
+// (paper §3.2.3, §3.4.2). The pCA knows the long-term identity key VKs of
+// every provisioned cloud server. When a Trust Module mints a per-session
+// attestation key AVKs, the pCA verifies the identity signature on the
+// request and issues a certificate that vouches for the key *anonymously*:
+// the certificate subject is a serial number, never the server name, so an
+// attestation cannot be used to locate a victim VM's host (paper: an
+// attacker must not learn placement from the protocol, cf. Ristenpart et
+// al. co-location attacks).
+package pca
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"io"
+	"sync"
+
+	"cloudmonatt/internal/cryptoutil"
+	"cloudmonatt/internal/trust"
+)
+
+// PurposeAttestationKey is the certificate purpose for session AVKs.
+const PurposeAttestationKey = "cloudmonatt-attestation-key"
+
+// PCA is the privacy Certificate Authority.
+type PCA struct {
+	identity *cryptoutil.Identity
+
+	mu      sync.Mutex
+	servers map[string]ed25519.PublicKey
+	serial  uint64
+}
+
+// New creates a pCA with a fresh identity drawn from r.
+func New(name string, r io.Reader) (*PCA, error) {
+	id, err := cryptoutil.NewIdentity(name, r)
+	if err != nil {
+		return nil, fmt.Errorf("pca: %w", err)
+	}
+	return &PCA{identity: id, servers: make(map[string]ed25519.PublicKey)}, nil
+}
+
+// Name returns the CA's name as it appears in issued certificates.
+func (p *PCA) Name() string { return p.identity.Name }
+
+// PublicKey returns the key verifiers use to check issued certificates.
+func (p *PCA) PublicKey() ed25519.PublicKey { return p.identity.Public() }
+
+// RegisterServer records a provisioned cloud server's identity key. In a
+// deployment this happens when the server is installed in the data center
+// and its Trust Module's VKs is escrowed.
+func (p *PCA) RegisterServer(name string, key ed25519.PublicKey) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.servers[name] = append(ed25519.PublicKey(nil), key...)
+}
+
+// Certify validates a session-key certification request against the
+// registered identity key of the requesting server and, if genuine, issues
+// an anonymous certificate for the attestation key.
+func (p *PCA) Certify(req *trust.CertRequest) (*cryptoutil.Certificate, error) {
+	if req == nil {
+		return nil, fmt.Errorf("pca: nil request")
+	}
+	p.mu.Lock()
+	vk, ok := p.servers[req.Server]
+	p.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("pca: unknown server %q", req.Server)
+	}
+	if err := trust.VerifyCertRequest(req, vk); err != nil {
+		return nil, fmt.Errorf("pca: rejecting request from %q: %w", req.Server, err)
+	}
+	p.mu.Lock()
+	p.serial++
+	serial := p.serial
+	p.mu.Unlock()
+	subject := fmt.Sprintf("anon-%d", serial)
+	return cryptoutil.IssueCertificate(p.identity, subject, PurposeAttestationKey, req.Key, serial), nil
+}
+
+// VerifyAttestationCert checks that cert is a genuine attestation-key
+// certificate from this CA (by name/key) for the given key.
+func VerifyAttestationCert(cert *cryptoutil.Certificate, caName string, caKey, avk ed25519.PublicKey) error {
+	if err := cryptoutil.VerifyCertificate(cert, caName, caKey); err != nil {
+		return err
+	}
+	if cert.Purpose != PurposeAttestationKey {
+		return fmt.Errorf("pca: certificate purpose %q, want %q", cert.Purpose, PurposeAttestationKey)
+	}
+	if !cryptoutil.KeyEqual(cert.Key, avk) {
+		return fmt.Errorf("pca: certificate does not cover the presented attestation key")
+	}
+	return nil
+}

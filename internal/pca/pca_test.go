@@ -1,0 +1,115 @@
+package pca
+
+import (
+	"crypto/rand"
+	"strings"
+	"testing"
+
+	"cloudmonatt/internal/trust"
+)
+
+func setup(t *testing.T) (*PCA, *trust.Module) {
+	t.Helper()
+	ca, err := New("pca", rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := trust.NewModule("server-1", 0, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca.RegisterServer(m.Name(), m.IdentityKey())
+	return ca, m
+}
+
+func TestCertifyGenuineRequest(t *testing.T) {
+	ca, m := setup(t)
+	sess, req, err := m.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := ca.Certify(req)
+	if err != nil {
+		t.Fatalf("genuine request rejected: %v", err)
+	}
+	if err := VerifyAttestationCert(cert, ca.Name(), ca.PublicKey(), sess.Public()); err != nil {
+		t.Fatalf("issued certificate does not verify: %v", err)
+	}
+}
+
+func TestCertificateIsAnonymous(t *testing.T) {
+	ca, m := setup(t)
+	_, req, _ := m.NewSession()
+	cert, err := ca.Certify(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(cert.Subject, "server-1") {
+		t.Fatalf("certificate subject %q reveals the server identity", cert.Subject)
+	}
+}
+
+func TestRejectUnknownServer(t *testing.T) {
+	ca, _ := setup(t)
+	rogue, err := trust.NewModule("rogue", 0, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, req, _ := rogue.NewSession()
+	if _, err := ca.Certify(req); err == nil {
+		t.Fatal("request from unregistered server accepted")
+	}
+}
+
+func TestRejectForgedRequest(t *testing.T) {
+	ca, m := setup(t)
+	_, req, _ := m.NewSession()
+	req.Sig[0] ^= 1
+	if _, err := ca.Certify(req); err == nil {
+		t.Fatal("forged request accepted")
+	}
+	if _, err := ca.Certify(nil); err == nil {
+		t.Fatal("nil request accepted")
+	}
+}
+
+func TestRejectImpersonation(t *testing.T) {
+	// A registered-but-malicious server must not obtain a certificate for a
+	// key it does not control under another server's name.
+	ca, m := setup(t)
+	mallory, _ := trust.NewModule("mallory", 0, rand.Reader)
+	ca.RegisterServer(mallory.Name(), mallory.IdentityKey())
+	_, req, _ := mallory.NewSession()
+	req.Server = m.Name() // claim to be server-1
+	if _, err := ca.Certify(req); err == nil {
+		t.Fatal("impersonated request accepted")
+	}
+}
+
+func TestVerifyAttestationCertChecksKeyAndPurpose(t *testing.T) {
+	ca, m := setup(t)
+	sess, req, _ := m.NewSession()
+	cert, _ := ca.Certify(req)
+	other, _, _ := m.NewSession()
+	if err := VerifyAttestationCert(cert, ca.Name(), ca.PublicKey(), other.Public()); err == nil {
+		t.Fatal("certificate accepted for a different attestation key")
+	}
+	cert.Purpose = "something-else"
+	if err := VerifyAttestationCert(cert, ca.Name(), ca.PublicKey(), sess.Public()); err == nil {
+		t.Fatal("certificate with wrong purpose accepted (and tampering undetected)")
+	}
+}
+
+func TestSerialsIncrease(t *testing.T) {
+	ca, m := setup(t)
+	_, r1, _ := m.NewSession()
+	_, r2, _ := m.NewSession()
+	c1, _ := ca.Certify(r1)
+	c2, _ := ca.Certify(r2)
+	if c2.Serial <= c1.Serial {
+		t.Fatalf("serials not increasing: %d then %d", c1.Serial, c2.Serial)
+	}
+	if c1.Subject == c2.Subject {
+		t.Fatal("two certificates share an anonymous subject")
+	}
+}

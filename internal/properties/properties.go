@@ -1,0 +1,234 @@
+// Package properties defines the security properties a CloudMonatt customer
+// can request, the measurement kinds that evidence them, and the canonical
+// property→measurement mapping the Attestation Server uses to translate a
+// requested property P into a measurement request rM (paper §4.1).
+//
+// Measurements carry a canonical binary encoding so they can be hashed into
+// protocol quotes (Q3 = H(Vid‖rM‖M‖N3)) identically on both ends.
+package properties
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// Property identifies one security property of a VM (paper §4's case studies).
+type Property string
+
+// The four concrete properties realized in the paper.
+const (
+	// StartupIntegrity: platform and VM image are unmodified at launch
+	// (case study I, TPM-style measured boot).
+	StartupIntegrity Property = "startup-integrity"
+	// RuntimeIntegrity: no hidden/unknown software runs inside the VM
+	// (case study II, VM introspection).
+	RuntimeIntegrity Property = "runtime-integrity"
+	// CovertChannelFreedom: no CPU covert channel is exfiltrating the VM's
+	// confidential data (case study III, interval-histogram detection).
+	CovertChannelFreedom Property = "covert-channel-freedom"
+	// CPUAvailability: the VM receives the CPU share its SLA entitles it to
+	// (case study IV, VMM profiling).
+	CPUAvailability Property = "cpu-availability"
+)
+
+// All lists every supported property.
+var All = []Property{StartupIntegrity, RuntimeIntegrity, CovertChannelFreedom, CPUAvailability}
+
+// Valid reports whether p names a supported property (built in or
+// registered through the extension registry).
+func Valid(p Property) bool {
+	for _, q := range All {
+		if p == q {
+			return true
+		}
+	}
+	_, ok := lookupRegistered(p)
+	return ok
+}
+
+// MeasurementKind identifies one type of raw evidence a Monitor Module can
+// collect.
+type MeasurementKind string
+
+// Measurement kinds produced by the monitor tools.
+const (
+	// KindPlatformQuote: TPM quote over the platform PCRs plus the
+	// measurement log (Integrity Measurement Unit).
+	KindPlatformQuote MeasurementKind = "platform-quote"
+	// KindImageDigest: digest of the VM image measured before launch.
+	KindImageDigest MeasurementKind = "image-digest"
+	// KindTaskList: the true in-VM task list via VM introspection.
+	KindTaskList MeasurementKind = "task-list"
+	// KindIntervalHistogram: 30-bin CPU-usage-interval histogram from the
+	// Trust Evidence Registers (Performance Monitor Unit).
+	KindIntervalHistogram MeasurementKind = "interval-histogram"
+	// KindBusLockTrace: time-binned counts of the VM's locked (bus-
+	// serializing) memory operations over the window — the monitor for the
+	// memory-bus covert channel (paper §4.4's "other types of covert
+	// channels ... with more Trust Evidence Registers and mechanisms").
+	KindBusLockTrace MeasurementKind = "bus-lock-trace"
+	// KindCPUTime: the VM's virtual running time over a measurement window
+	// (VMM Profile Tool).
+	KindCPUTime MeasurementKind = "cpu-time"
+)
+
+// Request rM names the measurements the Attestation Server asks a cloud
+// server to collect, with an observation window for the runtime monitors.
+type Request struct {
+	Kinds  []MeasurementKind
+	Window time.Duration // observation window for histogram/cpu-time kinds
+}
+
+// Encode renders the request canonically for inclusion in quotes.
+func (r Request) Encode() []byte {
+	var out []byte
+	out = binary.BigEndian.AppendUint64(out, uint64(r.Window))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(r.Kinds)))
+	for _, k := range r.Kinds {
+		out = binary.BigEndian.AppendUint32(out, uint32(len(k)))
+		out = append(out, k...)
+	}
+	return out
+}
+
+// DefaultWindow is the runtime monitors' observation window. One second
+// spans ~33 scheduler accounting periods — enough for a stable histogram.
+const DefaultWindow = time.Second
+
+// MapToMeasurements translates a requested property into the measurement
+// request the target cloud server must serve (the Attestation Server's
+// property→measurement mapping, paper §4.1).
+func MapToMeasurements(p Property) (Request, error) {
+	switch p {
+	case StartupIntegrity:
+		return Request{Kinds: []MeasurementKind{KindPlatformQuote, KindImageDigest}}, nil
+	case RuntimeIntegrity:
+		return Request{Kinds: []MeasurementKind{KindTaskList}}, nil
+	case CovertChannelFreedom:
+		// Both covert-channel monitors run over the same window: the CPU-
+		// interval histogram (case study III) and the bus-lock trace.
+		return Request{Kinds: []MeasurementKind{KindIntervalHistogram, KindBusLockTrace}, Window: DefaultWindow}, nil
+	case CPUAvailability:
+		return Request{Kinds: []MeasurementKind{KindCPUTime}, Window: DefaultWindow}, nil
+	}
+	if req, ok := lookupRegistered(p); ok {
+		return req, nil
+	}
+	return Request{}, fmt.Errorf("properties: unsupported property %q", p)
+}
+
+// Measurement is one collected piece of evidence. Exactly the fields
+// relevant to Kind are populated; Encode produces an injective canonical
+// byte string for quoting and signing.
+type Measurement struct {
+	Kind MeasurementKind
+
+	// KindPlatformQuote / KindImageDigest
+	Digest   [32]byte
+	LogNames []string   // measurement log: component names...
+	LogSums  [][32]byte // ...and their digests, aligned with LogNames
+	QuoteSig []byte     // TPM quote signature (platform quote only)
+	QuotePCR []uint32   // quoted PCR indices
+	QuoteVal [][32]byte // quoted PCR values, aligned with QuotePCR
+
+	// KindTaskList
+	Tasks []string
+
+	// KindIntervalHistogram
+	Counters []uint64
+
+	// KindCPUTime
+	CPUTime  time.Duration
+	WallTime time.Duration
+}
+
+// Encode renders the measurement canonically.
+func (m Measurement) Encode() []byte {
+	var out []byte
+	appendBytes := func(b []byte) {
+		out = binary.BigEndian.AppendUint32(out, uint32(len(b)))
+		out = append(out, b...)
+	}
+	appendBytes([]byte(m.Kind))
+	appendBytes(m.Digest[:])
+	out = binary.BigEndian.AppendUint32(out, uint32(len(m.LogNames)))
+	for i, n := range m.LogNames {
+		appendBytes([]byte(n))
+		if i < len(m.LogSums) {
+			appendBytes(m.LogSums[i][:])
+		} else {
+			appendBytes(nil)
+		}
+	}
+	appendBytes(m.QuoteSig)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(m.QuotePCR)))
+	for i, p := range m.QuotePCR {
+		out = binary.BigEndian.AppendUint32(out, p)
+		if i < len(m.QuoteVal) {
+			appendBytes(m.QuoteVal[i][:])
+		} else {
+			appendBytes(nil)
+		}
+	}
+	out = binary.BigEndian.AppendUint32(out, uint32(len(m.Tasks)))
+	for _, t := range m.Tasks {
+		appendBytes([]byte(t))
+	}
+	out = binary.BigEndian.AppendUint32(out, uint32(len(m.Counters)))
+	for _, c := range m.Counters {
+		out = binary.BigEndian.AppendUint64(out, c)
+	}
+	out = binary.BigEndian.AppendUint64(out, uint64(m.CPUTime))
+	out = binary.BigEndian.AppendUint64(out, uint64(m.WallTime))
+	return out
+}
+
+// EncodeAll renders a measurement list canonically.
+func EncodeAll(ms []Measurement) []byte {
+	var out []byte
+	out = binary.BigEndian.AppendUint32(out, uint32(len(ms)))
+	for _, m := range ms {
+		enc := m.Encode()
+		out = binary.BigEndian.AppendUint32(out, uint32(len(enc)))
+		out = append(out, enc...)
+	}
+	return out
+}
+
+// Verdict is the Attestation Server's interpretation of the measurements
+// for one property: the attestation report R the customer receives.
+type Verdict struct {
+	Property Property
+	Healthy  bool
+	Reason   string
+	Details  map[string]string
+}
+
+// Encode renders the verdict canonically for the Q1/Q2 quotes.
+func (v Verdict) Encode() []byte {
+	var out []byte
+	appendBytes := func(b []byte) {
+		out = binary.BigEndian.AppendUint32(out, uint32(len(b)))
+		out = append(out, b...)
+	}
+	appendBytes([]byte(v.Property))
+	if v.Healthy {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	appendBytes([]byte(v.Reason))
+	// Details are advisory and excluded from the signed body; Reason carries
+	// the authoritative finding.
+	return out
+}
+
+// String renders the verdict for humans.
+func (v Verdict) String() string {
+	state := "HEALTHY"
+	if !v.Healthy {
+		state = "COMPROMISED"
+	}
+	return fmt.Sprintf("%s: %s (%s)", v.Property, state, v.Reason)
+}

@@ -1,0 +1,119 @@
+package properties
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMapToMeasurements(t *testing.T) {
+	for _, p := range All {
+		req, err := MapToMeasurements(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if len(req.Kinds) == 0 {
+			t.Fatalf("%s maps to no measurements", p)
+		}
+	}
+	if _, err := MapToMeasurements(Property("bogus")); err == nil {
+		t.Fatal("bogus property mapped")
+	}
+}
+
+func TestRuntimePropertiesHaveWindows(t *testing.T) {
+	for _, p := range []Property{CovertChannelFreedom, CPUAvailability} {
+		req, _ := MapToMeasurements(p)
+		if req.Window <= 0 {
+			t.Errorf("%s has no observation window", p)
+		}
+	}
+}
+
+func TestValid(t *testing.T) {
+	for _, p := range All {
+		if !Valid(p) {
+			t.Errorf("%s reported invalid", p)
+		}
+	}
+	if Valid("nope") {
+		t.Error("invalid property reported valid")
+	}
+}
+
+func TestMeasurementEncodeDistinguishesKinds(t *testing.T) {
+	a := Measurement{Kind: KindTaskList, Tasks: []string{"init"}}
+	b := Measurement{Kind: KindCPUTime, CPUTime: time.Second}
+	if bytes.Equal(a.Encode(), b.Encode()) {
+		t.Fatal("different measurements encode identically")
+	}
+}
+
+func TestMeasurementEncodeInjective(t *testing.T) {
+	// Task-list boundary attack: ["ab","c"] vs ["a","bc"].
+	a := Measurement{Kind: KindTaskList, Tasks: []string{"ab", "c"}}
+	b := Measurement{Kind: KindTaskList, Tasks: []string{"a", "bc"}}
+	if bytes.Equal(a.Encode(), b.Encode()) {
+		t.Fatal("task-list encoding is not injective")
+	}
+}
+
+func TestQuickMeasurementEncodeDeterministic(t *testing.T) {
+	f := func(tasks []string, counters []uint64, cpu uint32) bool {
+		m := Measurement{Kind: KindIntervalHistogram, Tasks: tasks, Counters: counters, CPUTime: time.Duration(cpu)}
+		return bytes.Equal(m.Encode(), m.Encode())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCounterSensitivity(t *testing.T) {
+	f := func(counters []uint64) bool {
+		if len(counters) == 0 {
+			return true
+		}
+		m := Measurement{Kind: KindIntervalHistogram, Counters: counters}
+		enc := m.Encode()
+		mod := append([]uint64(nil), counters...)
+		mod[0]++
+		m2 := Measurement{Kind: KindIntervalHistogram, Counters: mod}
+		return !bytes.Equal(enc, m2.Encode())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeAllLengthSensitive(t *testing.T) {
+	m := Measurement{Kind: KindTaskList, Tasks: []string{"x"}}
+	one := EncodeAll([]Measurement{m})
+	two := EncodeAll([]Measurement{m, m})
+	if bytes.Equal(one, two) {
+		t.Fatal("EncodeAll insensitive to list length")
+	}
+}
+
+func TestRequestEncode(t *testing.T) {
+	a := Request{Kinds: []MeasurementKind{KindTaskList}, Window: time.Second}
+	b := Request{Kinds: []MeasurementKind{KindTaskList}, Window: 2 * time.Second}
+	if bytes.Equal(a.Encode(), b.Encode()) {
+		t.Fatal("request encoding ignores window")
+	}
+	c := Request{Kinds: []MeasurementKind{KindCPUTime}, Window: time.Second}
+	if bytes.Equal(a.Encode(), c.Encode()) {
+		t.Fatal("request encoding ignores kinds")
+	}
+}
+
+func TestVerdictEncodeAndString(t *testing.T) {
+	v := Verdict{Property: CPUAvailability, Healthy: true, Reason: "ok"}
+	w := Verdict{Property: CPUAvailability, Healthy: false, Reason: "ok"}
+	if bytes.Equal(v.Encode(), w.Encode()) {
+		t.Fatal("verdict encoding ignores health bit")
+	}
+	if got := v.String(); got == "" || got == w.String() {
+		t.Fatal("verdict String not distinguishing")
+	}
+}

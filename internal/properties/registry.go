@@ -1,0 +1,72 @@
+package properties
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The paper's central architectural claim is that CloudMonatt is "flexible
+// [and] allows the integration of an arbitrary number of security
+// properties and monitoring mechanisms" (§4). This registry is that
+// extension point: a deployment registers a new property with its
+// measurement mapping here, a collector for any new measurement kinds with
+// the Monitor Module (monitor.RegisterCollector), and an interpreter with
+// the Property Interpretation Module (interpret.RegisterInterpreter) —
+// after which the new property flows through the entire protocol, launch
+// pipeline, periodic engine and response machinery unchanged.
+
+var (
+	regMu      sync.RWMutex
+	registered = map[Property]Request{}
+)
+
+// Register adds a custom security property and the measurements that
+// evidence it. Registering a built-in property or registering twice is an
+// error (properties are trust-relevant configuration; silent overwrite
+// would be a footgun).
+func Register(p Property, req Request) error {
+	if p == "" {
+		return fmt.Errorf("properties: empty property name")
+	}
+	for _, b := range All {
+		if p == b {
+			return fmt.Errorf("properties: %q is built in", p)
+		}
+	}
+	if len(req.Kinds) == 0 {
+		return fmt.Errorf("properties: %q maps to no measurements", p)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registered[p]; dup {
+		return fmt.Errorf("properties: %q already registered", p)
+	}
+	registered[p] = req
+	return nil
+}
+
+// Unregister removes a custom property (mainly for tests).
+func Unregister(p Property) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	delete(registered, p)
+}
+
+// lookupRegistered returns the registered mapping for a custom property.
+func lookupRegistered(p Property) (Request, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	req, ok := registered[p]
+	return req, ok
+}
+
+// Registered lists the custom properties currently installed.
+func Registered() []Property {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Property, 0, len(registered))
+	for p := range registered {
+		out = append(out, p)
+	}
+	return out
+}

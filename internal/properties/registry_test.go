@@ -1,0 +1,51 @@
+package properties
+
+import "testing"
+
+func TestRegisterValidation(t *testing.T) {
+	req := Request{Kinds: []MeasurementKind{"custom-kind"}}
+	if err := Register("", req); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := Register(StartupIntegrity, req); err == nil {
+		t.Fatal("built-in property overridden")
+	}
+	if err := Register("custom-x", Request{}); err == nil {
+		t.Fatal("property with no measurements accepted")
+	}
+}
+
+func TestRegisterLifecycle(t *testing.T) {
+	const p = Property("custom-test-prop")
+	req := Request{Kinds: []MeasurementKind{"custom-kind"}}
+	if err := Register(p, req); err != nil {
+		t.Fatal(err)
+	}
+	defer Unregister(p)
+	if err := Register(p, req); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if !Valid(p) {
+		t.Fatal("registered property not valid")
+	}
+	got, err := MapToMeasurements(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Kinds) != 1 || got.Kinds[0] != "custom-kind" {
+		t.Fatalf("mapping = %+v", got)
+	}
+	found := false
+	for _, q := range Registered() {
+		if q == p {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Registered() does not list the property")
+	}
+	Unregister(p)
+	if Valid(p) {
+		t.Fatal("unregistered property still valid")
+	}
+}

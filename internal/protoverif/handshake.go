@@ -1,0 +1,147 @@
+package protoverif
+
+import "sort"
+
+// Diffie-Hellman support for modeling the secure-channel handshake that
+// establishes the session keys Kx/Ky/Kz. dh(a, pub(b)) and dh(b, pub(a))
+// denote the same shared secret; DH normalizes the term so structural
+// equality captures the commutativity.
+//
+// Constructors:
+//
+//	EPub(x)  — the public half of ephemeral exponent x
+//	DH(x, EPub(y)) — the shared secret of exponents x and y
+//	KDF(m)   — key derivation (hash-like)
+
+// OpEPub and OpDH extend the term algebra for the handshake model.
+const (
+	OpEPub Op = "epub" // public ephemeral of a private exponent
+	OpDH   Op = "dh"   // Diffie-Hellman shared secret (normalized)
+)
+
+// EPub makes the public half of a private exponent.
+func EPub(x *Term) *Term { return &Term{Op: OpEPub, Args: []*Term{x}} }
+
+// DH builds the shared secret of a private exponent and a peer public
+// ephemeral, normalized over the two exponents so both derivations are
+// structurally equal.
+func DH(priv, peerPub *Term) *Term {
+	if peerPub.Op != OpEPub {
+		// Attacker may try dh against a non-ephemeral term; keep the raw
+		// shape (it will never equal an honest secret).
+		return &Term{Op: OpDH, Args: []*Term{priv, peerPub}}
+	}
+	exps := []*Term{priv, peerPub.Args[0]}
+	sort.Slice(exps, func(i, j int) bool { return exps[i].key() < exps[j].key() })
+	return &Term{Op: OpDH, Args: exps}
+}
+
+// KDF derives a symmetric key from a shared secret and a transcript.
+func KDF(secret, transcript *Term) *Term {
+	return &Term{Op: OpHash, Args: []*Term{Pair(Name("kdf"), secret, transcript)}}
+}
+
+// CanDeriveDH extends synthesis with the DH rule: the attacker can build
+// dh(x,y) only knowing one *private* exponent and the other side's public
+// ephemeral. Knowledge.CanDerive handles this through canDeriveDH below.
+func (k *Knowledge) canDeriveDH(t *Term) bool {
+	if t.Op != OpDH || len(t.Args) != 2 {
+		return false
+	}
+	x, y := t.Args[0], t.Args[1]
+	// Normalized honest form: both args are private exponents. Deriving it
+	// needs one exponent plus the other's public half.
+	if k.CanDerive(x) && k.CanDerive(EPub(y)) {
+		return true
+	}
+	if k.CanDerive(y) && k.CanDerive(EPub(x)) {
+		return true
+	}
+	return false
+}
+
+// HandshakeModel is the symbolic secchan handshake between a client C and
+// server S (internal/secchan's 3-message flow), with the attacker fully
+// controlling the network.
+type HandshakeModel struct {
+	Signed bool // transcript signatures present (the real protocol) or not
+
+	SKC, SKS *Term // long-term identity keys
+	EC, ES   *Term // honest ephemeral exponents
+	EA       *Term // attacker's ephemeral exponent
+	Kx       *Term // the session key the honest run derives
+	K        *Knowledge
+}
+
+// NewHandshakeModel builds one honest handshake run (observed by the
+// attacker) and the attacker's initial knowledge.
+func NewHandshakeModel(signed bool) *HandshakeModel {
+	m := &HandshakeModel{
+		Signed: signed,
+		SKC:    Name("sk_client"),
+		SKS:    Name("sk_server"),
+		EC:     Name("e_client"),
+		ES:     Name("e_server"),
+		EA:     Name("e_attacker"),
+	}
+	transcript := Hash(Pair(EPub(m.EC), EPub(m.ES)))
+	m.Kx = KDF(DH(m.EC, EPub(m.ES)), transcript)
+
+	trace := []*Term{
+		EPub(m.EC), // hello_c
+		EPub(m.ES), // hello_s
+	}
+	if signed {
+		trace = append(trace,
+			Sign(m.SKS, transcript), // server's transcript signature
+			Sign(m.SKC, transcript), // client's finish signature
+		)
+	}
+	initial := append(trace,
+		PK(m.SKC), PK(m.SKS),
+		m.EA, EPub(m.EA),
+		Name("attacker_payload"),
+		Name("kdf"), // public protocol constant
+	)
+	m.K = NewKnowledge(initial)
+	return m
+}
+
+// SessionKeySecret reports whether the honest session key is underivable.
+func (m *HandshakeModel) SessionKeySecret() bool {
+	return !m.deriveWithDH(m.Kx)
+}
+
+// MITMPossible reports whether an active attacker can complete the
+// handshake in the server's place: produce everything the client accepts —
+// an ephemeral the attacker controls plus (if the protocol signs) the
+// server's signature over the attacker's transcript.
+func (m *HandshakeModel) MITMPossible() bool {
+	attackerTranscript := Hash(Pair(EPub(m.EC), EPub(m.EA)))
+	if m.Signed {
+		// The client accepts only sign(SKS, transcript') — forgeable?
+		if !m.deriveWithDH(Sign(m.SKS, attackerTranscript)) {
+			return false
+		}
+	}
+	// Without signatures, the attacker just needs its own ephemeral (it
+	// has it) and then shares kdf(dh(e_client-side…)) with the client.
+	return m.deriveWithDH(KDF(DH(m.EA, EPub(m.EC)), attackerTranscript))
+}
+
+// deriveWithDH is CanDerive extended by the DH synthesis rule at every
+// composite level.
+func (m *HandshakeModel) deriveWithDH(t *Term) bool {
+	if m.K.has(t) {
+		return true
+	}
+	switch t.Op {
+	case OpDH:
+		return m.K.canDeriveDH(t)
+	case OpPair, OpSEnc, OpSign:
+		return m.deriveWithDH(t.Args[0]) && m.deriveWithDH(t.Args[1])
+	case OpHash, OpEPub, OpPK:
+		return m.deriveWithDH(t.Args[0])
+	}
+	return false
+}

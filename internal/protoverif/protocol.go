@@ -1,0 +1,228 @@
+package protoverif
+
+import "fmt"
+
+// Variant selects the protocol (or a deliberately weakened mutant used to
+// show the verifier detects real flaws).
+type Variant int
+
+// Protocol variants.
+const (
+	// Full is the CloudMonatt protocol as specified in Fig. 3.
+	Full Variant = iota
+	// NoEncryption sends every message in the clear (no Kx/Ky/Kz).
+	NoEncryption
+	// ReusedNonces uses the same nonces in every session.
+	ReusedNonces
+	// LeakedSessionKey models a broken key exchange: the attacker learns Kx.
+	LeakedSessionKey
+	// UnsignedReports omits the controller/attestation-server signatures,
+	// relying on channel encryption alone.
+	UnsignedReports
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case Full:
+		return "full"
+	case NoEncryption:
+		return "no-encryption"
+	case ReusedNonces:
+		return "reused-nonces"
+	case LeakedSessionKey:
+		return "leaked-session-key"
+	case UnsignedReports:
+		return "unsigned-reports"
+	}
+	return fmt.Sprintf("variant(%d)", int(v))
+}
+
+// Session holds the symbolic values of one attestation request.
+type Session struct {
+	N1, N2, N3 *Term
+	P, M, R    *Term // property, measurements, report
+	Trace      []*Term
+}
+
+// Model is the symbolic CloudMonatt system: long-term keys, the per-
+// connection channel keys, two attestation requests over the same channels
+// (to test cross-request replay — the scenario the protocol nonces exist
+// for), and the attacker's knowledge.
+type Model struct {
+	Variant Variant
+
+	SKCust, SKC, SKA, SKS, ASKS, SKPCA *Term
+	Vid, ServerID                      *Term
+	Kx, Ky, Kz                         *Term // per-connection session keys
+
+	S1, S2 *Session
+	K      *Knowledge
+}
+
+// NewModel builds the message trace of two honest sessions under the given
+// variant and computes the attacker's knowledge closure.
+func NewModel(v Variant) *Model {
+	m := &Model{
+		Variant:  v,
+		SKCust:   Name("sk_customer"),
+		SKC:      Name("sk_controller"),
+		SKA:      Name("sk_attestsrv"),
+		SKS:      Name("sk_server"),
+		ASKS:     Name("ask_session"),
+		SKPCA:    Name("sk_pca"),
+		Vid:      Name("vid"),
+		ServerID: Name("server_I"),
+		Kx:       Name("kx"),
+		Ky:       Name("ky"),
+		Kz:       Name("kz"),
+	}
+	m.S1 = m.session(1, v)
+	m.S2 = m.session(2, v)
+
+	// Attacker initial knowledge: public identities and keys, own material.
+	initial := []*Term{
+		m.Vid, m.ServerID,
+		PK(m.SKCust), PK(m.SKC), PK(m.SKA), PK(m.SKS), PK(m.ASKS), PK(m.SKPCA),
+		Name("sk_attacker"), Name("n_attacker"), Name("r_fake"), Name("p_fake"), Name("m_fake"),
+	}
+	if v == LeakedSessionKey {
+		initial = append(initial, m.Kx)
+	}
+	initial = append(initial, m.S1.Trace...)
+	initial = append(initial, m.S2.Trace...)
+	m.K = NewKnowledge(initial)
+	return m
+}
+
+// session builds the network trace of one honest run.
+func (m *Model) session(i int, v Variant) *Session {
+	s := &Session{
+		P: Name("prop"),
+		M: Name(fmt.Sprintf("meas_%d", i)),
+		R: Name(fmt.Sprintf("report_%d", i)),
+	}
+	suffix := fmt.Sprintf("_%d", i)
+	if v == ReusedNonces {
+		suffix = "" // both sessions share nonce names
+	}
+	s.N1 = Name("n1" + suffix)
+	s.N2 = Name("n2" + suffix)
+	s.N3 = Name("n3" + suffix)
+
+	enc := func(k, payload *Term) *Term {
+		if v == NoEncryption {
+			return payload
+		}
+		return SEnc(k, payload)
+	}
+	sign := func(sk, payload *Term) *Term {
+		if v == UnsignedReports {
+			return payload
+		}
+		return Sign(sk, payload)
+	}
+	rM := Name("req_measurements")
+
+	q3 := Hash(Pair(m.Vid, rM, s.M, s.N3))
+	q2 := Hash(Pair(m.Vid, m.ServerID, s.P, s.R, s.N2))
+	q1 := Hash(Pair(m.Vid, s.P, s.R, s.N1))
+	cert := Sign(m.SKPCA, PK(m.ASKS)) // pCA certificate for the session key
+
+	s.Trace = []*Term{
+		// 1. customer → controller
+		enc(m.Kx, Pair(m.Vid, s.P, s.N1)),
+		// 2. controller → attestation server
+		enc(m.Ky, Pair(m.Vid, m.ServerID, s.P, s.N2)),
+		// 3. attestation server → cloud server
+		enc(m.Kz, Pair(m.Vid, rM, s.N3)),
+		// 4. cloud server → attestation server (signed evidence + cert)
+		enc(m.Kz, Pair(sign(m.ASKS, Pair(m.Vid, rM, s.M, s.N3, q3)), cert)),
+		// 5. attestation server → controller (signed report)
+		enc(m.Ky, sign(m.SKA, Pair(m.Vid, m.ServerID, s.P, s.R, s.N2, q2))),
+		// 6. controller → customer (signed final report)
+		enc(m.Kx, sign(m.SKC, Pair(m.Vid, s.P, s.R, s.N1, q1))),
+	}
+	return s
+}
+
+// message6 builds the term a customer in session s accepts for report r:
+// the shape check of VerifyCustomerReport in symbolic form.
+func (m *Model) message6(s *Session, r *Term) *Term {
+	q1 := Hash(Pair(m.Vid, s.P, r, s.N1))
+	payload := Pair(m.Vid, s.P, r, s.N1, q1)
+	var signed *Term
+	if m.Variant == UnsignedReports {
+		signed = payload
+	} else {
+		signed = Sign(m.SKC, payload)
+	}
+	if m.Variant == NoEncryption {
+		return signed
+	}
+	return SEnc(m.Kx, signed)
+}
+
+// Finding is one violated property.
+type Finding struct {
+	Property string
+	Detail   string
+}
+
+// Check verifies the six properties of §7.2.2 and returns all violations
+// (none for the Full protocol).
+func (m *Model) Check() []Finding {
+	var out []Finding
+	secret := func(label string, t *Term) {
+		if m.K.CanDerive(t) {
+			out = append(out, Finding{Property: "secrecy", Detail: label + " derivable by attacker"})
+		}
+	}
+
+	// Property 1: session keys and private identity keys stay secret.
+	secret("Kx", m.Kx)
+	secret("Ky", m.Ky)
+	secret("Kz", m.Kz)
+	secret("SK_customer", m.SKCust)
+	secret("SK_controller", m.SKC)
+	secret("SK_attestsrv", m.SKA)
+	secret("SK_server", m.SKS)
+	secret("ASK_session", m.ASKS)
+
+	// Property 2: P, M, R stay secret.
+	secret("P", m.S1.P)
+	secret("M", m.S1.M)
+	secret("R", m.S1.R)
+
+	// Property 3 (integrity): the attacker cannot make the customer accept
+	// a fabricated report r_fake in session 2.
+	forged := m.message6(m.S2, Name("r_fake"))
+	if m.K.CanDerive(forged) {
+		out = append(out, Finding{Property: "integrity", Detail: "attacker can forge an acceptable customer report"})
+	}
+	// ... nor replay session 1's genuine report into session 2.
+	replayed := m.message6(m.S2, m.S1.R)
+	genuine := m.message6(m.S2, m.S2.R)
+	if !replayed.Equal(genuine) && m.K.CanDerive(replayed) {
+		out = append(out, Finding{Property: "integrity", Detail: "session-1 report replays into session 2"})
+	}
+
+	// Properties 4–6 (authentication): impersonating an entity on any hop
+	// requires signing that hop's handshake transcript with the entity's
+	// identity key.
+	for _, e := range []struct {
+		label string
+		sk    *Term
+	}{
+		{"customer<->controller (customer)", m.SKCust},
+		{"customer<->controller (controller)", m.SKC},
+		{"controller<->attestsrv (attestsrv)", m.SKA},
+		{"attestsrv<->cloudserver (cloudserver)", m.SKS},
+	} {
+		transcript := Name("handshake_transcript")
+		if m.K.CanDerive(Sign(e.sk, transcript)) {
+			out = append(out, Finding{Property: "authentication", Detail: "attacker can impersonate " + e.label})
+		}
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+// Package rpc provides the request/response layer CloudMonatt's entities
+// speak over their secure channels, plus the transport abstraction that
+// lets the same code run over real TCP (the cmd/ daemons) or an in-memory
+// network (the in-process testbed, tests, and the Dolev-Yao attacker rig).
+package rpc
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"cloudmonatt/internal/secchan"
+)
+
+// Network abstracts connection establishment so tests can run in memory.
+type Network interface {
+	Dial(addr string) (net.Conn, error)
+	Listen(addr string) (net.Listener, error)
+}
+
+// --- in-memory network ---
+
+// MemNetwork is an in-process Network: addresses are arbitrary strings and
+// connections are synchronous net.Pipe pairs.
+type MemNetwork struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+	// Intercept, when set, wraps the two ends of every new connection; the
+	// Dolev-Yao attacker uses it to own the network.
+	Intercept func(addr string, client, server net.Conn) (net.Conn, net.Conn)
+}
+
+// NewMemNetwork creates an empty in-memory network.
+func NewMemNetwork() *MemNetwork {
+	return &MemNetwork{listeners: make(map[string]*memListener)}
+}
+
+type memListener struct {
+	addr   string
+	ch     chan net.Conn
+	net    *MemNetwork
+	closed chan struct{}
+	once   sync.Once
+}
+
+type memAddr string
+
+func (a memAddr) Network() string { return "mem" }
+func (a memAddr) String() string  { return string(a) }
+
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c, ok := <-l.ch:
+		if !ok {
+			return nil, errors.New("rpc: listener closed")
+		}
+		return c, nil
+	case <-l.closed:
+		return nil, errors.New("rpc: listener closed")
+	}
+}
+
+func (l *memListener) Close() error {
+	l.once.Do(func() {
+		close(l.closed)
+		l.net.mu.Lock()
+		delete(l.net.listeners, l.addr)
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *memListener) Addr() net.Addr { return memAddr(l.addr) }
+
+// Listen claims an address on the in-memory network.
+func (n *MemNetwork) Listen(addr string) (net.Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, busy := n.listeners[addr]; busy {
+		return nil, fmt.Errorf("rpc: address %q already in use", addr)
+	}
+	l := &memListener{addr: addr, ch: make(chan net.Conn), net: n, closed: make(chan struct{})}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects to a listening address.
+func (n *MemNetwork) Dial(addr string) (net.Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[addr]
+	intercept := n.Intercept
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("rpc: no listener at %q", addr)
+	}
+	client, server := net.Pipe()
+	if intercept != nil {
+		client, server = intercept(addr, client, server)
+	}
+	select {
+	case l.ch <- server:
+		return client, nil
+	case <-l.closed:
+		return nil, errors.New("rpc: listener closed")
+	}
+}
+
+// TCPNetwork is the real-network implementation.
+type TCPNetwork struct{}
+
+// Dial connects over TCP.
+func (TCPNetwork) Dial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+
+// Listen binds a TCP listener.
+func (TCPNetwork) Listen(addr string) (net.Listener, error) { return net.Listen("tcp", addr) }
+
+// --- envelopes ---
+
+type requestEnvelope struct {
+	Method string
+	Body   []byte
+}
+
+type responseEnvelope struct {
+	Err  string
+	Body []byte
+}
+
+// Encode gob-encodes a value (exported for handlers building responses).
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("rpc: encoding %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode gob-decodes body into v.
+func Decode(body []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(v); err != nil {
+		return fmt.Errorf("rpc: decoding %T: %w", v, err)
+	}
+	return nil
+}
+
+// Peer describes the authenticated remote endpoint of a request.
+type Peer struct {
+	Name string
+}
+
+// Handler serves one RPC: it receives the authenticated peer, the method
+// name and the gob-encoded request body, and returns the gob-encoded
+// response body.
+type Handler func(peer Peer, method string, body []byte) ([]byte, error)
+
+// Serve accepts secure-channel connections on l and dispatches requests to
+// h until the listener is closed. It blocks; run it in a goroutine.
+func Serve(l net.Listener, cfg secchan.Config, h Handler) {
+	for {
+		raw, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go serveConn(raw, cfg, h)
+	}
+}
+
+func serveConn(raw net.Conn, cfg secchan.Config, h Handler) {
+	defer raw.Close()
+	conn, err := secchan.Server(raw, cfg)
+	if err != nil {
+		return // handshake failed: unauthenticated peer or network attacker
+	}
+	peer := Peer{Name: conn.PeerName()}
+	for {
+		msg, err := conn.ReadMsg()
+		if err != nil {
+			return
+		}
+		var req requestEnvelope
+		if err := Decode(msg, &req); err != nil {
+			return
+		}
+		var resp responseEnvelope
+		body, herr := h(peer, req.Method, req.Body)
+		if herr != nil {
+			resp.Err = herr.Error()
+		} else {
+			resp.Body = body
+		}
+		out, err := Encode(resp)
+		if err != nil {
+			return
+		}
+		if err := conn.WriteMsg(out); err != nil {
+			return
+		}
+	}
+}
+
+// Client is one secure RPC connection. Calls are serialized.
+type Client struct {
+	mu   sync.Mutex
+	conn *secchan.Conn
+}
+
+// Dial establishes a secure channel to addr over n and wraps it in a Client.
+func Dial(n Network, addr string, cfg secchan.Config) (*Client, error) {
+	raw, err := n.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := secchan.Client(raw, cfg)
+	if err != nil {
+		raw.Close()
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// PeerName returns the authenticated server name.
+func (c *Client) PeerName() string { return c.conn.PeerName() }
+
+// Close tears down the channel.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Call sends method(req) and decodes the reply into resp (resp may be nil
+// for fire-and-forget semantics with an empty reply).
+func (c *Client) Call(method string, req, resp any) error {
+	body, err := Encode(req)
+	if err != nil {
+		return err
+	}
+	out, err := Encode(requestEnvelope{Method: method, Body: body})
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.conn.WriteMsg(out); err != nil {
+		return fmt.Errorf("rpc: sending %s: %w", method, err)
+	}
+	msg, err := c.conn.ReadMsg()
+	if err != nil {
+		return fmt.Errorf("rpc: awaiting %s reply: %w", method, err)
+	}
+	var env responseEnvelope
+	if err := Decode(msg, &env); err != nil {
+		return err
+	}
+	if env.Err != "" {
+		return fmt.Errorf("rpc: %s: %s", method, env.Err)
+	}
+	if resp == nil {
+		return nil
+	}
+	return Decode(env.Body, resp)
+}

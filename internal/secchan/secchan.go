@@ -1,0 +1,378 @@
+// Package secchan provides the SSL-like secure channel CloudMonatt expects
+// between its entities (paper §3.4.1): mutual authentication from long-term
+// Ed25519 identity keys, an X25519 ephemeral key exchange yielding the
+// per-hop symmetric session keys (Kx, Ky, Kz in Fig. 3), and an
+// AES-256-GCM record layer with counter nonces that rejects replayed,
+// reordered or tampered records.
+//
+// The handshake (3 messages over a framed transport):
+//
+//	C→S  hello_c:  nameC, ephC, nonceC
+//	S→C  hello_s:  nameS, ephS, nonceS, sig_S(transcript)
+//	C→S  finish_c: sig_C(transcript)
+//
+// where transcript = H(nameC‖nameS‖ephC‖ephS‖nonceC‖nonceS). Both sides
+// verify the peer's signature under the public key their identity registry
+// expects for the peer's claimed name, then derive directional AES keys
+// from the ECDH secret and the transcript.
+package secchan
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"cloudmonatt/internal/cryptoutil"
+)
+
+// maxFrame bounds a single record to keep a malicious peer from forcing
+// huge allocations.
+const maxFrame = 1 << 22 // 4 MiB
+
+// VerifyPeer checks that the peer's claimed name is bound to the presented
+// identity key (the caller's trust registry / certificate store).
+type VerifyPeer func(name string, key ed25519.PublicKey) error
+
+// Config configures one endpoint of a secure channel.
+type Config struct {
+	Identity *cryptoutil.Identity
+	Verify   VerifyPeer
+	// Rand supplies handshake entropy; crypto/rand when nil.
+	Rand io.Reader
+}
+
+func (c Config) rand() io.Reader {
+	if c.Rand != nil {
+		return c.Rand
+	}
+	return rand.Reader
+}
+
+// Conn is an established secure channel. It is message oriented: WriteMsg
+// sends one authenticated-encrypted record, ReadMsg receives one.
+type Conn struct {
+	raw      net.Conn
+	peer     string
+	peerKey  ed25519.PublicKey
+	sendAEAD cipher.AEAD
+	recvAEAD cipher.AEAD
+	sendSeq  uint64
+	recvSeq  uint64
+}
+
+// PeerName returns the authenticated name of the remote endpoint.
+func (c *Conn) PeerName() string { return c.peer }
+
+// PeerKey returns the remote endpoint's verified identity key.
+func (c *Conn) PeerKey() ed25519.PublicKey { return c.peerKey }
+
+// Close closes the underlying transport.
+func (c *Conn) Close() error { return c.raw.Close() }
+
+// --- raw framing (pre-encryption transport) ---
+
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("secchan: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("secchan: oversized frame (%d bytes)", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// --- handshake ---
+
+type helloC struct {
+	Name  string
+	Eph   []byte
+	Nonce cryptoutil.Nonce
+}
+
+type helloS struct {
+	Name  string
+	Eph   []byte
+	Nonce cryptoutil.Nonce
+	Key   []byte // server identity public key (verified against registry)
+	Sig   []byte
+}
+
+type finishC struct {
+	Key []byte // client identity public key
+	Sig []byte
+}
+
+func transcript(nameC, nameS string, ephC, ephS []byte, nC, nS cryptoutil.Nonce) []byte {
+	sum := cryptoutil.Hash("secchan-hs", []byte(nameC), []byte(nameS), ephC, ephS, nC[:], nS[:])
+	return sum[:]
+}
+
+// deriveKeys expands the ECDH secret into two directional AES-256 keys.
+func deriveKeys(secret, trans []byte) (c2s, s2c []byte) {
+	kc := sha256.Sum256(append(append([]byte("c2s|"), secret...), trans...))
+	ks := sha256.Sum256(append(append([]byte("s2c|"), secret...), trans...))
+	return kc[:], ks[:]
+}
+
+func newAEAD(key []byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}
+
+// encode/decode for handshake structs: simple length-prefixed fields (no
+// reflection, injective).
+func encodeHelloC(h helloC) []byte {
+	return packFields([]byte(h.Name), h.Eph, h.Nonce[:])
+}
+
+func decodeHelloC(b []byte) (helloC, error) {
+	fs, err := unpackFields(b, 3)
+	if err != nil {
+		return helloC{}, err
+	}
+	var h helloC
+	h.Name = string(fs[0])
+	h.Eph = fs[1]
+	copy(h.Nonce[:], fs[2])
+	return h, nil
+}
+
+func encodeHelloS(h helloS) []byte {
+	return packFields([]byte(h.Name), h.Eph, h.Nonce[:], h.Key, h.Sig)
+}
+
+func decodeHelloS(b []byte) (helloS, error) {
+	fs, err := unpackFields(b, 5)
+	if err != nil {
+		return helloS{}, err
+	}
+	var h helloS
+	h.Name = string(fs[0])
+	h.Eph = fs[1]
+	copy(h.Nonce[:], fs[2])
+	h.Key = fs[3]
+	h.Sig = fs[4]
+	return h, nil
+}
+
+func encodeFinishC(f finishC) []byte { return packFields(f.Key, f.Sig) }
+
+func decodeFinishC(b []byte) (finishC, error) {
+	fs, err := unpackFields(b, 2)
+	if err != nil {
+		return finishC{}, err
+	}
+	return finishC{Key: fs[0], Sig: fs[1]}, nil
+}
+
+func packFields(fields ...[]byte) []byte {
+	var out []byte
+	for _, f := range fields {
+		out = binary.BigEndian.AppendUint32(out, uint32(len(f)))
+		out = append(out, f...)
+	}
+	return out
+}
+
+func unpackFields(b []byte, n int) ([][]byte, error) {
+	out := make([][]byte, 0, n)
+	for len(out) < n {
+		if len(b) < 4 {
+			return nil, errors.New("secchan: truncated handshake message")
+		}
+		l := binary.BigEndian.Uint32(b[:4])
+		b = b[4:]
+		if uint32(len(b)) < l {
+			return nil, errors.New("secchan: truncated handshake field")
+		}
+		out = append(out, b[:l])
+		b = b[l:]
+	}
+	if len(b) != 0 {
+		return nil, errors.New("secchan: trailing handshake bytes")
+	}
+	return out, nil
+}
+
+// Client performs the initiator handshake over conn.
+func Client(conn net.Conn, cfg Config) (*Conn, error) {
+	if cfg.Identity == nil || cfg.Verify == nil {
+		return nil, errors.New("secchan: config needs identity and verifier")
+	}
+	eph, err := ecdh.X25519().GenerateKey(cfg.rand())
+	if err != nil {
+		return nil, err
+	}
+	nonceC, err := cryptoutil.NewNonce(cfg.rand())
+	if err != nil {
+		return nil, err
+	}
+	hc := helloC{Name: cfg.Identity.Name, Eph: eph.PublicKey().Bytes(), Nonce: nonceC}
+	if err := writeFrame(conn, encodeHelloC(hc)); err != nil {
+		return nil, fmt.Errorf("secchan: sending hello: %w", err)
+	}
+	raw, err := readFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("secchan: reading server hello: %w", err)
+	}
+	hs, err := decodeHelloS(raw)
+	if err != nil {
+		return nil, err
+	}
+	serverKey := ed25519.PublicKey(hs.Key)
+	if err := cfg.Verify(hs.Name, serverKey); err != nil {
+		return nil, fmt.Errorf("secchan: rejecting server %q: %w", hs.Name, err)
+	}
+	trans := transcript(hc.Name, hs.Name, hc.Eph, hs.Eph, hc.Nonce, hs.Nonce)
+	if !cryptoutil.Verify(serverKey, append([]byte("server|"), trans...), hs.Sig) {
+		return nil, errors.New("secchan: server handshake signature invalid")
+	}
+	peerEph, err := ecdh.X25519().NewPublicKey(hs.Eph)
+	if err != nil {
+		return nil, fmt.Errorf("secchan: bad server ephemeral: %w", err)
+	}
+	secret, err := eph.ECDH(peerEph)
+	if err != nil {
+		return nil, err
+	}
+	fin := finishC{
+		Key: cfg.Identity.Public(),
+		Sig: cfg.Identity.Sign(append([]byte("client|"), trans...)),
+	}
+	if err := writeFrame(conn, encodeFinishC(fin)); err != nil {
+		return nil, fmt.Errorf("secchan: sending finish: %w", err)
+	}
+	kc, ks := deriveKeys(secret, trans)
+	send, err := newAEAD(kc)
+	if err != nil {
+		return nil, err
+	}
+	recv, err := newAEAD(ks)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{raw: conn, peer: hs.Name, peerKey: serverKey, sendAEAD: send, recvAEAD: recv}, nil
+}
+
+// Server performs the responder handshake over conn.
+func Server(conn net.Conn, cfg Config) (*Conn, error) {
+	if cfg.Identity == nil || cfg.Verify == nil {
+		return nil, errors.New("secchan: config needs identity and verifier")
+	}
+	raw, err := readFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("secchan: reading client hello: %w", err)
+	}
+	hc, err := decodeHelloC(raw)
+	if err != nil {
+		return nil, err
+	}
+	eph, err := ecdh.X25519().GenerateKey(cfg.rand())
+	if err != nil {
+		return nil, err
+	}
+	nonceS, err := cryptoutil.NewNonce(cfg.rand())
+	if err != nil {
+		return nil, err
+	}
+	trans := transcript(hc.Name, cfg.Identity.Name, hc.Eph, eph.PublicKey().Bytes(), hc.Nonce, nonceS)
+	hs := helloS{
+		Name:  cfg.Identity.Name,
+		Eph:   eph.PublicKey().Bytes(),
+		Nonce: nonceS,
+		Key:   cfg.Identity.Public(),
+		Sig:   cfg.Identity.Sign(append([]byte("server|"), trans...)),
+	}
+	if err := writeFrame(conn, encodeHelloS(hs)); err != nil {
+		return nil, fmt.Errorf("secchan: sending server hello: %w", err)
+	}
+	raw, err = readFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("secchan: reading client finish: %w", err)
+	}
+	fin, err := decodeFinishC(raw)
+	if err != nil {
+		return nil, err
+	}
+	clientKey := ed25519.PublicKey(fin.Key)
+	if err := cfg.Verify(hc.Name, clientKey); err != nil {
+		return nil, fmt.Errorf("secchan: rejecting client %q: %w", hc.Name, err)
+	}
+	if !cryptoutil.Verify(clientKey, append([]byte("client|"), trans...), fin.Sig) {
+		return nil, errors.New("secchan: client handshake signature invalid")
+	}
+	peerEph, err := ecdh.X25519().NewPublicKey(hc.Eph)
+	if err != nil {
+		return nil, fmt.Errorf("secchan: bad client ephemeral: %w", err)
+	}
+	secret, err := eph.ECDH(peerEph)
+	if err != nil {
+		return nil, err
+	}
+	kc, ks := deriveKeys(secret, trans)
+	recv, err := newAEAD(kc)
+	if err != nil {
+		return nil, err
+	}
+	send, err := newAEAD(ks)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{raw: conn, peer: hc.Name, peerKey: clientKey, sendAEAD: send, recvAEAD: recv}, nil
+}
+
+// WriteMsg encrypts and sends one record. The sequence number is the GCM
+// nonce, so replayed or reordered records fail authentication on receive.
+func (c *Conn) WriteMsg(payload []byte) error {
+	nonce := make([]byte, c.sendAEAD.NonceSize())
+	binary.BigEndian.PutUint64(nonce[len(nonce)-8:], c.sendSeq)
+	c.sendSeq++
+	sealed := c.sendAEAD.Seal(nil, nonce, payload, nil)
+	return writeFrame(c.raw, sealed)
+}
+
+// ReadMsg receives and decrypts one record.
+func (c *Conn) ReadMsg() ([]byte, error) {
+	sealed, err := readFrame(c.raw)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, c.recvAEAD.NonceSize())
+	binary.BigEndian.PutUint64(nonce[len(nonce)-8:], c.recvSeq)
+	c.recvSeq++
+	plain, err := c.recvAEAD.Open(nil, nonce, sealed, nil)
+	if err != nil {
+		return nil, fmt.Errorf("secchan: record authentication failed (tampering or replay): %w", err)
+	}
+	return plain, nil
+}

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"fmt"
+	"net"
+
+	"cloudmonatt/internal/rpc"
+	"cloudmonatt/internal/secchan"
+	"cloudmonatt/internal/wire"
+)
+
+// RPC method names served by a cloud server. "measure" is the Attestation
+// Client endpoint; the rest form the Management Client.
+const (
+	MethodMeasure    = "measure"
+	MethodLaunch     = "launch"
+	MethodTerminate  = "terminate"
+	MethodSuspend    = "suspend"
+	MethodResume     = "resume"
+	MethodMigrateOut = "migrate-out"
+	MethodInfo       = "vminfo"
+)
+
+// VidRequest addresses one hosted VM.
+type VidRequest struct {
+	Vid string
+}
+
+// Handler returns the RPC dispatch for this server.
+func (s *Server) Handler() rpc.Handler {
+	return func(peer rpc.Peer, method string, body []byte) ([]byte, error) {
+		switch method {
+		case MethodMeasure:
+			var req wire.MeasureRequest
+			if err := rpc.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			ev, err := s.Measure(req)
+			if err != nil {
+				return nil, err
+			}
+			return rpc.Encode(ev)
+		case MethodLaunch:
+			var spec LaunchSpec
+			if err := rpc.Decode(body, &spec); err != nil {
+				return nil, err
+			}
+			if err := s.Launch(spec); err != nil {
+				return nil, err
+			}
+			return rpc.Encode(true)
+		case MethodTerminate, MethodSuspend, MethodResume:
+			var req VidRequest
+			if err := rpc.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			var err error
+			switch method {
+			case MethodTerminate:
+				err = s.Terminate(req.Vid)
+			case MethodSuspend:
+				err = s.Suspend(req.Vid)
+			case MethodResume:
+				err = s.Resume(req.Vid)
+			}
+			if err != nil {
+				return nil, err
+			}
+			return rpc.Encode(true)
+		case MethodMigrateOut:
+			var req VidRequest
+			if err := rpc.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			spec, err := s.MigrateOut(req.Vid)
+			if err != nil {
+				return nil, err
+			}
+			return rpc.Encode(spec)
+		case MethodInfo:
+			var req VidRequest
+			if err := rpc.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			info, err := s.Info(req.Vid)
+			if err != nil {
+				return nil, err
+			}
+			return rpc.Encode(info)
+		}
+		return nil, fmt.Errorf("server %s: unknown method %q", s.cfg.Name, method)
+	}
+}
+
+// Serve starts the RPC endpoint on l. Verify gates which peers may speak to
+// this server (the Attestation Server and the Cloud Controller).
+func (s *Server) Serve(l net.Listener, verify secchan.VerifyPeer) {
+	go rpc.Serve(l, secchan.Config{Identity: s.Identity(), Verify: verify}, s.Handler())
+}

@@ -1,0 +1,478 @@
+// Package server implements a CloudMonatt cloud server (paper Fig. 2): the
+// attester. It hosts VMs under the simulated Xen hypervisor, wires the
+// Trust Module and Monitor Module together, runs the Attestation Client
+// that serves measurement requests from the Attestation Server, and the
+// Management Client that serves VM lifecycle commands from the Cloud
+// Controller (launch, terminate, suspend, resume, migrate).
+package server
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"cloudmonatt/internal/attack"
+	"cloudmonatt/internal/cryptoutil"
+	"cloudmonatt/internal/guest"
+	"cloudmonatt/internal/image"
+	"cloudmonatt/internal/monitor"
+	"cloudmonatt/internal/sim"
+	"cloudmonatt/internal/trust"
+	"cloudmonatt/internal/vclock"
+	"cloudmonatt/internal/wire"
+	"cloudmonatt/internal/workload"
+	"cloudmonatt/internal/xen"
+)
+
+// Certifier obtains privacy-CA certificates for session attestation keys.
+// In the in-process testbed it is the pCA itself; in a distributed
+// deployment it is an RPC stub.
+type Certifier interface {
+	Certify(req *trust.CertRequest) (*cryptoutil.Certificate, error)
+}
+
+// Capacity is the server's allocatable resources.
+type Capacity struct {
+	VCPUs    int
+	MemoryMB int
+	DiskGB   int
+}
+
+// Config configures one cloud server.
+type Config struct {
+	Name      string
+	Clock     *vclock.Clock
+	PCPUs     int
+	Capacity  Capacity
+	Certifier Certifier
+	Rand      io.Reader
+	// Platform overrides the measured boot chain (nil = pristine standard
+	// platform); pass tampered components to model a compromised host.
+	Platform []monitor.Component
+	// Dom0CostPerCollection is the host-VM CPU work each measurement
+	// collection costs (it runs in Dom0, never intercepting the guest).
+	Dom0CostPerCollection time.Duration
+	// SchedConfig overrides the hypervisor scheduler parameters.
+	SchedConfig *xen.Config
+}
+
+// LaunchSpec describes a VM to place on this server.
+type LaunchSpec struct {
+	Vid         string
+	ImageName   string
+	ImageDigest [32]byte
+	Flavor      image.Flavor
+	// Workload names the vCPU program: a service ("database", …), a victim
+	// job ("bzip2", …), "idle", "probe" (fine-grained spinner), "spinner",
+	// or an attack ("attack:covert-sender", "attack:cpu-starver").
+	Workload string
+	// Pin selects the pCPU (for co-residency experiments); -1 = spread.
+	Pin int
+}
+
+// VMInfo reports a hosted VM's runtime state.
+type VMInfo struct {
+	Vid      string
+	Workload string
+	Runtime  time.Duration
+	Done     bool
+	DoneAt   time.Duration
+	State    string
+}
+
+type hostedVM struct {
+	spec     LaunchSpec
+	domain   *xen.Domain
+	guest    *guest.OS
+	programs []xen.Program
+	state    string // running | suspended
+}
+
+// Server is one cloud server node.
+type Server struct {
+	cfg Config
+	hv  *xen.Hypervisor
+	tm  *trust.Module
+	mon *monitor.Module
+
+	mu      sync.Mutex
+	vms     map[string]*hostedVM
+	used    Capacity
+	nextPin int
+
+	dom0     *xen.Domain
+	dom0Prog *dom0Program
+}
+
+// dom0Program models the host VM: it executes queued management work (like
+// measurement collection) in small bursts and otherwise stays idle.
+type dom0Program struct {
+	mu      sync.Mutex
+	pending sim.Time
+}
+
+func (d *dom0Program) enqueue(work sim.Time) {
+	d.mu.Lock()
+	d.pending += work
+	d.mu.Unlock()
+}
+
+// NextBurst implements xen.Program.
+func (d *dom0Program) NextBurst(env xen.Env, self *xen.VCPU) xen.Burst {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.pending <= 0 {
+		// Poll for new work at a coarse interval (a real Dom0 wakes on
+		// event channels; polling is equivalent at our timescales).
+		return xen.Burst{Run: 0, Block: 5 * time.Millisecond}
+	}
+	run := d.pending
+	if run > time.Millisecond {
+		run = time.Millisecond
+	}
+	d.pending -= run
+	return xen.Burst{Run: run}
+}
+
+// New boots a cloud server: provisions the Trust Module, measures the
+// platform into the TPM, and starts Dom0.
+func New(cfg Config) (*Server, error) {
+	if cfg.PCPUs <= 0 {
+		cfg.PCPUs = 1
+	}
+	if cfg.Dom0CostPerCollection <= 0 {
+		cfg.Dom0CostPerCollection = 200 * time.Microsecond
+	}
+	tm, err := trust.NewModule(cfg.Name, 0, cfg.Rand)
+	if err != nil {
+		return nil, err
+	}
+	sched := xen.DefaultConfig()
+	if cfg.SchedConfig != nil {
+		sched = *cfg.SchedConfig
+	}
+	hv := xen.New(cfg.Clock.Kernel(), sched, cfg.PCPUs)
+	platform := cfg.Platform
+	if platform == nil {
+		platform = monitor.StandardPlatform()
+	}
+	mon, err := monitor.New(hv, tm, platform)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		hv:       hv,
+		tm:       tm,
+		mon:      mon,
+		vms:      make(map[string]*hostedVM),
+		dom0Prog: &dom0Program{},
+	}
+	s.dom0 = hv.NewDomain(cfg.Name+"/dom0", 512, 0, s.dom0Prog)
+	s.dom0.WakeAll()
+	return s, nil
+}
+
+// Name returns the server's identity name.
+func (s *Server) Name() string { return s.cfg.Name }
+
+// IdentityKey returns the Trust Module's public identity key VKs (used for
+// channel authentication and pCA registration).
+func (s *Server) IdentityKey() []byte { return s.tm.IdentityKey() }
+
+// Identity returns the identity used for secure-channel authentication.
+// The paper notes the SSL identity key is "minimally what is required" and
+// already present — we share the Trust Module identity.
+func (s *Server) Identity() *cryptoutil.Identity { return s.tm.Identity() }
+
+// AIK returns the TPM attestation identity key (registered with the
+// Attestation Server's database at provisioning).
+func (s *Server) AIK() []byte { return s.tm.TPM().AIK() }
+
+// TrustModule exposes the Trust Module (provisioning and tests).
+func (s *Server) TrustModule() *trust.Module { return s.tm }
+
+// Hypervisor exposes the hypervisor (experiment rigs attach observers).
+func (s *Server) Hypervisor() *xen.Hypervisor { return s.hv }
+
+// Free returns the remaining allocatable capacity.
+func (s *Server) Free() Capacity {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Capacity{
+		VCPUs:    s.cfg.Capacity.VCPUs - s.used.VCPUs,
+		MemoryMB: s.cfg.Capacity.MemoryMB - s.used.MemoryMB,
+		DiskGB:   s.cfg.Capacity.DiskGB - s.used.DiskGB,
+	}
+}
+
+// buildPrograms constructs the vCPU programs for a workload name.
+func buildPrograms(name string, hv *xen.Hypervisor) ([]xen.Program, func(*xen.Domain) error, error) {
+	noBind := func(*xen.Domain) error { return nil }
+	switch {
+	case name == "" || name == "idle":
+		return []xen.Program{workload.Idle()}, noBind, nil
+	case name == "spinner":
+		return []xen.Program{workload.Spinner(10 * time.Millisecond)}, noBind, nil
+	case name == "probe":
+		return []xen.Program{workload.Spinner(200 * time.Microsecond)}, noBind, nil
+	case name == "cached-server":
+		return []xen.Program{workload.NewCachedServer()}, noBind, nil
+	case name == "attack:cpu-starver":
+		a, b := attack.NewStarverPair()
+		return []xen.Program{a, b}, func(d *xen.Domain) error { return attack.Bind(a, b, d) }, nil
+	case name == "attack:bus-covert-sender":
+		var bits []attack.Bit
+		for i := 0; i < 32; i++ {
+			bits = append(bits, attack.Bit(i%2))
+		}
+		return []xen.Program{attack.NewBusCovertSender(bits, true)}, noBind, nil
+	case strings.HasPrefix(name, "attack:covert-sender"):
+		var bits []attack.Bit
+		for i := 0; i < 32; i++ {
+			bits = append(bits, attack.Bit((i/2)%2)) // 00110011… pattern
+		}
+		sender := attack.NewCovertSender(bits, true)
+		if err := sender.Validate(hv.Config().TickPeriod); err != nil {
+			return nil, nil, err
+		}
+		return []xen.Program{sender}, noBind, nil
+	}
+	if svc, err := workload.NewService(name); err == nil {
+		return []xen.Program{svc}, noBind, nil
+	}
+	if job, err := workload.NewVictim(name); err == nil {
+		return []xen.Program{job}, noBind, nil
+	}
+	return nil, nil, fmt.Errorf("server: unknown workload %q", name)
+}
+
+// Launch places and starts a VM.
+func (s *Server) Launch(spec LaunchSpec) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.vms[spec.Vid]; dup {
+		return fmt.Errorf("server %s: VM %s already hosted", s.cfg.Name, spec.Vid)
+	}
+	if spec.Flavor.VCPUs > s.cfg.Capacity.VCPUs-s.used.VCPUs ||
+		spec.Flavor.MemoryMB > s.cfg.Capacity.MemoryMB-s.used.MemoryMB ||
+		spec.Flavor.DiskGB > s.cfg.Capacity.DiskGB-s.used.DiskGB {
+		return fmt.Errorf("server %s: insufficient capacity for %s", s.cfg.Name, spec.Vid)
+	}
+	progs, bind, err := buildPrograms(spec.Workload, s.hv)
+	if err != nil {
+		return err
+	}
+	pin := spec.Pin
+	if pin < 0 || pin >= len(s.hv.PCPUs()) {
+		pin = s.nextPin % len(s.hv.PCPUs())
+		s.nextPin++
+	}
+	g := guest.NewOS()
+	dom := s.hv.NewDomain(spec.Vid, 256, pin, progs...)
+	if err := bind(dom); err != nil {
+		s.hv.DestroyDomain(dom)
+		return err
+	}
+	vm := &hostedVM{spec: spec, domain: dom, guest: g, programs: progs, state: "running"}
+	if err := s.mon.AddVM(&monitor.VM{Vid: spec.Vid, Domain: dom, Guest: g, ImageDigest: spec.ImageDigest}); err != nil {
+		s.hv.DestroyDomain(dom)
+		return err
+	}
+	dom.WakeAll()
+	s.vms[spec.Vid] = vm
+	s.used.VCPUs += spec.Flavor.VCPUs
+	s.used.MemoryMB += spec.Flavor.MemoryMB
+	s.used.DiskGB += spec.Flavor.DiskGB
+	return nil
+}
+
+func (s *Server) vm(vid string) (*hostedVM, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vm, ok := s.vms[vid]
+	if !ok {
+		return nil, fmt.Errorf("server %s: no VM %s", s.cfg.Name, vid)
+	}
+	return vm, nil
+}
+
+// Guest exposes a hosted VM's guest OS so experiments can infect it.
+func (s *Server) Guest(vid string) (*guest.OS, error) {
+	vm, err := s.vm(vid)
+	if err != nil {
+		return nil, err
+	}
+	return vm.guest, nil
+}
+
+// Domain exposes a hosted VM's hypervisor domain.
+func (s *Server) Domain(vid string) (*xen.Domain, error) {
+	vm, err := s.vm(vid)
+	if err != nil {
+		return nil, err
+	}
+	return vm.domain, nil
+}
+
+// Info reports the VM's runtime state.
+func (s *Server) Info(vid string) (VMInfo, error) {
+	vm, err := s.vm(vid)
+	if err != nil {
+		return VMInfo{}, err
+	}
+	info := VMInfo{
+		Vid:      vid,
+		Workload: vm.spec.Workload,
+		Runtime:  vm.domain.TotalRuntime(),
+		State:    vm.state,
+	}
+	if at, ok := vm.domain.DoneAt(); ok {
+		info.Done = true
+		info.DoneAt = at
+	}
+	return info, nil
+}
+
+// Terminate destroys a VM and releases its resources.
+func (s *Server) Terminate(vid string) error {
+	s.mu.Lock()
+	vm, ok := s.vms[vid]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("server %s: no VM %s", s.cfg.Name, vid)
+	}
+	delete(s.vms, vid)
+	s.used.VCPUs -= vm.spec.Flavor.VCPUs
+	s.used.MemoryMB -= vm.spec.Flavor.MemoryMB
+	s.used.DiskGB -= vm.spec.Flavor.DiskGB
+	s.mu.Unlock()
+	s.hv.DestroyDomain(vm.domain)
+	s.mon.RemoveVM(vid)
+	return nil
+}
+
+// Suspend pauses a VM, retaining its state.
+func (s *Server) Suspend(vid string) error {
+	vm, err := s.vm(vid)
+	if err != nil {
+		return err
+	}
+	if vm.state == "suspended" {
+		return nil
+	}
+	s.hv.PauseDomain(vm.domain)
+	vm.state = "suspended"
+	return nil
+}
+
+// Resume continues a suspended VM.
+func (s *Server) Resume(vid string) error {
+	vm, err := s.vm(vid)
+	if err != nil {
+		return err
+	}
+	if vm.state != "suspended" {
+		return fmt.Errorf("server %s: VM %s is not suspended", s.cfg.Name, vid)
+	}
+	s.hv.ResumeDomain(vm.domain)
+	vm.state = "running"
+	return nil
+}
+
+// CachedServerOf returns the hosted VM's cached-server workload, if that is
+// what it runs (the Resource-Freeing attacker needs a handle on its
+// victim's cache).
+func (s *Server) CachedServerOf(vid string) (*workload.CachedServer, error) {
+	vm, err := s.vm(vid)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range vm.programs {
+		if cs, ok := p.(*workload.CachedServer); ok {
+			return cs, nil
+		}
+	}
+	return nil, fmt.Errorf("server %s: VM %s does not run a cached server", s.cfg.Name, vid)
+}
+
+// LaunchRFA places a Resource-Freeing attacker VM targeting a co-resident
+// cached-server victim (experiment rigs only — a real attacker would reach
+// the victim's cache through its public request interface).
+func (s *Server) LaunchRFA(vid, targetVid string, flavor image.Flavor, pin int, imageDigest [32]byte) error {
+	target, err := s.CachedServerOf(targetVid)
+	if err != nil {
+		return err
+	}
+	rfa := attack.NewResourceFreeing(target)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.vms[vid]; dup {
+		return fmt.Errorf("server %s: VM %s already hosted", s.cfg.Name, vid)
+	}
+	if pin < 0 || pin >= len(s.hv.PCPUs()) {
+		pin = 0
+	}
+	dom := s.hv.NewDomain(vid, 256, pin, rfa)
+	g := guest.NewOS()
+	if err := s.mon.AddVM(&monitor.VM{Vid: vid, Domain: dom, Guest: g, ImageDigest: imageDigest}); err != nil {
+		s.hv.DestroyDomain(dom)
+		return err
+	}
+	dom.WakeAll()
+	s.vms[vid] = &hostedVM{
+		spec:     LaunchSpec{Vid: vid, Flavor: flavor, Workload: "attack:rfa"},
+		domain:   dom,
+		guest:    g,
+		programs: []xen.Program{rfa},
+		state:    "running",
+	}
+	s.used.VCPUs += flavor.VCPUs
+	s.used.MemoryMB += flavor.MemoryMB
+	s.used.DiskGB += flavor.DiskGB
+	return nil
+}
+
+// MigrateOut removes the VM and returns the spec a destination server can
+// re-launch it from. (Like a cold migration: the workload restarts on the
+// destination; live-migration state transfer is out of scope.)
+func (s *Server) MigrateOut(vid string) (LaunchSpec, error) {
+	vm, err := s.vm(vid)
+	if err != nil {
+		return LaunchSpec{}, err
+	}
+	spec := vm.spec
+	if err := s.Terminate(vid); err != nil {
+		return LaunchSpec{}, err
+	}
+	return spec, nil
+}
+
+// Measure serves one attestation measurement request end to end (Fig. 2
+// steps 1–8): mint a session key, have it certified by the pCA, collect the
+// measurements through the Monitor Kernel (advancing virtual time for
+// windowed monitors), store them in the Trust Evidence Registers, and sign
+// the evidence. The Dom0 cost of collection is charged to the host VM — the
+// guest is never intercepted.
+func (s *Server) Measure(req wire.MeasureRequest) (*wire.Evidence, error) {
+	if _, err := s.vm(req.Vid); err != nil {
+		return nil, err
+	}
+	sess, csr, err := s.tm.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	cert, err := s.cfg.Certifier.Certify(csr)
+	if err != nil {
+		return nil, fmt.Errorf("server %s: session key certification failed: %w", s.cfg.Name, err)
+	}
+	sess.Cert = cert
+	s.dom0Prog.enqueue(s.cfg.Dom0CostPerCollection)
+	ms, err := s.mon.Collect(req.Vid, req.Req, req.N3, func(w sim.Time) { s.cfg.Clock.Advance(w) })
+	if err != nil {
+		return nil, err
+	}
+	return wire.BuildEvidence(sess, req.Vid, req.Req, ms, req.N3), nil
+}

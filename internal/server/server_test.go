@@ -1,0 +1,246 @@
+package server
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"strings"
+	"testing"
+	"time"
+
+	"cloudmonatt/internal/cryptoutil"
+	"cloudmonatt/internal/image"
+	"cloudmonatt/internal/pca"
+	"cloudmonatt/internal/properties"
+	"cloudmonatt/internal/sim"
+	"cloudmonatt/internal/vclock"
+	"cloudmonatt/internal/wire"
+)
+
+type rig struct {
+	clock *vclock.Clock
+	ca    *pca.PCA
+	srv   *Server
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	ca, err := pca.New("pca", rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := vclock.New(sim.NewKernel(17))
+	srv, err := New(Config{
+		Name:      "srv-1",
+		Clock:     clock,
+		PCPUs:     2,
+		Capacity:  Capacity{VCPUs: 4, MemoryMB: 16384, DiskGB: 200},
+		Certifier: ca,
+		Rand:      rand.Reader,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca.RegisterServer(srv.Name(), srv.Identity().Public())
+	return &rig{clock: clock, ca: ca, srv: srv}
+}
+
+func smallSpec(vid, workload string) LaunchSpec {
+	f, _ := image.FlavorByName("small")
+	return LaunchSpec{
+		Vid:         vid,
+		ImageName:   "cirros",
+		ImageDigest: sha256.Sum256([]byte("img")),
+		Flavor:      f,
+		Workload:    workload,
+		Pin:         1,
+	}
+}
+
+func TestLaunchAndInfo(t *testing.T) {
+	r := newRig(t)
+	if err := r.srv.Launch(smallSpec("vm-1", "database")); err != nil {
+		t.Fatal(err)
+	}
+	r.clock.Advance(time.Second)
+	info, err := r.srv.Info("vm-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Runtime <= 0 {
+		t.Fatal("launched VM accumulated no runtime")
+	}
+	if info.State != "running" {
+		t.Fatalf("state %q", info.State)
+	}
+}
+
+func TestLaunchValidation(t *testing.T) {
+	r := newRig(t)
+	if err := r.srv.Launch(smallSpec("vm-1", "database")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.srv.Launch(smallSpec("vm-1", "database")); err == nil {
+		t.Fatal("duplicate Vid accepted")
+	}
+	if err := r.srv.Launch(smallSpec("vm-2", "no-such-workload")); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	big := smallSpec("vm-3", "idle")
+	big.Flavor.VCPUs = 99
+	if err := r.srv.Launch(big); err == nil {
+		t.Fatal("over-capacity launch accepted")
+	}
+}
+
+func TestCapacityAccounting(t *testing.T) {
+	r := newRig(t)
+	free0 := r.srv.Free()
+	if err := r.srv.Launch(smallSpec("vm-1", "idle")); err != nil {
+		t.Fatal(err)
+	}
+	free1 := r.srv.Free()
+	if free1.VCPUs != free0.VCPUs-1 {
+		t.Fatalf("vCPU accounting: %d -> %d", free0.VCPUs, free1.VCPUs)
+	}
+	if err := r.srv.Terminate("vm-1"); err != nil {
+		t.Fatal(err)
+	}
+	if r.srv.Free() != free0 {
+		t.Fatal("capacity not released on terminate")
+	}
+}
+
+func TestSuspendResume(t *testing.T) {
+	r := newRig(t)
+	if err := r.srv.Launch(smallSpec("vm-1", "spinner")); err != nil {
+		t.Fatal(err)
+	}
+	r.clock.Advance(200 * time.Millisecond)
+	if err := r.srv.Suspend("vm-1"); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := r.srv.Info("vm-1")
+	at := info.Runtime
+	r.clock.Advance(500 * time.Millisecond)
+	info, _ = r.srv.Info("vm-1")
+	if info.Runtime != at {
+		t.Fatal("suspended VM kept running")
+	}
+	if err := r.srv.Resume("vm-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.srv.Resume("vm-1"); err == nil {
+		t.Fatal("double resume accepted")
+	}
+	r.clock.Advance(500 * time.Millisecond)
+	info, _ = r.srv.Info("vm-1")
+	if info.Runtime <= at {
+		t.Fatal("resumed VM did not run")
+	}
+}
+
+func TestMigrateOut(t *testing.T) {
+	r := newRig(t)
+	spec := smallSpec("vm-1", "database")
+	if err := r.srv.Launch(spec); err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.srv.MigrateOut("vm-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Vid != spec.Vid || out.Workload != spec.Workload {
+		t.Fatalf("migrated spec %+v", out)
+	}
+	if _, err := r.srv.Info("vm-1"); err == nil {
+		t.Fatal("VM still present after migrate-out")
+	}
+}
+
+func TestMeasureProducesVerifiableEvidence(t *testing.T) {
+	r := newRig(t)
+	if err := r.srv.Launch(smallSpec("vm-1", "database")); err != nil {
+		t.Fatal(err)
+	}
+	r.clock.Advance(500 * time.Millisecond)
+	req, err := properties.MapToMeasurements(properties.CPUAvailability)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n3 := cryptoutil.MustNonce()
+	before := r.clock.Now()
+	ev, err := r.srv.Measure(wire.MeasureRequest{Vid: "vm-1", Req: req, N3: n3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.VerifyEvidence(ev, r.ca.Name(), r.ca.PublicKey(), "vm-1", req, n3); err != nil {
+		t.Fatalf("evidence does not verify: %v", err)
+	}
+	if got := r.clock.Now() - before; got < req.Window {
+		t.Fatalf("windowed measurement advanced %v, want >= %v", got, req.Window)
+	}
+	if strings.Contains(ev.Cert.Subject, "srv-1") {
+		t.Fatal("certificate reveals the server identity")
+	}
+}
+
+func TestMeasureUnknownVM(t *testing.T) {
+	r := newRig(t)
+	req, _ := properties.MapToMeasurements(properties.RuntimeIntegrity)
+	if _, err := r.srv.Measure(wire.MeasureRequest{Vid: "ghost", Req: req, N3: cryptoutil.MustNonce()}); err == nil {
+		t.Fatal("measured a nonexistent VM")
+	}
+}
+
+func TestEachMeasureUsesFreshSessionKey(t *testing.T) {
+	r := newRig(t)
+	if err := r.srv.Launch(smallSpec("vm-1", "idle")); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := properties.MapToMeasurements(properties.RuntimeIntegrity)
+	ev1, err := r.srv.Measure(wire.MeasureRequest{Vid: "vm-1", Req: req, N3: cryptoutil.MustNonce()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev2, err := r.srv.Measure(wire.MeasureRequest{Vid: "vm-1", Req: req, N3: cryptoutil.MustNonce()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cryptoutil.KeyEqual(ev1.AVK, ev2.AVK) {
+		t.Fatal("attestation key reused across sessions (location privacy)")
+	}
+}
+
+func TestDom0AbsorbsCollectionCost(t *testing.T) {
+	r := newRig(t)
+	if err := r.srv.Launch(smallSpec("vm-1", "idle")); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := properties.MapToMeasurements(properties.CPUAvailability)
+	for i := 0; i < 5; i++ {
+		if _, err := r.srv.Measure(wire.MeasureRequest{Vid: "vm-1", Req: req, N3: cryptoutil.MustNonce()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.clock.Advance(time.Second)
+	if r.srv.dom0.TotalRuntime() <= 0 {
+		t.Fatal("Dom0 did no measurement work")
+	}
+}
+
+func TestAttackWorkloads(t *testing.T) {
+	r := newRig(t)
+	spec := smallSpec("vm-a", "attack:cpu-starver")
+	spec.Flavor.VCPUs = 2
+	if err := r.srv.Launch(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.srv.Launch(smallSpec("vm-c", "attack:covert-sender")); err != nil {
+		t.Fatal(err)
+	}
+	r.clock.Advance(500 * time.Millisecond)
+	info, _ := r.srv.Info("vm-a")
+	if info.Runtime <= 0 {
+		t.Fatal("starver attack never ran")
+	}
+}

@@ -1,0 +1,175 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel drives the Xen-like hypervisor model (internal/xen) and the
+// modeled-latency cloud pipeline (internal/cloudsim). Time is virtual: an
+// event loop pops timestamped events from a priority queue and advances the
+// clock to each event's due time, so simulated minutes execute in real
+// microseconds and every run is reproducible from its RNG seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time measured as a duration since the start of
+// the simulation. It deliberately reuses time.Duration so call sites can use
+// the familiar literals (30*time.Millisecond etc.).
+type Time = time.Duration
+
+// Event is a scheduled callback. Fire runs when the simulation clock reaches
+// the event's due time.
+type Event struct {
+	due  Time
+	seq  uint64 // tie-break: FIFO among events with equal due time
+	fire func()
+
+	index     int // heap index; -1 when not queued
+	cancelled bool
+}
+
+// Cancel prevents a pending event from firing. Cancelling an event that has
+// already fired or been cancelled is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancelled = true
+	}
+}
+
+// Cancelled reports whether Cancel has been called on the event.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Due returns the virtual time at which the event is scheduled to fire.
+func (e *Event) Due() Time { return e.due }
+
+// eventQueue is a min-heap ordered by (due, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].due != q[j].due {
+		return q[i].due < q[j].due
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation executive. The zero value is not
+// usable; construct with NewKernel.
+type Kernel struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	rng    *rand.Rand
+	fired  uint64
+	halted bool
+}
+
+// NewKernel returns a kernel whose random source is seeded deterministically.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand exposes the kernel's deterministic random source. All stochastic
+// model decisions must draw from this source so runs replay identically.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Fired returns the number of events executed so far (useful in tests and
+// as a progress/liveness measure).
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Pending returns the number of events currently queued (including
+// cancelled events that have not yet been popped).
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// At schedules fire to run at absolute virtual time due. Scheduling in the
+// past (before Now) panics: it indicates a model bug, not a runtime
+// condition a caller could handle.
+func (k *Kernel) At(due Time, fire func()) *Event {
+	if due < k.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", due, k.now))
+	}
+	e := &Event{due: due, seq: k.seq, fire: fire, index: -1}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// After schedules fire to run delay after the current time.
+func (k *Kernel) After(delay Time, fire func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return k.At(k.now+delay, fire)
+}
+
+// Halt stops the currently executing Run/RunUntil after the in-flight event
+// completes. Pending events remain queued.
+func (k *Kernel) Halt() { k.halted = true }
+
+// Step executes the single earliest pending non-cancelled event and returns
+// true, or returns false if the queue is empty.
+func (k *Kernel) Step() bool {
+	for len(k.queue) > 0 {
+		e := heap.Pop(&k.queue).(*Event)
+		if e.cancelled {
+			continue
+		}
+		k.now = e.due
+		k.fired++
+		e.fire()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in timestamp order until the queue is exhausted
+// or the next event is due strictly after deadline. The clock is left at
+// min(deadline, last event time ≥ previous now): after RunUntil returns,
+// Now() == deadline when the simulation reached it.
+func (k *Kernel) RunUntil(deadline Time) {
+	k.halted = false
+	for !k.halted {
+		// Skip cancelled events without advancing time.
+		for len(k.queue) > 0 && k.queue[0].cancelled {
+			heap.Pop(&k.queue)
+		}
+		if len(k.queue) == 0 || k.queue[0].due > deadline {
+			break
+		}
+		k.Step()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+}
+
+// Run executes events until the queue is empty or Halt is called.
+func (k *Kernel) Run() {
+	k.halted = false
+	for !k.halted && k.Step() {
+	}
+}

@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmptyKernel(t *testing.T) {
+	k := NewKernel(1)
+	if k.Step() {
+		t.Fatal("Step on empty kernel should return false")
+	}
+	if k.Now() != 0 {
+		t.Fatalf("Now = %v, want 0", k.Now())
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	k.At(30*time.Millisecond, func() { got = append(got, 3) })
+	k.At(10*time.Millisecond, func() { got = append(got, 1) })
+	k.At(20*time.Millisecond, func() { got = append(got, 2) })
+	k.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 30*time.Millisecond {
+		t.Fatalf("Now = %v, want 30ms", k.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(time.Millisecond, func() { got = append(got, i) })
+	}
+	k.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	k := NewKernel(1)
+	var at Time
+	k.At(5*time.Millisecond, func() {
+		k.After(7*time.Millisecond, func() { at = k.Now() })
+	})
+	k.Run()
+	if at != 12*time.Millisecond {
+		t.Fatalf("nested After fired at %v, want 12ms", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	e := k.At(time.Millisecond, func() { fired = true })
+	e.Cancel()
+	k.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+	e.Cancel() // double cancel is a no-op
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	later := k.At(10*time.Millisecond, func() { fired = true })
+	k.At(5*time.Millisecond, func() { later.Cancel() })
+	k.Run()
+	if fired {
+		t.Fatal("event cancelled mid-run still fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel(1)
+	var fired []Time
+	for _, d := range []Time{time.Millisecond, 5 * time.Millisecond, 50 * time.Millisecond} {
+		d := d
+		k.At(d, func() { fired = append(fired, d) })
+	}
+	k.RunUntil(10 * time.Millisecond)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if k.Now() != 10*time.Millisecond {
+		t.Fatalf("Now = %v, want deadline 10ms", k.Now())
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", k.Pending())
+	}
+	// Continue to the remaining event.
+	k.RunUntil(time.Second)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events after second RunUntil, want 3", len(fired))
+	}
+	if k.Now() != time.Second {
+		t.Fatalf("Now = %v, want 1s", k.Now())
+	}
+}
+
+func TestRunUntilEventExactlyAtDeadline(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	k.At(10*time.Millisecond, func() { fired = true })
+	k.RunUntil(10 * time.Millisecond)
+	if !fired {
+		t.Fatal("event due exactly at deadline did not fire")
+	}
+}
+
+func TestHalt(t *testing.T) {
+	k := NewKernel(1)
+	count := 0
+	k.At(1*time.Millisecond, func() { count++; k.Halt() })
+	k.At(2*time.Millisecond, func() { count++ })
+	k.Run()
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 (halted after first event)", count)
+	}
+	k.Run() // resume
+	if count != 2 {
+		t.Fatalf("count = %d after resume, want 2", count)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	k := NewKernel(1)
+	k.At(10*time.Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(5*time.Millisecond, func() {})
+	})
+	k.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	NewKernel(1).After(-time.Millisecond, func() {})
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a, b := NewKernel(42), NewKernel(42)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Int63() != b.Rand().Int63() {
+			t.Fatal("same-seed kernels diverged")
+		}
+	}
+}
+
+func TestFiredCount(t *testing.T) {
+	k := NewKernel(1)
+	for i := 0; i < 25; i++ {
+		k.After(Time(i)*time.Millisecond, func() {})
+	}
+	k.Run()
+	if k.Fired() != 25 {
+		t.Fatalf("Fired = %d, want 25", k.Fired())
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in
+// non-decreasing time order and the final clock equals the max delay.
+func TestQuickEventOrderProperty(t *testing.T) {
+	f := func(delaysMS []uint16) bool {
+		if len(delaysMS) == 0 {
+			return true
+		}
+		k := NewKernel(7)
+		var seen []Time
+		var max Time
+		for _, d := range delaysMS {
+			due := Time(d) * time.Millisecond
+			if due > max {
+				max = due
+			}
+			k.At(due, func() { seen = append(seen, k.Now()) })
+		}
+		k.Run()
+		if len(seen) != len(delaysMS) {
+			return false
+		}
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return k.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling an arbitrary subset leaves exactly the complement to fire.
+func TestQuickCancelSubsetProperty(t *testing.T) {
+	f := func(n uint8, mask uint64) bool {
+		count := int(n%40) + 1
+		k := NewKernel(3)
+		fired := make([]bool, count)
+		events := make([]*Event, count)
+		for i := 0; i < count; i++ {
+			i := i
+			events[i] = k.At(Time(i)*time.Millisecond, func() { fired[i] = true })
+		}
+		for i := 0; i < count; i++ {
+			if mask&(1<<uint(i%64)) != 0 {
+				events[i].Cancel()
+			}
+		}
+		k.Run()
+		for i := 0; i < count; i++ {
+			cancelled := mask&(1<<uint(i%64)) != 0
+			if fired[i] == cancelled {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkKernelThroughput(b *testing.B) {
+	k := NewKernel(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.After(time.Millisecond, func() {})
+		k.Step()
+	}
+}

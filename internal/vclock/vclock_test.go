@@ -1,0 +1,48 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+
+	"cloudmonatt/internal/sim"
+)
+
+func TestAdvanceRunsKernel(t *testing.T) {
+	k := sim.NewKernel(1)
+	c := New(k)
+	fired := false
+	k.At(50*time.Millisecond, func() { fired = true })
+	c.Advance(100 * time.Millisecond)
+	if !fired {
+		t.Fatal("event within the advance window did not fire")
+	}
+	if c.Now() != 100*time.Millisecond {
+		t.Fatalf("Now = %v", c.Now())
+	}
+}
+
+func TestAdvanceNonPositiveNoop(t *testing.T) {
+	c := New(sim.NewKernel(1))
+	c.Advance(0)
+	c.Advance(-time.Second)
+	if c.Now() != 0 {
+		t.Fatalf("Now = %v after no-op advances", c.Now())
+	}
+}
+
+func TestSequentialAdvances(t *testing.T) {
+	c := New(sim.NewKernel(1))
+	for i := 0; i < 10; i++ {
+		c.Advance(10 * time.Millisecond)
+	}
+	if c.Now() != 100*time.Millisecond {
+		t.Fatalf("Now = %v, want 100ms", c.Now())
+	}
+}
+
+func TestKernelAccess(t *testing.T) {
+	k := sim.NewKernel(1)
+	if New(k).Kernel() != k {
+		t.Fatal("Kernel() does not return the wrapped kernel")
+	}
+}

@@ -1,0 +1,105 @@
+// Package vtpm implements virtual TPM multiplexing (Berger et al., cited
+// as [8] in the paper §2.2): each VM gets its own software TPM instance
+// whose attestation identity key is certified by the *hardware* TPM's AIK,
+// so a remote verifier can attest a VM directly, the pre-CloudMonatt way.
+//
+// The paper's argument — which this package exists to demonstrate — is
+// that vTPM-based attestation "cannot monitor the security conditions of
+// the VM's environment" and that its in-guest measurement agent "needs
+// modification of the guest OS [which is] highly susceptible to attacks".
+// internal/baseline builds the classic binary-attestation flow on top of
+// this package, and the comparison bench shows which attacks it misses.
+package vtpm
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"io"
+	"sync"
+
+	"cloudmonatt/internal/cryptoutil"
+	"cloudmonatt/internal/tpm"
+)
+
+// Instance is one VM's virtual TPM.
+type Instance struct {
+	Vid string
+	// TPM is the virtual PCR bank and quote engine; its AIK is the vAIK.
+	TPM *tpm.TPM
+	// Endorsement is the hardware TPM owner's signature over the vAIK,
+	// chaining the virtual TPM to the physical root of trust.
+	Endorsement []byte
+}
+
+// Manager multiplexes virtual TPM instances on one hardware trust root.
+type Manager struct {
+	hwAIK *cryptoutil.Identity // stands in for the hardware TPM's AIK
+	rand  io.Reader
+
+	mu        sync.Mutex
+	instances map[string]*Instance
+}
+
+// NewManager creates a vTPM manager anchored in a hardware key drawn from r.
+func NewManager(serverName string, r io.Reader) (*Manager, error) {
+	hw, err := cryptoutil.NewIdentity(serverName+"-hwtpm", r)
+	if err != nil {
+		return nil, fmt.Errorf("vtpm: %w", err)
+	}
+	return &Manager{hwAIK: hw, rand: r, instances: make(map[string]*Instance)}, nil
+}
+
+// HardwareKey returns the endorsement-verification key of the hardware root.
+func (m *Manager) HardwareKey() ed25519.PublicKey { return m.hwAIK.Public() }
+
+// endorsementBody is what the hardware root signs for a vAIK.
+func endorsementBody(vid string, vaik ed25519.PublicKey) []byte {
+	sum := cryptoutil.Hash("vtpm-endorse", []byte(vid), vaik)
+	return sum[:]
+}
+
+// Create provisions a fresh virtual TPM for a VM and endorses its vAIK.
+func (m *Manager) Create(vid string) (*Instance, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.instances[vid]; dup {
+		return nil, fmt.Errorf("vtpm: instance for %s exists", vid)
+	}
+	vt, err := tpm.New(m.rand)
+	if err != nil {
+		return nil, err
+	}
+	inst := &Instance{
+		Vid:         vid,
+		TPM:         vt,
+		Endorsement: m.hwAIK.Sign(endorsementBody(vid, vt.AIK())),
+	}
+	m.instances[vid] = inst
+	return inst, nil
+}
+
+// Get returns a VM's instance.
+func (m *Manager) Get(vid string) (*Instance, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	inst, ok := m.instances[vid]
+	if !ok {
+		return nil, fmt.Errorf("vtpm: no instance for %s", vid)
+	}
+	return inst, nil
+}
+
+// Destroy removes a VM's instance (VM termination).
+func (m *Manager) Destroy(vid string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.instances, vid)
+}
+
+// VerifyEndorsement checks that a vAIK is chained to the hardware root.
+func VerifyEndorsement(hwKey ed25519.PublicKey, vid string, vaik ed25519.PublicKey, sig []byte) error {
+	if !cryptoutil.Verify(hwKey, endorsementBody(vid, vaik), sig) {
+		return fmt.Errorf("vtpm: endorsement of %s's vAIK invalid", vid)
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package vtpm
+
+import (
+	"crypto/rand"
+	"testing"
+
+	"cloudmonatt/internal/cryptoutil"
+)
+
+func newMgr(t *testing.T) *Manager {
+	t.Helper()
+	m, err := NewManager("srv", rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCreateGetDestroy(t *testing.T) {
+	m := newMgr(t)
+	inst, err := m.Create("vm-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create("vm-1"); err == nil {
+		t.Fatal("duplicate instance created")
+	}
+	got, err := m.Get("vm-1")
+	if err != nil || got != inst {
+		t.Fatalf("Get: %v %v", got, err)
+	}
+	m.Destroy("vm-1")
+	if _, err := m.Get("vm-1"); err == nil {
+		t.Fatal("destroyed instance still retrievable")
+	}
+	if _, err := m.Create("vm-1"); err != nil {
+		t.Fatalf("re-create after destroy: %v", err)
+	}
+}
+
+func TestInstancesAreIsolated(t *testing.T) {
+	m := newMgr(t)
+	a, _ := m.Create("vm-a")
+	b, _ := m.Create("vm-b")
+	a.TPM.Measure(0, "x", []byte("x"))
+	pa, _ := a.TPM.ReadPCR(0)
+	pb, _ := b.TPM.ReadPCR(0)
+	if pa == pb {
+		t.Fatal("extend in one vTPM visible in another")
+	}
+	if cryptoutil.KeyEqual(a.TPM.AIK(), b.TPM.AIK()) {
+		t.Fatal("vTPM instances share a vAIK")
+	}
+}
+
+func TestEndorsementChain(t *testing.T) {
+	m := newMgr(t)
+	inst, _ := m.Create("vm-1")
+	if err := VerifyEndorsement(m.HardwareKey(), "vm-1", inst.TPM.AIK(), inst.Endorsement); err != nil {
+		t.Fatalf("genuine endorsement rejected: %v", err)
+	}
+	// Wrong VM binding.
+	if err := VerifyEndorsement(m.HardwareKey(), "vm-2", inst.TPM.AIK(), inst.Endorsement); err == nil {
+		t.Fatal("endorsement accepted for the wrong VM")
+	}
+	// Foreign hardware root.
+	other := newMgr(t)
+	if err := VerifyEndorsement(other.HardwareKey(), "vm-1", inst.TPM.AIK(), inst.Endorsement); err == nil {
+		t.Fatal("endorsement accepted under foreign hardware key")
+	}
+	// Attacker-minted vAIK.
+	rogue := cryptoutil.MustIdentity("rogue")
+	if err := VerifyEndorsement(m.HardwareKey(), "vm-1", rogue.Public(), inst.Endorsement); err == nil {
+		t.Fatal("unendorsed vAIK accepted")
+	}
+}

@@ -1,0 +1,80 @@
+package wire
+
+import (
+	"crypto/rand"
+	"testing"
+
+	"cloudmonatt/internal/cryptoutil"
+	"cloudmonatt/internal/pca"
+	"cloudmonatt/internal/trust"
+)
+
+// Ablation (DESIGN.md §5): the cost of the paper's per-session attestation
+// keys (freshly minted and pCA-certified for every attestation, buying
+// server anonymity) versus signing with one long-lived certified key.
+// These benches measure the real crypto cost of each design on this
+// machine.
+
+func benchFixture(b *testing.B) (*trust.Module, *pca.PCA) {
+	b.Helper()
+	ca, err := pca.New("pca", rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tm, err := trust.NewModule("server-1", 0, rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ca.RegisterServer(tm.Name(), tm.IdentityKey())
+	return tm, ca
+}
+
+// BenchmarkAblationPerSessionKeys: the full per-attestation path — mint a
+// session key, certify it at the pCA, build and verify the evidence.
+func BenchmarkAblationPerSessionKeys(b *testing.B) {
+	tm, ca := benchFixture(b)
+	req, ms := sampleMeasurements()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess, csr, err := tm.NewSession()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cert, err := ca.Certify(csr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess.Cert = cert
+		n3 := cryptoutil.MustNonce()
+		ev := BuildEvidence(sess, "vm-1", req, ms, n3)
+		if err := VerifyEvidence(ev, ca.Name(), ca.PublicKey(), "vm-1", req, n3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationLongLivedKey: the anonymity-free alternative — one
+// session key certified once, reused for every attestation.
+func BenchmarkAblationLongLivedKey(b *testing.B) {
+	tm, ca := benchFixture(b)
+	sess, csr, err := tm.NewSession()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cert, err := ca.Certify(csr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess.Cert = cert
+	req, ms := sampleMeasurements()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n3 := cryptoutil.MustNonce()
+		ev := BuildEvidence(sess, "vm-1", req, ms, n3)
+		if err := VerifyEvidence(ev, ca.Name(), ca.PublicKey(), "vm-1", req, n3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Package wire defines the CloudMonatt attestation protocol messages and
+// the quote/signature chain of Fig. 3:
+//
+//	customer  → controller : (Vid, P, N1)                       over Kx
+//	controller→ attest srv : (Vid, I, P, N2)                    over Ky
+//	attest srv→ cloud srv  : (Vid, rM, N3)                      over Kz
+//	cloud srv → attest srv : [Vid, rM, M, N3, Q3]_ASKs          over Kz
+//	attest srv→ controller : [Vid, I, P, R, N2, Q2]_SKa         over Ky
+//	controller→ customer   : [Vid, P, R, N1, Q1]_SKc            over Kx
+//
+// with Q3 = H(Vid‖rM‖M‖N3), Q2 = H(Vid‖I‖P‖R‖N2), Q1 = H(Vid‖P‖R‖N1).
+// The session-key encryption (Kx/Ky/Kz) is provided by internal/secchan;
+// this package provides the payload structures, the quote computations and
+// the signature construction/verification for each signed hop.
+package wire
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"time"
+
+	"cloudmonatt/internal/cryptoutil"
+	"cloudmonatt/internal/pca"
+	"cloudmonatt/internal/properties"
+	"cloudmonatt/internal/trust"
+)
+
+// --- customer → controller (Table 1 APIs) ---
+
+// AttestRequest invokes startup_attest_current or runtime_attest_current.
+type AttestRequest struct {
+	Vid  string
+	Prop properties.Property
+	N1   cryptoutil.Nonce
+}
+
+// PeriodicRequest invokes runtime_attest_periodic, with a constant
+// frequency or — when Random is set — random intervals around it (Table 1).
+type PeriodicRequest struct {
+	Vid    string
+	Prop   properties.Property
+	Freq   time.Duration
+	Random bool
+	N1     cryptoutil.Nonce
+}
+
+// StopPeriodicRequest invokes stop_attest_periodic.
+type StopPeriodicRequest struct {
+	Vid  string
+	Prop properties.Property
+	N1   cryptoutil.Nonce
+}
+
+// --- controller → attestation server ---
+
+// AppraisalRequest asks the Attestation Server to attest VM Vid on cloud
+// server I for property P.
+type AppraisalRequest struct {
+	Vid      string
+	ServerID string
+	Prop     properties.Property
+	N2       cryptoutil.Nonce
+}
+
+// --- attestation server → cloud server ---
+
+// MeasureRequest asks the cloud server's Attestation Client for the
+// measurements rM backing a property.
+type MeasureRequest struct {
+	Vid string
+	Req properties.Request
+	N3  cryptoutil.Nonce
+}
+
+// --- cloud server → attestation server ---
+
+// Evidence is the cloud server's signed measurement report:
+// [Vid, rM, M, N3, Q3]_ASKs plus the pCA certificate for AVKs.
+type Evidence struct {
+	Vid          string
+	Req          properties.Request
+	Measurements []properties.Measurement
+	N3           cryptoutil.Nonce
+	Q3           [32]byte
+	AVK          []byte
+	Cert         *cryptoutil.Certificate
+	Sig          []byte
+}
+
+// ComputeQ3 computes Q3 = H(Vid‖rM‖M‖N3).
+func ComputeQ3(vid string, req properties.Request, ms []properties.Measurement, n3 cryptoutil.Nonce) [32]byte {
+	return cryptoutil.Hash("Q3", []byte(vid), req.Encode(), properties.EncodeAll(ms), n3[:])
+}
+
+func evidenceBody(e *Evidence) []byte {
+	sum := cryptoutil.Hash("evidence",
+		[]byte(e.Vid), e.Req.Encode(), properties.EncodeAll(e.Measurements), e.N3[:], e.Q3[:], e.AVK)
+	return sum[:]
+}
+
+// BuildEvidence assembles and signs the evidence with the Trust Module's
+// session attestation key.
+func BuildEvidence(sess *trust.Session, vid string, req properties.Request, ms []properties.Measurement, n3 cryptoutil.Nonce) *Evidence {
+	e := &Evidence{
+		Vid:          vid,
+		Req:          req,
+		Measurements: ms,
+		N3:           n3,
+		Q3:           ComputeQ3(vid, req, ms, n3),
+		AVK:          append([]byte(nil), sess.Public()...),
+		Cert:         sess.Cert,
+	}
+	e.Sig = sess.Sign(evidenceBody(e))
+	return e
+}
+
+// VerifyEvidence checks the evidence end to end: the pCA certificate covers
+// the session key, the signature verifies under it, the nonce is ours, and
+// the quote matches the content.
+func VerifyEvidence(e *Evidence, caName string, caKey ed25519.PublicKey, vid string, req properties.Request, n3 cryptoutil.Nonce) error {
+	if e == nil {
+		return errors.New("wire: nil evidence")
+	}
+	if e.Vid != vid {
+		return fmt.Errorf("wire: evidence for VM %q, requested %q", e.Vid, vid)
+	}
+	if e.N3 != n3 {
+		return errors.New("wire: evidence nonce mismatch (replay?)")
+	}
+	if err := pca.VerifyAttestationCert(e.Cert, caName, caKey, ed25519.PublicKey(e.AVK)); err != nil {
+		return fmt.Errorf("wire: attestation key not certified: %w", err)
+	}
+	if !cryptoutil.Verify(ed25519.PublicKey(e.AVK), evidenceBody(e), e.Sig) {
+		return errors.New("wire: evidence signature invalid")
+	}
+	if e.Q3 != ComputeQ3(e.Vid, e.Req, e.Measurements, e.N3) {
+		return errors.New("wire: evidence quote Q3 mismatch")
+	}
+	return nil
+}
+
+// --- attestation server → controller ---
+
+// Report is the appraised attestation result for the controller:
+// [Vid, I, P, R, N2, Q2]_SKa.
+type Report struct {
+	Vid      string
+	ServerID string
+	Prop     properties.Property
+	Verdict  properties.Verdict
+	N2       cryptoutil.Nonce
+	Q2       [32]byte
+	Sig      []byte
+}
+
+// ComputeQ2 computes Q2 = H(Vid‖I‖P‖R‖N2).
+func ComputeQ2(vid, serverID string, p properties.Property, v properties.Verdict, n2 cryptoutil.Nonce) [32]byte {
+	return cryptoutil.Hash("Q2", []byte(vid), []byte(serverID), []byte(p), v.Encode(), n2[:])
+}
+
+func reportBody(r *Report) []byte {
+	sum := cryptoutil.Hash("report",
+		[]byte(r.Vid), []byte(r.ServerID), []byte(r.Prop), r.Verdict.Encode(), r.N2[:], r.Q2[:])
+	return sum[:]
+}
+
+// BuildReport assembles and signs the report with the Attestation Server's
+// identity key SKa.
+func BuildReport(signer *cryptoutil.Identity, vid, serverID string, p properties.Property, v properties.Verdict, n2 cryptoutil.Nonce) *Report {
+	r := &Report{
+		Vid:      vid,
+		ServerID: serverID,
+		Prop:     p,
+		Verdict:  v,
+		N2:       n2,
+		Q2:       ComputeQ2(vid, serverID, p, v, n2),
+	}
+	r.Sig = signer.Sign(reportBody(r))
+	return r
+}
+
+// VerifyReport checks the report signature, nonce binding and quote.
+func VerifyReport(r *Report, attestKey ed25519.PublicKey, vid string, p properties.Property, n2 cryptoutil.Nonce) error {
+	if r == nil {
+		return errors.New("wire: nil report")
+	}
+	if r.Vid != vid || r.Prop != p {
+		return errors.New("wire: report does not match the request")
+	}
+	if r.N2 != n2 {
+		return errors.New("wire: report nonce mismatch (replay?)")
+	}
+	if !cryptoutil.Verify(attestKey, reportBody(r), r.Sig) {
+		return errors.New("wire: report signature invalid")
+	}
+	if r.Q2 != ComputeQ2(r.Vid, r.ServerID, r.Prop, r.Verdict, r.N2) {
+		return errors.New("wire: report quote Q2 mismatch")
+	}
+	return nil
+}
+
+// --- controller → customer ---
+
+// CustomerReport is the final attestation result: [Vid, P, R, N1, Q1]_SKc.
+type CustomerReport struct {
+	Vid     string
+	Prop    properties.Property
+	Verdict properties.Verdict
+	N1      cryptoutil.Nonce
+	Q1      [32]byte
+	Sig     []byte
+}
+
+// ComputeQ1 computes Q1 = H(Vid‖P‖R‖N1).
+func ComputeQ1(vid string, p properties.Property, v properties.Verdict, n1 cryptoutil.Nonce) [32]byte {
+	return cryptoutil.Hash("Q1", []byte(vid), []byte(p), v.Encode(), n1[:])
+}
+
+func customerReportBody(r *CustomerReport) []byte {
+	sum := cryptoutil.Hash("customer-report",
+		[]byte(r.Vid), []byte(r.Prop), r.Verdict.Encode(), r.N1[:], r.Q1[:])
+	return sum[:]
+}
+
+// BuildCustomerReport assembles and signs the final report with the Cloud
+// Controller's identity key SKc.
+func BuildCustomerReport(signer *cryptoutil.Identity, vid string, p properties.Property, v properties.Verdict, n1 cryptoutil.Nonce) *CustomerReport {
+	r := &CustomerReport{
+		Vid:     vid,
+		Prop:    p,
+		Verdict: v,
+		N1:      n1,
+		Q1:      ComputeQ1(vid, p, v, n1),
+	}
+	r.Sig = signer.Sign(customerReportBody(r))
+	return r
+}
+
+// VerifyCustomerReport is the customer's final check: the controller's
+// signature, the nonce it chose, and the quote over the report content.
+func VerifyCustomerReport(r *CustomerReport, controllerKey ed25519.PublicKey, vid string, p properties.Property, n1 cryptoutil.Nonce) error {
+	if r == nil {
+		return errors.New("wire: nil customer report")
+	}
+	if r.Vid != vid || r.Prop != p {
+		return errors.New("wire: customer report does not match the request")
+	}
+	if r.N1 != n1 {
+		return errors.New("wire: customer report nonce mismatch (replay?)")
+	}
+	if !cryptoutil.Verify(controllerKey, customerReportBody(r), r.Sig) {
+		return errors.New("wire: customer report signature invalid")
+	}
+	if r.Q1 != ComputeQ1(r.Vid, r.Prop, r.Verdict, r.N1) {
+		return errors.New("wire: customer report quote Q1 mismatch")
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cloudmonatt/internal/sim"
+	"cloudmonatt/internal/xen"
+)
+
+// CachedServer models the Resource-Freeing Attack's canonical victim
+// (Varadarajan et al. [40]): a request-serving workload whose hot set
+// normally lives in cache. A cache hit costs pure CPU; a miss costs a
+// little CPU plus a large read from the shared storage device. When a
+// co-resident attacker pollutes the cache (raising the miss ratio), the
+// victim's bottleneck shifts from the CPU to the slow shared disk — and
+// the CPU time it can no longer use is "freed" for the attacker.
+type CachedServer struct {
+	HitCPU      sim.Time // CPU cost of serving from cache
+	MissCPU     sim.Time // CPU cost of a miss (before the disk read)
+	MissIOBytes int      // disk read per miss
+	Think       sim.Time // idle gap between requests
+
+	missPermille atomic.Int64 // miss ratio in 1/1000ths
+
+	mu     sync.Mutex
+	served uint64
+}
+
+// NewCachedServer returns the calibration used by the RFA experiments:
+// 4 ms per cached request, misses cost 1 ms CPU + 4 MiB of disk, baseline
+// miss ratio 5%.
+func NewCachedServer() *CachedServer {
+	s := &CachedServer{
+		HitCPU:      4 * time.Millisecond,
+		MissCPU:     time.Millisecond,
+		MissIOBytes: 4 << 20,
+		Think:       time.Millisecond,
+	}
+	s.SetMissRatio(0.05)
+	return s
+}
+
+// SetMissRatio adjusts the cache-miss probability (the attacker's lever:
+// cache pollution raises it).
+func (s *CachedServer) SetMissRatio(r float64) {
+	if r < 0 {
+		r = 0
+	}
+	if r > 1 {
+		r = 1
+	}
+	s.missPermille.Store(int64(r * 1000))
+}
+
+// MissRatio returns the current cache-miss probability.
+func (s *CachedServer) MissRatio() float64 {
+	return float64(s.missPermille.Load()) / 1000
+}
+
+// Served returns the number of completed requests.
+func (s *CachedServer) Served() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served
+}
+
+// NextBurst implements xen.Program: serve one request per burst.
+func (s *CachedServer) NextBurst(env xen.Env, self *xen.VCPU) xen.Burst {
+	s.mu.Lock()
+	s.served++
+	s.mu.Unlock()
+	if env.Rand().Int63n(1000) < s.missPermille.Load() {
+		return xen.Burst{Run: s.MissCPU, IOBytes: s.MissIOBytes}
+	}
+	return xen.Burst{Run: s.HitCPU, Block: s.Think}
+}
+
+// IOHeavy is a request loop that is disk-bound from the start (for IO
+// contention tests): tiny CPU per request, big reads.
+type IOHeavy struct {
+	CPU   sim.Time
+	Bytes int
+}
+
+// NextBurst implements xen.Program.
+func (w *IOHeavy) NextBurst(env xen.Env, self *xen.VCPU) xen.Burst {
+	cpu := w.CPU
+	if cpu <= 0 {
+		cpu = 200 * time.Microsecond
+	}
+	bytes := w.Bytes
+	if bytes <= 0 {
+		bytes = 1 << 20
+	}
+	return xen.Burst{Run: cpu, IOBytes: bytes}
+}

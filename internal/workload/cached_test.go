@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"cloudmonatt/internal/sim"
+	"cloudmonatt/internal/xen"
+)
+
+func TestCachedServerHitDominatedThroughput(t *testing.T) {
+	k := sim.NewKernel(3)
+	hv := xen.New(k, xen.DefaultConfig(), 1)
+	cs := NewCachedServer()
+	d := hv.NewDomain("cs", 256, 0, cs)
+	d.WakeAll()
+	k.RunUntil(10 * time.Second)
+	rate := float64(cs.Served()) / 10
+	// ~5ms/request at 5% misses → well above 100 req/s.
+	if rate < 100 {
+		t.Fatalf("cached server rate %.0f req/s", rate)
+	}
+	if hv.Disk().ServedBytes() == 0 {
+		t.Fatal("no misses ever hit the disk at a 5% miss ratio")
+	}
+}
+
+func TestCachedServerMissRatioShiftsBottleneck(t *testing.T) {
+	run := func(miss float64) (float64, float64) {
+		k := sim.NewKernel(3)
+		hv := xen.New(k, xen.DefaultConfig(), 1)
+		cs := NewCachedServer()
+		cs.SetMissRatio(miss)
+		d := hv.NewDomain("cs", 256, 0, cs)
+		d.WakeAll()
+		k.RunUntil(10 * time.Second)
+		return float64(cs.Served()) / 10, hv.Disk().Utilization()
+	}
+	hotRate, hotDisk := run(0.05)
+	coldRate, coldDisk := run(0.9)
+	if coldRate > hotRate/2 {
+		t.Fatalf("cold cache rate %.0f not clearly below warm %.0f", coldRate, hotRate)
+	}
+	if coldDisk < 2*hotDisk {
+		t.Fatalf("disk utilization did not rise with misses: %.2f vs %.2f", coldDisk, hotDisk)
+	}
+}
+
+func TestMissRatioClamped(t *testing.T) {
+	cs := NewCachedServer()
+	cs.SetMissRatio(-1)
+	if got := cs.MissRatio(); got != 0 {
+		t.Fatalf("negative ratio clamped to %v", got)
+	}
+	cs.SetMissRatio(2)
+	if got := cs.MissRatio(); got != 1 {
+		t.Fatalf("over-one ratio clamped to %v", got)
+	}
+}
+
+func TestIOHeavyDefaults(t *testing.T) {
+	k := sim.NewKernel(3)
+	hv := xen.New(k, xen.DefaultConfig(), 1)
+	d := hv.NewDomain("io", 256, 0, &IOHeavy{})
+	d.WakeAll()
+	k.RunUntil(2 * time.Second)
+	if hv.Disk().Requests() == 0 {
+		t.Fatal("IO-heavy workload issued no requests")
+	}
+	if util := hv.Disk().Utilization(); util < 0.8 {
+		t.Fatalf("disk utilization %.2f for a disk-bound workload", util)
+	}
+}

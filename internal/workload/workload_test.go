@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"cloudmonatt/internal/sim"
+	"cloudmonatt/internal/xen"
+)
+
+func runSolo(t *testing.T, prog xen.Program, horizon sim.Time) (*sim.Kernel, *xen.Domain) {
+	t.Helper()
+	k := sim.NewKernel(11)
+	hv := xen.New(k, xen.DefaultConfig(), 1)
+	d := hv.NewDomain("w", 256, 0, prog)
+	d.WakeAll()
+	k.RunUntil(horizon)
+	return k, d
+}
+
+func TestServiceDutyCycle(t *testing.T) {
+	for _, name := range ServiceNames {
+		svc, err := NewService(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, d := runSolo(t, svc, 5*time.Second)
+		got := float64(d.TotalRuntime()) / float64(5*time.Second)
+		want := svc.DutyCycle()
+		if got < want*0.8 || got > want*1.2+0.02 {
+			t.Errorf("%s: measured duty %.3f, nominal %.3f", name, got, want)
+		}
+	}
+}
+
+func TestCPUBoundClassification(t *testing.T) {
+	for _, name := range ServiceNames {
+		svc, _ := NewService(name)
+		if CPUBound(name) && svc.DutyCycle() < 0.5 {
+			t.Errorf("%s classified CPU-bound but duty is %.2f", name, svc.DutyCycle())
+		}
+		if !CPUBound(name) && svc.DutyCycle() > 0.35 {
+			t.Errorf("%s classified IO-bound but duty is %.2f", name, svc.DutyCycle())
+		}
+	}
+}
+
+func TestUnknownNames(t *testing.T) {
+	if _, err := NewService("nosuch"); err == nil {
+		t.Error("NewService accepted unknown name")
+	}
+	if _, err := NewVictim("nosuch"); err == nil {
+		t.Error("NewVictim accepted unknown name")
+	}
+}
+
+func TestVictimCompletesWithExactWork(t *testing.T) {
+	for _, name := range VictimNames {
+		j, err := NewVictim(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, d := runSolo(t, j, 2*time.Second)
+		at, ok := d.DoneAt()
+		if !ok {
+			t.Fatalf("%s did not finish solo in 2s", name)
+		}
+		if d.TotalRuntime() != j.Total {
+			t.Errorf("%s consumed %v, want %v", name, d.TotalRuntime(), j.Total)
+		}
+		// Solo: wall time ≈ CPU time.
+		if at > j.Total+20*time.Millisecond {
+			t.Errorf("%s solo finished at %v for %v of work", name, at, j.Total)
+		}
+		if j.Remaining() != 0 {
+			t.Errorf("%s Remaining = %v after completion", name, j.Remaining())
+		}
+	}
+}
+
+func TestVictimInstancesIndependent(t *testing.T) {
+	a, _ := NewVictim("bzip2")
+	b, _ := NewVictim("bzip2")
+	runSolo(t, a, time.Second)
+	if b.Remaining() != b.Total {
+		t.Fatal("running one instance consumed another's work")
+	}
+}
+
+func TestIdleConsumesNothing(t *testing.T) {
+	_, d := runSolo(t, Idle(), time.Second)
+	if d.TotalRuntime() != 0 {
+		t.Fatalf("idle workload used %v CPU", d.TotalRuntime())
+	}
+}
+
+func TestSpinnerSaturates(t *testing.T) {
+	_, d := runSolo(t, Spinner(time.Millisecond), time.Second)
+	if d.TotalRuntime() < 990*time.Millisecond {
+		t.Fatalf("spinner got %v of 1s solo", d.TotalRuntime())
+	}
+}

@@ -1,0 +1,79 @@
+package xen
+
+import (
+	"sync"
+
+	"cloudmonatt/internal/sim"
+)
+
+// IODevice models the server's shared storage device: a FIFO-served
+// resource with a fixed service rate. Co-resident VMs contend for it the
+// same way they contend for the CPU — which is what the Resource-Freeing
+// Attack exploits (Varadarajan et al., cited as [40] in the paper): shift
+// the victim's bottleneck onto the slow shared device and harvest the CPU
+// it can no longer use.
+type IODevice struct {
+	mu          sync.Mutex
+	hv          *Hypervisor
+	bytesPerSec float64
+	freeAt      sim.Time
+	busyAccum   sim.Time // total service time ever scheduled
+	servedBytes uint64
+	requests    uint64
+}
+
+// newIODevice creates the device at the given service rate.
+func newIODevice(hv *Hypervisor, bytesPerSec float64) *IODevice {
+	return &IODevice{hv: hv, bytesPerSec: bytesPerSec}
+}
+
+// Disk returns the server's shared storage device.
+func (hv *Hypervisor) Disk() *IODevice { return hv.disk }
+
+// submit enqueues a request of the given size and returns the absolute
+// virtual time at which it completes (FIFO behind earlier requests).
+func (d *IODevice) submit(bytes int) sim.Time {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := d.hv.k.Now()
+	start := d.freeAt
+	if start < now {
+		start = now
+	}
+	service := sim.Time(float64(bytes) / d.bytesPerSec * float64(sim.Time(1e9)))
+	d.freeAt = start + service
+	d.busyAccum += service
+	d.servedBytes += uint64(bytes)
+	d.requests++
+	return d.freeAt
+}
+
+// ServedBytes returns the total bytes the device has served.
+func (d *IODevice) ServedBytes() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.servedBytes
+}
+
+// Requests returns the number of requests served.
+func (d *IODevice) Requests() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.requests
+}
+
+// Utilization returns the fraction of elapsed wall time the device has
+// spent serving requests (queued future work excluded).
+func (d *IODevice) Utilization() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := d.hv.k.Now()
+	if now == 0 {
+		return 0
+	}
+	busy := d.busyAccum
+	if d.freeAt > now {
+		busy -= d.freeAt - now // still-pending service time
+	}
+	return float64(busy) / float64(now)
+}

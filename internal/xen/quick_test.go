@@ -1,0 +1,129 @@
+package xen
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cloudmonatt/internal/sim"
+)
+
+// randomProgram builds a duty-cycle program from fuzz bytes: burst and
+// block lengths in [0.1ms, 12.8ms], occasionally issuing IO.
+func randomProgram(burstCode, blockCode, ioCode byte) Program {
+	burst := time.Duration(int(burstCode)%128+1) * 100 * time.Microsecond
+	block := time.Duration(int(blockCode)%128) * 100 * time.Microsecond
+	io := 0
+	if ioCode%5 == 0 {
+		io = (int(ioCode) + 1) << 12 // up to ~1 MiB
+	}
+	return ProgramFunc(func(env Env, self *VCPU) Burst {
+		return Burst{Run: burst, Block: block, IOBytes: io}
+	})
+}
+
+// TestQuickSchedulerInvariants runs arbitrary program mixes and checks the
+// scheduler's core invariants: CPU time is conserved (runtime + idle =
+// wall), run segments on one pCPU never overlap, every segment respects
+// the timeslice, and credits stay within their bounds.
+func TestQuickSchedulerInvariants(t *testing.T) {
+	f := func(specs [][3]byte, seed int64) bool {
+		if len(specs) == 0 {
+			return true
+		}
+		if len(specs) > 6 {
+			specs = specs[:6]
+		}
+		k := sim.NewKernel(seed)
+		cfg := DefaultConfig()
+		hv := New(k, cfg, 1)
+		rec := NewRecorder()
+		hv.Observe(rec)
+		var doms []*Domain
+		for i, s := range specs {
+			d := hv.NewDomain(string(rune('a'+i)), 256, 0, randomProgram(s[0], s[1], s[2]))
+			d.WakeAll()
+			doms = append(doms, d)
+		}
+		horizon := 2 * time.Second
+		k.RunUntil(horizon)
+
+		// Conservation.
+		var used sim.Time
+		for _, d := range doms {
+			if d.TotalRuntime() < 0 {
+				return false
+			}
+			used += d.TotalRuntime()
+		}
+		used += hv.PCPUs()[0].IdleTime()
+		if diff := used - horizon; diff < -time.Microsecond || diff > time.Microsecond {
+			t.Logf("conservation broken: %v vs %v", used, horizon)
+			return false
+		}
+
+		// Segments sorted by start must not overlap and must obey the slice.
+		segs := append([]Segment(nil), rec.Segments()...)
+		sort.Slice(segs, func(i, j int) bool { return segs[i].Start < segs[j].Start })
+		for i, s := range segs {
+			if s.Duration() <= 0 || s.Duration() > cfg.Timeslice {
+				t.Logf("segment duration %v out of bounds", s.Duration())
+				return false
+			}
+			if i > 0 && s.Start < segs[i-1].End {
+				t.Logf("segments overlap: %v < %v", s.Start, segs[i-1].End)
+				return false
+			}
+		}
+
+		// Credit bounds.
+		for _, d := range doms {
+			for _, v := range d.VCPUs() {
+				if v.Credits() > cfg.CreditCap || v.Credits() < cfg.CreditFloor {
+					t.Logf("credits %d out of bounds", v.Credits())
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickIOAccounting checks the IO device's conservation property: bytes
+// served equals bytes submitted, and utilization stays in [0, 1].
+func TestQuickIOAccounting(t *testing.T) {
+	f := func(sizes []uint16, seed int64) bool {
+		k := sim.NewKernel(seed)
+		hv := New(k, DefaultConfig(), 1)
+		var want uint64
+		i := 0
+		d := hv.NewDomain("io", 256, 0, ProgramFunc(func(env Env, self *VCPU) Burst {
+			if i >= len(sizes) {
+				return Burst{Done: true}
+			}
+			bytes := int(sizes[i])%(1<<20) + 1
+			i++
+			want += uint64(bytes)
+			return Burst{Run: 50 * time.Microsecond, IOBytes: bytes}
+		}))
+		d.WakeAll()
+		k.RunUntil(30 * time.Second)
+		if !d.Done() {
+			return false
+		}
+		disk := hv.Disk()
+		if disk.ServedBytes() != want {
+			t.Logf("served %d, submitted %d", disk.ServedBytes(), want)
+			return false
+		}
+		u := disk.Utilization()
+		return u >= 0 && u <= 1.000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

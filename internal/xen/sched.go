@@ -1,0 +1,441 @@
+package xen
+
+import (
+	"fmt"
+
+	"cloudmonatt/internal/sim"
+)
+
+// queueEntry is one runnable vCPU reference in a priority queue. Entries are
+// invalidated lazily: each enqueue bumps the vCPU's token, so stale entries
+// (from re-prioritisation or pause) are skipped at pop time.
+type queueEntry struct {
+	v   *VCPU
+	tok uint64
+}
+
+// PCPU is one physical CPU with its three-priority run queue.
+type PCPU struct {
+	id      int
+	hv      *Hypervisor
+	runq    [numPrios][]queueEntry
+	current *VCPU
+	endEv   *sim.Event // burst/timeslice expiry of the current vCPU
+
+	idleTime    sim.Time
+	idleSince   sim.Time
+	ticks       uint64
+	nextTickDue sim.Time // nominal (unjittered) time of the next tick
+}
+
+// ID returns the physical CPU index.
+func (p *PCPU) ID() int { return p.id }
+
+// Current returns the vCPU running right now, or nil when idle.
+func (p *PCPU) Current() *VCPU { return p.current }
+
+// IdleTime returns the accumulated time this pCPU spent with no runnable vCPU.
+func (p *PCPU) IdleTime() sim.Time {
+	t := p.idleTime
+	if p.current == nil {
+		t += p.hv.k.Now() - p.idleSince
+	}
+	return t
+}
+
+// scheduleTick arms the next credit-sampling tick. Jitter is applied around
+// the *nominal* grid (multiples of TickPeriod), not accumulated, so the grid
+// stays predictable — which is precisely what tick-evading attackers rely on.
+func (p *PCPU) scheduleTick() {
+	p.nextTickDue += p.hv.cfg.TickPeriod
+	due := p.nextTickDue
+	if j := p.hv.cfg.TickJitter; j > 0 {
+		due += sim.Time(p.hv.k.Rand().Int63n(int64(j))) - j/2
+	}
+	if now := p.hv.k.Now(); due < now {
+		due = now
+	}
+	p.hv.k.At(due, func() {
+		p.tick()
+		p.scheduleTick()
+	})
+}
+
+func (p *PCPU) scheduleAcct() {
+	p.hv.k.After(p.hv.cfg.AcctPeriod, func() {
+		p.acct()
+		p.scheduleAcct()
+	})
+}
+
+// tick implements sampled credit debiting: whoever runs at the tick instant
+// pays CreditsPerTick and loses any BOOST. A vCPU that times its bursts
+// between ticks is never charged — the root cause of both paper attacks.
+func (p *PCPU) tick() {
+	p.ticks++
+	v := p.current
+	if v == nil {
+		return
+	}
+	if !p.hv.cfg.ExactAccounting {
+		v.credits -= p.hv.cfg.CreditsPerTick
+		if v.credits < p.hv.cfg.CreditFloor {
+			v.credits = p.hv.cfg.CreditFloor
+		}
+	}
+	v.boosted = false
+	if v.credits <= 0 {
+		v.prio = PrioOver
+	}
+	p.maybePreemptCurrent()
+}
+
+// acct redistributes credits every accounting period: each live vCPU pinned
+// here earns a weight-proportional share, capped at CreditCap, and its
+// UNDER/OVER class is recomputed.
+func (p *PCPU) acct() {
+	var weights float64
+	var live []*VCPU
+	for _, d := range p.hv.domains {
+		perVCPU := float64(d.Weight) / float64(len(d.vcpus))
+		for _, v := range d.vcpus {
+			if v.pcpu == p && v.state != StateDone {
+				live = append(live, v)
+				weights += perVCPU
+			}
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	for _, v := range live {
+		share := d2w(v.dom) / weights * float64(p.hv.cfg.CreditsPerAcct)
+		v.credits += int(share)
+		if v.credits > p.hv.cfg.CreditCap {
+			v.credits = p.hv.cfg.CreditCap
+		}
+		if v.credits > 0 {
+			v.prio = PrioUnder
+		} else {
+			v.prio = PrioOver
+		}
+		if v.state == StateRunnable {
+			v.requeue()
+		}
+	}
+	p.maybePreemptCurrent()
+}
+
+func d2w(d *Domain) float64 { return float64(d.Weight) / float64(len(d.vcpus)) }
+
+// maybePreemptCurrent preempts the running vCPU if a strictly higher-priority
+// vCPU is waiting on the run queue.
+func (p *PCPU) maybePreemptCurrent() {
+	if p.current == nil {
+		p.pickNext()
+		return
+	}
+	if head, ok := p.peek(); ok && head.Priority() < p.current.Priority() {
+		p.preempt()
+		p.pickNext()
+	}
+}
+
+// peek returns the highest-priority valid queued vCPU without removing it.
+func (p *PCPU) peek() (*VCPU, bool) {
+	for prio := 0; prio < int(numPrios); prio++ {
+		q := p.runq[prio]
+		for len(q) > 0 {
+			e := q[0]
+			if e.tok == e.v.tok && e.v.state == StateRunnable {
+				p.runq[prio] = q
+				return e.v, true
+			}
+			q = q[1:]
+		}
+		p.runq[prio] = q
+	}
+	return nil, false
+}
+
+// pop removes and returns the next vCPU to dispatch.
+func (p *PCPU) pop() (*VCPU, bool) {
+	for prio := 0; prio < int(numPrios); prio++ {
+		q := p.runq[prio]
+		for len(q) > 0 {
+			e := q[0]
+			q = q[1:]
+			if e.tok == e.v.tok && e.v.state == StateRunnable {
+				p.runq[prio] = q
+				return e.v, true
+			}
+		}
+		p.runq[prio] = q
+	}
+	return nil, false
+}
+
+// enqueue places a runnable vCPU at the tail of its priority queue.
+func (p *PCPU) enqueue(v *VCPU) {
+	v.tokBump()
+	p.runq[v.Priority()] = append(p.runq[v.Priority()], queueEntry{v, v.tok})
+}
+
+// requeue refreshes a queued vCPU's position after its priority changed.
+func (v *VCPU) requeue() {
+	v.pcpu.enqueue(v)
+}
+
+func (v *VCPU) tokBump() { v.tok++ }
+
+// pickNext dispatches the best runnable vCPU, or idles the pCPU.
+func (p *PCPU) pickNext() {
+	if p.current != nil {
+		return
+	}
+	for {
+		v, ok := p.pop()
+		if !ok {
+			return
+		}
+		if p.dispatch(v) {
+			return
+		}
+		// dispatch consumed a zero-run administrative burst; try again.
+	}
+}
+
+// dispatch puts v on the pCPU. It returns false if the vCPU's burst had no
+// CPU time to consume (pure IPI/halt/done transitions), in which case the
+// caller should pick another vCPU.
+func (p *PCPU) dispatch(v *VCPU) bool {
+	now := p.hv.k.Now()
+	if !v.havePend {
+		b := v.program.NextBurst(p.hv, v)
+		if b.Run < 0 {
+			panic(fmt.Sprintf("xen: %s returned negative Run %v", v, b.Run))
+		}
+		if b.Run == 0 && !b.Halt && !b.Done && b.Block == 0 && b.IOBytes == 0 {
+			panic(fmt.Sprintf("xen: %s returned a no-op burst (would livelock)", v))
+		}
+		v.pending = b
+		v.havePend = true
+		v.remaining = b.Run
+	}
+	if v.remaining == 0 {
+		v.finishBurst()
+		return false
+	}
+	v.state = StateRunning
+	v.runStart = now
+	v.dispatches++
+	p.current = v
+	p.idleTime += now - p.idleSince
+	p.idleSince = now
+	runFor := v.remaining
+	if runFor > p.hv.cfg.Timeslice {
+		runFor = p.hv.cfg.Timeslice
+	}
+	p.endEv = p.hv.k.After(runFor, p.sliceEnd)
+	return true
+}
+
+// sliceEnd fires when the current vCPU's burst completes or its timeslice
+// expires.
+func (p *PCPU) sliceEnd() {
+	v := p.current
+	if v == nil {
+		return
+	}
+	p.accountRun(v)
+	p.current = nil
+	p.idleSince = p.hv.k.Now()
+	p.endEv = nil
+	v.state = StateRunnable
+	if v.remaining <= 0 {
+		v.finishBurst()
+	} else {
+		// Timeslice expired: back to the tail of its class.
+		v.state = StateRunnable
+		p.enqueue(v)
+	}
+	p.pickNext()
+}
+
+// preempt removes the current vCPU from the pCPU mid-burst and requeues it.
+func (p *PCPU) preempt() {
+	v := p.current
+	if v == nil {
+		return
+	}
+	if p.endEv != nil {
+		p.endEv.Cancel()
+		p.endEv = nil
+	}
+	p.accountRun(v)
+	p.current = nil
+	p.idleSince = p.hv.k.Now()
+	v.state = StateRunnable
+	if v.remaining <= 0 {
+		v.finishBurst()
+		return
+	}
+	p.enqueue(v)
+}
+
+// accountRun charges the elapsed run to the vCPU and publishes the segment.
+func (p *PCPU) accountRun(v *VCPU) {
+	now := p.hv.k.Now()
+	start := v.runStart
+	elapsed := now - start
+	if elapsed <= 0 {
+		return
+	}
+	v.runStart = now // make repeated accounting of the same window a no-op
+	v.totalRun += elapsed
+	v.remaining -= elapsed
+	if p.hv.cfg.ExactAccounting {
+		charge := int(int64(elapsed) * int64(p.hv.cfg.CreditsPerTick) / int64(p.hv.cfg.TickPeriod))
+		v.credits -= charge
+		if v.credits < p.hv.cfg.CreditFloor {
+			v.credits = p.hv.cfg.CreditFloor
+		}
+		if v.credits <= 0 {
+			v.prio = PrioOver
+			v.boosted = false
+		}
+	}
+	for _, o := range p.hv.observers {
+		o.ObserveRunSegment(v, start, now)
+	}
+}
+
+// finishBurst applies the post-run actions of the completed burst.
+func (v *VCPU) finishBurst() {
+	hv := v.hv()
+	b := v.pending
+	v.havePend = false
+	v.remaining = 0
+	if b.BusLocks > 0 {
+		for _, o := range hv.busObservers {
+			o.ObserveBusLocks(v, hv.k.Now(), b.BusLocks)
+		}
+	}
+	if b.IPITo != nil {
+		hv.SendIPI(b.IPITo)
+	}
+	switch {
+	case b.Done:
+		v.retire()
+	case b.IOBytes > 0:
+		// Block on the shared storage device; wake at completion like an IO
+		// interrupt (boosting, as real IO wakeups do).
+		v.state = StateBlocked
+		done := hv.disk.submit(b.IOBytes)
+		delay := done - hv.k.Now()
+		if delay < 0 {
+			delay = 0
+		}
+		v.wakeEvent = hv.k.After(delay, func() {
+			v.wakeEvent = nil
+			v.wake(true)
+		})
+	case b.Halt:
+		v.state = StateBlocked
+	case b.Block > 0:
+		v.state = StateBlocked
+		v.wakeEvent = hv.k.After(b.Block, func() {
+			v.wakeEvent = nil
+			v.wake(true)
+		})
+	default:
+		// Yield: runnable again immediately, tail of its class.
+		v.state = StateRunnable
+		v.pcpu.enqueue(v)
+	}
+}
+
+// SendIPI delivers an inter-processor interrupt to the target vCPU after the
+// configured delivery latency. A wakeup of an UNDER vCPU grants BOOST.
+func (hv *Hypervisor) SendIPI(target *VCPU) {
+	hv.k.After(hv.cfg.IPILatency, func() { target.wake(true) })
+}
+
+// wake transitions a blocked vCPU to runnable. When boost is true and the
+// vCPU is in the UNDER class (and boosting is enabled), it enters BOOST and
+// preempts any lower-priority running vCPU.
+func (v *VCPU) wake(boost bool) {
+	if v.state != StateBlocked {
+		return // spurious wake of a live or finished vCPU
+	}
+	if v.wakeEvent != nil {
+		v.wakeEvent.Cancel()
+		v.wakeEvent = nil
+	}
+	hv := v.hv()
+	if boost && hv.cfg.BoostEnabled && v.prio == PrioUnder {
+		v.boosted = true
+	}
+	v.state = StateRunnable
+	v.lastWake = hv.k.Now()
+	p := v.pcpu
+	p.enqueue(v)
+	if p.current == nil {
+		p.pickNext()
+	} else if v.Priority() < p.current.Priority() {
+		p.preempt()
+		p.pickNext()
+	}
+}
+
+// pause blocks the vCPU wherever it is (used by the Suspension response).
+// An in-progress burst is retained and resumes after ResumeDomain.
+func (v *VCPU) pause() {
+	switch v.state {
+	case StateRunning:
+		p := v.pcpu
+		if p.endEv != nil {
+			p.endEv.Cancel()
+			p.endEv = nil
+		}
+		p.accountRun(v)
+		p.current = nil
+		p.idleSince = p.hv.k.Now()
+		v.state = StateBlocked
+		p.pickNext()
+	case StateRunnable:
+		v.tokBump() // invalidate queue entry
+		v.state = StateBlocked
+	case StateBlocked:
+		if v.wakeEvent != nil {
+			v.wakeEvent.Cancel()
+			v.wakeEvent = nil
+		}
+	}
+}
+
+// retire permanently removes the vCPU from scheduling.
+func (v *VCPU) retire() {
+	if v.state == StateDone {
+		return
+	}
+	hv := v.hv()
+	if v.state == StateRunning {
+		p := v.pcpu
+		if p.endEv != nil {
+			p.endEv.Cancel()
+			p.endEv = nil
+		}
+		p.accountRun(v)
+		p.current = nil
+		p.idleSince = hv.k.Now()
+		defer p.pickNext()
+	}
+	if v.wakeEvent != nil {
+		v.wakeEvent.Cancel()
+		v.wakeEvent = nil
+	}
+	v.tokBump()
+	v.state = StateDone
+	v.doneAt = hv.k.Now()
+}
