@@ -9,6 +9,7 @@ package attestsrv
 
 import (
 	"crypto/ed25519"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sync"
@@ -17,6 +18,7 @@ import (
 	"cloudmonatt/internal/cryptoutil"
 	"cloudmonatt/internal/interpret"
 	"cloudmonatt/internal/latency"
+	"cloudmonatt/internal/ledger"
 	"cloudmonatt/internal/metrics"
 	"cloudmonatt/internal/properties"
 	"cloudmonatt/internal/rpc"
@@ -67,6 +69,9 @@ type Config struct {
 	Latency  *latency.Model
 	Verify   secchan.VerifyPeer
 	Rand     io.Reader
+	// Ledger, when set, receives one evidence entry per appraised report
+	// (the durable trail behind the Property Certification Module).
+	Ledger *ledger.Ledger
 }
 
 // Server is the Attestation Server.
@@ -251,7 +256,32 @@ func (s *Server) Appraise(req wire.AppraisalRequest) (*wire.Report, error) {
 		TaskAllowlist:  vmRec.TaskAllowlist,
 		MinCPUShare:    vmRec.MinCPUShare,
 	})
+	s.recordAppraisal(&req, verdict)
 	return wire.BuildReport(s.cfg.Identity, req.Vid, req.ServerID, req.Prop, verdict, req.N2), nil
+}
+
+// recordAppraisal appends one evidence entry for an appraised report.
+// Appends are best-effort: a full or failing evidence store must not stop
+// the attestation path itself (the report is still signed and delivered).
+func (s *Server) recordAppraisal(req *wire.AppraisalRequest, v properties.Verdict) {
+	if s.cfg.Ledger == nil {
+		return
+	}
+	payload, err := json.Marshal(struct {
+		Server  string `json:"server"`
+		Healthy bool   `json:"healthy"`
+		Reason  string `json:"reason,omitempty"`
+	}{req.ServerID, v.Healthy, v.Reason})
+	if err != nil {
+		return
+	}
+	s.cfg.Ledger.Append(ledger.Entry{
+		At:      s.cfg.Clock.Now(),
+		Kind:    ledger.KindAppraisal,
+		Vid:     req.Vid,
+		Prop:    string(req.Prop),
+		Payload: payload,
+	})
 }
 
 // --- periodic attestation engine (paper §3.2.1, §5.2) ---

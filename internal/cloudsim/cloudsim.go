@@ -21,6 +21,7 @@ import (
 	"cloudmonatt/internal/guest"
 	"cloudmonatt/internal/image"
 	"cloudmonatt/internal/latency"
+	"cloudmonatt/internal/ledger"
 	"cloudmonatt/internal/monitor"
 	"cloudmonatt/internal/pca"
 	"cloudmonatt/internal/properties"
@@ -55,6 +56,10 @@ type Options struct {
 	// in-memory network; rpc.TCPNetwork{} runs the same entities over real
 	// loopback TCP (used by cmd/monatt-cloud and examples/distributed).
 	Network rpc.Network
+	// LedgerDir persists the evidence ledger under this directory so an
+	// auditor can replay the chain after the run (cmd/monatt-ledger).
+	// Empty keeps the ledger in process memory.
+	LedgerDir string
 }
 
 // Testbed is the assembled cloud.
@@ -70,6 +75,9 @@ type Testbed struct {
 	AttestServers []*attestsrv.Server
 	Ctrl          *controller.Controller
 	Servers       map[string]*server.Server
+	// Ledger is the shared evidence ledger: every appraisal, remediation,
+	// launch decision and pCA issuance chains into it.
+	Ledger *ledger.Ledger
 
 	// ControllerAddr is where the nova api listens (useful with TCP).
 	ControllerAddr string
@@ -122,11 +130,18 @@ func New(opts Options) (*Testbed, error) {
 		return l, l.Addr().String(), nil
 	}
 
+	led, err := ledger.Open(ledger.Options{Dir: opts.LedgerDir})
+	if err != nil {
+		return nil, err
+	}
+	tb.Ledger = led
+
 	caSrv, err := pca.New("privacy-ca", rand.Reader)
 	if err != nil {
 		return nil, err
 	}
 	tb.PCA = caSrv
+	caSrv.SetLedger(led, tb.Clock.Now)
 
 	if opts.AttestServers <= 0 {
 		opts.AttestServers = 1
@@ -187,6 +202,7 @@ func New(opts Options) (*Testbed, error) {
 			Latency:  tb.Lat,
 			Verify:   tb.Verify,
 			Rand:     rand.Reader,
+			Ledger:   led,
 		})
 		tb.AttestServers = append(tb.AttestServers, as)
 		al, addr, err := listen(id.Name)
@@ -223,6 +239,7 @@ func New(opts Options) (*Testbed, error) {
 		AutoRespond: true,
 		ImageTamper: tb.imageTamper,
 		Serialize:   &tb.opMu,
+		Ledger:      led,
 	})
 	for i, id := range attIDs {
 		tb.Ctrl.SetAttestKeyFor(i, id.Public())

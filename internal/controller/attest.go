@@ -5,6 +5,7 @@ import (
 
 	"cloudmonatt/internal/attestsrv"
 	"cloudmonatt/internal/cryptoutil"
+	"cloudmonatt/internal/ledger"
 	"cloudmonatt/internal/properties"
 	"cloudmonatt/internal/server"
 	"cloudmonatt/internal/wire"
@@ -182,6 +183,12 @@ func (c *Controller) Respond(vid string, p properties.Property, reason string) (
 	c.mu.Lock()
 	c.events = append(c.events, ev)
 	c.mu.Unlock()
+	c.record(ledger.KindRemediation, vid, p, struct {
+		Response   string `json:"response"`
+		Reason     string `json:"reason,omitempty"`
+		NewServer  string `json:"new_server,omitempty"`
+		Terminated bool   `json:"terminated,omitempty"`
+	}{string(kind), reason, ev.NewServer, ev.Terminated})
 	return ev, err
 }
 
@@ -243,7 +250,13 @@ func (c *Controller) ResumeVM(vid string) error {
 	if err != nil {
 		return err
 	}
-	return mgmt.Call(server.MethodResume, server.VidRequest{Vid: vid}, nil)
+	if err := mgmt.Call(server.MethodResume, server.VidRequest{Vid: vid}, nil); err != nil {
+		return err
+	}
+	c.record(ledger.KindRemediation, vid, "", struct {
+		Response string `json:"response"`
+	}{"resume"})
+	return nil
 }
 
 // RecheckAndResume implements the second half of the Suspension response

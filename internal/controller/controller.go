@@ -9,6 +9,7 @@
 package controller
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -19,6 +20,7 @@ import (
 	"cloudmonatt/internal/cryptoutil"
 	"cloudmonatt/internal/image"
 	"cloudmonatt/internal/latency"
+	"cloudmonatt/internal/ledger"
 	"cloudmonatt/internal/properties"
 	"cloudmonatt/internal/rpc"
 	"cloudmonatt/internal/secchan"
@@ -130,6 +132,9 @@ type Config struct {
 	// keeps exactly one logical operation driving virtual time while the
 	// channel/crypto layers stay concurrent.
 	Serialize *sync.Mutex
+	// Ledger, when set, receives evidence entries for launch decisions and
+	// executed remediation responses.
+	Ledger *ledger.Ledger
 }
 
 // Controller is the Cloud Controller.
@@ -168,6 +173,25 @@ func New(cfg Config) *Controller {
 		replay:     cryptoutil.NewReplayCache(4096),
 		policy:     cfg.Policy,
 	}
+}
+
+// record appends one evidence entry, best-effort: the ledger is the audit
+// trail, not a gate on the control path.
+func (c *Controller) record(kind ledger.Kind, vid string, prop properties.Property, payload any) {
+	if c.cfg.Ledger == nil {
+		return
+	}
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return
+	}
+	c.cfg.Ledger.Append(ledger.Entry{
+		At:      c.cfg.Clock.Now(),
+		Kind:    kind,
+		Vid:     vid,
+		Prop:    string(prop),
+		Payload: data,
+	})
 }
 
 // RegisterServer adds a cloud server to the scheduling pool.
@@ -436,6 +460,16 @@ func (c *Controller) LaunchVM(req LaunchRequest) (LaunchResult, error) {
 	c.mu.Unlock()
 
 	result := LaunchResult{Vid: vid}
+	// Every launch decision — accept or reject, with the placement and the
+	// rejection reason — leaves an evidence entry.
+	defer func() {
+		c.record(ledger.KindLaunch, vid, "", struct {
+			OK     bool   `json:"ok"`
+			Owner  string `json:"owner"`
+			Server string `json:"server,omitempty"`
+			Reason string `json:"reason,omitempty"`
+		}{result.OK, req.Owner, result.Server, result.Reason})
+	}()
 	stage := func(name string, d time.Duration) {
 		c.cfg.Clock.Advance(d)
 		result.Stages = append(result.Stages, StageTiming{Stage: name, Duration: d})

@@ -1,0 +1,70 @@
+package controller_test
+
+import (
+	"testing"
+	"time"
+
+	"cloudmonatt/internal/cloudsim"
+	"cloudmonatt/internal/properties"
+)
+
+// TestPeriodicFlowDrainsOnceStopIdempotent covers the full periodic
+// attestation lifecycle through the controller: results accumulate while the
+// stream is armed, a fetch hands each report to the customer exactly once,
+// and stopping an already-stopped stream is a harmless no-op rather than an
+// error.
+func TestPeriodicFlowDrainsOnceStopIdempotent(t *testing.T) {
+	tb, cu := newTB(t, cloudsim.Options{Seed: 72})
+	res, err := cu.Launch(req())
+	if err != nil || !res.OK {
+		t.Fatalf("launch: %v %s", err, res.Reason)
+	}
+	if err := cu.StartPeriodic(res.Vid, properties.CPUAvailability, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	tb.RunFor(16 * time.Second)
+	first, err := cu.FetchPeriodic(res.Vid, properties.CPUAvailability)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) < 2 {
+		t.Fatalf("got %d results over ~16s at 5s frequency", len(first))
+	}
+	// Drain exactly once: an immediate refetch returns nothing.
+	again, err := cu.FetchPeriodic(res.Vid, properties.CPUAvailability)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 0 {
+		t.Fatalf("refetch redelivered %d results", len(again))
+	}
+	// The stream keeps producing after a drain.
+	tb.RunFor(6 * time.Second)
+	more, err := cu.FetchPeriodic(res.Vid, properties.CPUAvailability)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(more) == 0 {
+		t.Fatal("stream went quiet after fetch")
+	}
+
+	// Stop returns any stragglers; a second stop is idempotent.
+	if _, err := cu.StopPeriodic(res.Vid, properties.CPUAvailability); err != nil {
+		t.Fatal(err)
+	}
+	left, err := cu.StopPeriodic(res.Vid, properties.CPUAvailability)
+	if err != nil {
+		t.Fatalf("second stop errored: %v", err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("second stop surfaced %d results", len(left))
+	}
+	// And nothing is produced once stopped.
+	tb.RunFor(10 * time.Second)
+	if vs, err := cu.FetchPeriodic(res.Vid, properties.CPUAvailability); err != nil {
+		t.Fatal(err)
+	} else if len(vs) != 0 {
+		t.Fatalf("%d results produced after stop", len(vs))
+	}
+}

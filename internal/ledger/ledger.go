@@ -1,0 +1,877 @@
+// Package ledger is the evidence layer behind CloudMonatt's Property
+// Certification Module (paper §3.2.3, §3.4): an append-only, hash-chained
+// attestation evidence ledger. Every appraisal report, remediation event
+// and pCA certificate issuance is recorded as an entry carrying
+// H(prevHash ‖ payload), so the full attestation history is provable after
+// the fact: any single-bit mutation of a committed entry breaks the chain,
+// and an auditor can independently replay it (cmd/monatt-ledger).
+//
+// Writes go through a group-commit writer: concurrent appenders enqueue
+// onto a batch and block; one of them becomes the committer and flushes the
+// whole batch with a single serialization + write + fsync, so heavy
+// traffic amortizes the durability cost (the classic WAL group commit).
+// Storage is segmented; recovery after a crash truncates a torn tail back
+// to the longest valid prefix, and compaction retires old segments behind
+// a snapshot of the chain state. Checkpoints (head seq + hash) are
+// ed25519-signable for out-of-band anchoring.
+package ledger
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"cloudmonatt/internal/cryptoutil"
+	"cloudmonatt/internal/metrics"
+)
+
+// Kind classifies an evidence entry.
+type Kind string
+
+// The entry kinds produced across the stack.
+const (
+	// KindAppraisal is one appraised attestation report (attestsrv).
+	KindAppraisal Kind = "appraisal"
+	// KindRemediation is one executed Response Module action (controller):
+	// termination, suspension, migration, or resume.
+	KindRemediation Kind = "remediation"
+	// KindLaunch is one launch decision (controller).
+	KindLaunch Kind = "launch"
+	// KindCertIssue is one pCA attestation-key certificate issuance.
+	KindCertIssue Kind = "cert-issue"
+)
+
+// Entry is one committed evidence record. Seq, PrevHash and Hash are
+// assigned by the ledger at commit time.
+type Entry struct {
+	Seq      uint64
+	At       time.Duration // virtual time of the recorded event
+	Kind     Kind
+	Vid      string
+	Prop     string
+	Payload  []byte
+	PrevHash [32]byte
+	Hash     [32]byte
+}
+
+// entryHash computes Hash = H(prevHash ‖ seq ‖ at ‖ kind ‖ vid ‖ prop ‖
+// payload) with the domain-separated injective encoding of cryptoutil.Hash.
+func entryHash(prev [32]byte, seq uint64, at time.Duration, kind Kind, vid, prop string, payload []byte) [32]byte {
+	var seqB, atB [8]byte
+	binary.BigEndian.PutUint64(seqB[:], seq)
+	binary.BigEndian.PutUint64(atB[:], uint64(at))
+	return cryptoutil.Hash("ledger-entry", prev[:], seqB[:], atB[:], []byte(kind), []byte(vid), []byte(prop), payload)
+}
+
+// --- on-disk frame format ---
+//
+//	u32 frameLen                (bytes after this field)
+//	u64 seq
+//	u64 at                      (virtual nanoseconds)
+//	u16 len(kind)  ‖ kind
+//	u16 len(vid)   ‖ vid
+//	u16 len(prop)  ‖ prop
+//	u32 len(payload) ‖ payload
+//	prevHash[32]
+//	hash[32]
+//
+// The trailing hashes make every frame self-authenticating: recovery can
+// tell a torn or mutated record from a good one without a separate CRC.
+
+const (
+	frameHeader   = 4
+	maxSmallField = 1 << 16
+	maxPayload    = 1 << 24
+)
+
+func frameSize(e *Entry) int {
+	return 8 + 8 + 2 + len(e.Kind) + 2 + len(e.Vid) + 2 + len(e.Prop) + 4 + len(e.Payload) + 32 + 32
+}
+
+func appendFrame(buf []byte, e *Entry) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(frameSize(e)))
+	buf = binary.BigEndian.AppendUint64(buf, e.Seq)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(e.At))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.Kind)))
+	buf = append(buf, e.Kind...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.Vid)))
+	buf = append(buf, e.Vid...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.Prop)))
+	buf = append(buf, e.Prop...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.Payload)))
+	buf = append(buf, e.Payload...)
+	buf = append(buf, e.PrevHash[:]...)
+	buf = append(buf, e.Hash[:]...)
+	return buf
+}
+
+// decodeFrame parses one frame body (after the length prefix).
+func decodeFrame(body []byte) (Entry, error) {
+	var e Entry
+	take := func(n int) ([]byte, bool) {
+		if len(body) < n {
+			return nil, false
+		}
+		out := body[:n]
+		body = body[n:]
+		return out, true
+	}
+	fixed, ok := take(16)
+	if !ok {
+		return e, errors.New("ledger: short frame")
+	}
+	e.Seq = binary.BigEndian.Uint64(fixed[:8])
+	e.At = time.Duration(binary.BigEndian.Uint64(fixed[8:]))
+	str := func() (string, bool) {
+		lb, ok := take(2)
+		if !ok {
+			return "", false
+		}
+		b, ok := take(int(binary.BigEndian.Uint16(lb)))
+		return string(b), ok
+	}
+	kind, ok1 := str()
+	vid, ok2 := str()
+	prop, ok3 := str()
+	if !ok1 || !ok2 || !ok3 {
+		return e, errors.New("ledger: short frame")
+	}
+	e.Kind, e.Vid, e.Prop = Kind(kind), vid, prop
+	plb, ok := take(4)
+	if !ok {
+		return e, errors.New("ledger: short frame")
+	}
+	pl, ok := take(int(binary.BigEndian.Uint32(plb)))
+	if !ok {
+		return e, errors.New("ledger: short frame")
+	}
+	if len(pl) > 0 {
+		e.Payload = append([]byte(nil), pl...)
+	}
+	prev, ok4 := take(32)
+	h, ok5 := take(32)
+	if !ok4 || !ok5 || len(body) != 0 {
+		return e, errors.New("ledger: malformed frame")
+	}
+	copy(e.PrevHash[:], prev)
+	copy(e.Hash[:], h)
+	return e, nil
+}
+
+// --- snapshot (compaction base) ---
+
+// SnapshotFile is the auxiliary file naming the chain state that precedes
+// the oldest retained segment.
+const SnapshotFile = "SNAPSHOT"
+
+var snapMagic = []byte("MONATT-LEDGER-SNAP1\n")
+
+// snapshot is the chain state at a compaction boundary: entries up to and
+// including Seq have been retired; Hash is the hash of entry Seq (or the
+// zero hash when Seq == 0, the genesis state).
+type snapshot struct {
+	Seq  uint64
+	Hash [32]byte
+}
+
+func encodeSnapshot(s snapshot) []byte {
+	buf := append([]byte(nil), snapMagic...)
+	buf = binary.BigEndian.AppendUint64(buf, s.Seq)
+	return append(buf, s.Hash[:]...)
+}
+
+func decodeSnapshot(data []byte) (snapshot, error) {
+	var s snapshot
+	if len(data) != len(snapMagic)+8+32 || string(data[:len(snapMagic)]) != string(snapMagic) {
+		return s, errors.New("ledger: malformed snapshot")
+	}
+	data = data[len(snapMagic):]
+	s.Seq = binary.BigEndian.Uint64(data[:8])
+	copy(s.Hash[:], data[8:])
+	return s, nil
+}
+
+// --- ledger ---
+
+// Options configures a ledger.
+type Options struct {
+	// Dir is the storage directory. Empty selects an in-process store:
+	// fully functional (chaining, recovery semantics, queries) but not
+	// durable across the process.
+	Dir string
+	// ReadOnly opens an existing on-disk ledger for auditing: appends and
+	// compaction are rejected, and a torn tail is an error, not repaired.
+	ReadOnly bool
+	// MaxSegmentBytes rolls the active segment when it exceeds this size.
+	// Default 1 MiB.
+	MaxSegmentBytes int64
+	// NoSync skips the per-flush fsync (benchmarks; never production).
+	NoSync bool
+	// Metrics receives append/flush latency and batch-size summaries.
+	// A private registry is created when nil.
+	Metrics *metrics.Registry
+}
+
+// ErrClosed is returned by operations on a closed ledger.
+var ErrClosed = errors.New("ledger: closed")
+
+type segment struct {
+	name     string
+	file     segFile
+	firstSeq uint64
+	size     int64
+}
+
+// loc addresses one committed frame.
+type loc struct {
+	seg int
+	off int64
+	n   int32
+}
+
+type waiter struct {
+	in    Entry
+	start time.Time
+	out   Entry
+	err   error
+	done  chan struct{}
+}
+
+// Ledger is the append-only hash-chained evidence ledger.
+type Ledger struct {
+	opts Options
+	st   store
+
+	reg       *metrics.Registry
+	appendSum *metrics.Summary
+	flushSum  *metrics.Summary
+	batchSum  *metrics.IntSummary
+
+	mu         sync.Mutex
+	cond       *sync.Cond // signaled when a commit round finishes
+	closed     bool
+	committing bool
+	queue      []*waiter
+
+	base     snapshot // chain state before the first indexed entry
+	headSeq  uint64
+	headHash [32]byte
+
+	segs     []*segment
+	locs     []loc // locs[i] addresses seq base.Seq+1+i
+	postings map[string][]uint64
+}
+
+// Open opens (creating or recovering as needed) the ledger described by
+// opts. In read-write mode a torn tail left by a crash is truncated back
+// to the longest valid prefix before the ledger accepts new appends.
+func Open(opts Options) (*Ledger, error) {
+	if opts.MaxSegmentBytes <= 0 {
+		opts.MaxSegmentBytes = 1 << 20
+	}
+	var st store
+	var err error
+	if opts.Dir == "" {
+		if opts.ReadOnly {
+			return nil, errors.New("ledger: read-only requires a directory")
+		}
+		st = newMemStore()
+	} else {
+		st, err = newDirStore(opts.Dir, opts.ReadOnly)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return open(opts, st)
+}
+
+func open(opts Options, st store) (*Ledger, error) {
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	l := &Ledger{
+		opts:      opts,
+		st:        st,
+		reg:       reg,
+		appendSum: reg.Summary("ledger/append"),
+		flushSum:  reg.Summary("ledger/flush"),
+		batchSum:  reg.IntSummary("ledger/batch-size"),
+		postings:  make(map[string][]uint64),
+	}
+	l.cond = sync.NewCond(&l.mu)
+
+	if data, ok, err := st.ReadAux(SnapshotFile); err != nil {
+		return nil, err
+	} else if ok {
+		if l.base, err = decodeSnapshot(data); err != nil {
+			return nil, err
+		}
+	}
+	l.headSeq, l.headHash = l.base.Seq, l.base.Hash
+
+	names, err := st.Segments()
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		f, err := st.Open(name)
+		if err != nil {
+			return nil, err
+		}
+		seg := &segment{name: name, file: f, firstSeq: l.headSeq + 1}
+		good, err := l.scanSegment(seg, len(l.segs))
+		if err != nil {
+			if opts.ReadOnly {
+				return nil, fmt.Errorf("ledger: segment %s: %w", name, err)
+			}
+			// Crash recovery: keep the longest valid prefix. The bad
+			// suffix of this segment is truncated and any later segments
+			// (which can no longer chain) are dropped.
+			if good == 0 {
+				f.Close()
+				if rerr := st.Remove(name); rerr != nil {
+					return nil, rerr
+				}
+			} else {
+				if terr := f.Truncate(good); terr != nil {
+					return nil, terr
+				}
+				seg.size = good
+				l.segs = append(l.segs, seg)
+			}
+			for _, later := range names[i+1:] {
+				if rerr := st.Remove(later); rerr != nil {
+					return nil, rerr
+				}
+			}
+			return l, nil
+		}
+		seg.size = good
+		l.segs = append(l.segs, seg)
+	}
+	return l, nil
+}
+
+// scanSegment replays one segment's frames, extending the chain state and
+// index. It returns the offset of the first invalid byte (== size when the
+// segment is fully valid) and an error describing why scanning stopped
+// early, if it did.
+func (l *Ledger) scanSegment(seg *segment, segIdx int) (int64, error) {
+	size, err := seg.file.Size()
+	if err != nil {
+		return 0, err
+	}
+	var off int64
+	var hdr [frameHeader]byte
+	for off < size {
+		if size-off < frameHeader {
+			return off, errors.New("torn frame header")
+		}
+		if _, err := io.ReadFull(io.NewSectionReader(seg.file, off, frameHeader), hdr[:]); err != nil {
+			return off, err
+		}
+		n := int64(binary.BigEndian.Uint32(hdr[:]))
+		if n <= 0 || n > frameHeader+maxPayload || off+frameHeader+n > size {
+			return off, errors.New("torn or oversized frame")
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(io.NewSectionReader(seg.file, off+frameHeader, n), body); err != nil {
+			return off, err
+		}
+		e, err := decodeFrame(body)
+		if err != nil {
+			return off, err
+		}
+		if e.Seq != l.headSeq+1 {
+			return off, fmt.Errorf("seq %d where %d expected", e.Seq, l.headSeq+1)
+		}
+		if e.PrevHash != l.headHash {
+			return off, fmt.Errorf("entry %d does not chain from its predecessor", e.Seq)
+		}
+		if e.Hash != entryHash(e.PrevHash, e.Seq, e.At, e.Kind, e.Vid, e.Prop, e.Payload) {
+			return off, fmt.Errorf("entry %d hash mismatch", e.Seq)
+		}
+		l.indexEntry(&e, loc{seg: segIdx, off: off, n: int32(frameHeader + n)})
+		l.headSeq, l.headHash = e.Seq, e.Hash
+		off += frameHeader + n
+	}
+	return off, nil
+}
+
+// indexEntry records the location and postings of one committed entry.
+// Callers hold l.mu or are still single-threaded (open/scan/commit role).
+func (l *Ledger) indexEntry(e *Entry, lc loc) {
+	l.locs = append(l.locs, lc)
+	l.postings["v:"+e.Vid] = append(l.postings["v:"+e.Vid], e.Seq)
+	l.postings["k:"+string(e.Kind)] = append(l.postings["k:"+string(e.Kind)], e.Seq)
+	if e.Prop != "" {
+		l.postings["p:"+e.Prop] = append(l.postings["p:"+e.Prop], e.Seq)
+	}
+}
+
+// Metrics returns the registry holding the ledger's summaries.
+func (l *Ledger) Metrics() *metrics.Registry { return l.reg }
+
+// Head returns the current chain head (seq, hash).
+func (l *Ledger) Head() (uint64, [32]byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.headSeq, l.headHash
+}
+
+// Len returns the number of entries currently queryable (post-compaction).
+func (l *Ledger) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.locs)
+}
+
+// Append durably commits one entry and returns it with Seq/PrevHash/Hash
+// assigned. Concurrent appenders are group-committed: all entries queued
+// while a flush is in flight are serialized and fsynced together by the
+// next committer, so the per-append durability cost is amortized across
+// the batch.
+func (l *Ledger) Append(e Entry) (Entry, error) {
+	if e.Kind == "" {
+		return Entry{}, errors.New("ledger: entry kind required")
+	}
+	if len(e.Vid) >= maxSmallField || len(e.Prop) >= maxSmallField || len(string(e.Kind)) >= maxSmallField {
+		return Entry{}, errors.New("ledger: field too large")
+	}
+	if len(e.Payload) > maxPayload {
+		return Entry{}, errors.New("ledger: payload too large")
+	}
+	if l.opts.ReadOnly {
+		return Entry{}, errors.New("ledger: read-only")
+	}
+	w := &waiter{in: e, start: time.Now(), done: make(chan struct{})}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return Entry{}, ErrClosed
+	}
+	l.queue = append(l.queue, w)
+	if l.committing {
+		// A committer is active: it (or its successor) will flush us.
+		l.mu.Unlock()
+		<-w.done
+	} else {
+		// Become the committer and drain batches until the queue is empty.
+		l.committing = true
+		for len(l.queue) > 0 {
+			batch := l.queue
+			l.queue = nil
+			l.mu.Unlock()
+			l.commit(batch)
+			l.mu.Lock()
+		}
+		l.committing = false
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	}
+	l.appendSum.Observe(time.Since(w.start))
+	return w.out, w.err
+}
+
+// commit flushes one batch: a single serialization, write and fsync for
+// every queued entry. Only the committer runs here, so chain state reads
+// are exclusive; mutations happen back under l.mu.
+func (l *Ledger) commit(batch []*waiter) {
+	flushStart := time.Now()
+
+	l.mu.Lock()
+	seq, prev := l.headSeq, l.headHash
+	seg, err := l.activeSegmentLocked(seq + 1)
+	l.mu.Unlock()
+	if err != nil {
+		finishBatch(batch, err)
+		return
+	}
+
+	// Serialize the whole batch against the running chain.
+	buf := make([]byte, 0, 256*len(batch))
+	offs := make([]loc, len(batch))
+	segIdx := l.segIndex(seg)
+	writeOff := seg.size
+	for i, w := range batch {
+		e := w.in
+		seq++
+		e.Seq = seq
+		e.PrevHash = prev
+		e.Hash = entryHash(prev, e.Seq, e.At, e.Kind, e.Vid, e.Prop, e.Payload)
+		prev = e.Hash
+		start := len(buf)
+		buf = appendFrame(buf, &e)
+		offs[i] = loc{seg: segIdx, off: writeOff + int64(start), n: int32(len(buf) - start)}
+		w.out = e
+	}
+
+	if _, err := seg.file.Write(buf); err != nil {
+		seg.file.Truncate(seg.size)
+		finishBatch(batch, fmt.Errorf("ledger: write: %w", err))
+		return
+	}
+	if !l.opts.NoSync {
+		if err := seg.file.Sync(); err != nil {
+			seg.file.Truncate(seg.size)
+			finishBatch(batch, fmt.Errorf("ledger: fsync: %w", err))
+			return
+		}
+	}
+
+	// Publish: index the batch and advance the head.
+	l.mu.Lock()
+	for i, w := range batch {
+		l.indexEntry(&w.out, offs[i])
+	}
+	seg.size += int64(len(buf))
+	l.headSeq = seq
+	l.headHash = prev
+	l.mu.Unlock()
+
+	finishBatch(batch, nil)
+	l.flushSum.Observe(time.Since(flushStart))
+	l.batchSum.Observe(int64(len(batch)))
+}
+
+func finishBatch(batch []*waiter, err error) {
+	for _, w := range batch {
+		if err != nil {
+			w.err = err
+			w.out = Entry{}
+		}
+		close(w.done)
+	}
+}
+
+// activeSegmentLocked returns the segment to append to, rolling to a new
+// one when the active segment is over the size threshold.
+func (l *Ledger) activeSegmentLocked(nextSeq uint64) (*segment, error) {
+	if n := len(l.segs); n > 0 && l.segs[n-1].size < l.opts.MaxSegmentBytes {
+		return l.segs[n-1], nil
+	}
+	name := segName(nextSeq)
+	f, err := l.st.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	seg := &segment{name: name, file: f, firstSeq: nextSeq}
+	l.segs = append(l.segs, seg)
+	return seg, nil
+}
+
+func (l *Ledger) segIndex(seg *segment) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i, s := range l.segs {
+		if s == seg {
+			return i
+		}
+	}
+	return -1
+}
+
+// --- queries ---
+
+// Filter selects entries. Zero fields match everything; From/To bound the
+// virtual event time inclusively (To == 0 means unbounded above).
+type Filter struct {
+	Vid   string
+	Kind  Kind
+	Prop  string
+	From  time.Duration
+	To    time.Duration
+	Limit int
+}
+
+func (f *Filter) match(e *Entry) bool {
+	if f.Vid != "" && e.Vid != f.Vid {
+		return false
+	}
+	if f.Kind != "" && e.Kind != f.Kind {
+		return false
+	}
+	if f.Prop != "" && e.Prop != f.Prop {
+		return false
+	}
+	if e.At < f.From {
+		return false
+	}
+	if f.To > 0 && e.At > f.To {
+		return false
+	}
+	return true
+}
+
+// Query returns the committed entries matching f in chain order, using the
+// smallest applicable posting list (by VM, kind, or property) as the
+// candidate set.
+func (l *Ledger) Query(f Filter) ([]Entry, error) {
+	l.mu.Lock()
+	var cands []uint64
+	narrowed := false
+	consider := func(key string) {
+		p, ok := l.postings[key]
+		if !narrowed || (ok && len(p) < len(cands)) {
+			cands, narrowed = p, true
+		}
+		if !ok {
+			cands = nil
+		}
+	}
+	if f.Vid != "" {
+		consider("v:" + f.Vid)
+	}
+	if f.Kind != "" {
+		consider("k:" + string(f.Kind))
+	}
+	if f.Prop != "" {
+		consider("p:" + f.Prop)
+	}
+	if !narrowed {
+		cands = make([]uint64, 0, len(l.locs))
+		for i := range l.locs {
+			cands = append(cands, l.base.Seq+1+uint64(i))
+		}
+	} else {
+		cands = append([]uint64(nil), cands...)
+	}
+	l.mu.Unlock()
+
+	var out []Entry
+	for _, seq := range cands {
+		e, err := l.Entry(seq)
+		if err != nil {
+			return nil, err
+		}
+		if !f.match(&e) {
+			continue
+		}
+		out = append(out, e)
+		if f.Limit > 0 && len(out) >= f.Limit {
+			break
+		}
+	}
+	return out, nil
+}
+
+// Entry reads one committed entry by sequence number.
+func (l *Ledger) Entry(seq uint64) (Entry, error) {
+	l.mu.Lock()
+	if seq <= l.base.Seq || seq > l.base.Seq+uint64(len(l.locs)) {
+		l.mu.Unlock()
+		return Entry{}, fmt.Errorf("ledger: no entry %d", seq)
+	}
+	lc := l.locs[seq-l.base.Seq-1]
+	file := l.segs[lc.seg].file
+	l.mu.Unlock()
+
+	frame := make([]byte, lc.n)
+	if _, err := io.ReadFull(io.NewSectionReader(file, lc.off, int64(len(frame))), frame); err != nil {
+		return Entry{}, err
+	}
+	// The length prefix is part of the committed bytes: a mutated prefix is
+	// framing corruption even though the hash only covers the fields.
+	if binary.BigEndian.Uint32(frame[:frameHeader]) != uint32(lc.n-frameHeader) {
+		return Entry{}, fmt.Errorf("ledger: entry %d frame length corrupted", seq)
+	}
+	return decodeFrame(frame[frameHeader:])
+}
+
+// --- verification ---
+
+// Verify replays the whole retained chain from the compaction base,
+// recomputing every entry hash and link, and checks the result against the
+// in-memory head. It returns the number of entries verified. Any mutation
+// of a committed byte — payload, metadata, or either hash — fails it.
+func (l *Ledger) Verify() (int, error) {
+	l.mu.Lock()
+	base := l.base
+	headSeq, headHash := l.headSeq, l.headHash
+	l.mu.Unlock()
+
+	prev := base.Hash
+	n := 0
+	for seq := base.Seq + 1; seq <= headSeq; seq++ {
+		e, err := l.Entry(seq)
+		if err != nil {
+			return n, fmt.Errorf("ledger: verify at %d: %w", seq, err)
+		}
+		if e.Seq != seq {
+			return n, fmt.Errorf("ledger: verify: entry %d records seq %d", seq, e.Seq)
+		}
+		if e.PrevHash != prev {
+			return n, fmt.Errorf("ledger: verify: chain broken at %d", seq)
+		}
+		want := entryHash(prev, e.Seq, e.At, e.Kind, e.Vid, e.Prop, e.Payload)
+		if e.Hash != want {
+			return n, fmt.Errorf("ledger: verify: hash mismatch at %d", seq)
+		}
+		prev = e.Hash
+		n++
+	}
+	if prev != headHash {
+		return n, errors.New("ledger: verify: head hash mismatch")
+	}
+	return n, nil
+}
+
+// Checkpoint is a signed chain head: anchoring it out of band commits the
+// operator to the entire history below it.
+type Checkpoint struct {
+	Seq    uint64
+	Hash   [32]byte
+	Signer string
+	Sig    []byte
+}
+
+func checkpointBody(seq uint64, hash [32]byte, signer string) []byte {
+	var seqB [8]byte
+	binary.BigEndian.PutUint64(seqB[:], seq)
+	sum := cryptoutil.Hash("ledger-checkpoint", seqB[:], hash[:], []byte(signer))
+	return sum[:]
+}
+
+// Checkpoint signs the current chain head with signer's identity key.
+func (l *Ledger) Checkpoint(signer *cryptoutil.Identity) Checkpoint {
+	seq, hash := l.Head()
+	return Checkpoint{
+		Seq:    seq,
+		Hash:   hash,
+		Signer: signer.Name,
+		Sig:    signer.Sign(checkpointBody(seq, hash, signer.Name)),
+	}
+}
+
+// VerifyCheckpoint checks cp's signature under pub.
+func VerifyCheckpoint(cp Checkpoint, pub []byte) error {
+	if !cryptoutil.Verify(pub, checkpointBody(cp.Seq, cp.Hash, cp.Signer), cp.Sig) {
+		return errors.New("ledger: checkpoint signature invalid")
+	}
+	return nil
+}
+
+// --- compaction ---
+
+// Compact retires sealed segments whose entries all precede keepFrom,
+// recording the chain state at the boundary in the snapshot file. Verify
+// and queries afterwards cover seqs > the new base; the snapshot hash
+// keeps the retained suffix anchored to the full history.
+func (l *Ledger) Compact(keepFrom uint64) error {
+	if l.opts.ReadOnly {
+		return errors.New("ledger: read-only")
+	}
+	l.mu.Lock()
+	for l.committing {
+		l.cond.Wait()
+	}
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	// A segment is removable if it is sealed (not the last) and every one
+	// of its entries is below keepFrom (i.e. the next segment starts at or
+	// below keepFrom).
+	removable := 0
+	for removable < len(l.segs)-1 && l.segs[removable+1].firstSeq <= keepFrom {
+		removable++
+	}
+	if removable == 0 {
+		l.mu.Unlock()
+		return nil
+	}
+	boundary := l.segs[removable].firstSeq - 1 // last retired seq
+	l.mu.Unlock()
+
+	bEntry, err := l.Entry(boundary)
+	if err != nil {
+		return err
+	}
+	snap := snapshot{Seq: boundary, Hash: bEntry.Hash}
+	if err := l.st.WriteAux(SnapshotFile, encodeSnapshot(snap)); err != nil {
+		return err
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	retired := l.segs[:removable]
+	l.segs = append([]*segment(nil), l.segs[removable:]...)
+	drop := int(boundary - l.base.Seq)
+	l.locs = append([]loc(nil), l.locs[drop:]...)
+	for i := range l.locs {
+		l.locs[i].seg -= removable
+	}
+	for key, seqs := range l.postings {
+		kept := seqs[:0]
+		for _, s := range seqs {
+			if s > boundary {
+				kept = append(kept, s)
+			}
+		}
+		if len(kept) == 0 {
+			delete(l.postings, key)
+		} else {
+			l.postings[key] = kept
+		}
+	}
+	l.base = snap
+	for _, seg := range retired {
+		seg.file.Close()
+		if err := l.st.Remove(seg.name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close waits for in-flight commits and releases the segment files.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.committing {
+		l.cond.Wait()
+	}
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	var first error
+	for _, seg := range l.segs {
+		if err := seg.file.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// --- auditing ---
+
+// AuditResult summarizes an independent chain replay.
+type AuditResult struct {
+	BaseSeq  uint64
+	HeadSeq  uint64
+	HeadHash [32]byte
+	Entries  int
+}
+
+// Audit opens the on-disk ledger at dir read-only and replays its chain
+// from the snapshot base, failing on any broken link, mutated entry, or
+// torn tail. It is the auditor's entry point (cmd/monatt-ledger verify):
+// it shares no state with the writing process.
+func Audit(dir string) (AuditResult, error) {
+	l, err := Open(Options{Dir: dir, ReadOnly: true})
+	if err != nil {
+		return AuditResult{}, err
+	}
+	defer l.Close()
+	n, err := l.Verify()
+	if err != nil {
+		return AuditResult{}, err
+	}
+	seq, hash := l.Head()
+	return AuditResult{BaseSeq: l.base.Seq, HeadSeq: seq, HeadHash: hash, Entries: n}, nil
+}

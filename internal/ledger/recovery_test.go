@@ -1,0 +1,213 @@
+package ledger
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// fillLedger writes n entries to a fresh on-disk ledger and returns the
+// directory and the committed entries.
+func fillLedger(t *testing.T, n int, segBytes int64) (string, []Entry) {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "ledger")
+	l, err := Open(Options{Dir: dir, MaxSegmentBytes: segBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := make([]Entry, 0, n)
+	for i := 0; i < n; i++ {
+		e, err := l.Append(Entry{
+			At:      time.Duration(i) * time.Millisecond,
+			Kind:    KindAppraisal,
+			Vid:     fmt.Sprintf("vm-%04d", i),
+			Prop:    "runtime-integrity",
+			Payload: []byte(fmt.Sprintf(`{"seq":%d}`, i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries = append(entries, e)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir, entries
+}
+
+func lastSegment(t *testing.T, dir string) (string, int64) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var name string
+	for _, e := range ents {
+		if isSegName(e.Name()) {
+			name = e.Name() // sorted ascending: keep the last
+		}
+	}
+	if name == "" {
+		t.Fatal("no segments on disk")
+	}
+	st, err := os.Stat(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, name), st.Size()
+}
+
+// TestRecoveryTruncatesTornTail simulates a kill during append: the last
+// frame is half-written. Reopening must keep the longest valid prefix and
+// the chain must verify.
+func TestRecoveryTruncatesTornTail(t *testing.T) {
+	const n = 12
+	dir, entries := fillLedger(t, n, 1<<20)
+	seg, size := lastSegment(t, dir)
+
+	// Tear the tail: chop off the second half of the final frame.
+	lastFrame := int64(frameHeader + frameSize(&entries[n-1]))
+	if err := os.Truncate(seg, size-lastFrame/2); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	seq, hash := l.Head()
+	if seq != n-1 || hash != entries[n-2].Hash {
+		t.Fatalf("recovered head %d, want %d", seq, n-1)
+	}
+	if got, err := l.Verify(); err != nil || got != n-1 {
+		t.Fatalf("post-recovery Verify = %d, %v", got, err)
+	}
+	// The ledger accepts appends again and they chain from the kept prefix.
+	e, err := l.Append(Entry{Kind: KindRemediation, Vid: "vm-new"})
+	if err != nil || e.Seq != n || e.PrevHash != entries[n-2].Hash {
+		t.Fatalf("post-recovery append %+v, %v", e, err)
+	}
+	if _, err := l.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoveryCorruptTailByte corrupts a byte inside the final frame (not
+// a clean truncation). Recovery must still cut back to the longest valid
+// prefix.
+func TestRecoveryCorruptTailByte(t *testing.T) {
+	const n = 8
+	dir, entries := fillLedger(t, n, 1<<20)
+	seg, size := lastSegment(t, dir)
+
+	f, err := os.OpenFile(seg, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the middle of the last frame's fields.
+	lastFrame := int64(frameHeader + frameSize(&entries[n-1]))
+	off := size - lastFrame + frameHeader + 20
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x40
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if seq, _ := l.Head(); seq != n-1 {
+		t.Fatalf("recovered head %d, want %d", seq, n-1)
+	}
+	if got, err := l.Verify(); err != nil || got != n-1 {
+		t.Fatalf("post-recovery Verify = %d, %v", got, err)
+	}
+}
+
+// TestRecoveryMidChainCorruptionDropsSuffix corrupts an entry in a sealed
+// (non-final) segment: everything after it can no longer chain, so
+// recovery keeps only the prefix before the corruption and removes the
+// unverifiable later segments.
+func TestRecoveryMidChainCorruptionDropsSuffix(t *testing.T) {
+	const n = 30
+	dir, _ := fillLedger(t, n, 256) // tiny segments: several rolls
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs []string
+	for _, e := range ents {
+		if isSegName(e.Name()) {
+			segs = append(segs, e.Name())
+		}
+	}
+	if len(segs) < 3 {
+		t.Fatalf("want ≥3 segments, got %v", segs)
+	}
+	// Corrupt the first byte of the second segment's first frame body.
+	target := filepath.Join(dir, segs[1])
+	f, err := os.OpenFile(target, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], frameHeader); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x01
+	if _, err := f.WriteAt(b[:], frameHeader); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	seq, _ := l.Head()
+	if seq == 0 || seq >= n {
+		t.Fatalf("recovered head %d, want a proper prefix of %d", seq, n)
+	}
+	if got, err := l.Verify(); err != nil || got != int(seq) {
+		t.Fatalf("post-recovery Verify = %d, %v (head %d)", got, err, seq)
+	}
+	// The corrupt and later segments are gone from disk.
+	left, _ := os.ReadDir(dir)
+	for _, e := range left {
+		if e.Name() == segs[1] || e.Name() == segs[2] {
+			t.Fatalf("unverifiable segment %s still present", e.Name())
+		}
+	}
+}
+
+// TestAuditRejectsTornLedger: the read-only auditor must refuse a torn
+// tail rather than silently repairing it.
+func TestAuditRejectsTornLedger(t *testing.T) {
+	dir, _ := fillLedger(t, 6, 1<<20)
+	seg, size := lastSegment(t, dir)
+	if err := os.Truncate(seg, size-10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Audit(dir); err == nil {
+		t.Fatal("audit accepted a torn ledger")
+	}
+	// A writing reopen repairs it; the auditor is then satisfied.
+	l, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if res, err := Audit(dir); err != nil || res.HeadSeq != 5 {
+		t.Fatalf("audit after repair = %+v, %v", res, err)
+	}
+}

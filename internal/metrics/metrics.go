@@ -106,15 +106,105 @@ func (s *Summary) String() string {
 		s.Min().Round(time.Millisecond), s.Max().Round(time.Millisecond))
 }
 
+// IntSummary accumulates dimensionless integer observations (batch sizes,
+// queue depths) with the same bounded-reservoir scheme as Summary.
+type IntSummary struct {
+	mu      sync.Mutex
+	samples []int64
+	count   uint64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+// Observe records one value.
+func (s *IntSummary) Observe(v int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.count++
+	s.sum += v
+	if s.count == 1 || v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	if len(s.samples) < maxSamples {
+		s.samples = append(s.samples, v)
+		return
+	}
+	s.samples[int(s.count)%maxSamples] = v
+}
+
+// Count returns the number of observations.
+func (s *IntSummary) Count() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Mean returns the average observation.
+func (s *IntSummary) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == 0 {
+		return 0
+	}
+	return float64(s.sum) / float64(s.count)
+}
+
+// Min returns the smallest observation.
+func (s *IntSummary) Min() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.min
+}
+
+// Max returns the largest observation.
+func (s *IntSummary) Max() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.max
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the retained samples.
+func (s *IntSummary) Quantile(q float64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), s.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// String renders the summary compactly.
+func (s *IntSummary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%d p95=%d min=%d max=%d",
+		s.Count(), s.Mean(), s.Quantile(0.5), s.Quantile(0.95), s.Min(), s.Max())
+}
+
 // Registry groups named summaries.
 type Registry struct {
-	mu        sync.Mutex
-	summaries map[string]*Summary
+	mu           sync.Mutex
+	summaries    map[string]*Summary
+	intSummaries map[string]*IntSummary
 }
 
 // NewRegistry allocates an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{summaries: make(map[string]*Summary)}
+	return &Registry{
+		summaries:    make(map[string]*Summary),
+		intSummaries: make(map[string]*IntSummary),
+	}
 }
 
 // Summary returns (creating if needed) the named summary.
@@ -129,7 +219,19 @@ func (r *Registry) Summary(name string) *Summary {
 	return s
 }
 
-// Names lists the registered summaries in sorted order.
+// IntSummary returns (creating if needed) the named integer summary.
+func (r *Registry) IntSummary(name string) *IntSummary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.intSummaries[name]
+	if !ok {
+		s = &IntSummary{}
+		r.intSummaries[name] = s
+	}
+	return s
+}
+
+// Names lists the registered duration summaries in sorted order.
 func (r *Registry) Names() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -141,11 +243,26 @@ func (r *Registry) Names() []string {
 	return out
 }
 
+// IntNames lists the registered integer summaries in sorted order.
+func (r *Registry) IntNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.intSummaries))
+	for n := range r.intSummaries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Render prints every summary.
 func (r *Registry) Render() string {
 	var b strings.Builder
 	for _, n := range r.Names() {
 		fmt.Fprintf(&b, "%-40s %s\n", n, r.Summary(n).String())
+	}
+	for _, n := range r.IntNames() {
+		fmt.Fprintf(&b, "%-40s %s\n", n, r.IntSummary(n).String())
 	}
 	return b.String()
 }

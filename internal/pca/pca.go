@@ -11,11 +11,14 @@ package pca
 
 import (
 	"crypto/ed25519"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"cloudmonatt/internal/cryptoutil"
+	"cloudmonatt/internal/ledger"
 	"cloudmonatt/internal/trust"
 )
 
@@ -29,6 +32,8 @@ type PCA struct {
 	mu      sync.Mutex
 	servers map[string]ed25519.PublicKey
 	serial  uint64
+	ledger  *ledger.Ledger
+	now     func() time.Duration
 }
 
 // New creates a pCA with a fresh identity drawn from r.
@@ -76,7 +81,43 @@ func (p *PCA) Certify(req *trust.CertRequest) (*cryptoutil.Certificate, error) {
 	serial := p.serial
 	p.mu.Unlock()
 	subject := fmt.Sprintf("anon-%d", serial)
-	return cryptoutil.IssueCertificate(p.identity, subject, PurposeAttestationKey, req.Key, serial), nil
+	cert := cryptoutil.IssueCertificate(p.identity, subject, PurposeAttestationKey, req.Key, serial)
+	p.recordIssuance(subject, serial)
+	return cert, nil
+}
+
+// SetLedger routes certificate issuances into the evidence ledger. now
+// supplies the virtual event time (the pCA has no clock of its own).
+func (p *PCA) SetLedger(l *ledger.Ledger, now func() time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ledger, p.now = l, now
+}
+
+// recordIssuance appends the issuance evidence, best-effort. The entry
+// deliberately names only the anonymous subject and serial — recording the
+// requesting server here would undo the privacy the pCA exists to provide
+// (paper §3.4.2).
+func (p *PCA) recordIssuance(subject string, serial uint64) {
+	p.mu.Lock()
+	l, now := p.ledger, p.now
+	p.mu.Unlock()
+	if l == nil {
+		return
+	}
+	var at time.Duration
+	if now != nil {
+		at = now()
+	}
+	payload, err := json.Marshal(struct {
+		Subject string `json:"subject"`
+		Serial  uint64 `json:"serial"`
+		Purpose string `json:"purpose"`
+	}{subject, serial, PurposeAttestationKey})
+	if err != nil {
+		return
+	}
+	l.Append(ledger.Entry{At: at, Kind: ledger.KindCertIssue, Payload: payload})
 }
 
 // VerifyAttestationCert checks that cert is a genuine attestation-key
