@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"crypto/ed25519"
 	"encoding/base64"
 	"encoding/json"
@@ -49,11 +50,11 @@ type bootstrap struct {
 }
 
 type cli struct {
-	client  *rpc.Client
+	client  *rpc.ReconnectClient
 	ctrlKey ed25519.PublicKey
 }
 
-func connect(path string) (*cli, error) {
+func connect(path string, timeout time.Duration, retries int) (*cli, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("reading bootstrap (is monatt-cloud running?): %w", err)
@@ -80,8 +81,21 @@ func connect(path string) (*cli, error) {
 		}
 		return nil
 	}
-	client, err := rpc.Dial(rpc.TCPNetwork{}, bs.ControllerAddr, secchan.Config{Identity: id, Verify: verify})
-	if err != nil {
+	client := rpc.NewReconnectClient(rpc.ClientConfig{
+		Network:     rpc.TCPNetwork{},
+		Addr:        bs.ControllerAddr,
+		Peer:        "cloud-controller",
+		Secchan:     secchan.Config{Identity: id, Verify: verify},
+		Retry:       rpc.RetryPolicy{MaxAttempts: retries},
+		CallTimeout: timeout,
+		// Read-only queries are safe to blindly re-issue; mutations go
+		// through idempotency keys or fresh nonces below.
+		Idempotent: func(method string) bool {
+			return method == controller.MethodListVMs || method == controller.MethodListEvents
+		},
+	})
+	if err := client.Connect(context.Background()); err != nil {
+		client.Close()
 		return nil, fmt.Errorf("dialing controller: %w", err)
 	}
 	return &cli{client: client, ctrlKey: ctrlKey}, nil
@@ -105,11 +119,13 @@ func splitList(s string) []string {
 func main() {
 	log.SetFlags(0)
 	bootstrapPath := flag.String("bootstrap", "monatt-bootstrap.json", "bootstrap file from monatt-cloud")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-attempt RPC timeout")
+	retries := flag.Int("retries", 4, "max attempts per retryable RPC")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		log.Fatal("usage: monatt-cli [-bootstrap FILE] <launch|attest|periodic|fetch|stop|terminate> [flags]")
+		log.Fatal("usage: monatt-cli [-bootstrap FILE] [-timeout 30s] [-retries 4] <launch|attest|periodic|fetch|stop|terminate> [flags]")
 	}
-	c, err := connect(*bootstrapPath)
+	c, err := connect(*bootstrapPath, *timeout, *retries)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -135,7 +151,7 @@ func main() {
 			ps = append(ps, p)
 		}
 		var res controller.LaunchResult
-		err := c.client.Call(controller.MethodLaunchVM, controller.LaunchRequest{
+		err := c.client.CallIdem(context.Background(), controller.MethodLaunchVM, rpc.NewIdemKey(), controller.LaunchRequest{
 			ImageName: *img, Flavor: *flavor, Workload: *work,
 			Props: ps, Allowlist: splitList(*allow), MinShare: *minShare, Pin: -1,
 		}, &res)
@@ -159,17 +175,26 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		n1 := cryptoutil.MustNonce()
 		method := controller.MethodRuntimeAttestCurrent
 		if p == properties.StartupIntegrity {
 			method = controller.MethodStartupAttestCurrent
 		}
+		// N1 is regenerated per retry attempt so the controller's replay
+		// cache never rejects a re-issued request.
+		var n1 cryptoutil.Nonce
 		var rep wire.CustomerReport
-		if err := c.client.Call(method, wire.AttestRequest{Vid: *vid, Prop: p, N1: n1}, &rep); err != nil {
+		if err := c.client.CallFresh(context.Background(), method, func(int) (any, error) {
+			n1 = cryptoutil.MustNonce()
+			return wire.AttestRequest{Vid: *vid, Prop: p, N1: n1}, nil
+		}, &rep); err != nil {
 			log.Fatal(err)
 		}
 		if err := wire.VerifyCustomerReport(&rep, c.ctrlKey, *vid, p, n1); err != nil {
 			log.Fatalf("REJECTING report: %v", err)
+		}
+		if rep.Stale {
+			fmt.Printf("WARNING: attestation infrastructure unavailable; last-known-good verdict, %s old\n",
+				rep.Age.Round(time.Millisecond))
 		}
 		fmt.Println(rep.Verdict.String())
 		for k, v := range rep.Verdict.Details {
@@ -186,7 +211,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := c.client.Call(controller.MethodRuntimeAttestPeriodic, wire.PeriodicRequest{
+		if err := c.client.CallIdem(context.Background(), controller.MethodRuntimeAttestPeriodic, rpc.NewIdemKey(), wire.PeriodicRequest{
 			Vid: *vid, Prop: p, Freq: *freq, N1: cryptoutil.MustNonce(),
 		}, nil); err != nil {
 			log.Fatal(err)
@@ -208,7 +233,10 @@ func main() {
 		}
 		n1 := cryptoutil.MustNonce()
 		var reps []*wire.CustomerReport
-		if err := c.client.Call(method, wire.StopPeriodicRequest{Vid: *vid, Prop: p, N1: n1}, &reps); err != nil {
+		// Drains are idempotency-keyed: a retried drain replays the recorded
+		// batch instead of losing it.
+		if err := c.client.CallIdem(context.Background(), method, rpc.NewIdemKey(),
+			wire.StopPeriodicRequest{Vid: *vid, Prop: p, N1: n1}, &reps); err != nil {
 			log.Fatal(err)
 		}
 		for _, rep := range reps {
@@ -227,7 +255,8 @@ func main() {
 		fs := flag.NewFlagSet("terminate", flag.ExitOnError)
 		vid := fs.String("vid", "", "VM id")
 		fs.Parse(args)
-		if err := c.client.Call(controller.MethodTerminateVM, struct{ Vid string }{*vid}, nil); err != nil {
+		if err := c.client.CallIdem(context.Background(), controller.MethodTerminateVM, rpc.NewIdemKey(),
+			struct{ Vid string }{*vid}, nil); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%s terminated\n", *vid)

@@ -38,12 +38,30 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	bootstrapPath := flag.String("bootstrap", "monatt-bootstrap.json", "bootstrap file for monatt-cli")
 	pump := flag.Duration("pump", 200*time.Millisecond, "virtual-clock pump interval (real time)")
+	callTimeout := flag.Duration("call-timeout", 30*time.Second, "per-attempt RPC timeout for inter-entity calls")
+	retries := flag.Int("retries", 4, "max attempts per retryable inter-entity RPC")
+	chaosDrop := flag.Float64("chaos-drop", 0, "inject connection-drop rate (0..1) on every link")
+	chaosDelay := flag.Float64("chaos-delay", 0, "inject per-operation delay rate (0..1) on every link")
+	chaosMaxDelay := flag.Duration("chaos-max-delay", 5*time.Millisecond, "max injected delay per operation")
+	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection RNG seed")
 	flag.Parse()
 
+	var network rpc.Network = rpc.TCPNetwork{}
+	if *chaosDrop > 0 || *chaosDelay > 0 {
+		network = rpc.NewFaultNetwork(network, rpc.FaultConfig{
+			Seed:      *chaosSeed,
+			DropRate:  *chaosDrop,
+			DelayRate: *chaosDelay,
+			MaxDelay:  *chaosMaxDelay,
+		})
+		fmt.Printf("chaos mode: drop=%.0f%% delay=%.0f%% (seed %d)\n", *chaosDrop*100, *chaosDelay*100, *chaosSeed)
+	}
 	tb, err := cloudsim.New(cloudsim.Options{
-		Seed:    *seed,
-		Servers: *servers,
-		Network: rpc.TCPNetwork{},
+		Seed:        *seed,
+		Servers:     *servers,
+		Network:     network,
+		CallTimeout: *callTimeout,
+		Retry:       rpc.RetryPolicy{MaxAttempts: *retries},
 	})
 	if err != nil {
 		log.Fatalf("assembling cloud: %v", err)
@@ -86,6 +104,15 @@ func main() {
 			if m := tb.Attest.Metrics().Render(); m != "" {
 				fmt.Println("attestation-server appraisal timings (virtual time):")
 				fmt.Print(m)
+			}
+			if m := tb.Ctrl.Metrics().Render(); m != "" {
+				fmt.Println("controller fault-tolerance counters:")
+				fmt.Print(m)
+			}
+			if fn, ok := network.(*rpc.FaultNetwork); ok {
+				st := fn.Stats()
+				fmt.Printf("injected faults: dials=%d drops=%d delays=%d handshake-fails=%d resets=%d\n",
+					st.Dials, st.Drops, st.Delays, st.HandshakeFails, st.Resets)
 			}
 			return
 		}

@@ -140,8 +140,10 @@ func live() {
 	}
 	fmt.Printf("live MITM (passive):              protocol completed; %d frames captured, all opaque ciphertext\n", len(passive.Observed()))
 
-	// Active: tamper with every post-handshake frame; no forged success.
-	active := &dolevyao.Attacker{S2C: dolevyao.TamperFrom(2)}
+	// Active: tamper with every post-handshake frame (index >= 1 past the
+	// hello_s handshake frame, on every connection — including the fresh
+	// ones the fault-tolerant clients open on retry); no forged success.
+	active := &dolevyao.Attacker{S2C: dolevyao.TamperFrom(1)}
 	tb2, err := cloudsim.New(cloudsim.Options{Seed: 2})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

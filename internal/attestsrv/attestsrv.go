@@ -8,6 +8,7 @@
 package attestsrv
 
 import (
+	"context"
 	"crypto/ed25519"
 	"encoding/json"
 	"fmt"
@@ -72,6 +73,13 @@ type Config struct {
 	// Ledger, when set, receives one evidence entry per appraised report
 	// (the durable trail behind the Property Certification Module).
 	Ledger *ledger.Ledger
+	// CallTimeout bounds each measurement RPC attempt in real time. 0
+	// applies the rpc default (30s); negative disables the bound.
+	CallTimeout time.Duration
+	// Retry tunes per-call retries on the channels to cloud servers.
+	Retry rpc.RetryPolicy
+	// Breaker tunes the per-server circuit breakers.
+	Breaker rpc.BreakerPolicy
 }
 
 // Server is the Attestation Server.
@@ -81,7 +89,7 @@ type Server struct {
 	mu      sync.Mutex
 	servers map[string]*ServerRecord
 	vms     map[string]*VMRecord
-	clients map[string]*rpc.Client
+	clients map[string]*rpc.ReconnectClient
 	replay  *cryptoutil.ReplayCache
 
 	periodic map[string]*periodicTask
@@ -94,11 +102,59 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		servers:  make(map[string]*ServerRecord),
 		vms:      make(map[string]*VMRecord),
-		clients:  make(map[string]*rpc.Client),
+		clients:  make(map[string]*rpc.ReconnectClient),
 		replay:   cryptoutil.NewReplayCache(4096),
 		periodic: make(map[string]*periodicTask),
 		metrics:  metrics.NewRegistry(),
 	}
+}
+
+// onRPCEvent counts retries and breaker transitions on the measurement
+// channels and records them as evidence.
+func (s *Server) onRPCEvent(ev rpc.Event) {
+	switch ev.Kind {
+	case rpc.EventRetry:
+		s.metrics.Counter("attestsrv.rpc.retries").Inc()
+	case rpc.EventBreaker:
+		s.metrics.Counter("attestsrv.rpc.breaker_transitions").Inc()
+		if ev.To == rpc.BreakerOpen {
+			s.metrics.Counter("attestsrv.rpc.breaker_opens").Inc()
+		}
+	}
+	if s.cfg.Ledger == nil {
+		return
+	}
+	errMsg := ""
+	if ev.Err != nil {
+		errMsg = ev.Err.Error()
+	}
+	payload, err := json.Marshal(struct {
+		Event   string `json:"event"`
+		Peer    string `json:"peer"`
+		Method  string `json:"method,omitempty"`
+		Attempt int    `json:"attempt,omitempty"`
+		Err     string `json:"err,omitempty"`
+		From    string `json:"from,omitempty"`
+		To      string `json:"to,omitempty"`
+	}{string(ev.Kind), ev.Peer, ev.Method, ev.Attempt, errMsg, breakerName(ev, true), breakerName(ev, false)})
+	if err != nil {
+		return
+	}
+	s.cfg.Ledger.Append(ledger.Entry{
+		At:      s.cfg.Clock.Now(),
+		Kind:    ledger.KindRPCFault,
+		Payload: payload,
+	})
+}
+
+func breakerName(ev rpc.Event, from bool) string {
+	if ev.Kind != rpc.EventBreaker {
+		return ""
+	}
+	if from {
+		return ev.From.String()
+	}
+	return ev.To.String()
 }
 
 // Metrics exposes the appraisal-timing registry (virtual-time cost of each
@@ -165,26 +221,30 @@ func (s *Server) ForgetVM(vid string) {
 	}
 }
 
-// client returns (establishing if needed) the secure channel to a server.
-func (s *Server) client(rec *ServerRecord) (*rpc.Client, error) {
+// client returns the fault-tolerant channel to a server (connections are
+// established lazily per call).
+func (s *Server) client(rec *ServerRecord) *rpc.ReconnectClient {
 	s.mu.Lock()
-	c, ok := s.clients[rec.Name]
-	s.mu.Unlock()
-	if ok {
-		return c, nil
+	defer s.mu.Unlock()
+	if c, ok := s.clients[rec.Name]; ok {
+		return c
 	}
-	c, err := rpc.Dial(s.cfg.Network, rec.Addr, secchan.Config{
-		Identity: s.cfg.Identity,
-		Verify:   s.cfg.Verify,
-		Rand:     s.cfg.Rand,
+	c := rpc.NewReconnectClient(rpc.ClientConfig{
+		Network: s.cfg.Network,
+		Addr:    rec.Addr,
+		Peer:    "server-" + rec.Name,
+		Secchan: secchan.Config{
+			Identity: s.cfg.Identity,
+			Verify:   s.cfg.Verify,
+			Rand:     s.cfg.Rand,
+		},
+		Retry:       s.cfg.Retry,
+		Breaker:     s.cfg.Breaker,
+		CallTimeout: s.cfg.CallTimeout,
+		OnEvent:     s.onRPCEvent,
 	})
-	if err != nil {
-		return nil, fmt.Errorf("attestsrv: dialing %s: %w", rec.Name, err)
-	}
-	s.mu.Lock()
 	s.clients[rec.Name] = c
-	s.mu.Unlock()
-	return c, nil
+	return c
 }
 
 // Appraise serves one attestation (the middle of Fig. 3): request
@@ -225,20 +285,23 @@ func (s *Server) Appraise(req wire.AppraisalRequest) (*wire.Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	n3, err := cryptoutil.NewNonce(s.cfg.Rand)
-	if err != nil {
-		return nil, err
-	}
-	c, err := s.client(srvRec)
-	if err != nil {
-		return nil, err
-	}
+	c := s.client(srvRec)
 
 	if lat := s.cfg.Latency; lat != nil {
 		s.cfg.Clock.Advance(lat.HopRTT + lat.QuoteCost + lat.CertifyCost)
 	}
+	// N3 is regenerated for every retry attempt, so a re-issued measurement
+	// request is a fresh challenge, never a replay.
+	var n3 cryptoutil.Nonce
 	var ev wire.Evidence
-	if err := c.Call(server.MethodMeasure, wire.MeasureRequest{Vid: req.Vid, Req: rM, N3: n3}, &ev); err != nil {
+	if err := c.CallFresh(context.Background(), server.MethodMeasure, func(int) (any, error) {
+		n, err := cryptoutil.NewNonce(s.cfg.Rand)
+		if err != nil {
+			return nil, err
+		}
+		n3 = n
+		return wire.MeasureRequest{Vid: req.Vid, Req: rM, N3: n}, nil
+	}, &ev); err != nil {
 		return nil, fmt.Errorf("attestsrv: measurement collection failed: %w", err)
 	}
 	if err := wire.VerifyEvidence(&ev, s.cfg.PCAName, ed25519.PublicKey(s.cfg.PCAKey), req.Vid, rM, n3); err != nil {

@@ -8,6 +8,7 @@
 package cloudsim
 
 import (
+	"context"
 	"crypto/ed25519"
 	"crypto/rand"
 	"fmt"
@@ -60,6 +61,15 @@ type Options struct {
 	// auditor can replay the chain after the run (cmd/monatt-ledger).
 	// Empty keeps the ledger in process memory.
 	LedgerDir string
+	// CallTimeout bounds each RPC attempt (real time) on every
+	// fault-tolerant client in the testbed: customer → controller,
+	// controller → attestation servers/cloud servers, attestation servers →
+	// cloud servers. 0 applies the rpc default (30s).
+	CallTimeout time.Duration
+	// Retry tunes those clients' retry loops.
+	Retry rpc.RetryPolicy
+	// Breaker tunes their per-peer circuit breakers.
+	Breaker rpc.BreakerPolicy
 }
 
 // Testbed is the assembled cloud.
@@ -87,6 +97,7 @@ type Testbed struct {
 	directory  map[string]ed25519.PublicKey
 	tamperNext bool
 	nextCoVM   int
+	opts       Options // retained for customer client fault-tolerance knobs
 }
 
 // serverName formats the i-th cloud server's name.
@@ -115,12 +126,22 @@ func New(opts Options) (*Testbed, error) {
 		Images:    image.NewLibrary(opts.Seed + 2),
 		Servers:   make(map[string]*server.Server),
 		directory: make(map[string]ed25519.PublicKey),
+		opts:      opts,
 	}
 	// listen binds an endpoint: symbolic names on the in-memory network,
-	// OS-assigned loopback ports on TCP.
+	// OS-assigned loopback ports on TCP. Wrappers like rpc.FaultNetwork are
+	// unwrapped so addressing follows the transport underneath.
 	listen := func(role string) (net.Listener, string, error) {
+		base := network
+		for {
+			w, ok := base.(interface{ Inner() rpc.Network })
+			if !ok {
+				break
+			}
+			base = w.Inner()
+		}
 		bind := role
-		if _, isMem := network.(*rpc.MemNetwork); !isMem {
+		if _, isMem := base.(*rpc.MemNetwork); !isMem {
 			bind = "127.0.0.1:0"
 		}
 		l, err := network.Listen(bind)
@@ -194,15 +215,18 @@ func New(opts Options) (*Testbed, error) {
 	attestAddrs := make([]string, opts.AttestServers)
 	for i, id := range attIDs {
 		as := attestsrv.New(attestsrv.Config{
-			Identity: id,
-			PCAName:  caSrv.Name(),
-			PCAKey:   caSrv.PublicKey(),
-			Network:  tb.Net,
-			Clock:    tb.Clock,
-			Latency:  tb.Lat,
-			Verify:   tb.Verify,
-			Rand:     rand.Reader,
-			Ledger:   led,
+			Identity:    id,
+			PCAName:     caSrv.Name(),
+			PCAKey:      caSrv.PublicKey(),
+			Network:     tb.Net,
+			Clock:       tb.Clock,
+			Latency:     tb.Lat,
+			Verify:      tb.Verify,
+			Rand:        rand.Reader,
+			Ledger:      led,
+			CallTimeout: opts.CallTimeout,
+			Retry:       opts.Retry,
+			Breaker:     opts.Breaker,
 		})
 		tb.AttestServers = append(tb.AttestServers, as)
 		al, addr, err := listen(id.Name)
@@ -240,6 +264,9 @@ func New(opts Options) (*Testbed, error) {
 		ImageTamper: tb.imageTamper,
 		Serialize:   &tb.opMu,
 		Ledger:      led,
+		CallTimeout: opts.CallTimeout,
+		Retry:       opts.Retry,
+		Breaker:     opts.Breaker,
 	})
 	for i, id := range attIDs {
 		tb.Ctrl.SetAttestKeyFor(i, id.Public())
@@ -443,7 +470,7 @@ func (tb *Testbed) LaunchRFACoResident(targetVid string, pin int) (string, error
 // Customer is a cloud customer: the protocol initiator and end-verifier.
 type Customer struct {
 	id      *cryptoutil.Identity
-	client  *rpc.Client
+	client  *rpc.ReconnectClient
 	ctrlKey ed25519.PublicKey
 }
 
@@ -457,8 +484,17 @@ func (tb *Testbed) NewCustomer(name string) (*Customer, error) {
 // seed was provisioned to an external CLI) and connects it.
 func (tb *Testbed) NewCustomerWithIdentity(id *cryptoutil.Identity) (*Customer, error) {
 	tb.register(id.Name, id.Public())
-	client, err := rpc.Dial(tb.Net, tb.ControllerAddr, secchan.Config{Identity: id, Verify: tb.Verify})
-	if err != nil {
+	client := rpc.NewReconnectClient(rpc.ClientConfig{
+		Network:     tb.Net,
+		Addr:        tb.ControllerAddr,
+		Peer:        "cloud-controller",
+		Secchan:     secchan.Config{Identity: id, Verify: tb.Verify},
+		Retry:       tb.opts.Retry,
+		Breaker:     tb.opts.Breaker,
+		CallTimeout: tb.opts.CallTimeout,
+	})
+	if err := client.Connect(context.Background()); err != nil {
+		client.Close()
 		return nil, err
 	}
 	return &Customer{id: id, client: client, ctrlKey: tb.Ctrl.PublicKey()}, nil
@@ -470,36 +506,52 @@ func (tb *Testbed) RegisterIdentity(name string, pub ed25519.PublicKey) {
 	tb.register(name, pub)
 }
 
-// Launch requests a VM.
+// Launch requests a VM. The idempotency key lets the request be retried
+// across connection failures without double-launching.
 func (cu *Customer) Launch(req controller.LaunchRequest) (controller.LaunchResult, error) {
 	req.Owner = cu.id.Name
 	var res controller.LaunchResult
-	err := cu.client.Call(controller.MethodLaunchVM, req, &res)
+	err := cu.client.CallIdem(context.Background(), controller.MethodLaunchVM, rpc.NewIdemKey(), req, &res)
 	return res, err
 }
 
 // Attest issues a one-time attestation and end-verifies the report chain:
 // the customer checks the controller's signature, its own nonce N1, and the
-// quote Q1 before trusting the verdict.
+// quote Q1 before trusting the verdict. A stale verdict (degraded mode) is
+// surfaced like a fresh one; use AttestReport for the staleness flags.
 func (cu *Customer) Attest(vid string, p properties.Property) (properties.Verdict, error) {
-	n1 := cryptoutil.MustNonce()
-	method := controller.MethodRuntimeAttestCurrent
-	if p == properties.StartupIntegrity {
-		method = controller.MethodStartupAttestCurrent
-	}
-	var rep wire.CustomerReport
-	if err := cu.client.Call(method, wire.AttestRequest{Vid: vid, Prop: p, N1: n1}, &rep); err != nil {
+	rep, err := cu.AttestReport(vid, p)
+	if err != nil {
 		return properties.Verdict{}, err
-	}
-	if err := wire.VerifyCustomerReport(&rep, cu.ctrlKey, vid, p, n1); err != nil {
-		return properties.Verdict{}, fmt.Errorf("customer: rejecting report: %w", err)
 	}
 	return rep.Verdict, nil
 }
 
+// AttestReport is Attest returning the full verified CustomerReport
+// (including the Stale/Age degradation flags). N1 is regenerated on every
+// retry attempt so the controller's replay cache never rejects a re-issue.
+func (cu *Customer) AttestReport(vid string, p properties.Property) (*wire.CustomerReport, error) {
+	method := controller.MethodRuntimeAttestCurrent
+	if p == properties.StartupIntegrity {
+		method = controller.MethodStartupAttestCurrent
+	}
+	var n1 cryptoutil.Nonce
+	var rep wire.CustomerReport
+	if err := cu.client.CallFresh(context.Background(), method, func(int) (any, error) {
+		n1 = cryptoutil.MustNonce()
+		return wire.AttestRequest{Vid: vid, Prop: p, N1: n1}, nil
+	}, &rep); err != nil {
+		return nil, err
+	}
+	if err := wire.VerifyCustomerReport(&rep, cu.ctrlKey, vid, p, n1); err != nil {
+		return nil, fmt.Errorf("customer: rejecting report: %w", err)
+	}
+	return &rep, nil
+}
+
 // StartPeriodic arms periodic attestation (runtime_attest_periodic).
 func (cu *Customer) StartPeriodic(vid string, p properties.Property, freq time.Duration) error {
-	return cu.client.Call(controller.MethodRuntimeAttestPeriodic,
+	return cu.client.CallIdem(context.Background(), controller.MethodRuntimeAttestPeriodic, rpc.NewIdemKey(),
 		wire.PeriodicRequest{Vid: vid, Prop: p, Freq: freq, N1: cryptoutil.MustNonce()}, nil)
 }
 
@@ -507,7 +559,7 @@ func (cu *Customer) StartPeriodic(vid string, p properties.Property, freq time.D
 // the given mean frequency, so a co-resident attacker cannot predict the
 // measurement windows.
 func (cu *Customer) StartPeriodicRandom(vid string, p properties.Property, freq time.Duration) error {
-	return cu.client.Call(controller.MethodRuntimeAttestPeriodic,
+	return cu.client.CallIdem(context.Background(), controller.MethodRuntimeAttestPeriodic, rpc.NewIdemKey(),
 		wire.PeriodicRequest{Vid: vid, Prop: p, Freq: freq, Random: true, N1: cryptoutil.MustNonce()}, nil)
 }
 
@@ -525,7 +577,10 @@ func (cu *Customer) StopPeriodic(vid string, p properties.Property) ([]propertie
 func (cu *Customer) periodicCall(method, vid string, p properties.Property) ([]properties.Verdict, error) {
 	n1 := cryptoutil.MustNonce()
 	var reps []*wire.CustomerReport
-	if err := cu.client.Call(method, wire.StopPeriodicRequest{Vid: vid, Prop: p, N1: n1}, &reps); err != nil {
+	// Fetch/stop drain results controller-side; the idempotency key makes a
+	// retried drain replay the recorded batch instead of losing it.
+	if err := cu.client.CallIdem(context.Background(), method, rpc.NewIdemKey(),
+		wire.StopPeriodicRequest{Vid: vid, Prop: p, N1: n1}, &reps); err != nil {
 		return nil, err
 	}
 	var out []properties.Verdict
@@ -538,9 +593,10 @@ func (cu *Customer) periodicCall(method, vid string, p properties.Property) ([]p
 	return out, nil
 }
 
-// Terminate releases the VM.
+// Terminate releases the VM (idempotency-keyed: never executed twice).
 func (cu *Customer) Terminate(vid string) error {
-	return cu.client.Call(controller.MethodTerminateVM, struct{ Vid string }{vid}, nil)
+	return cu.client.CallIdem(context.Background(), controller.MethodTerminateVM, rpc.NewIdemKey(),
+		struct{ Vid string }{vid}, nil)
 }
 
 // Close tears down the customer's channel.

@@ -59,9 +59,10 @@ func TestMITMOnTestbedPassive(t *testing.T) {
 // TestMITMOnTestbedActive tampers with protocol frames on the wire; the
 // operation must fail closed — never a forged success.
 func TestMITMOnTestbedActive(t *testing.T) {
-	// Tamper with every data frame (index >= 2, past the handshake) flowing
-	// server→client on every connection.
-	atk := &dolevyao.Attacker{S2C: dolevyao.TamperFrom(2)}
+	// Tamper with every data frame (index >= 1, past the hello_s handshake
+	// frame) flowing server→client on every connection — including the
+	// fresh connections the fault-tolerant clients open on retry.
+	atk := &dolevyao.Attacker{S2C: dolevyao.TamperFrom(1)}
 	tb := newTB(t, Options{Seed: 91})
 	tb.Net.(*rpc.MemNetwork).Intercept = atk.Intercept
 

@@ -1,12 +1,15 @@
 package controller
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"cloudmonatt/internal/attestsrv"
 	"cloudmonatt/internal/cryptoutil"
 	"cloudmonatt/internal/ledger"
 	"cloudmonatt/internal/properties"
+	"cloudmonatt/internal/rpc"
 	"cloudmonatt/internal/server"
 	"cloudmonatt/internal/wire"
 )
@@ -35,9 +38,15 @@ func (c *Controller) vmFor(vid string, p properties.Property) (*vmRecord, error)
 
 // Attest serves the one-time attestation APIs of Table 1
 // (startup_attest_current and runtime_attest_current): it forwards the
-// request to the Attestation Server with a fresh N2, validates the signed
-// report, triggers the Response Module on failure, and re-signs the result
-// for the customer with SKc and the customer's N1.
+// request to the Attestation Server with a fresh N2 (regenerated per retry
+// attempt), validates the signed report, triggers the Response Module on
+// failure, and re-signs the result for the customer with SKc and the
+// customer's N1.
+//
+// When the attestation infrastructure is unreachable — retries exhausted or
+// the breaker open, not a handler rejection — Attest degrades gracefully:
+// it serves the last-known-good verdict as a stale report carrying its age,
+// and never escalates an infrastructure failure to remediation.
 func (c *Controller) Attest(req wire.AttestRequest) (*wire.CustomerReport, error) {
 	if !c.replay.Check(req.N1) {
 		return nil, fmt.Errorf("controller: replayed customer nonce")
@@ -50,24 +59,49 @@ func (c *Controller) Attest(req wire.AttestRequest) (*wire.CustomerReport, error
 	if err != nil {
 		return nil, err
 	}
-	n2, err := cryptoutil.NewNonce(c.cfg.Rand)
-	if err != nil {
-		return nil, err
-	}
 	c.cfg.Clock.Advance(c.cfg.Latency.HopRTT)
-	var rep wire.Report
-	if err := ac.Call(attestsrv.MethodAppraise, wire.AppraisalRequest{
-		Vid: req.Vid, ServerID: rec.Server, Prop: req.Prop, N2: n2,
-	}, &rep); err != nil {
+	rep, n2, err := c.appraise(ac, req.Vid, rec.Server, req.Prop)
+	if err != nil {
+		var rerr *rpc.RemoteError
+		if errors.As(err, &rerr) {
+			// The Attestation Server answered and refused: a protocol
+			// failure, not an availability problem — no degradation.
+			return nil, fmt.Errorf("controller: appraisal failed: %w", err)
+		}
+		if r := c.staleReport(req.Vid, req.Prop, req.N1, err); r != nil {
+			return r, nil
+		}
 		return nil, fmt.Errorf("controller: appraisal failed: %w", err)
 	}
-	if err := wire.VerifyReport(&rep, c.attestKey(cluster), req.Vid, req.Prop, n2); err != nil {
+	if err := wire.VerifyReport(rep, c.attestKey(cluster), req.Vid, req.Prop, n2); err != nil {
 		return nil, fmt.Errorf("controller: rejecting attestation report: %w", err)
 	}
+	c.storeLastGood(req.Vid, req.Prop, rep.Verdict)
 	if !rep.Verdict.Healthy && c.cfg.AutoRespond {
 		c.Respond(req.Vid, req.Prop, rep.Verdict.Reason)
 	}
 	return wire.BuildCustomerReport(c.cfg.Identity, req.Vid, req.Prop, rep.Verdict, req.N1), nil
+}
+
+// staleReport serves the cached last-known-good verdict as a stale report
+// when the attestation infrastructure is unavailable, or nil when nothing
+// acceptable is cached. The degradation is recorded in metrics and the
+// evidence ledger.
+func (c *Controller) staleReport(vid string, p properties.Property, n1 cryptoutil.Nonce, cause error) *wire.CustomerReport {
+	lg, ok := c.lastGoodFor(vid, p)
+	if !ok {
+		return nil
+	}
+	age := c.cfg.Clock.Now() - lg.at
+	if c.cfg.StaleTTL > 0 && age > c.cfg.StaleTTL {
+		return nil
+	}
+	c.cfg.Metrics.Counter("controller.degraded.stale_reports").Inc()
+	c.record(ledger.KindDegraded, vid, p, struct {
+		AgeNS int64  `json:"age_ns"`
+		Cause string `json:"cause"`
+	}{int64(age), cause.Error()})
+	return wire.BuildStaleCustomerReport(c.cfg.Identity, vid, p, lg.verdict, n1, age)
 }
 
 // StartPeriodic serves runtime_attest_periodic.
@@ -95,7 +129,10 @@ func (c *Controller) StopPeriodic(req wire.StopPeriodicRequest) ([]*wire.Custome
 		return nil, err
 	}
 	var reports []*wire.Report
-	if err := ac.Call(attestsrv.MethodPeriodicStop, attestsrv.PeriodicControl{Vid: req.Vid, Prop: req.Prop}, &reports); err != nil {
+	// Stop drains undelivered results server-side; the idempotency key makes
+	// a retried stop replay the recorded drain instead of losing the batch.
+	if err := ac.CallIdem(context.Background(), attestsrv.MethodPeriodicStop, rpc.NewIdemKey(),
+		attestsrv.PeriodicControl{Vid: req.Vid, Prop: req.Prop}, &reports); err != nil {
 		return nil, err
 	}
 	return c.repackage(req.Vid, req.Prop, req.N1, cluster, reports)
@@ -111,7 +148,9 @@ func (c *Controller) FetchPeriodic(req wire.StopPeriodicRequest) ([]*wire.Custom
 		return nil, err
 	}
 	var reports []*wire.Report
-	if err := ac.Call(attestsrv.MethodPeriodicFetch, attestsrv.PeriodicControl{Vid: req.Vid, Prop: req.Prop}, &reports); err != nil {
+	// Fetch also drains; same idempotency-key protection as stop.
+	if err := ac.CallIdem(context.Background(), attestsrv.MethodPeriodicFetch, rpc.NewIdemKey(),
+		attestsrv.PeriodicControl{Vid: req.Vid, Prop: req.Prop}, &reports); err != nil {
 		return nil, err
 	}
 	return c.repackage(req.Vid, req.Prop, req.N1, cluster, reports)
@@ -129,6 +168,7 @@ func (c *Controller) repackage(vid string, p properties.Property, n1 cryptoutil.
 		if err := wire.VerifyReport(rep, c.attestKey(cluster), vid, p, rep.N2); err != nil {
 			continue
 		}
+		c.storeLastGood(vid, p, rep.Verdict)
 		if !rep.Verdict.Healthy && c.cfg.AutoRespond && !responded {
 			c.Respond(vid, p, rep.Verdict.Reason)
 			responded = true
@@ -208,7 +248,7 @@ func (c *Controller) TerminateVM(vid string) error {
 	if err != nil {
 		return err
 	}
-	if err := mgmt.Call(server.MethodTerminate, server.VidRequest{Vid: vid}, nil); err != nil {
+	if err := mgmt.CallIdem(context.Background(), server.MethodTerminate, rpc.NewIdemKey(), server.VidRequest{Vid: vid}, nil); err != nil {
 		return err
 	}
 	if ac, err := c.attestClientFor(c.clusterOfServer(srv)); err == nil {
@@ -286,20 +326,14 @@ func (c *Controller) RecheckAndResume(vid string) (properties.Verdict, bool, err
 	if err != nil {
 		return properties.Verdict{}, false, err
 	}
-	n2, err := cryptoutil.NewNonce(c.cfg.Rand)
-	if err != nil {
-		return properties.Verdict{}, false, err
-	}
 	c.cfg.Clock.Advance(c.cfg.Latency.HopRTT)
-	var rep wire.Report
-	if err := ac.Call(attestsrv.MethodAppraise, wire.AppraisalRequest{
-		Vid: vid, ServerID: srv, Prop: prop, N2: n2,
-	}, &rep); err != nil {
+	rep, n2, err := c.appraise(ac, vid, srv, prop)
+	if err != nil {
 		// Could not re-check: fail safe, back to suspended.
 		c.SuspendVM(vid)
 		return properties.Verdict{}, false, fmt.Errorf("controller: recheck failed: %w", err)
 	}
-	if err := wire.VerifyReport(&rep, c.attestKey(cluster), vid, prop, n2); err != nil {
+	if err := wire.VerifyReport(rep, c.attestKey(cluster), vid, prop, n2); err != nil {
 		c.SuspendVM(vid)
 		return properties.Verdict{}, false, fmt.Errorf("controller: rejecting recheck report: %w", err)
 	}
@@ -339,7 +373,10 @@ func (c *Controller) MigrateVM(vid string) (string, error) {
 		return "", err
 	}
 	var spec server.LaunchSpec
-	if err := srcMgmt.Call(server.MethodMigrateOut, server.VidRequest{Vid: vid}, &spec); err != nil {
+	// Migrate-out removes the VM from the source host; the key makes a
+	// retried call replay the captured spec instead of failing on a VM
+	// that is already gone.
+	if err := srcMgmt.CallIdem(context.Background(), server.MethodMigrateOut, rpc.NewIdemKey(), server.VidRequest{Vid: vid}, &spec); err != nil {
 		return "", err
 	}
 	c.release(src, flavor)
@@ -348,7 +385,7 @@ func (c *Controller) MigrateVM(vid string) (string, error) {
 		return "", err
 	}
 	var launched bool
-	if err := destMgmt.Call(server.MethodLaunch, spec, &launched); err != nil {
+	if err := destMgmt.CallIdem(context.Background(), server.MethodLaunch, rpc.NewIdemKey(), spec, &launched); err != nil {
 		return "", fmt.Errorf("controller: relaunch on %s failed: %w", dest.Name, err)
 	}
 	c.reserve(dest.Name, flavor)

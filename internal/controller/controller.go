@@ -9,6 +9,7 @@
 package controller
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -21,6 +22,7 @@ import (
 	"cloudmonatt/internal/image"
 	"cloudmonatt/internal/latency"
 	"cloudmonatt/internal/ledger"
+	"cloudmonatt/internal/metrics"
 	"cloudmonatt/internal/properties"
 	"cloudmonatt/internal/rpc"
 	"cloudmonatt/internal/secchan"
@@ -135,6 +137,21 @@ type Config struct {
 	// Ledger, when set, receives evidence entries for launch decisions and
 	// executed remediation responses.
 	Ledger *ledger.Ledger
+	// CallTimeout bounds each RPC attempt to the Attestation Servers and
+	// cloud servers in real time. 0 applies the rpc default (30s); negative
+	// disables the bound.
+	CallTimeout time.Duration
+	// Retry tunes per-call retries on the controller's RPC channels.
+	Retry rpc.RetryPolicy
+	// Breaker tunes the per-peer circuit breakers.
+	Breaker rpc.BreakerPolicy
+	// StaleTTL caps how old a cached verdict may be and still be served as a
+	// stale report when the attestation infrastructure is unreachable
+	// (virtual-clock age). 0 means any age is acceptable.
+	StaleTTL time.Duration
+	// Metrics receives retry/breaker/degradation counters; New allocates a
+	// registry when nil.
+	Metrics *metrics.Registry
 }
 
 // Controller is the Cloud Controller.
@@ -145,13 +162,21 @@ type Controller struct {
 	servers    map[string]*ServerEntry
 	used       map[string]server.Capacity
 	vms        map[string]*vmRecord
-	mgmt       map[string]*rpc.Client
-	attest     map[int]*rpc.Client
+	mgmt       map[string]*rpc.ReconnectClient
+	attest     map[int]*rpc.ReconnectClient
 	attestPubs map[int][]byte
 	nextVid    int
 	replay     *cryptoutil.ReplayCache
 	events     []ResponseEvent
 	policy     map[properties.Property]ResponseKind
+	lastGood   map[string]lastVerdict
+}
+
+// lastVerdict caches the most recent verified verdict for one (vid, prop),
+// the source of stale reports during degradation.
+type lastVerdict struct {
+	verdict properties.Verdict
+	at      time.Duration // virtual time of the appraisal
 }
 
 // New creates a controller.
@@ -162,17 +187,86 @@ func New(cfg Config) *Controller {
 	if len(cfg.AttestAddrs) == 0 && cfg.AttestAddr != "" {
 		cfg.AttestAddrs = []string{cfg.AttestAddr}
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
 	return &Controller{
 		cfg:        cfg,
 		servers:    make(map[string]*ServerEntry),
 		used:       make(map[string]server.Capacity),
 		vms:        make(map[string]*vmRecord),
-		mgmt:       make(map[string]*rpc.Client),
-		attest:     make(map[int]*rpc.Client),
+		mgmt:       make(map[string]*rpc.ReconnectClient),
+		attest:     make(map[int]*rpc.ReconnectClient),
 		attestPubs: make(map[int][]byte),
 		replay:     cryptoutil.NewReplayCache(4096),
 		policy:     cfg.Policy,
+		lastGood:   make(map[string]lastVerdict),
 	}
+}
+
+// Metrics returns the controller's registry (retry, breaker and
+// degradation counters).
+func (c *Controller) Metrics() *metrics.Registry { return c.cfg.Metrics }
+
+// onRPCEvent records a retry or breaker transition in the metrics registry
+// and the evidence ledger. It runs on the RPC client's goroutine, possibly
+// concurrently.
+func (c *Controller) onRPCEvent(ev rpc.Event) {
+	switch ev.Kind {
+	case rpc.EventRetry:
+		c.cfg.Metrics.Counter("controller.rpc.retries").Inc()
+		errMsg := ""
+		if ev.Err != nil {
+			errMsg = ev.Err.Error()
+		}
+		c.record(ledger.KindRPCFault, "", "", struct {
+			Event   string `json:"event"`
+			Peer    string `json:"peer"`
+			Method  string `json:"method"`
+			Attempt int    `json:"attempt"`
+			Err     string `json:"err,omitempty"`
+		}{"retry", ev.Peer, ev.Method, ev.Attempt, errMsg})
+	case rpc.EventBreaker:
+		c.cfg.Metrics.Counter("controller.rpc.breaker_transitions").Inc()
+		if ev.To == rpc.BreakerOpen {
+			c.cfg.Metrics.Counter("controller.rpc.breaker_opens").Inc()
+		}
+		c.record(ledger.KindRPCFault, "", "", struct {
+			Event string `json:"event"`
+			Peer  string `json:"peer"`
+			From  string `json:"from"`
+			To    string `json:"to"`
+		}{"breaker", ev.Peer, ev.From.String(), ev.To.String()})
+	}
+}
+
+// idempotentMethod reports the RPCs the controller may blindly re-issue
+// after a transport failure: re-registering the same record or re-sending a
+// state transition converges to the same state. Everything else retries
+// only via fresh nonces (CallFresh) or idempotency keys (CallIdem).
+func idempotentMethod(method string) bool {
+	switch method {
+	case attestsrv.MethodRegisterVM, attestsrv.MethodForgetVM,
+		attestsrv.MethodRebindVM, attestsrv.MethodPeriodicStart,
+		server.MethodSuspend, server.MethodResume:
+		return true
+	}
+	return false
+}
+
+// newClient builds the fault-tolerant client for one peer.
+func (c *Controller) newClient(peer, addr string) *rpc.ReconnectClient {
+	return rpc.NewReconnectClient(rpc.ClientConfig{
+		Network:     c.cfg.Network,
+		Addr:        addr,
+		Peer:        peer,
+		Secchan:     secchan.Config{Identity: c.cfg.Identity, Verify: c.cfg.Verify, Rand: c.cfg.Rand},
+		Retry:       c.cfg.Retry,
+		Breaker:     c.cfg.Breaker,
+		CallTimeout: c.cfg.CallTimeout,
+		Idempotent:  idempotentMethod,
+		OnEvent:     c.onRPCEvent,
+	})
 }
 
 // record appends one evidence entry, best-effort: the ledger is the audit
@@ -255,8 +349,9 @@ func (c *Controller) EventsFor(owner string) []ResponseEvent {
 	return out
 }
 
-// attestClientFor lazily dials the Attestation Server of a cluster.
-func (c *Controller) attestClientFor(cluster int) (*rpc.Client, error) {
+// attestClientFor returns the fault-tolerant client for a cluster's
+// Attestation Server (connections are established lazily per call).
+func (c *Controller) attestClientFor(cluster int) (*rpc.ReconnectClient, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if cl, ok := c.attest[cluster]; ok {
@@ -265,12 +360,7 @@ func (c *Controller) attestClientFor(cluster int) (*rpc.Client, error) {
 	if cluster < 0 || cluster >= len(c.cfg.AttestAddrs) {
 		return nil, fmt.Errorf("controller: no attestation server for cluster %d", cluster)
 	}
-	cl, err := rpc.Dial(c.cfg.Network, c.cfg.AttestAddrs[cluster], secchan.Config{
-		Identity: c.cfg.Identity, Verify: c.cfg.Verify, Rand: c.cfg.Rand,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("controller: dialing attestation server %d: %w", cluster, err)
-	}
+	cl := c.newClient(fmt.Sprintf("attest-server-%d", cluster), c.cfg.AttestAddrs[cluster])
 	c.attest[cluster] = cl
 	return cl, nil
 }
@@ -287,7 +377,7 @@ func (c *Controller) clusterOfServer(name string) int {
 
 // attestClientOfVM returns the Attestation Server client and cluster for
 // the VM's current host.
-func (c *Controller) attestClientOfVM(vid string) (*rpc.Client, int, error) {
+func (c *Controller) attestClientOfVM(vid string) (*rpc.ReconnectClient, int, error) {
 	c.mu.Lock()
 	rec, ok := c.vms[vid]
 	var cluster int
@@ -304,28 +394,20 @@ func (c *Controller) attestClientOfVM(vid string) (*rpc.Client, int, error) {
 	return cl, cluster, err
 }
 
-// mgmtClient lazily dials a cloud server's management endpoint.
-func (c *Controller) mgmtClient(name string) (*rpc.Client, error) {
+// mgmtClient returns the fault-tolerant client for a cloud server's
+// management endpoint (connections are established lazily per call).
+func (c *Controller) mgmtClient(name string) (*rpc.ReconnectClient, error) {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	entry, ok := c.servers[name]
 	if !ok {
-		c.mu.Unlock()
 		return nil, fmt.Errorf("controller: unknown server %q", name)
 	}
 	if cl, ok := c.mgmt[name]; ok {
-		c.mu.Unlock()
 		return cl, nil
 	}
-	c.mu.Unlock()
-	cl, err := rpc.Dial(c.cfg.Network, entry.Addr, secchan.Config{
-		Identity: c.cfg.Identity, Verify: c.cfg.Verify, Rand: c.cfg.Rand,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("controller: dialing server %s: %w", name, err)
-	}
-	c.mu.Lock()
+	cl := c.newClient("server-"+name, entry.Addr)
 	c.mgmt[name] = cl
-	c.mu.Unlock()
 	return cl, nil
 }
 
@@ -526,6 +608,9 @@ func (c *Controller) placeAndAttest(vid string, req LaunchRequest, flavor image.
 	}
 	mgmt, err := c.mgmtClient(cand.Name)
 	if err != nil {
+		return false, fmt.Sprintf("server %s unknown: %v", cand.Name, err), properties.Verdict{}, nil
+	}
+	if err := mgmt.Connect(context.Background()); err != nil {
 		// An unreachable server is a candidate failure, not a launch
 		// failure: the scheduler moves on to the next qualified host.
 		return false, fmt.Sprintf("server %s unreachable: %v", cand.Name, err), properties.Verdict{}, nil
@@ -543,7 +628,9 @@ func (c *Controller) placeAndAttest(vid string, req LaunchRequest, flavor image.
 		Pin:         req.Pin,
 	}
 	var launched bool
-	if err := mgmt.Call(server.MethodLaunch, spec, &launched); err != nil {
+	// The idempotency key lets the spawn be retried without double-booking
+	// the host if only the response was lost.
+	if err := mgmt.CallIdem(context.Background(), server.MethodLaunch, rpc.NewIdemKey(), spec, &launched); err != nil {
 		return false, fmt.Sprintf("spawn failed on %s: %v", cand.Name, err), properties.Verdict{}, nil
 	}
 	c.reserve(cand.Name, flavor)
@@ -574,19 +661,13 @@ func (c *Controller) placeAndAttest(vid string, req LaunchRequest, flavor image.
 
 	// Stage 5: Attestation — startup integrity of platform and image.
 	attStart := c.cfg.Clock.Now()
-	n2, err := cryptoutil.NewNonce(c.cfg.Rand)
-	if err != nil {
-		return false, "", properties.Verdict{}, err
-	}
 	c.cfg.Clock.Advance(c.cfg.Latency.HopRTT) // controller ↔ attestation server
-	var rep wire.Report
-	if err := ac.Call(attestsrv.MethodAppraise, wire.AppraisalRequest{
-		Vid: vid, ServerID: cand.Name, Prop: properties.StartupIntegrity, N2: n2,
-	}, &rep); err != nil {
+	rep, n2, err := c.appraise(ac, vid, cand.Name, properties.StartupIntegrity)
+	if err != nil {
 		c.teardown(vid)
 		return false, fmt.Sprintf("startup attestation failed: %v", err), properties.Verdict{}, nil
 	}
-	if err := wire.VerifyReport(&rep, c.attestKey(cand.Cluster), vid, properties.StartupIntegrity, n2); err != nil {
+	if err := wire.VerifyReport(rep, c.attestKey(cand.Cluster), vid, properties.StartupIntegrity, n2); err != nil {
 		c.teardown(vid)
 		return false, fmt.Sprintf("attestation report rejected: %v", err), properties.Verdict{}, nil
 	}
@@ -596,7 +677,43 @@ func (c *Controller) placeAndAttest(vid string, req LaunchRequest, flavor image.
 		c.teardown(vid)
 		return false, rep.Verdict.Reason, rep.Verdict, nil
 	}
+	c.storeLastGood(vid, properties.StartupIntegrity, rep.Verdict)
 	return true, "", rep.Verdict, nil
+}
+
+// appraise requests one appraisal, regenerating N2 on every retry attempt
+// so the Attestation Server's replay cache never rejects a re-issue. It
+// returns the nonce the delivered report must answer.
+func (c *Controller) appraise(ac *rpc.ReconnectClient, vid, serverID string, p properties.Property) (*wire.Report, cryptoutil.Nonce, error) {
+	var n2 cryptoutil.Nonce
+	var rep wire.Report
+	err := ac.CallFresh(context.Background(), attestsrv.MethodAppraise, func(int) (any, error) {
+		n, err := cryptoutil.NewNonce(c.cfg.Rand)
+		if err != nil {
+			return nil, err
+		}
+		n2 = n
+		return wire.AppraisalRequest{Vid: vid, ServerID: serverID, Prop: p, N2: n}, nil
+	}, &rep)
+	if err != nil {
+		return nil, cryptoutil.Nonce{}, err
+	}
+	return &rep, n2, nil
+}
+
+// storeLastGood caches a verified verdict for degradation.
+func (c *Controller) storeLastGood(vid string, p properties.Property, v properties.Verdict) {
+	c.mu.Lock()
+	c.lastGood[vid+"|"+string(p)] = lastVerdict{verdict: v, at: c.cfg.Clock.Now()}
+	c.mu.Unlock()
+}
+
+// lastGoodFor returns the cached verdict for (vid, prop), if any.
+func (c *Controller) lastGoodFor(vid string, p properties.Property) (lastVerdict, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lg, ok := c.lastGood[vid+"|"+string(p)]
+	return lg, ok
 }
 
 // teardown removes a VM that failed its launch attestation.
@@ -612,7 +729,7 @@ func (c *Controller) teardown(vid string) {
 	}
 	c.release(rec.Server, rec.Flavor)
 	if mgmt, err := c.mgmtClient(rec.Server); err == nil {
-		mgmt.Call(server.MethodTerminate, server.VidRequest{Vid: vid}, nil)
+		mgmt.CallIdem(context.Background(), server.MethodTerminate, rpc.NewIdemKey(), server.VidRequest{Vid: vid}, nil)
 	}
 	if ac, err := c.attestClientFor(c.clusterOfServer(rec.Server)); err == nil {
 		ac.Call(attestsrv.MethodForgetVM, struct{ Vid string }{vid}, nil)

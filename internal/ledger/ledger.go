@@ -42,6 +42,12 @@ const (
 	KindLaunch Kind = "launch"
 	// KindCertIssue is one pCA attestation-key certificate issuance.
 	KindCertIssue Kind = "cert-issue"
+	// KindDegraded is one stale report served because the attestation
+	// infrastructure was unreachable (controller graceful degradation).
+	KindDegraded Kind = "degraded"
+	// KindRPCFault is one observed fault-tolerance event on an RPC channel:
+	// a retried call or a circuit-breaker transition.
+	KindRPCFault Kind = "rpc-fault"
 )
 
 // Entry is one committed evidence record. Seq, PrevHash and Hash are

@@ -192,11 +192,39 @@ func (s *IntSummary) String() string {
 		s.Count(), s.Mean(), s.Quantile(0.5), s.Quantile(0.95), s.Min(), s.Max())
 }
 
+// Counter is a monotonically increasing event count (retries, breaker
+// trips, stale reports served).
+type Counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) {
+	c.mu.Lock()
+	c.n += delta
+	c.mu.Unlock()
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// String renders the counter.
+func (c *Counter) String() string { return fmt.Sprintf("n=%d", c.Value()) }
+
 // Registry groups named summaries.
 type Registry struct {
 	mu           sync.Mutex
 	summaries    map[string]*Summary
 	intSummaries map[string]*IntSummary
+	counters     map[string]*Counter
 }
 
 // NewRegistry allocates an empty registry.
@@ -204,6 +232,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		summaries:    make(map[string]*Summary),
 		intSummaries: make(map[string]*IntSummary),
+		counters:     make(map[string]*Counter),
 	}
 }
 
@@ -229,6 +258,30 @@ func (r *Registry) IntSummary(name string) *IntSummary {
 		r.intSummaries[name] = s
 	}
 	return s
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// CounterNames lists the registered counters in sorted order.
+func (r *Registry) CounterNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Names lists the registered duration summaries in sorted order.
@@ -263,6 +316,9 @@ func (r *Registry) Render() string {
 	}
 	for _, n := range r.IntNames() {
 		fmt.Fprintf(&b, "%-40s %s\n", n, r.IntSummary(n).String())
+	}
+	for _, n := range r.CounterNames() {
+		fmt.Fprintf(&b, "%-40s %s\n", n, r.Counter(n).String())
 	}
 	return b.String()
 }

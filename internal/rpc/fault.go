@@ -1,0 +1,311 @@
+package rpc
+
+import (
+	"context"
+	"fmt"
+	mathrand "math/rand"
+	"net"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// FaultConfig tunes the failures a FaultNetwork injects. All rates are
+// probabilities in [0, 1]; everything is drawn from one seeded RNG so runs
+// are reproducible.
+type FaultConfig struct {
+	Seed int64
+	// DropRate is the fraction of dial attempts refused outright
+	// (connection refused / SYN dropped).
+	DropRate float64
+	// HandshakeFailRate is the fraction of established connections reset
+	// before a single byte moves (accept-then-RST).
+	HandshakeFailRate float64
+	// ResetRate is the fraction of connections reset mid-stream, after a
+	// random handful of reads/writes.
+	ResetRate float64
+	// DelayRate is the per-operation probability of injected latency,
+	// uniform in (0, MaxDelay].
+	DelayRate float64
+	MaxDelay  time.Duration
+}
+
+// FaultStats counts the faults a FaultNetwork has injected.
+type FaultStats struct {
+	Dials          int64 // dial attempts observed
+	Drops          int64 // dials refused
+	HandshakeFails int64 // connections reset before any byte
+	Resets         int64 // connections reset mid-stream
+	Delays         int64 // operations delayed
+	PartitionWaits int64 // operations that blocked on a partition
+}
+
+// FaultNetwork wraps a Network and injects connection drops, latency,
+// partitions (blackholes), handshake failures and mid-stream resets — the
+// failure modes the fault-tolerant RPC layer must survive. Faults are
+// drawn from a seeded RNG for reproducible chaos tests.
+type FaultNetwork struct {
+	inner Network
+
+	mu    sync.Mutex
+	rng   *mathrand.Rand
+	cfg   FaultConfig
+	parts map[string]bool
+	stats FaultStats
+}
+
+// NewFaultNetwork wraps inner with fault injection.
+func NewFaultNetwork(inner Network, cfg FaultConfig) *FaultNetwork {
+	return &FaultNetwork{
+		inner: inner,
+		rng:   mathrand.New(mathrand.NewSource(cfg.Seed)),
+		cfg:   cfg,
+		parts: make(map[string]bool),
+	}
+}
+
+// Inner returns the wrapped network (the testbed unwraps it to detect
+// in-memory addressing).
+func (f *FaultNetwork) Inner() Network { return f.inner }
+
+// Stats returns a snapshot of the injected-fault counters.
+func (f *FaultNetwork) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Partition blackholes an address: new dials and in-flight operations on
+// existing connections block until the partition heals or the caller's
+// deadline expires — exactly how a silently dropped route behaves.
+func (f *FaultNetwork) Partition(addr string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.parts[addr] = true
+}
+
+// Heal removes a partition.
+func (f *FaultNetwork) Heal(addr string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.parts, addr)
+}
+
+// HealAll removes every partition.
+func (f *FaultNetwork) HealAll() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.parts = make(map[string]bool)
+}
+
+func (f *FaultNetwork) partitioned(addr string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.parts[addr]
+}
+
+// Listen passes through to the wrapped network.
+func (f *FaultNetwork) Listen(addr string) (net.Listener, error) { return f.inner.Listen(addr) }
+
+// Dial connects with fault injection (unbounded when partitioned — prefer
+// DialContext).
+func (f *FaultNetwork) Dial(addr string) (net.Conn, error) {
+	return f.DialContext(context.Background(), addr)
+}
+
+// connPlan is the per-connection fault schedule, drawn at dial time.
+type connPlan struct {
+	drop    bool
+	delay   time.Duration
+	opsLeft int // operations until an injected reset; -1 = never
+}
+
+func (f *FaultNetwork) plan() connPlan {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stats.Dials++
+	p := connPlan{opsLeft: -1}
+	if f.rng.Float64() < f.cfg.DropRate {
+		p.drop = true
+		f.stats.Drops++
+		return p
+	}
+	if f.cfg.DelayRate > 0 && f.cfg.MaxDelay > 0 && f.rng.Float64() < f.cfg.DelayRate {
+		p.delay = time.Duration(1 + f.rng.Int63n(int64(f.cfg.MaxDelay)))
+		f.stats.Delays++
+	}
+	if f.rng.Float64() < f.cfg.HandshakeFailRate {
+		p.opsLeft = 0
+		f.stats.HandshakeFails++
+	} else if f.rng.Float64() < f.cfg.ResetRate {
+		// Die a few records in: mid-handshake or mid-exchange.
+		p.opsLeft = 2 + f.rng.Intn(12)
+		f.stats.Resets++
+	}
+	return p
+}
+
+// opDelay draws the injected latency for one read/write.
+func (f *FaultNetwork) opDelay() time.Duration {
+	if f.cfg.DelayRate <= 0 || f.cfg.MaxDelay <= 0 {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.rng.Float64() >= f.cfg.DelayRate {
+		return 0
+	}
+	f.stats.Delays++
+	return time.Duration(1 + f.rng.Int63n(int64(f.cfg.MaxDelay)))
+}
+
+func (f *FaultNetwork) countPartitionWait() {
+	f.mu.Lock()
+	f.stats.PartitionWaits++
+	f.mu.Unlock()
+}
+
+// DialContext connects with fault injection: partition blackholing (bounded
+// by ctx), injected dial latency, dropped dials, and a per-connection fault
+// plan for the returned conn.
+func (f *FaultNetwork) DialContext(ctx context.Context, addr string) (net.Conn, error) {
+	p := f.plan()
+	// A partitioned address blackholes the SYN: block until healed or the
+	// context gives up.
+	waited := false
+	for f.partitioned(addr) {
+		if !waited {
+			waited = true
+			f.countPartitionWait()
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("rpc: dialing %q (partitioned): %w", addr, ctx.Err())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if p.delay > 0 {
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("rpc: dialing %q: %w", addr, ctx.Err())
+		case <-time.After(p.delay):
+		}
+	}
+	if p.drop {
+		return nil, fmt.Errorf("rpc: injected connection drop to %q: %w", addr, syscall.ECONNREFUSED)
+	}
+	inner, err := dialNet(ctx, f.inner, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &faultConn{Conn: inner, f: f, addr: addr, opsLeft: p.opsLeft, closed: make(chan struct{})}, nil
+}
+
+// faultConn applies the connection's fault plan to every read and write.
+type faultConn struct {
+	net.Conn
+	f    *FaultNetwork
+	addr string
+
+	mu        sync.Mutex
+	opsLeft   int
+	readDL    time.Time
+	writeDL   time.Time
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+func (c *faultConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+func (c *faultConn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDL, c.writeDL = t, t
+	c.mu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+func (c *faultConn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDL = t
+	c.mu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+func (c *faultConn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.writeDL = t
+	c.mu.Unlock()
+	return c.Conn.SetWriteDeadline(t)
+}
+
+func (c *faultConn) deadline(read bool) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if read {
+		return c.readDL
+	}
+	return c.writeDL
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	if err := c.gate(true); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	if err := c.gate(false); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}
+
+// gate applies partition blocking, injected latency and the reset
+// countdown before an operation touches the real connection.
+func (c *faultConn) gate(read bool) error {
+	waited := false
+	for c.f.partitioned(c.addr) {
+		if !waited {
+			waited = true
+			c.f.countPartitionWait()
+		}
+		// Honor the connection deadline while blackholed, like a kernel
+		// timing out a read on a dead route.
+		if dl := c.deadline(read); !dl.IsZero() && time.Now().After(dl) {
+			return os.ErrDeadlineExceeded
+		}
+		select {
+		case <-c.closed:
+			return net.ErrClosed
+		case <-time.After(time.Millisecond):
+		}
+	}
+	c.mu.Lock()
+	reset := false
+	if c.opsLeft == 0 {
+		reset = true
+	} else if c.opsLeft > 0 {
+		c.opsLeft--
+		if c.opsLeft == 0 {
+			reset = true
+		}
+	}
+	c.mu.Unlock()
+	if reset {
+		c.Conn.Close()
+		return fmt.Errorf("rpc: injected connection reset: %w", syscall.ECONNRESET)
+	}
+	if d := c.f.opDelay(); d > 0 {
+		select {
+		case <-c.closed:
+			return net.ErrClosed
+		case <-time.After(d):
+		}
+	}
+	return nil
+}

@@ -1,0 +1,354 @@
+package rpc
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	mathrand "math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cloudmonatt/internal/secchan"
+)
+
+// RetryPolicy tunes the retry loop of a ReconnectClient.
+type RetryPolicy struct {
+	// MaxAttempts caps the total number of attempts per call, first try
+	// included. Default 4.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; it doubles per
+	// retry up to MaxDelay. Defaults 25ms / 1s.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Jitter is the fraction of each delay randomized away (0..1), breaking
+	// retry synchronization across peers. Default 0.5.
+	Jitter float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 25 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	if p.Jitter <= 0 || p.Jitter > 1 {
+		p.Jitter = 0.5
+	}
+	return p
+}
+
+// EventKind classifies a fault-tolerance event.
+type EventKind string
+
+// The observable events: a retried call and a breaker state transition.
+const (
+	EventRetry   EventKind = "retry"
+	EventBreaker EventKind = "breaker"
+)
+
+// Event is one fault-tolerance event on a peer's channel, delivered to
+// ClientConfig.OnEvent for metrics and evidence recording.
+type Event struct {
+	Kind    EventKind
+	Peer    string
+	Method  string       // retries only
+	Attempt int          // retries only: the attempt about to run (1-based)
+	Err     error        // retries only: the failure being retried
+	From    BreakerState // breaker transitions only
+	To      BreakerState
+}
+
+// ClientConfig configures a ReconnectClient.
+type ClientConfig struct {
+	Network Network
+	Addr    string
+	// Peer labels events and errors; defaults to Addr.
+	Peer    string
+	Secchan secchan.Config
+	Retry   RetryPolicy
+	Breaker BreakerPolicy
+	// CallTimeout bounds each attempt (dial + handshake + exchange) in real
+	// time. Default 30s; negative disables the bound.
+	CallTimeout time.Duration
+	// Idempotent reports methods safe to blindly re-issue after a transport
+	// failure mid-call. Dial failures are always retried (the request never
+	// reached the peer). nil marks every method non-idempotent.
+	Idempotent func(method string) bool
+	// OnEvent observes retries and breaker transitions. It may be called
+	// concurrently and must not call back into this client.
+	OnEvent func(Event)
+	// Seed makes backoff jitter deterministic; 0 derives a seed from Addr.
+	Seed int64
+}
+
+// ReconnectClient is a fault-tolerant RPC client: it dials lazily,
+// redials broken connections with exponential backoff plus jitter, fails
+// fast behind a per-peer circuit breaker, and retries only what is safe —
+// idempotent methods, requests rebuilt with fresh nonces (CallFresh), and
+// requests carrying idempotency keys (CallIdem).
+type ReconnectClient struct {
+	cfg     ClientConfig
+	breaker *breaker
+
+	mu     sync.Mutex
+	client *Client
+	rng    *mathrand.Rand
+	closed bool
+}
+
+// NewReconnectClient creates a client for one peer. No connection is
+// established until the first call (or Connect).
+func NewReconnectClient(cfg ClientConfig) *ReconnectClient {
+	if cfg.Peer == "" {
+		cfg.Peer = cfg.Addr
+	}
+	cfg.Retry = cfg.Retry.withDefaults()
+	if cfg.CallTimeout == 0 {
+		cfg.CallTimeout = 30 * time.Second
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		h := fnv.New64a()
+		h.Write([]byte(cfg.Addr))
+		seed = int64(h.Sum64())
+	}
+	rc := &ReconnectClient{cfg: cfg, rng: mathrand.New(mathrand.NewSource(seed))}
+	rc.breaker = newBreaker(cfg.Breaker, func(from, to BreakerState) {
+		rc.event(Event{Kind: EventBreaker, Peer: cfg.Peer, From: from, To: to})
+	})
+	return rc
+}
+
+// Peer returns the label this client reports in events and errors.
+func (rc *ReconnectClient) Peer() string { return rc.cfg.Peer }
+
+// BreakerState returns the current circuit-breaker state.
+func (rc *ReconnectClient) BreakerState() BreakerState { return rc.breaker.State() }
+
+// Connect ensures a live connection, dialing if necessary (bounded by both
+// ctx and CallTimeout). Calls dial lazily, so Connect is only needed when
+// reachability must be probed eagerly.
+func (rc *ReconnectClient) Connect(ctx context.Context) error {
+	actx, cancel := rc.attemptCtx(ctx)
+	defer cancel()
+	_, err := rc.conn(actx)
+	return err
+}
+
+// Close tears down the connection; subsequent calls fail.
+func (rc *ReconnectClient) Close() error {
+	rc.mu.Lock()
+	c := rc.client
+	rc.client = nil
+	rc.closed = true
+	rc.mu.Unlock()
+	if c != nil {
+		return c.Close()
+	}
+	return nil
+}
+
+// Call is CallCtx with a background context (the CallTimeout still bounds
+// each attempt).
+func (rc *ReconnectClient) Call(method string, req, resp any) error {
+	return rc.CallCtx(context.Background(), method, req, resp)
+}
+
+// CallCtx sends method(req), retrying across transient transport failures
+// only when the method is registered idempotent.
+func (rc *ReconnectClient) CallCtx(ctx context.Context, method string, req, resp any) error {
+	idem := rc.cfg.Idempotent != nil && rc.cfg.Idempotent(method)
+	return rc.do(ctx, method, "", func(int) (any, error) { return req, nil }, resp, idem)
+}
+
+// CallFresh rebuilds the request for every attempt (regenerating nonces),
+// which makes retrying safe at the protocol level: a replay cache on the
+// peer never sees the same nonce twice. The caller asserts that re-issuing
+// the rebuilt request is semantically safe.
+func (rc *ReconnectClient) CallFresh(ctx context.Context, method string, makeReq func(attempt int) (any, error), resp any) error {
+	return rc.do(ctx, method, "", makeReq, resp, true)
+}
+
+// CallIdem attaches an idempotency key, so the server deduplicates
+// re-executions and replays the recorded response; use for methods that
+// must not run twice (remediation RPCs like terminate/migrate).
+func (rc *ReconnectClient) CallIdem(ctx context.Context, method, key string, req, resp any) error {
+	return rc.do(ctx, method, key, func(int) (any, error) { return req, nil }, resp, true)
+}
+
+func (rc *ReconnectClient) do(ctx context.Context, method, idemKey string, makeReq func(int) (any, error), resp any, retryable bool) error {
+	var lastErr error
+	for attempt := 0; attempt < rc.cfg.Retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			rc.event(Event{Kind: EventRetry, Peer: rc.cfg.Peer, Method: method, Attempt: attempt + 1, Err: lastErr})
+			if err := rc.sleep(ctx, attempt); err != nil {
+				return lastErr
+			}
+		}
+		if err := rc.breaker.allow(time.Now()); err != nil {
+			if lastErr != nil {
+				return fmt.Errorf("rpc: %s to %s: %w (last failure: %v)", method, rc.cfg.Peer, err, lastErr)
+			}
+			return fmt.Errorf("rpc: %s to %s: %w", method, rc.cfg.Peer, err)
+		}
+		req, err := makeReq(attempt)
+		if err != nil {
+			return err
+		}
+		sent, err := rc.attempt(ctx, method, idemKey, req, resp)
+		if err == nil {
+			rc.breaker.success()
+			return nil
+		}
+		var rerr *RemoteError
+		if errors.As(err, &rerr) {
+			// The transport round-tripped; the remote handler said no.
+			rc.breaker.success()
+			return err
+		}
+		rc.breaker.failure(time.Now())
+		lastErr = err
+		if ctx.Err() != nil {
+			return lastErr
+		}
+		if sent && !retryable {
+			return lastErr
+		}
+	}
+	return lastErr
+}
+
+// attempt runs one try. sent reports whether the request may have reached
+// the peer: dial and broken-connection failures are always safe to retry,
+// failures after send only for retryable calls.
+func (rc *ReconnectClient) attempt(ctx context.Context, method, idemKey string, req, resp any) (sent bool, err error) {
+	actx, cancel := rc.attemptCtx(ctx)
+	defer cancel()
+	c, err := rc.conn(actx)
+	if err != nil {
+		return false, err
+	}
+	err = c.call(actx, method, idemKey, req, resp)
+	if err == nil {
+		return true, nil
+	}
+	var rerr *RemoteError
+	if errors.As(err, &rerr) {
+		return true, err
+	}
+	// Transport failure: the connection is poisoned; drop it so the next
+	// attempt redials.
+	rc.drop(c)
+	if errors.Is(err, ErrClientBroken) {
+		return false, err // this request was never written
+	}
+	return true, err
+}
+
+// attemptCtx bounds one attempt with CallTimeout (in addition to any
+// caller deadline, so retries fit inside it).
+func (rc *ReconnectClient) attemptCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if rc.cfg.CallTimeout > 0 {
+		return context.WithTimeout(ctx, rc.cfg.CallTimeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+func (rc *ReconnectClient) conn(ctx context.Context) (*Client, error) {
+	rc.mu.Lock()
+	if rc.closed {
+		rc.mu.Unlock()
+		return nil, fmt.Errorf("rpc: client for %s: %w", rc.cfg.Peer, net.ErrClosed)
+	}
+	if c := rc.client; c != nil && !c.Broken() {
+		rc.mu.Unlock()
+		return c, nil
+	}
+	rc.mu.Unlock()
+	c, err := DialContext(ctx, rc.cfg.Network, rc.cfg.Addr, rc.cfg.Secchan)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dialing %s: %w", rc.cfg.Peer, err)
+	}
+	rc.mu.Lock()
+	if rc.closed {
+		rc.mu.Unlock()
+		c.Close()
+		return nil, fmt.Errorf("rpc: client for %s: %w", rc.cfg.Peer, net.ErrClosed)
+	}
+	if rc.client != nil && rc.client != c {
+		rc.client.Close()
+	}
+	rc.client = c
+	rc.mu.Unlock()
+	return c, nil
+}
+
+// drop discards a poisoned connection so the next attempt redials.
+func (rc *ReconnectClient) drop(c *Client) {
+	rc.mu.Lock()
+	if rc.client == c {
+		rc.client = nil
+	}
+	rc.mu.Unlock()
+	c.Close()
+}
+
+func (rc *ReconnectClient) sleep(ctx context.Context, attempt int) error {
+	t := time.NewTimer(rc.backoff(attempt))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// backoff returns the exponential delay before the given retry (attempt ≥
+// 1), with a random fraction (Jitter) shaved off.
+func (rc *ReconnectClient) backoff(attempt int) time.Duration {
+	d := rc.cfg.Retry.BaseDelay
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= rc.cfg.Retry.MaxDelay {
+			d = rc.cfg.Retry.MaxDelay
+			break
+		}
+	}
+	if d > rc.cfg.Retry.MaxDelay {
+		d = rc.cfg.Retry.MaxDelay
+	}
+	rc.mu.Lock()
+	f := 1 - rc.cfg.Retry.Jitter*rc.rng.Float64()
+	rc.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+func (rc *ReconnectClient) event(ev Event) {
+	if rc.cfg.OnEvent != nil {
+		rc.cfg.OnEvent(ev)
+	}
+}
+
+// idemCounter de-duplicates NewIdemKey fallbacks when the entropy source
+// is unavailable.
+var idemCounter atomic.Uint64
+
+// NewIdemKey returns a fresh idempotency key for one logical operation;
+// reuse it across retries of that operation only.
+func NewIdemKey() string {
+	var buf [16]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return fmt.Sprintf("idem-%d-%d", time.Now().UnixNano(), idemCounter.Add(1))
+	}
+	return hex.EncodeToString(buf[:])
+}

@@ -2,15 +2,27 @@
 // speak over their secure channels, plus the transport abstraction that
 // lets the same code run over real TCP (the cmd/ daemons) or an in-memory
 // network (the in-process testbed, tests, and the Dolev-Yao attacker rig).
+//
+// The attestation protocol threads every request across four networked
+// entities (Customer → Controller → Attestation Server → Cloud Server), so
+// this layer is built to survive component churn: every call can be
+// bounded by a context deadline (plumbed into the connection's read/write
+// deadlines), Serve outlives transient Accept failures, and requests may
+// carry idempotency keys so a retried non-idempotent method executes at
+// most once. ReconnectClient (retry.go) adds redial with exponential
+// backoff and per-peer circuit breakers; FaultNetwork (fault.go) injects
+// the failures the rest is built to tolerate.
 package rpc
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"cloudmonatt/internal/secchan"
 )
@@ -20,6 +32,26 @@ type Network interface {
 	Dial(addr string) (net.Conn, error)
 	Listen(addr string) (net.Listener, error)
 }
+
+// ContextDialer is implemented by Networks whose connection establishment
+// can be bounded (and abandoned) via a context. DialContext honors it.
+type ContextDialer interface {
+	DialContext(ctx context.Context, addr string) (net.Conn, error)
+}
+
+// dialNet establishes a raw connection, using the network's context-aware
+// dialer when it has one.
+func dialNet(ctx context.Context, n Network, addr string) (net.Conn, error) {
+	if cd, ok := n.(ContextDialer); ok {
+		return cd.DialContext(ctx, addr)
+	}
+	return n.Dial(addr)
+}
+
+// aLongTimeAgo is a deadline in the distant past: setting it interrupts
+// any blocked read or write immediately (the net package idiom for
+// cancellation).
+var aLongTimeAgo = time.Unix(1, 0)
 
 // --- in-memory network ---
 
@@ -55,11 +87,11 @@ func (l *memListener) Accept() (net.Conn, error) {
 	select {
 	case c, ok := <-l.ch:
 		if !ok {
-			return nil, errors.New("rpc: listener closed")
+			return nil, fmt.Errorf("rpc: listener closed: %w", net.ErrClosed)
 		}
 		return c, nil
 	case <-l.closed:
-		return nil, errors.New("rpc: listener closed")
+		return nil, fmt.Errorf("rpc: listener closed: %w", net.ErrClosed)
 	}
 }
 
@@ -89,6 +121,13 @@ func (n *MemNetwork) Listen(addr string) (net.Listener, error) {
 
 // Dial connects to a listening address.
 func (n *MemNetwork) Dial(addr string) (net.Conn, error) {
+	return n.DialContext(context.Background(), addr)
+}
+
+// DialContext connects to a listening address. The handoff to the
+// accepting side is bounded by ctx: a listener that exists but is not
+// accepting cannot block the dialer past its deadline.
+func (n *MemNetwork) DialContext(ctx context.Context, addr string) (net.Conn, error) {
 	n.mu.Lock()
 	l, ok := n.listeners[addr]
 	intercept := n.Intercept
@@ -104,7 +143,13 @@ func (n *MemNetwork) Dial(addr string) (net.Conn, error) {
 	case l.ch <- server:
 		return client, nil
 	case <-l.closed:
-		return nil, errors.New("rpc: listener closed")
+		client.Close()
+		server.Close()
+		return nil, fmt.Errorf("rpc: listener closed: %w", net.ErrClosed)
+	case <-ctx.Done():
+		client.Close()
+		server.Close()
+		return nil, fmt.Errorf("rpc: dialing %q: %w", addr, ctx.Err())
 	}
 }
 
@@ -114,6 +159,12 @@ type TCPNetwork struct{}
 // Dial connects over TCP.
 func (TCPNetwork) Dial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
 
+// DialContext connects over TCP, bounded by ctx.
+func (TCPNetwork) DialContext(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr)
+}
+
 // Listen binds a TCP listener.
 func (TCPNetwork) Listen(addr string) (net.Listener, error) { return net.Listen("tcp", addr) }
 
@@ -121,7 +172,11 @@ func (TCPNetwork) Listen(addr string) (net.Listener, error) { return net.Listen(
 
 type requestEnvelope struct {
 	Method string
-	Body   []byte
+	// IdemKey, when non-empty, makes the request idempotent on the server:
+	// the handler executes at most once per key and duplicates receive the
+	// recorded response (see idemCache).
+	IdemKey string
+	Body    []byte
 }
 
 type responseEnvelope struct {
@@ -156,24 +211,62 @@ type Peer struct {
 // response body.
 type Handler func(peer Peer, method string, body []byte) ([]byte, error)
 
+// ServeOptions tunes Serve's failure handling.
+type ServeOptions struct {
+	// HandshakeTimeout bounds the secure-channel handshake of each accepted
+	// connection (real time), so a peer that connects and stalls cannot pin
+	// a goroutine forever. Default 15s.
+	HandshakeTimeout time.Duration
+	// IdemCacheSize bounds the idempotency replay cache shared by all of
+	// this listener's connections. Default 1024 responses.
+	IdemCacheSize int
+}
+
 // Serve accepts secure-channel connections on l and dispatches requests to
 // h until the listener is closed. It blocks; run it in a goroutine.
+// Transient Accept failures (ECONNABORTED, fd exhaustion, injected faults)
+// are retried with a short backoff: only a closed listener stops the loop.
 func Serve(l net.Listener, cfg secchan.Config, h Handler) {
+	ServeOpts(l, cfg, h, ServeOptions{})
+}
+
+// ServeOpts is Serve with explicit failure-handling options.
+func ServeOpts(l net.Listener, cfg secchan.Config, h Handler, opts ServeOptions) {
+	if opts.HandshakeTimeout <= 0 {
+		opts.HandshakeTimeout = 15 * time.Second
+	}
+	if opts.IdemCacheSize <= 0 {
+		opts.IdemCacheSize = 1024
+	}
+	idem := newIdemCache(opts.IdemCacheSize)
+	var backoff time.Duration
 	for {
 		raw, err := l.Accept()
 		if err != nil {
-			return
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			if backoff < 5*time.Millisecond {
+				backoff = 5 * time.Millisecond
+			} else if backoff *= 2; backoff > 200*time.Millisecond {
+				backoff = 200 * time.Millisecond
+			}
+			time.Sleep(backoff)
+			continue
 		}
-		go serveConn(raw, cfg, h)
+		backoff = 0
+		go serveConn(raw, cfg, h, opts.HandshakeTimeout, idem)
 	}
 }
 
-func serveConn(raw net.Conn, cfg secchan.Config, h Handler) {
+func serveConn(raw net.Conn, cfg secchan.Config, h Handler, hsTimeout time.Duration, idem *idemCache) {
 	defer raw.Close()
+	raw.SetDeadline(time.Now().Add(hsTimeout))
 	conn, err := secchan.Server(raw, cfg)
 	if err != nil {
 		return // handshake failed: unauthenticated peer or network attacker
 	}
+	raw.SetDeadline(time.Time{})
 	peer := Peer{Name: conn.PeerName()}
 	for {
 		msg, err := conn.ReadMsg()
@@ -185,11 +278,10 @@ func serveConn(raw net.Conn, cfg secchan.Config, h Handler) {
 			return
 		}
 		var resp responseEnvelope
-		body, herr := h(peer, req.Method, req.Body)
-		if herr != nil {
-			resp.Err = herr.Error()
+		if req.IdemKey != "" {
+			resp = idem.do(req.IdemKey, func() responseEnvelope { return dispatch(h, peer, req) })
 		} else {
-			resp.Body = body
+			resp = dispatch(h, peer, req)
 		}
 		out, err := Encode(resp)
 		if err != nil {
@@ -201,23 +293,101 @@ func serveConn(raw net.Conn, cfg secchan.Config, h Handler) {
 	}
 }
 
+func dispatch(h Handler, peer Peer, req requestEnvelope) responseEnvelope {
+	body, err := h(peer, req.Method, req.Body)
+	if err != nil {
+		return responseEnvelope{Err: err.Error()}
+	}
+	return responseEnvelope{Body: body}
+}
+
+// idemCache replays responses for requests bearing an idempotency key, so
+// clients can safely retry non-idempotent methods (e.g. remediation RPCs):
+// the handler runs at most once per key, and duplicates — including
+// concurrent ones — receive the first execution's response.
+type idemCache struct {
+	mu      sync.Mutex
+	entries map[string]*idemEntry
+	order   []string // FIFO eviction
+	max     int
+}
+
+type idemEntry struct {
+	done chan struct{}
+	resp responseEnvelope
+}
+
+func newIdemCache(max int) *idemCache {
+	return &idemCache{entries: make(map[string]*idemEntry), max: max}
+}
+
+func (c *idemCache) do(key string, fn func() responseEnvelope) responseEnvelope {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		<-e.done
+		return e.resp
+	}
+	e := &idemEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.order = append(c.order, key)
+	if len(c.order) > c.max {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+	c.mu.Unlock()
+	e.resp = fn()
+	close(e.done)
+	return e.resp
+}
+
+// RemoteError is a failure reported by the remote handler: the transport
+// and secure channel worked, the method itself returned an error. The
+// connection remains usable, and blind retries of the same request will
+// not change the outcome.
+type RemoteError struct {
+	Method string
+	Msg    string
+}
+
+func (e *RemoteError) Error() string { return fmt.Sprintf("rpc: %s: %s", e.Method, e.Msg) }
+
+// ErrClientBroken reports a client whose connection was poisoned by an
+// earlier transport failure (a timed-out or torn call leaves the
+// request/response pairing on the wire undefined). The caller must redial;
+// ReconnectClient does so automatically.
+var ErrClientBroken = errors.New("rpc: connection broken by earlier failure")
+
 // Client is one secure RPC connection. Calls are serialized.
 type Client struct {
-	mu   sync.Mutex
-	conn *secchan.Conn
+	mu     sync.Mutex
+	conn   *secchan.Conn
+	broken bool
 }
 
 // Dial establishes a secure channel to addr over n and wraps it in a Client.
 func Dial(n Network, addr string, cfg secchan.Config) (*Client, error) {
-	raw, err := n.Dial(addr)
+	return DialContext(context.Background(), n, addr, cfg)
+}
+
+// DialContext establishes a secure channel to addr over n, bounding both
+// connection establishment and the authentication handshake with ctx.
+func DialContext(ctx context.Context, n Network, addr string, cfg secchan.Config) (*Client, error) {
+	raw, err := dialNet(ctx, n, addr)
 	if err != nil {
 		return nil, err
 	}
+	if dl, ok := ctx.Deadline(); ok {
+		raw.SetDeadline(dl)
+	}
+	stop := context.AfterFunc(ctx, func() { raw.SetDeadline(aLongTimeAgo) })
 	conn, err := secchan.Client(raw, cfg)
+	stop()
 	if err != nil {
 		raw.Close()
 		return nil, err
 	}
+	conn.SetDeadline(time.Time{})
 	return &Client{conn: conn}, nil
 }
 
@@ -227,32 +397,73 @@ func (c *Client) PeerName() string { return c.conn.PeerName() }
 // Close tears down the channel.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// Broken reports whether an earlier transport failure poisoned this
+// connection (subsequent calls fail fast with ErrClientBroken).
+func (c *Client) Broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.broken
+}
+
 // Call sends method(req) and decodes the reply into resp (resp may be nil
 // for fire-and-forget semantics with an empty reply).
 func (c *Client) Call(method string, req, resp any) error {
+	return c.CallCtx(context.Background(), method, req, resp)
+}
+
+// CallCtx sends method(req) and decodes the reply into resp. The context's
+// deadline and cancellation bound the whole exchange via the connection's
+// read/write deadlines, so a hung or partitioned peer cannot block the
+// caller past them. A call that fails in transport poisons the connection
+// — later calls fail fast with ErrClientBroken until the caller redials.
+func (c *Client) CallCtx(ctx context.Context, method string, req, resp any) error {
+	return c.call(ctx, method, "", req, resp)
+}
+
+// CallIdem is CallCtx with an idempotency key: the server executes the
+// method at most once per key and replays the recorded response to
+// duplicates, making the call safe to retry even when the method is not
+// naturally idempotent.
+func (c *Client) CallIdem(ctx context.Context, method, key string, req, resp any) error {
+	return c.call(ctx, method, key, req, resp)
+}
+
+func (c *Client) call(ctx context.Context, method, idemKey string, req, resp any) error {
 	body, err := Encode(req)
 	if err != nil {
 		return err
 	}
-	out, err := Encode(requestEnvelope{Method: method, Body: body})
+	out, err := Encode(requestEnvelope{Method: method, IdemKey: idemKey, Body: body})
 	if err != nil {
 		return err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.broken {
+		return fmt.Errorf("rpc: calling %s: %w", method, ErrClientBroken)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		c.conn.SetDeadline(dl)
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	stop := context.AfterFunc(ctx, func() { c.conn.SetDeadline(aLongTimeAgo) })
+	defer stop()
 	if err := c.conn.WriteMsg(out); err != nil {
+		c.broken = true
 		return fmt.Errorf("rpc: sending %s: %w", method, err)
 	}
 	msg, err := c.conn.ReadMsg()
 	if err != nil {
+		c.broken = true
 		return fmt.Errorf("rpc: awaiting %s reply: %w", method, err)
 	}
 	var env responseEnvelope
 	if err := Decode(msg, &env); err != nil {
+		c.broken = true
 		return err
 	}
 	if env.Err != "" {
-		return fmt.Errorf("rpc: %s: %s", method, env.Err)
+		return &RemoteError{Method: method, Msg: env.Err}
 	}
 	if resp == nil {
 		return nil

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"time"
 
 	"cloudmonatt/internal/cryptoutil"
 )
@@ -76,6 +77,18 @@ func (c *Conn) PeerKey() ed25519.PublicKey { return c.peerKey }
 
 // Close closes the underlying transport.
 func (c *Conn) Close() error { return c.raw.Close() }
+
+// SetDeadline bounds future reads and writes on the underlying transport.
+// A record interrupted by an expired deadline leaves the channel desynced
+// (torn frame, unadvanced AEAD sequence); callers must discard the
+// connection rather than reuse it.
+func (c *Conn) SetDeadline(t time.Time) error { return c.raw.SetDeadline(t) }
+
+// SetReadDeadline bounds future reads on the underlying transport.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.raw.SetReadDeadline(t) }
+
+// SetWriteDeadline bounds future writes on the underlying transport.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.raw.SetWriteDeadline(t) }
 
 // --- raw framing (pre-encryption transport) ---
 

@@ -16,6 +16,7 @@ package wire
 
 import (
 	"crypto/ed25519"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"time"
@@ -203,12 +204,18 @@ func VerifyReport(r *Report, attestKey ed25519.PublicKey, vid string, p properti
 // --- controller → customer ---
 
 // CustomerReport is the final attestation result: [Vid, P, R, N1, Q1]_SKc.
+// Stale and Age cover graceful degradation: when the attestation
+// infrastructure is unreachable, the controller re-signs the last-known-good
+// verdict flagged stale, with its age, so the customer can decide whether
+// cached assurance is acceptable. Both fields are bound by the signature.
 type CustomerReport struct {
 	Vid     string
 	Prop    properties.Property
 	Verdict properties.Verdict
 	N1      cryptoutil.Nonce
 	Q1      [32]byte
+	Stale   bool
+	Age     time.Duration
 	Sig     []byte
 }
 
@@ -218,8 +225,13 @@ func ComputeQ1(vid string, p properties.Property, v properties.Verdict, n1 crypt
 }
 
 func customerReportBody(r *CustomerReport) []byte {
+	staleness := make([]byte, 9)
+	if r.Stale {
+		staleness[0] = 1
+	}
+	binary.BigEndian.PutUint64(staleness[1:], uint64(r.Age))
 	sum := cryptoutil.Hash("customer-report",
-		[]byte(r.Vid), []byte(r.Prop), r.Verdict.Encode(), r.N1[:], r.Q1[:])
+		[]byte(r.Vid), []byte(r.Prop), r.Verdict.Encode(), r.N1[:], r.Q1[:], staleness)
 	return sum[:]
 }
 
@@ -232,6 +244,23 @@ func BuildCustomerReport(signer *cryptoutil.Identity, vid string, p properties.P
 		Verdict: v,
 		N1:      n1,
 		Q1:      ComputeQ1(vid, p, v, n1),
+	}
+	r.Sig = signer.Sign(customerReportBody(r))
+	return r
+}
+
+// BuildStaleCustomerReport signs a degraded report: the last-known-good
+// verdict, marked stale with its age at signing time. The customer's fresh
+// N1 is still bound in, so the report cannot be replayed for a later query.
+func BuildStaleCustomerReport(signer *cryptoutil.Identity, vid string, p properties.Property, v properties.Verdict, n1 cryptoutil.Nonce, age time.Duration) *CustomerReport {
+	r := &CustomerReport{
+		Vid:     vid,
+		Prop:    p,
+		Verdict: v,
+		N1:      n1,
+		Q1:      ComputeQ1(vid, p, v, n1),
+		Stale:   true,
+		Age:     age,
 	}
 	r.Sig = signer.Sign(customerReportBody(r))
 	return r
