@@ -20,6 +20,7 @@ import (
 	"os/signal"
 	"time"
 
+	"cloudmonatt/internal/attestsrv"
 	"cloudmonatt/internal/cloudsim"
 	"cloudmonatt/internal/cryptoutil"
 	"cloudmonatt/internal/rpc"
@@ -44,6 +45,9 @@ func main() {
 	chaosDelay := flag.Float64("chaos-delay", 0, "inject per-operation delay rate (0..1) on every link")
 	chaosMaxDelay := flag.Duration("chaos-max-delay", 5*time.Millisecond, "max injected delay per operation")
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection RNG seed")
+	periodicWorkers := flag.Int("periodic-workers", 8, "max concurrent periodic appraisals across all cloud servers")
+	periodicServerCap := flag.Int("periodic-server-cap", 2, "max in-flight periodic appraisals per cloud server")
+	periodicBuffer := flag.Int("periodic-buffer", 64, "undelivered periodic results kept per task (oldest dropped beyond this)")
 	flag.Parse()
 
 	var network rpc.Network = rpc.TCPNetwork{}
@@ -62,6 +66,11 @@ func main() {
 		Network:     network,
 		CallTimeout: *callTimeout,
 		Retry:       rpc.RetryPolicy{MaxAttempts: *retries},
+		Periodic: attestsrv.PeriodicConfig{
+			Workers:        *periodicWorkers,
+			ServerInflight: *periodicServerCap,
+			ResultBuffer:   *periodicBuffer,
+		},
 	})
 	if err != nil {
 		log.Fatalf("assembling cloud: %v", err)

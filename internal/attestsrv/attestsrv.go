@@ -80,6 +80,9 @@ type Config struct {
 	Retry rpc.RetryPolicy
 	// Breaker tunes the per-server circuit breakers.
 	Breaker rpc.BreakerPolicy
+	// Periodic tunes the periodic monitoring engine (worker pool size,
+	// per-server in-flight cap, result buffer bound).
+	Periodic PeriodicConfig
 }
 
 // Server is the Attestation Server.
@@ -92,21 +95,22 @@ type Server struct {
 	clients map[string]*rpc.ReconnectClient
 	replay  *cryptoutil.ReplayCache
 
-	periodic map[string]*periodicTask
+	periodic *periodicEngine
 	metrics  *metrics.Registry
 }
 
 // New creates an Attestation Server.
 func New(cfg Config) *Server {
-	return &Server{
-		cfg:      cfg,
-		servers:  make(map[string]*ServerRecord),
-		vms:      make(map[string]*VMRecord),
-		clients:  make(map[string]*rpc.ReconnectClient),
-		replay:   cryptoutil.NewReplayCache(4096),
-		periodic: make(map[string]*periodicTask),
-		metrics:  metrics.NewRegistry(),
+	s := &Server{
+		cfg:     cfg,
+		servers: make(map[string]*ServerRecord),
+		vms:     make(map[string]*VMRecord),
+		clients: make(map[string]*rpc.ReconnectClient),
+		replay:  cryptoutil.NewReplayCache(4096),
+		metrics: metrics.NewRegistry(),
 	}
+	s.periodic = newPeriodicEngine(cfg.Periodic, s.cfg.Clock.Now, s.drawJitter, s.appraiseOnce, s.metrics)
+	return s
 }
 
 // onRPCEvent counts retries and breaker transitions on the measurement
@@ -200,25 +204,15 @@ func (s *Server) RegisterVM(rec VMRecord) {
 // RebindVM points a VM's periodic tasks at its new host after a migration,
 // so ongoing monitoring follows the VM through its lifecycle (paper §5.3).
 func (s *Server) RebindVM(vid, serverID string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, t := range s.periodic {
-		if t.vid == vid {
-			t.serverID = serverID
-		}
-	}
+	s.periodic.rebind(vid, serverID)
 }
 
 // ForgetVM drops a VM's records and any periodic tasks (termination).
 func (s *Server) ForgetVM(vid string) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	delete(s.vms, vid)
-	for key, t := range s.periodic {
-		if t.vid == vid {
-			delete(s.periodic, key)
-		}
-	}
+	s.mu.Unlock()
+	s.periodic.forget(vid)
 }
 
 // client returns the fault-tolerant channel to a server (connections are
@@ -348,62 +342,23 @@ func (s *Server) recordAppraisal(req *wire.AppraisalRequest, v properties.Verdic
 }
 
 // --- periodic attestation engine (paper §3.2.1, §5.2) ---
-
-type periodicTask struct {
-	vid      string
-	serverID string
-	prop     properties.Property
-	freq     time.Duration
-	random   bool // randomize each interval (Table 1's "random intervals")
-	nextDue  time.Duration
-	results  []*wire.Report
-}
-
-// interval returns the next gap: the fixed frequency, or — in random mode —
-// uniform in [freq/2, 3·freq/2], so an attacker cannot time malicious
-// activity to dodge the measurement windows (paper §3.2.1, §4.4.3).
-func (t *periodicTask) interval(draw func(max int64) int64) time.Duration {
-	if !t.random {
-		return t.freq
-	}
-	half := int64(t.freq / 2)
-	if half <= 0 {
-		return t.freq
-	}
-	return t.freq/2 + time.Duration(draw(int64(t.freq)))
-}
+//
+// The engine itself lives in periodic.go; the Server supplies the clock,
+// the unpredictable jitter source, and the appraisal path.
 
 func taskKey(vid string, p properties.Property) string { return vid + "|" + string(p) }
 
 // StartPeriodic arms periodic attestation of (vid, prop) at the given
-// frequency. Random mode jitters each interval so the schedule is
-// unpredictable to a co-resident attacker.
+// frequency.
 func (s *Server) StartPeriodic(vid, serverID string, p properties.Property, freq time.Duration) error {
-	return s.startPeriodic(vid, serverID, p, freq, false)
+	return s.periodic.start(vid, serverID, p, freq, false)
 }
 
 // StartPeriodicRandom arms periodic attestation at random intervals with
-// the given mean frequency.
+// the given mean frequency, so the schedule is unpredictable to a
+// co-resident attacker.
 func (s *Server) StartPeriodicRandom(vid, serverID string, p properties.Property, freq time.Duration) error {
-	return s.startPeriodic(vid, serverID, p, freq, true)
-}
-
-func (s *Server) startPeriodic(vid, serverID string, p properties.Property, freq time.Duration, random bool) error {
-	if freq <= 0 {
-		return fmt.Errorf("attestsrv: periodic frequency must be positive")
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t := &periodicTask{
-		vid:      vid,
-		serverID: serverID,
-		prop:     p,
-		freq:     freq,
-		random:   random,
-	}
-	t.nextDue = s.cfg.Clock.Now() + t.interval(s.drawJitter)
-	s.periodic[taskKey(vid, p)] = t
-	return nil
+	return s.periodic.start(vid, serverID, p, freq, true)
 }
 
 // drawJitter draws a uniform value in [0, max) from crypto-grade entropy —
@@ -422,76 +377,52 @@ func (s *Server) drawJitter(max int64) int64 {
 	return v % max
 }
 
+// appraiseOnce is the engine's appraisal path: generate a fresh N2 and run
+// the full appraisal. A nonce failure is an appraisal failure — the engine
+// has already rescheduled the task, so entropy exhaustion can never pin a
+// task permanently due (the hot loop the linear scheduler had).
+func (s *Server) appraiseOnce(vid, serverID string, p properties.Property) (*wire.Report, error) {
+	n2, err := cryptoutil.NewNonce(s.cfg.Rand)
+	if err != nil {
+		s.metrics.Counter("periodic/nonce-failures").Inc()
+		return nil, fmt.Errorf("attestsrv: periodic nonce: %w", err)
+	}
+	return s.Appraise(wire.AppraisalRequest{Vid: vid, ServerID: serverID, Prop: p, N2: n2})
+}
+
 // StopPeriodic disarms a periodic attestation and returns any undelivered
 // results.
 func (s *Server) StopPeriodic(vid string, p properties.Property) []*wire.Report {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	key := taskKey(vid, p)
-	t, ok := s.periodic[key]
-	if !ok {
-		return nil
-	}
-	delete(s.periodic, key)
-	return t.results
+	return s.StopPeriodicBatch(vid, p).Reports
+}
+
+// StopPeriodicBatch is StopPeriodic with the loss accounting (dropped
+// reports, shed ticks) accumulated since the last drain.
+func (s *Server) StopPeriodicBatch(vid string, p properties.Property) PeriodicBatch {
+	return s.periodic.stop(vid, p)
 }
 
 // FetchPeriodic drains the accumulated fresh results for (vid, prop).
 func (s *Server) FetchPeriodic(vid string, p properties.Property) []*wire.Report {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t, ok := s.periodic[taskKey(vid, p)]
-	if !ok {
-		return nil
-	}
-	out := t.results
-	t.results = nil
-	return out
+	return s.FetchPeriodicBatch(vid, p).Reports
 }
 
-// RunDue executes every periodic task whose next due time has passed,
-// accumulating fresh reports. The testbed calls it as virtual time
-// advances. It returns the reports produced in this pass.
+// FetchPeriodicBatch is FetchPeriodic with the loss accounting (dropped
+// reports, shed ticks) accumulated since the last drain.
+func (s *Server) FetchPeriodicBatch(vid string, p properties.Property) PeriodicBatch {
+	return s.periodic.fetch(vid, p)
+}
+
+// RunDue appraises every periodic task whose deadline has passed — due
+// tasks run concurrently on the engine's bounded worker pool — and returns
+// the reports committed for still-live tasks in this pass. The testbed
+// calls it as virtual time advances.
 func (s *Server) RunDue() []*wire.Report {
-	now := s.cfg.Clock.Now()
-	s.mu.Lock()
-	var due []*periodicTask
-	for _, t := range s.periodic {
-		if now >= t.nextDue {
-			due = append(due, t)
-		}
-	}
-	s.mu.Unlock()
-	var produced []*wire.Report
-	for _, t := range due {
-		n2, err := cryptoutil.NewNonce(s.cfg.Rand)
-		if err != nil {
-			continue
-		}
-		rep, err := s.Appraise(wire.AppraisalRequest{Vid: t.vid, ServerID: t.serverID, Prop: t.prop, N2: n2})
-		s.mu.Lock()
-		t.nextDue = s.cfg.Clock.Now() + t.interval(s.drawJitter)
-		if err == nil {
-			t.results = append(t.results, rep)
-			produced = append(produced, rep)
-		}
-		s.mu.Unlock()
-	}
-	return produced
+	return s.periodic.runDue()
 }
 
 // NextDue returns the earliest pending periodic deadline, or false if no
 // periodic tasks are armed.
 func (s *Server) NextDue() (time.Duration, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var min time.Duration
-	found := false
-	for _, t := range s.periodic {
-		if !found || t.nextDue < min {
-			min = t.nextDue
-			found = true
-		}
-	}
-	return min, found
+	return s.periodic.nextDue()
 }

@@ -85,13 +85,13 @@ func (s *Server) Handler() rpc.Handler {
 			if err := rpc.Decode(body, &req); err != nil {
 				return nil, err
 			}
-			return rpc.Encode(s.StopPeriodic(req.Vid, req.Prop))
+			return rpc.Encode(s.StopPeriodicBatch(req.Vid, req.Prop))
 		case MethodPeriodicFetch:
 			var req PeriodicControl
 			if err := rpc.Decode(body, &req); err != nil {
 				return nil, err
 			}
-			return rpc.Encode(s.FetchPeriodic(req.Vid, req.Prop))
+			return rpc.Encode(s.FetchPeriodicBatch(req.Vid, req.Prop))
 		case MethodRebindVM:
 			var req RebindRequest
 			if err := rpc.Decode(body, &req); err != nil {

@@ -70,6 +70,9 @@ type Options struct {
 	Retry rpc.RetryPolicy
 	// Breaker tunes their per-peer circuit breakers.
 	Breaker rpc.BreakerPolicy
+	// Periodic tunes every Attestation Server's periodic monitoring engine
+	// (worker pool, per-server in-flight cap, result buffer bound).
+	Periodic attestsrv.PeriodicConfig
 }
 
 // Testbed is the assembled cloud.
@@ -227,6 +230,7 @@ func New(opts Options) (*Testbed, error) {
 			CallTimeout: opts.CallTimeout,
 			Retry:       opts.Retry,
 			Breaker:     opts.Breaker,
+			Periodic:    opts.Periodic,
 		})
 		tb.AttestServers = append(tb.AttestServers, as)
 		al, addr, err := listen(id.Name)
@@ -348,7 +352,11 @@ func (tb *Testbed) imageTamper(name string, data []byte) []byte {
 
 // RunFor advances virtual time by d, executing periodic attestations as
 // they come due. It serializes against in-flight nova api requests: the
-// shared discrete-event kernel admits one logical driver at a time.
+// shared discrete-event kernel admits one logical driver at a time. Each
+// pass drives the same concurrent engine the real-time daemon uses: due
+// appraisals of one batch run in parallel on the engine's worker pool and
+// the pass waits for the batch, so the deterministic virtual-clock loop
+// still observes every deadline exactly once.
 func (tb *Testbed) RunFor(d time.Duration) {
 	tb.opMu.Lock()
 	defer tb.opMu.Unlock()

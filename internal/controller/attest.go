@@ -121,25 +121,19 @@ func (c *Controller) StartPeriodic(req wire.PeriodicRequest) error {
 
 // StopPeriodic serves stop_attest_periodic, returning undelivered results.
 func (c *Controller) StopPeriodic(req wire.StopPeriodicRequest) ([]*wire.CustomerReport, error) {
-	if _, err := c.vmFor(req.Vid, req.Prop); err != nil {
-		return nil, err
-	}
-	ac, cluster, err := c.attestClientOfVM(req.Vid)
-	if err != nil {
-		return nil, err
-	}
-	var reports []*wire.Report
-	// Stop drains undelivered results server-side; the idempotency key makes
-	// a retried stop replay the recorded drain instead of losing the batch.
-	if err := ac.CallIdem(context.Background(), attestsrv.MethodPeriodicStop, rpc.NewIdemKey(),
-		attestsrv.PeriodicControl{Vid: req.Vid, Prop: req.Prop}, &reports); err != nil {
-		return nil, err
-	}
-	return c.repackage(req.Vid, req.Prop, req.N1, cluster, reports)
+	return c.drainPeriodic(req, attestsrv.MethodPeriodicStop)
 }
 
 // FetchPeriodic drains fresh periodic results for the customer.
 func (c *Controller) FetchPeriodic(req wire.StopPeriodicRequest) ([]*wire.CustomerReport, error) {
+	return c.drainPeriodic(req, attestsrv.MethodPeriodicFetch)
+}
+
+// drainPeriodic drains a periodic stream (fetch keeps it armed, stop
+// disarms it) and surfaces the engine's loss accounting: reports the
+// bounded buffer evicted and ticks shed under overload are counted in the
+// controller's metrics and, when any occurred, recorded as evidence.
+func (c *Controller) drainPeriodic(req wire.StopPeriodicRequest, method string) ([]*wire.CustomerReport, error) {
 	if _, err := c.vmFor(req.Vid, req.Prop); err != nil {
 		return nil, err
 	}
@@ -147,13 +141,22 @@ func (c *Controller) FetchPeriodic(req wire.StopPeriodicRequest) ([]*wire.Custom
 	if err != nil {
 		return nil, err
 	}
-	var reports []*wire.Report
-	// Fetch also drains; same idempotency-key protection as stop.
-	if err := ac.CallIdem(context.Background(), attestsrv.MethodPeriodicFetch, rpc.NewIdemKey(),
-		attestsrv.PeriodicControl{Vid: req.Vid, Prop: req.Prop}, &reports); err != nil {
+	var batch attestsrv.PeriodicBatch
+	// Drains are destructive server-side; the idempotency key makes a
+	// retried drain replay the recorded batch instead of losing it.
+	if err := ac.CallIdem(context.Background(), method, rpc.NewIdemKey(),
+		attestsrv.PeriodicControl{Vid: req.Vid, Prop: req.Prop}, &batch); err != nil {
 		return nil, err
 	}
-	return c.repackage(req.Vid, req.Prop, req.N1, cluster, reports)
+	if batch.Dropped > 0 || batch.Skipped > 0 {
+		c.cfg.Metrics.Counter("controller.periodic.dropped_reports").Add(int64(batch.Dropped))
+		c.cfg.Metrics.Counter("controller.periodic.skipped_ticks").Add(int64(batch.Skipped))
+		c.record(ledger.KindDegraded, req.Vid, req.Prop, struct {
+			Dropped uint64 `json:"dropped,omitempty"`
+			Skipped uint64 `json:"skipped,omitempty"`
+		}{batch.Dropped, batch.Skipped})
+	}
+	return c.repackage(req.Vid, req.Prop, req.N1, cluster, batch.Reports)
 }
 
 // repackage validates appraiser reports and re-signs them for the customer.

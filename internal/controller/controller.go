@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -476,6 +477,15 @@ func (c *Controller) release(name string, f image.Flavor) {
 	c.used[name] = u
 }
 
+// UsedCapacity reports the resources currently reserved on a server. Every
+// reserve must be balanced by a release when the VM dies or fails to
+// launch — the capacity-accounting test audits this via UsedCapacity.
+func (c *Controller) UsedCapacity(name string) server.Capacity {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used[name]
+}
+
 // --- Deployment Module: the five-stage launch pipeline ---
 
 // LaunchRequest is the customer's VM request (nova api extended with the
@@ -579,7 +589,7 @@ func (c *Controller) LaunchVM(req LaunchRequest) (LaunchResult, error) {
 			return result, nil
 		}
 		result.Reason = reason
-		if verdict.Details["component"] == "" && !verdict.Healthy && reasonIsImage(reason) {
+		if verdict.Details["component"] == "" && !verdict.Healthy && verdictBlamesImage(verdict) {
 			// Compromised VM image: rejecting, not rescheduling.
 			return result, nil
 		}
@@ -587,17 +597,16 @@ func (c *Controller) LaunchVM(req LaunchRequest) (LaunchResult, error) {
 	return result, nil
 }
 
-func reasonIsImage(reason string) bool {
-	return contains(reason, "image")
-}
-
-func contains(s, sub string) bool {
-	for i := 0; i+len(sub) <= len(s); i++ {
-		if s[i:i+len(sub)] == sub {
-			return true
-		}
+// verdictBlamesImage decides reject-vs-reschedule for a failed startup
+// attestation: an image failure follows the VM everywhere, so relaunching
+// on another server is pointless. The interpreter's typed class is
+// authoritative; unclassified verdicts (custom interpreters) fall back to
+// the reason text.
+func verdictBlamesImage(v properties.Verdict) bool {
+	if v.Class != properties.FailureUnclassified {
+		return v.Class == properties.FailureImage
 	}
-	return false
+	return strings.Contains(v.Reason, "image")
 }
 
 // placeAndAttest runs stages 2–5 on one candidate server.

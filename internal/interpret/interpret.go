@@ -130,8 +130,8 @@ func find(ms []properties.Measurement, kind properties.MeasurementKind) (propert
 	return properties.Measurement{}, false
 }
 
-func unhealthy(p properties.Property, reason string, details map[string]string) properties.Verdict {
-	return properties.Verdict{Property: p, Healthy: false, Reason: reason, Details: details}
+func unhealthy(p properties.Property, class properties.FailureClass, reason string, details map[string]string) properties.Verdict {
+	return properties.Verdict{Property: p, Healthy: false, Class: class, Reason: reason, Details: details}
 }
 
 // StartupIntegrity appraises the platform quote and the VM image digest
@@ -142,11 +142,11 @@ func StartupIntegrity(ms []properties.Measurement, nonce cryptoutil.Nonce, refs 
 	const p = properties.StartupIntegrity
 	quote, ok := find(ms, properties.KindPlatformQuote)
 	if !ok {
-		return unhealthy(p, "missing platform quote", nil)
+		return unhealthy(p, properties.FailurePlatform, "missing platform quote", nil)
 	}
 	img, ok := find(ms, properties.KindImageDigest)
 	if !ok {
-		return unhealthy(p, "missing image digest", nil)
+		return unhealthy(p, properties.FailureImage, "missing image digest", nil)
 	}
 
 	// 1. The quote signature must verify under the server's TPM AIK and be
@@ -157,18 +157,18 @@ func StartupIntegrity(ms []properties.Measurement, nonce cryptoutil.Nonce, refs 
 		q.Values = append(q.Values, quote.QuoteVal[i])
 	}
 	if err := tpm.VerifyQuote(q, refs.ServerAIK, nonce); err != nil {
-		return unhealthy(p, "platform quote rejected: "+err.Error(), nil)
+		return unhealthy(p, properties.FailurePlatform, "platform quote rejected: "+err.Error(), nil)
 	}
 
 	// 2. The measurement log must explain the quoted PCR values.
 	events, err := parseLog(quote)
 	if err != nil {
-		return unhealthy(p, err.Error(), nil)
+		return unhealthy(p, properties.FailurePlatform, err.Error(), nil)
 	}
 	replayed := tpm.ReplayLog(events)
 	for i, pcr := range q.PCRs {
 		if replayed[pcr] != q.Values[i] {
-			return unhealthy(p, fmt.Sprintf("measurement log does not explain PCR %d", pcr), nil)
+			return unhealthy(p, properties.FailurePlatform, fmt.Sprintf("measurement log does not explain PCR %d", pcr), nil)
 		}
 	}
 
@@ -180,24 +180,24 @@ func StartupIntegrity(ms []properties.Measurement, nonce cryptoutil.Nonce, refs 
 		name := desc[strings.Index(desc, ":")+1:]
 		if strings.HasPrefix(name, "vm-image-") {
 			if name == "vm-image-"+refs.Vid && e.Measurement != refs.ExpectedImage {
-				return unhealthy(p, "VM image measurement differs from pristine image",
+				return unhealthy(p, properties.FailureImage, "VM image measurement differs from pristine image",
 					map[string]string{"component": name})
 			}
 			continue
 		}
 		if !approvedComponent(refs, name, e.Measurement) {
 			if _, known := refs.PlatformGolden[name]; !known && !knownInAnyVersion(refs, name) {
-				return unhealthy(p, "unknown software measured into platform",
+				return unhealthy(p, properties.FailurePlatform, "unknown software measured into platform",
 					map[string]string{"component": name})
 			}
-			return unhealthy(p, "platform component differs from known-good build",
+			return unhealthy(p, properties.FailurePlatform, "platform component differs from known-good build",
 				map[string]string{"component": name})
 		}
 	}
 
 	// 4. Belt and braces: the directly reported image digest must also match.
 	if img.Digest != refs.ExpectedImage {
-		return unhealthy(p, "VM image digest mismatch", nil)
+		return unhealthy(p, properties.FailureImage, "VM image digest mismatch", nil)
 	}
 	return properties.Verdict{Property: p, Healthy: true, Reason: "platform and VM image match known-good measurements"}
 }
@@ -254,7 +254,7 @@ func RuntimeIntegrity(ms []properties.Measurement, refs References) properties.V
 	const p = properties.RuntimeIntegrity
 	tl, ok := find(ms, properties.KindTaskList)
 	if !ok {
-		return unhealthy(p, "missing task list", nil)
+		return unhealthy(p, properties.FailureRuntime, "missing task list", nil)
 	}
 	allowed := make(map[string]bool, len(refs.TaskAllowlist))
 	for _, n := range refs.TaskAllowlist {
@@ -268,7 +268,7 @@ func RuntimeIntegrity(ms []properties.Measurement, refs References) properties.V
 	}
 	if len(rogue) > 0 {
 		sort.Strings(rogue)
-		return unhealthy(p, "unknown software running in VM",
+		return unhealthy(p, properties.FailureRuntime, "unknown software running in VM",
 			map[string]string{"tasks": strings.Join(rogue, ",")})
 	}
 	return properties.Verdict{Property: p, Healthy: true,
@@ -483,7 +483,7 @@ func CovertChannel(ms []properties.Measurement) properties.Verdict {
 	const p = properties.CovertChannelFreedom
 	h, ok := find(ms, properties.KindIntervalHistogram)
 	if !ok {
-		return unhealthy(p, "missing interval histogram", nil)
+		return unhealthy(p, properties.FailureRuntime, "missing interval histogram", nil)
 	}
 	a := AnalyzeHistogram(h.Counters)
 	details := map[string]string{
@@ -491,14 +491,14 @@ func CovertChannel(ms []properties.Measurement) properties.Verdict {
 		"peak2": fmt.Sprintf("%.1fms@%.0f%%", a.Mean2.Seconds()*1000, a.Mass2*100),
 	}
 	if a.Bimodal {
-		return unhealthy(p, "bimodal CPU-usage-interval distribution indicates covert-channel modulation", details)
+		return unhealthy(p, properties.FailureRuntime, "bimodal CPU-usage-interval distribution indicates covert-channel modulation", details)
 	}
 
 	if bus, ok := find(ms, properties.KindBusLockTrace); ok {
 		ba := AnalyzeBusTrace(bus.Counters, properties.DefaultWindow)
 		details["bus-lock-rate"] = fmt.Sprintf("%.0f/s", ba.RatePerSec)
 		if ba.Flagged {
-			return unhealthy(p, "sustained bus-lock storm indicates a memory-bus covert channel", details)
+			return unhealthy(p, properties.FailureRuntime, "sustained bus-lock storm indicates a memory-bus covert channel", details)
 		}
 	}
 
@@ -514,10 +514,10 @@ func Availability(ms []properties.Measurement, refs References) properties.Verdi
 	const p = properties.CPUAvailability
 	ct, ok := find(ms, properties.KindCPUTime)
 	if !ok {
-		return unhealthy(p, "missing cpu-time measurement", nil)
+		return unhealthy(p, properties.FailureRuntime, "missing cpu-time measurement", nil)
 	}
 	if ct.WallTime <= 0 {
-		return unhealthy(p, "empty measurement window", nil)
+		return unhealthy(p, properties.FailureRuntime, "empty measurement window", nil)
 	}
 	share := float64(ct.CPUTime) / float64(ct.WallTime)
 	min := refs.MinCPUShare
@@ -529,7 +529,7 @@ func Availability(ms []properties.Measurement, refs References) properties.Verdi
 		"floor": fmt.Sprintf("%.1f%%", min*100),
 	}
 	if share < min {
-		return unhealthy(p, fmt.Sprintf("relative CPU usage %.1f%% below the SLA floor %.0f%%", share*100, min*100), details)
+		return unhealthy(p, properties.FailureRuntime, fmt.Sprintf("relative CPU usage %.1f%% below the SLA floor %.0f%%", share*100, min*100), details)
 	}
 	return properties.Verdict{Property: p, Healthy: true,
 		Reason: fmt.Sprintf("relative CPU usage %.1f%% meets the SLA floor", share*100), Details: details}

@@ -7,6 +7,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -79,7 +80,10 @@ func (s *Summary) Max() time.Duration {
 	return s.max
 }
 
-// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the retained samples.
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the retained samples,
+// linearly interpolated between the two nearest order statistics. (The
+// previous nearest-rank truncation `int(q·(n-1))` always rounded the rank
+// down, biasing p95/p99 low on small sample sets.)
 func (s *Summary) Quantile(q float64) time.Duration {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -88,14 +92,7 @@ func (s *Summary) Quantile(q float64) time.Duration {
 	}
 	sorted := append([]time.Duration(nil), s.samples...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(q * float64(len(sorted)-1))
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
+	return time.Duration(interpolate(q, len(sorted), func(i int) float64 { return float64(sorted[i]) }) + 0.5)
 }
 
 // String renders the summary compactly.
@@ -167,7 +164,9 @@ func (s *IntSummary) Max() int64 {
 	return s.max
 }
 
-// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the retained samples.
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the retained samples,
+// linearly interpolated between the two nearest order statistics and
+// rounded to the nearest integer.
 func (s *IntSummary) Quantile(q float64) int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -176,14 +175,30 @@ func (s *IntSummary) Quantile(q float64) int64 {
 	}
 	sorted := append([]int64(nil), s.samples...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(q * float64(len(sorted)-1))
-	if idx < 0 {
-		idx = 0
+	return int64(math.Round(interpolate(q, len(sorted), func(i int) float64 { return float64(sorted[i]) })))
+}
+
+// interpolate computes the q-quantile of n sorted values (read through at)
+// by linear interpolation between the two nearest order statistics; q is
+// clamped to [0, 1].
+func interpolate(q float64, n int, at func(int) float64) float64 {
+	if q < 0 {
+		q = 0
 	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	if q > 1 {
+		q = 1
 	}
-	return sorted[idx]
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if hi >= n {
+		hi = n - 1
+	}
+	if lo == hi {
+		return at(lo)
+	}
+	frac := pos - float64(lo)
+	return at(lo) + frac*(at(hi)-at(lo))
 }
 
 // String renders the summary compactly.

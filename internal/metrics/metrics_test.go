@@ -39,6 +39,71 @@ func TestSummaryBasics(t *testing.T) {
 	}
 }
 
+// TestQuantileTable pins the interpolated quantiles for known inputs. The
+// old nearest-rank truncation returned p95=95ms and p99=99ms for 1..100
+// (rank always rounded down); interpolation lands between the neighbors.
+func TestQuantileTable(t *testing.T) {
+	oneTo := func(n int) []time.Duration {
+		out := make([]time.Duration, n)
+		for i := range out {
+			out[i] = time.Duration(i+1) * time.Millisecond
+		}
+		return out
+	}
+	cases := []struct {
+		name    string
+		samples []time.Duration
+		q       float64
+		want    time.Duration
+	}{
+		{"p50 of 1..100", oneTo(100), 0.50, 50500 * time.Microsecond},
+		{"p95 of 1..100", oneTo(100), 0.95, 95050 * time.Microsecond},
+		{"p99 of 1..100", oneTo(100), 0.99, 99010 * time.Microsecond},
+		{"p50 of 1..3", oneTo(3), 0.50, 2 * time.Millisecond},
+		{"p75 of 1..2", oneTo(2), 0.75, 1750 * time.Microsecond},
+		{"p99 of 1..10", oneTo(10), 0.99, 9910 * time.Microsecond},
+		{"p0 clamps low", oneTo(10), -1, time.Millisecond},
+		{"p100 clamps high", oneTo(10), 2, 10 * time.Millisecond},
+		{"single sample", oneTo(1), 0.95, time.Millisecond},
+	}
+	for _, tc := range cases {
+		var s Summary
+		for _, d := range tc.samples {
+			s.Observe(d)
+		}
+		if got := s.Quantile(tc.q); got != tc.want {
+			t.Errorf("%s: Quantile(%v) = %v, want %v", tc.name, tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestIntQuantileTable pins IntSummary quantiles: interpolated, then
+// rounded to the nearest integer.
+func TestIntQuantileTable(t *testing.T) {
+	var s IntSummary
+	for i := int64(1); i <= 100; i++ {
+		s.Observe(i)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{
+		{0.50, 51}, // pos 49.5 → 50.5 rounds to 51
+		{0.95, 95}, // pos 94.05 → 95.05 rounds to 95
+		{0.99, 99}, // pos 98.01 → 99.01 rounds to 99
+		{0, 1},
+		{1, 100},
+	} {
+		if got := s.Quantile(tc.q); got != tc.want {
+			t.Errorf("IntSummary.Quantile(%v) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	var empty IntSummary
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty IntSummary quantile not 0")
+	}
+}
+
 func TestSummaryBounded(t *testing.T) {
 	var s Summary
 	for i := 0; i < 3*maxSamples; i++ {

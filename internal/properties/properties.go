@@ -196,11 +196,34 @@ func EncodeAll(ms []Measurement) []byte {
 	return out
 }
 
+// FailureClass categorizes an unhealthy verdict by what is at fault, which
+// determines the remediation: a compromised image is rejected outright
+// (relaunching elsewhere cannot help), a compromised platform is
+// rescheduled onto another server (paper §5.1), and a runtime violation is
+// reported to the customer.
+type FailureClass string
+
+const (
+	// FailureUnclassified marks verdicts from interpreters that predate the
+	// classification (custom extensions); consumers fall back to inspecting
+	// Reason.
+	FailureUnclassified FailureClass = ""
+	// FailureImage blames the VM image itself.
+	FailureImage FailureClass = "image"
+	// FailurePlatform blames the hosting platform (hypervisor stack, TPM
+	// quote, measurement log).
+	FailurePlatform FailureClass = "platform"
+	// FailureRuntime blames the VM's runtime behavior (rogue tasks, covert
+	// channels, SLA violations).
+	FailureRuntime FailureClass = "runtime"
+)
+
 // Verdict is the Attestation Server's interpretation of the measurements
 // for one property: the attestation report R the customer receives.
 type Verdict struct {
 	Property Property
 	Healthy  bool
+	Class    FailureClass // set when !Healthy; empty for healthy verdicts
 	Reason   string
 	Details  map[string]string
 }
@@ -218,9 +241,10 @@ func (v Verdict) Encode() []byte {
 	} else {
 		out = append(out, 0)
 	}
+	appendBytes([]byte(v.Class))
 	appendBytes([]byte(v.Reason))
-	// Details are advisory and excluded from the signed body; Reason carries
-	// the authoritative finding.
+	// Details are advisory and excluded from the signed body; Class and
+	// Reason carry the authoritative finding.
 	return out
 }
 
