@@ -5,9 +5,15 @@
 // public key, and an enrolled customer identity seed that monatt-cli uses
 // to connect.
 //
+// With -admin-addr it also serves the operator telemetry surface over
+// plain HTTP: /metrics (Prometheus text exposition), /healthz (per-entity
+// liveness + circuit-breaker states), /traces (recent completed attestation
+// traces as JSON, ?vm= filterable) and /debug/pprof.
+//
 // Usage:
 //
 //	monatt-cloud [-servers 3] [-seed 1] [-bootstrap monatt-bootstrap.json]
+//	             [-admin-addr 127.0.0.1:9190]
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
@@ -23,6 +30,8 @@ import (
 	"cloudmonatt/internal/attestsrv"
 	"cloudmonatt/internal/cloudsim"
 	"cloudmonatt/internal/cryptoutil"
+	"cloudmonatt/internal/metrics"
+	"cloudmonatt/internal/obs"
 	"cloudmonatt/internal/rpc"
 )
 
@@ -48,6 +57,7 @@ func main() {
 	periodicWorkers := flag.Int("periodic-workers", 8, "max concurrent periodic appraisals across all cloud servers")
 	periodicServerCap := flag.Int("periodic-server-cap", 2, "max in-flight periodic appraisals per cloud server")
 	periodicBuffer := flag.Int("periodic-buffer", 64, "undelivered periodic results kept per task (oldest dropped beyond this)")
+	adminAddr := flag.String("admin-addr", "", "serve the operator HTTP surface (/metrics, /healthz, /traces, /debug/pprof) on this address; empty disables it")
 	flag.Parse()
 
 	var network rpc.Network = rpc.TCPNetwork{}
@@ -92,10 +102,32 @@ func main() {
 		log.Fatalf("writing bootstrap: %v", err)
 	}
 
+	if *adminAddr != "" {
+		regs := map[string]*metrics.Registry{
+			"controller": tb.Ctrl.Metrics(),
+			"attestsrv":  tb.Attest.Metrics(),
+			"ledger":     tb.Ledger.Metrics(),
+		}
+		mux := obs.AdminMux(obs.AdminConfig{
+			Registries: regs,
+			Store:      tb.Obs,
+			Health:     tb.Health,
+		})
+		admin := &http.Server{Addr: *adminAddr, Handler: mux}
+		go func() {
+			if err := admin.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Fatalf("admin listener: %v", err)
+			}
+		}()
+	}
+
 	fmt.Printf("CloudMonatt cloud is up:\n")
 	fmt.Printf("  controller (nova api):  %s\n", tb.ControllerAddr)
 	fmt.Printf("  cloud servers:          %d\n", *servers)
 	fmt.Printf("  bootstrap written to:   %s\n", *bootstrapPath)
+	if *adminAddr != "" {
+		fmt.Printf("  operator surface:       http://%s/{metrics,healthz,traces,debug/pprof}\n", *adminAddr)
+	}
 	fmt.Printf("use cmd/monatt-cli to launch and attest VMs; Ctrl-C to stop\n")
 
 	// Pump virtual time forward so workloads run and periodic attestations

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 	"cloudmonatt/internal/latency"
 	"cloudmonatt/internal/ledger"
 	"cloudmonatt/internal/metrics"
+	"cloudmonatt/internal/obs"
 	"cloudmonatt/internal/properties"
 	"cloudmonatt/internal/rpc"
 	"cloudmonatt/internal/secchan"
@@ -83,6 +85,9 @@ type Config struct {
 	// Periodic tunes the periodic monitoring engine (worker pool size,
 	// per-server in-flight cap, result buffer bound).
 	Periodic PeriodicConfig
+	// Obs, when set, receives one span per appraisal stage (entity
+	// "attest-server") plus a root span per periodic tick.
+	Obs *obs.Store
 }
 
 // Server is the Attestation Server.
@@ -97,6 +102,7 @@ type Server struct {
 
 	periodic *periodicEngine
 	metrics  *metrics.Registry
+	tracer   *obs.Tracer
 }
 
 // New creates an Attestation Server.
@@ -108,8 +114,9 @@ func New(cfg Config) *Server {
 		clients: make(map[string]*rpc.ReconnectClient),
 		replay:  cryptoutil.NewReplayCache(4096),
 		metrics: metrics.NewRegistry(),
+		tracer:  obs.NewTracer(cfg.Obs, "attest-server", cfg.Clock.Now),
 	}
-	s.periodic = newPeriodicEngine(cfg.Periodic, s.cfg.Clock.Now, s.drawJitter, s.appraiseOnce, s.metrics)
+	s.periodic = newPeriodicEngine(cfg.Periodic, s.cfg.Clock.Now, s.drawJitter, s.appraiseOnce, s.metrics, s.tracer)
 	return s
 }
 
@@ -164,6 +171,23 @@ func breakerName(ev rpc.Event, from bool) string {
 // Metrics exposes the appraisal-timing registry (virtual-time cost of each
 // appraisal per property — the Ceilometer view of §7).
 func (s *Server) Metrics() *metrics.Registry { return s.metrics }
+
+// Health reports the Attestation Server's liveness and the breaker state of
+// its measurement channels, for the operator /healthz endpoint.
+func (s *Server) Health() obs.EntityHealth {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.clients))
+	for name := range s.clients {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	h := obs.EntityHealth{Entity: "attest-server", Alive: true}
+	for _, name := range names {
+		h.Peers = append(h.Peers, obs.PeerHealth{Peer: s.clients[name].Peer(), Breaker: s.clients[name].BreakerState().String()})
+	}
+	s.mu.Unlock()
+	return h
+}
 
 // RegisterServer records a provisioned cloud server (its address, identity
 // key, TPM AIK, and monitoring capabilities).
@@ -251,9 +275,25 @@ func (s *Server) client(rec *ServerRecord) *rpc.ReconnectClient {
 // server's Monitor Kernel. Together these compose the attestation-stage
 // latency of Fig. 9 (≈ latency.Model.AttestationExchange plus the window).
 func (s *Server) Appraise(req wire.AppraisalRequest) (*wire.Report, error) {
+	return s.AppraiseTraced(obs.SpanContext{}, req)
+}
+
+// AppraiseTraced is Appraise recording its work as an "appraise" span under
+// parent (the controller's span context carried in the rpc envelope), with
+// each measurement RPC attempt nesting beneath it.
+func (s *Server) AppraiseTraced(parent obs.SpanContext, req wire.AppraisalRequest) (rep *wire.Report, err error) {
 	start := s.cfg.Clock.Now()
+	sp := s.tracer.Start(parent, "appraise")
+	sp.SetVM(req.Vid, string(req.Prop))
 	defer func() {
 		s.metrics.Summary("appraise/" + string(req.Prop)).Observe(s.cfg.Clock.Now() - start)
+		if err != nil {
+			sp.EndErr(err)
+		} else if rep != nil && !rep.Verdict.Healthy {
+			sp.End("unhealthy")
+		} else {
+			sp.End("")
+		}
 	}()
 	if !properties.Valid(req.Prop) {
 		return nil, fmt.Errorf("attestsrv: unsupported property %q", req.Prop)
@@ -288,7 +328,7 @@ func (s *Server) Appraise(req wire.AppraisalRequest) (*wire.Report, error) {
 	// request is a fresh challenge, never a replay.
 	var n3 cryptoutil.Nonce
 	var ev wire.Evidence
-	if err := c.CallFresh(context.Background(), server.MethodMeasure, func(int) (any, error) {
+	if err := c.CallFresh(obs.ContextWith(context.Background(), sp), server.MethodMeasure, func(int) (any, error) {
 		n, err := cryptoutil.NewNonce(s.cfg.Rand)
 		if err != nil {
 			return nil, err
@@ -313,14 +353,14 @@ func (s *Server) Appraise(req wire.AppraisalRequest) (*wire.Report, error) {
 		TaskAllowlist:  vmRec.TaskAllowlist,
 		MinCPUShare:    vmRec.MinCPUShare,
 	})
-	s.recordAppraisal(&req, verdict)
+	s.recordAppraisal(&req, verdict, sp.Context().Trace)
 	return wire.BuildReport(s.cfg.Identity, req.Vid, req.ServerID, req.Prop, verdict, req.N2), nil
 }
 
 // recordAppraisal appends one evidence entry for an appraised report.
 // Appends are best-effort: a full or failing evidence store must not stop
 // the attestation path itself (the report is still signed and delivered).
-func (s *Server) recordAppraisal(req *wire.AppraisalRequest, v properties.Verdict) {
+func (s *Server) recordAppraisal(req *wire.AppraisalRequest, v properties.Verdict, trace string) {
 	if s.cfg.Ledger == nil {
 		return
 	}
@@ -337,6 +377,7 @@ func (s *Server) recordAppraisal(req *wire.AppraisalRequest, v properties.Verdic
 		Kind:    ledger.KindAppraisal,
 		Vid:     req.Vid,
 		Prop:    string(req.Prop),
+		Trace:   trace,
 		Payload: payload,
 	})
 }
@@ -381,13 +422,13 @@ func (s *Server) drawJitter(max int64) int64 {
 // the full appraisal. A nonce failure is an appraisal failure — the engine
 // has already rescheduled the task, so entropy exhaustion can never pin a
 // task permanently due (the hot loop the linear scheduler had).
-func (s *Server) appraiseOnce(vid, serverID string, p properties.Property) (*wire.Report, error) {
+func (s *Server) appraiseOnce(parent obs.SpanContext, vid, serverID string, p properties.Property) (*wire.Report, error) {
 	n2, err := cryptoutil.NewNonce(s.cfg.Rand)
 	if err != nil {
 		s.metrics.Counter("periodic/nonce-failures").Inc()
 		return nil, fmt.Errorf("attestsrv: periodic nonce: %w", err)
 	}
-	return s.Appraise(wire.AppraisalRequest{Vid: vid, ServerID: serverID, Prop: p, N2: n2})
+	return s.AppraiseTraced(parent, wire.AppraisalRequest{Vid: vid, ServerID: serverID, Prop: p, N2: n2})
 }
 
 // StopPeriodic disarms a periodic attestation and returns any undelivered

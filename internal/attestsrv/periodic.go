@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"cloudmonatt/internal/metrics"
+	"cloudmonatt/internal/obs"
 	"cloudmonatt/internal/properties"
 	"cloudmonatt/internal/wire"
 )
@@ -164,10 +165,11 @@ func (h *dueHeap) Pop() any {
 
 // --- engine ---
 
-// appraiseFunc runs one appraisal of (vid, prop) against a cloud server.
-// The engine injects the Attestation Server's full appraisal path here;
+// appraiseFunc runs one appraisal of (vid, prop) against a cloud server,
+// recording its spans under parent (the engine's per-tick root span). The
+// engine injects the Attestation Server's full appraisal path here;
 // benchmarks and the scheduler race test inject stubs.
-type appraiseFunc func(vid, serverID string, p properties.Property) (*wire.Report, error)
+type appraiseFunc func(parent obs.SpanContext, vid, serverID string, p properties.Property) (*wire.Report, error)
 
 // periodicEngine is the concurrent monitoring engine.
 type periodicEngine struct {
@@ -176,6 +178,7 @@ type periodicEngine struct {
 	jitter   func(max int64) int64
 	appraise appraiseFunc
 	reg      *metrics.Registry
+	tracer   *obs.Tracer // nil (no-op) when observability is unset
 
 	// workerSem bounds total in-flight appraisals.
 	workerSem chan struct{}
@@ -187,7 +190,7 @@ type periodicEngine struct {
 	inflight  int
 }
 
-func newPeriodicEngine(cfg PeriodicConfig, now func() time.Duration, jitter func(int64) int64, appraise appraiseFunc, reg *metrics.Registry) *periodicEngine {
+func newPeriodicEngine(cfg PeriodicConfig, now func() time.Duration, jitter func(int64) int64, appraise appraiseFunc, reg *metrics.Registry, tracer *obs.Tracer) *periodicEngine {
 	cfg = cfg.withDefaults()
 	return &periodicEngine{
 		cfg:       cfg,
@@ -195,6 +198,7 @@ func newPeriodicEngine(cfg PeriodicConfig, now func() time.Duration, jitter func
 		jitter:    jitter,
 		appraise:  appraise,
 		reg:       reg,
+		tracer:    tracer,
 		workerSem: make(chan struct{}, cfg.Workers),
 		tasks:     make(map[string]*periodicTask),
 		serverSem: make(map[string]chan struct{}),
@@ -334,9 +338,15 @@ func (e *periodicEngine) runDue() []*wire.Report {
 		t.nextDue = now + t.interval(e.jitter)
 		heap.Push(&e.queue, t)
 		if t.running {
-			// Previous appraisal still in flight: shed this tick.
+			// Previous appraisal still in flight: shed this tick. The shed
+			// tick still gets a (zero-length) trace so overload is visible
+			// per request, not just as a counter.
 			t.skipped++
 			e.reg.Counter("periodic/skipped").Inc()
+			ssp := e.tracer.Start(obs.SpanContext{}, "periodic")
+			ssp.SetVM(t.vid, string(t.prop))
+			ssp.Annotate("engine", "skipped")
+			ssp.End("skipped")
 			continue
 		}
 		t.running = true
@@ -371,7 +381,11 @@ func (e *periodicEngine) runDue() []*wire.Report {
 			e.reg.IntSummary("periodic/inflight").Observe(int64(e.inflight))
 			e.mu.Unlock()
 
-			rep, err := e.appraise(d.t.vid, d.serverID, d.t.prop)
+			// Each tick is its own trace: the engine, not a customer,
+			// originates the request, so the root span is minted here.
+			sp := e.tracer.Start(obs.SpanContext{}, "periodic")
+			sp.SetVM(d.t.vid, string(d.t.prop))
+			rep, err := e.appraise(sp.Context(), d.t.vid, d.serverID, d.t.prop)
 
 			e.mu.Lock()
 			e.inflight--
@@ -382,13 +396,19 @@ func (e *periodicEngine) runDue() []*wire.Report {
 				// customer already received the final drain — never deliver
 				// a report for a stopped task.
 				e.reg.Counter("periodic/stopped-discards").Inc()
+				sp.Annotate("engine", "stopped-discard")
+				sp.End("discarded")
 			case err != nil:
 				e.reg.Counter("periodic/failures").Inc()
+				sp.Annotate("engine", "failure")
+				sp.EndErr(err)
 			default:
 				if d.t.push(rep, e.cfg.ResultBuffer) {
 					e.reg.Counter("periodic/dropped").Inc()
 				}
 				e.reg.Counter("periodic/produced").Inc()
+				sp.Annotate("engine", "produced")
+				sp.End("")
 				e.mu.Unlock()
 				prodMu.Lock()
 				produced = append(produced, rep)

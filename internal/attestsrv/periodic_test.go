@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"cloudmonatt/internal/metrics"
+	"cloudmonatt/internal/obs"
 	"cloudmonatt/internal/properties"
 	"cloudmonatt/internal/wire"
 )
@@ -26,7 +27,7 @@ func (c *testClock) now() time.Duration      { return time.Duration(c.ns.Load())
 func (c *testClock) advance(d time.Duration) { c.ns.Add(int64(d)) }
 func (c *testClock) set(d time.Duration)     { c.ns.Store(int64(d)) }
 func noJitter(max int64) int64               { return max / 2 }
-func okAppraise(string, string, properties.Property) (*wire.Report, error) {
+func okAppraise(obs.SpanContext, string, string, properties.Property) (*wire.Report, error) {
 	return &wire.Report{}, nil
 }
 
@@ -48,7 +49,7 @@ func TestPeriodicEngineChurnRace(t *testing.T) {
 	var clock testClock
 	reg := metrics.NewRegistry()
 	var fail atomic.Int64
-	appraise := func(vid, serverID string, p properties.Property) (*wire.Report, error) {
+	appraise := func(_ obs.SpanContext, vid, serverID string, p properties.Property) (*wire.Report, error) {
 		// A deterministic slice of appraisals fails, exercising the
 		// failure-reschedule path alongside the happy path.
 		if fail.Add(1)%17 == 0 {
@@ -57,7 +58,7 @@ func TestPeriodicEngineChurnRace(t *testing.T) {
 		return &wire.Report{Vid: vid, ServerID: serverID, Prop: p}, nil
 	}
 	e := newPeriodicEngine(PeriodicConfig{Workers: 16, ServerInflight: 4, ResultBuffer: buffer},
-		clock.now, noJitter, appraise, reg)
+		clock.now, noJitter, appraise, reg, nil)
 
 	vid := func(i int) string { return fmt.Sprintf("vm-%04d", i) }
 	srv := func(i int) string { return fmt.Sprintf("cloud-server-%d", i%nServers+1) }
@@ -151,12 +152,12 @@ func TestPeriodicStopDiscardsInFlightResult(t *testing.T) {
 	started := make(chan struct{})
 	release := make(chan struct{})
 	reg := metrics.NewRegistry()
-	appraise := func(string, string, properties.Property) (*wire.Report, error) {
+	appraise := func(obs.SpanContext, string, string, properties.Property) (*wire.Report, error) {
 		close(started)
 		<-release
 		return &wire.Report{}, nil
 	}
-	e := newPeriodicEngine(PeriodicConfig{}, clock.now, noJitter, appraise, reg)
+	e := newPeriodicEngine(PeriodicConfig{}, clock.now, noJitter, appraise, reg, nil)
 	if err := e.start("vm-1", "s1", properties.CPUAvailability, time.Second, false); err != nil {
 		t.Fatal(err)
 	}
@@ -187,12 +188,12 @@ func TestPeriodicSkipsWhileInFlight(t *testing.T) {
 	started := make(chan struct{})
 	release := make(chan struct{})
 	reg := metrics.NewRegistry()
-	appraise := func(string, string, properties.Property) (*wire.Report, error) {
+	appraise := func(obs.SpanContext, string, string, properties.Property) (*wire.Report, error) {
 		close(started)
 		<-release
 		return &wire.Report{}, nil
 	}
-	e := newPeriodicEngine(PeriodicConfig{}, clock.now, noJitter, appraise, reg)
+	e := newPeriodicEngine(PeriodicConfig{}, clock.now, noJitter, appraise, reg, nil)
 	if err := e.start("vm-1", "s1", properties.CPUAvailability, time.Second, false); err != nil {
 		t.Fatal(err)
 	}
@@ -229,10 +230,10 @@ func TestPeriodicSkipsWhileInFlight(t *testing.T) {
 func TestPeriodicFailureRescheduling(t *testing.T) {
 	var clock testClock
 	reg := metrics.NewRegistry()
-	boom := func(string, string, properties.Property) (*wire.Report, error) {
+	boom := func(obs.SpanContext, string, string, properties.Property) (*wire.Report, error) {
 		return nil, errors.New("entropy exhausted")
 	}
-	e := newPeriodicEngine(PeriodicConfig{}, clock.now, noJitter, boom, reg)
+	e := newPeriodicEngine(PeriodicConfig{}, clock.now, noJitter, boom, reg, nil)
 	if err := e.start("vm-1", "s1", properties.CPUAvailability, time.Second, false); err != nil {
 		t.Fatal(err)
 	}
@@ -266,10 +267,10 @@ func TestPeriodicRingDropsOldest(t *testing.T) {
 	var clock testClock
 	reg := metrics.NewRegistry()
 	var seq atomic.Int64
-	appraise := func(vid, serverID string, p properties.Property) (*wire.Report, error) {
+	appraise := func(_ obs.SpanContext, vid, serverID string, p properties.Property) (*wire.Report, error) {
 		return &wire.Report{Vid: fmt.Sprintf("r%d", seq.Add(1))}, nil
 	}
-	e := newPeriodicEngine(PeriodicConfig{ResultBuffer: 3}, clock.now, noJitter, appraise, reg)
+	e := newPeriodicEngine(PeriodicConfig{ResultBuffer: 3}, clock.now, noJitter, appraise, reg, nil)
 	if err := e.start("vm-1", "s1", properties.CPUAvailability, time.Second, false); err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +307,7 @@ func BenchmarkPeriodicEngine(b *testing.B) {
 			var clock testClock
 			reg := metrics.NewRegistry()
 			e := newPeriodicEngine(PeriodicConfig{Workers: 16, ServerInflight: 8, ResultBuffer: 4},
-				clock.now, noJitter, okAppraise, reg)
+				clock.now, noJitter, okAppraise, reg, nil)
 			for i := 0; i < armed; i++ {
 				vid := fmt.Sprintf("vm-%05d", i)
 				srv := fmt.Sprintf("cloud-server-%d", i%nServers+1)

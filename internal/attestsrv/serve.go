@@ -46,7 +46,7 @@ func (s *Server) Handler() rpc.Handler {
 			if err := rpc.Decode(body, &req); err != nil {
 				return nil, err
 			}
-			rep, err := s.Appraise(req)
+			rep, err := s.AppraiseTraced(peer.Trace, req)
 			if err != nil {
 				return nil, err
 			}

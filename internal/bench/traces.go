@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cloudmonatt/internal/cloudsim"
+	"cloudmonatt/internal/controller"
+	"cloudmonatt/internal/obs"
+	"cloudmonatt/internal/properties"
+)
+
+// TraceStageOrder lists the attestation-protocol span names in hop order:
+// the customer-facing root, the controller's brokering, the RPC hop to the
+// appraiser, the appraisal, the RPC hop to the cloud server, and the
+// measurement collection.
+var TraceStageOrder = []string{
+	"api:runtime_attest_current",
+	"controller.attest",
+	"rpc:appraise",
+	"appraise",
+	"rpc:measure",
+	"measure",
+}
+
+// TraceStagesResult reports per-stage latency quantiles computed from real
+// spans — the Fig. 9 "which stage dominates" shape, but measured per
+// request through the distributed trace instead of aggregate summaries.
+type TraceStagesResult struct {
+	*Table // rows = span names in protocol order, cols = p50/p95; seconds
+	Traces int
+}
+
+// TraceStages runs one-time attestations against a fresh testbed and
+// reports the virtual-time p50/p95 of every protocol stage from the
+// recorded spans.
+func TraceStages(seed int64, runs int) (TraceStagesResult, error) {
+	if runs <= 0 {
+		runs = 20
+	}
+	tb, err := cloudsim.New(cloudsim.Options{Seed: seed})
+	if err != nil {
+		return TraceStagesResult{}, err
+	}
+	cu, err := tb.NewCustomer("bench")
+	if err != nil {
+		return TraceStagesResult{}, err
+	}
+	res, err := cu.Launch(controller.LaunchRequest{
+		ImageName: "ubuntu", Flavor: "medium", Workload: "web",
+		Props:     properties.All,
+		Allowlist: []string{"init", "sshd", "cron", "rsyslogd", "agetty"},
+		MinShare:  0.2, Pin: -1,
+	})
+	if err != nil {
+		return TraceStagesResult{}, err
+	}
+	if !res.OK {
+		return TraceStagesResult{}, fmt.Errorf("bench: launch rejected: %s", res.Reason)
+	}
+	tb.RunFor(2 * time.Second) // let the guest boot before measuring it
+	for i := 0; i < runs; i++ {
+		if _, err := cu.Attest(res.Vid, properties.RuntimeIntegrity); err != nil {
+			return TraceStagesResult{}, err
+		}
+	}
+
+	byStage := make(map[string][]time.Duration)
+	n := 0
+	for _, tr := range tb.Obs.Traces(obs.TraceFilter{Vid: res.Vid, CompleteOnly: true}) {
+		if tr.Name != "api:runtime_attest_current" {
+			continue
+		}
+		n++
+		for _, sp := range tr.Spans {
+			byStage[sp.Name] = append(byStage[sp.Name], sp.Duration())
+		}
+	}
+	if n == 0 {
+		return TraceStagesResult{}, fmt.Errorf("bench: no complete attestation traces recorded")
+	}
+
+	t := NewTable("Per-stage attestation latency from traces", "span", "s", TraceStageOrder, []string{"p50", "p95"})
+	for _, name := range TraceStageOrder {
+		ds := byStage[name]
+		if len(ds) == 0 {
+			return TraceStagesResult{}, fmt.Errorf("bench: no %q spans recorded", name)
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		t.Set(name, "p50", seconds(quantileDur(ds, 0.50)))
+		t.Set(name, "p95", seconds(quantileDur(ds, 0.95)))
+	}
+	return TraceStagesResult{Table: t, Traces: n}, nil
+}
+
+// quantileDur reads quantile q from sorted durations (nearest-rank).
+func quantileDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Render formats the trace-stage table.
+func (r TraceStagesResult) Render() string {
+	return r.Table.Render() + fmt.Sprintf("complete traces analyzed: %d\n", r.Traces)
+}

@@ -13,6 +13,7 @@ import (
 	"crypto/rand"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -24,6 +25,7 @@ import (
 	"cloudmonatt/internal/latency"
 	"cloudmonatt/internal/ledger"
 	"cloudmonatt/internal/monitor"
+	"cloudmonatt/internal/obs"
 	"cloudmonatt/internal/pca"
 	"cloudmonatt/internal/properties"
 	"cloudmonatt/internal/rpc"
@@ -73,6 +75,8 @@ type Options struct {
 	// Periodic tunes every Attestation Server's periodic monitoring engine
 	// (worker pool, per-server in-flight cap, result buffer bound).
 	Periodic attestsrv.PeriodicConfig
+	// SpanCapacity bounds the shared span store (0 = obs default).
+	SpanCapacity int
 }
 
 // Testbed is the assembled cloud.
@@ -91,6 +95,9 @@ type Testbed struct {
 	// Ledger is the shared evidence ledger: every appraisal, remediation,
 	// launch decision and pCA issuance chains into it.
 	Ledger *ledger.Ledger
+	// Obs is the shared span store: every entity records its attestation
+	// spans here, keyed by the trace IDs customers mint from their nonces.
+	Obs *obs.Store
 
 	// ControllerAddr is where the nova api listens (useful with TCP).
 	ControllerAddr string
@@ -128,6 +135,7 @@ func New(opts Options) (*Testbed, error) {
 		Lat:       latency.New(opts.Seed + 1),
 		Images:    image.NewLibrary(opts.Seed + 2),
 		Servers:   make(map[string]*server.Server),
+		Obs:       obs.NewStore(opts.SpanCapacity),
 		directory: make(map[string]ed25519.PublicKey),
 		opts:      opts,
 	}
@@ -194,6 +202,7 @@ func New(opts Options) (*Testbed, error) {
 			Certifier:   caSrv,
 			Rand:        rand.Reader,
 			SchedConfig: opts.SchedConfig,
+			Obs:         tb.Obs,
 		}
 		if opts.TamperPlatform[name] {
 			cfg.Platform = trojanedPlatform()
@@ -231,6 +240,7 @@ func New(opts Options) (*Testbed, error) {
 			Retry:       opts.Retry,
 			Breaker:     opts.Breaker,
 			Periodic:    opts.Periodic,
+			Obs:         tb.Obs,
 		})
 		tb.AttestServers = append(tb.AttestServers, as)
 		al, addr, err := listen(id.Name)
@@ -271,6 +281,7 @@ func New(opts Options) (*Testbed, error) {
 		CallTimeout: opts.CallTimeout,
 		Retry:       opts.Retry,
 		Breaker:     opts.Breaker,
+		Obs:         tb.Obs,
 	})
 	for i, id := range attIDs {
 		tb.Ctrl.SetAttestKeyFor(i, id.Public())
@@ -376,6 +387,25 @@ func (tb *Testbed) RunFor(d time.Duration) {
 	if now := tb.Clock.Now(); now < end {
 		tb.Clock.Advance(end - now)
 	}
+}
+
+// Health assembles the per-entity health report for the operator /healthz
+// endpoint: the controller and every Attestation Server with their breaker
+// states, plus one liveness row per cloud server.
+func (tb *Testbed) Health() []obs.EntityHealth {
+	out := []obs.EntityHealth{tb.Ctrl.Health()}
+	for _, as := range tb.AttestServers {
+		out = append(out, as.Health())
+	}
+	names := make([]string, 0, len(tb.Servers))
+	for name := range tb.Servers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		out = append(out, obs.EntityHealth{Entity: name, Alive: true})
+	}
+	return out
 }
 
 // nextPeriodicDue returns the earliest periodic deadline across all
@@ -547,7 +577,9 @@ func (cu *Customer) AttestReport(vid string, p properties.Property) (*wire.Custo
 	var rep wire.CustomerReport
 	if err := cu.client.CallFresh(context.Background(), method, func(int) (any, error) {
 		n1 = cryptoutil.MustNonce()
-		return wire.AttestRequest{Vid: vid, Prop: p, N1: n1}, nil
+		// The trace ID is minted from the request nonce: deterministic
+		// under the seeded RNG, and fresh per retry attempt like N1 itself.
+		return wire.AttestRequest{Vid: vid, Prop: p, N1: n1, Trace: obs.MintTrace(n1[:])}, nil
 	}, &rep); err != nil {
 		return nil, err
 	}
@@ -559,16 +591,18 @@ func (cu *Customer) AttestReport(vid string, p properties.Property) (*wire.Custo
 
 // StartPeriodic arms periodic attestation (runtime_attest_periodic).
 func (cu *Customer) StartPeriodic(vid string, p properties.Property, freq time.Duration) error {
+	n1 := cryptoutil.MustNonce()
 	return cu.client.CallIdem(context.Background(), controller.MethodRuntimeAttestPeriodic, rpc.NewIdemKey(),
-		wire.PeriodicRequest{Vid: vid, Prop: p, Freq: freq, N1: cryptoutil.MustNonce()}, nil)
+		wire.PeriodicRequest{Vid: vid, Prop: p, Freq: freq, N1: n1, Trace: obs.MintTrace(n1[:])}, nil)
 }
 
 // StartPeriodicRandom arms periodic attestation at random intervals around
 // the given mean frequency, so a co-resident attacker cannot predict the
 // measurement windows.
 func (cu *Customer) StartPeriodicRandom(vid string, p properties.Property, freq time.Duration) error {
+	n1 := cryptoutil.MustNonce()
 	return cu.client.CallIdem(context.Background(), controller.MethodRuntimeAttestPeriodic, rpc.NewIdemKey(),
-		wire.PeriodicRequest{Vid: vid, Prop: p, Freq: freq, Random: true, N1: cryptoutil.MustNonce()}, nil)
+		wire.PeriodicRequest{Vid: vid, Prop: p, Freq: freq, Random: true, N1: n1, Trace: obs.MintTrace(n1[:])}, nil)
 }
 
 // FetchPeriodic drains and end-verifies accumulated periodic results.
@@ -588,7 +622,7 @@ func (cu *Customer) periodicCall(method, vid string, p properties.Property) ([]p
 	// Fetch/stop drain results controller-side; the idempotency key makes a
 	// retried drain replay the recorded batch instead of losing it.
 	if err := cu.client.CallIdem(context.Background(), method, rpc.NewIdemKey(),
-		wire.StopPeriodicRequest{Vid: vid, Prop: p, N1: n1}, &reps); err != nil {
+		wire.StopPeriodicRequest{Vid: vid, Prop: p, N1: n1, Trace: obs.MintTrace(n1[:])}, &reps); err != nil {
 		return nil, err
 	}
 	var out []properties.Verdict

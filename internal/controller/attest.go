@@ -8,6 +8,7 @@ import (
 	"cloudmonatt/internal/attestsrv"
 	"cloudmonatt/internal/cryptoutil"
 	"cloudmonatt/internal/ledger"
+	"cloudmonatt/internal/obs"
 	"cloudmonatt/internal/properties"
 	"cloudmonatt/internal/rpc"
 	"cloudmonatt/internal/server"
@@ -48,6 +49,14 @@ func (c *Controller) vmFor(vid string, p properties.Property) (*vmRecord, error)
 // it serves the last-known-good verdict as a stale report carrying its age,
 // and never escalates an infrastructure failure to remediation.
 func (c *Controller) Attest(req wire.AttestRequest) (*wire.CustomerReport, error) {
+	return c.AttestTraced(obs.SpanContext{}, req)
+}
+
+// AttestTraced is Attest recording its work as a "controller.attest" span
+// under parent (the nova api's root span), with each RPC attempt to the
+// Attestation Server nesting beneath it. Degraded stale-report serves are
+// annotated on the span.
+func (c *Controller) AttestTraced(parent obs.SpanContext, req wire.AttestRequest) (*wire.CustomerReport, error) {
 	if !c.replay.Check(req.N1) {
 		return nil, fmt.Errorf("controller: replayed customer nonce")
 	}
@@ -59,26 +68,39 @@ func (c *Controller) Attest(req wire.AttestRequest) (*wire.CustomerReport, error
 	if err != nil {
 		return nil, err
 	}
+	sp := c.tracer.Start(parent, "controller.attest")
+	sp.SetVM(req.Vid, string(req.Prop))
 	c.cfg.Clock.Advance(c.cfg.Latency.HopRTT)
-	rep, n2, err := c.appraise(ac, req.Vid, rec.Server, req.Prop)
+	rep, n2, err := c.appraise(obs.ContextWith(context.Background(), sp), ac, req.Vid, rec.Server, req.Prop)
 	if err != nil {
 		var rerr *rpc.RemoteError
 		if errors.As(err, &rerr) {
 			// The Attestation Server answered and refused: a protocol
 			// failure, not an availability problem — no degradation.
+			sp.EndErr(err)
 			return nil, fmt.Errorf("controller: appraisal failed: %w", err)
 		}
-		if r := c.staleReport(req.Vid, req.Prop, req.N1, err); r != nil {
+		if r := c.staleReport(req.Vid, req.Prop, req.N1, sp.Context().Trace, err); r != nil {
+			sp.Annotate("degraded", "stale-report")
+			sp.End("degraded")
 			return r, nil
 		}
+		sp.EndErr(err)
 		return nil, fmt.Errorf("controller: appraisal failed: %w", err)
 	}
 	if err := wire.VerifyReport(rep, c.attestKey(cluster), req.Vid, req.Prop, n2); err != nil {
+		sp.EndErr(err)
 		return nil, fmt.Errorf("controller: rejecting attestation report: %w", err)
 	}
 	c.storeLastGood(req.Vid, req.Prop, rep.Verdict)
 	if !rep.Verdict.Healthy && c.cfg.AutoRespond {
+		sp.Annotate("respond", rep.Verdict.Reason)
 		c.Respond(req.Vid, req.Prop, rep.Verdict.Reason)
+	}
+	if rep.Verdict.Healthy {
+		sp.End("")
+	} else {
+		sp.End("unhealthy")
 	}
 	return wire.BuildCustomerReport(c.cfg.Identity, req.Vid, req.Prop, rep.Verdict, req.N1), nil
 }
@@ -87,7 +109,7 @@ func (c *Controller) Attest(req wire.AttestRequest) (*wire.CustomerReport, error
 // when the attestation infrastructure is unavailable, or nil when nothing
 // acceptable is cached. The degradation is recorded in metrics and the
 // evidence ledger.
-func (c *Controller) staleReport(vid string, p properties.Property, n1 cryptoutil.Nonce, cause error) *wire.CustomerReport {
+func (c *Controller) staleReport(vid string, p properties.Property, n1 cryptoutil.Nonce, trace string, cause error) *wire.CustomerReport {
 	lg, ok := c.lastGoodFor(vid, p)
 	if !ok {
 		return nil
@@ -97,7 +119,7 @@ func (c *Controller) staleReport(vid string, p properties.Property, n1 cryptouti
 		return nil
 	}
 	c.cfg.Metrics.Counter("controller.degraded.stale_reports").Inc()
-	c.record(ledger.KindDegraded, vid, p, struct {
+	c.record(ledger.KindDegraded, vid, p, trace, struct {
 		AgeNS int64  `json:"age_ns"`
 		Cause string `json:"cause"`
 	}{int64(age), cause.Error()})
@@ -151,7 +173,7 @@ func (c *Controller) drainPeriodic(req wire.StopPeriodicRequest, method string) 
 	if batch.Dropped > 0 || batch.Skipped > 0 {
 		c.cfg.Metrics.Counter("controller.periodic.dropped_reports").Add(int64(batch.Dropped))
 		c.cfg.Metrics.Counter("controller.periodic.skipped_ticks").Add(int64(batch.Skipped))
-		c.record(ledger.KindDegraded, req.Vid, req.Prop, struct {
+		c.record(ledger.KindDegraded, req.Vid, req.Prop, req.Trace, struct {
 			Dropped uint64 `json:"dropped,omitempty"`
 			Skipped uint64 `json:"skipped,omitempty"`
 		}{batch.Dropped, batch.Skipped})
@@ -226,7 +248,7 @@ func (c *Controller) Respond(vid string, p properties.Property, reason string) (
 	c.mu.Lock()
 	c.events = append(c.events, ev)
 	c.mu.Unlock()
-	c.record(ledger.KindRemediation, vid, p, struct {
+	c.record(ledger.KindRemediation, vid, p, "", struct {
 		Response   string `json:"response"`
 		Reason     string `json:"reason,omitempty"`
 		NewServer  string `json:"new_server,omitempty"`
@@ -296,7 +318,7 @@ func (c *Controller) ResumeVM(vid string) error {
 	if err := mgmt.Call(server.MethodResume, server.VidRequest{Vid: vid}, nil); err != nil {
 		return err
 	}
-	c.record(ledger.KindRemediation, vid, "", struct {
+	c.record(ledger.KindRemediation, vid, "", "", struct {
 		Response string `json:"response"`
 	}{"resume"})
 	return nil
@@ -330,7 +352,7 @@ func (c *Controller) RecheckAndResume(vid string) (properties.Verdict, bool, err
 		return properties.Verdict{}, false, err
 	}
 	c.cfg.Clock.Advance(c.cfg.Latency.HopRTT)
-	rep, n2, err := c.appraise(ac, vid, srv, prop)
+	rep, n2, err := c.appraise(context.Background(), ac, vid, srv, prop)
 	if err != nil {
 		// Could not re-check: fail safe, back to suspended.
 		c.SuspendVM(vid)

@@ -24,6 +24,7 @@ import (
 	"cloudmonatt/internal/latency"
 	"cloudmonatt/internal/ledger"
 	"cloudmonatt/internal/metrics"
+	"cloudmonatt/internal/obs"
 	"cloudmonatt/internal/properties"
 	"cloudmonatt/internal/rpc"
 	"cloudmonatt/internal/secchan"
@@ -153,11 +154,20 @@ type Config struct {
 	// Metrics receives retry/breaker/degradation counters; New allocates a
 	// registry when nil.
 	Metrics *metrics.Registry
+	// Obs, when set, receives distributed-tracing spans: the customer-facing
+	// nova api records the root span of each request and the controller's
+	// internal stages nest under it.
+	Obs *obs.Store
 }
 
 // Controller is the Cloud Controller.
 type Controller struct {
 	cfg Config
+	// apiTracer records the customer-facing root spans (entity
+	// "customer-api", the nova api edge); tracer records the controller's
+	// internal work. Both are nil (and free) when Config.Obs is unset.
+	apiTracer *obs.Tracer
+	tracer    *obs.Tracer
 
 	mu         sync.Mutex
 	servers    map[string]*ServerEntry
@@ -193,6 +203,8 @@ func New(cfg Config) *Controller {
 	}
 	return &Controller{
 		cfg:        cfg,
+		apiTracer:  obs.NewTracer(cfg.Obs, "customer-api", cfg.Clock.Now),
+		tracer:     obs.NewTracer(cfg.Obs, "controller", cfg.Clock.Now),
 		servers:    make(map[string]*ServerEntry),
 		used:       make(map[string]server.Capacity),
 		vms:        make(map[string]*vmRecord),
@@ -209,6 +221,30 @@ func New(cfg Config) *Controller {
 // degradation counters).
 func (c *Controller) Metrics() *metrics.Registry { return c.cfg.Metrics }
 
+// Health reports the controller's liveness and the breaker state of every
+// RPC channel it holds, for the operator /healthz endpoint.
+func (c *Controller) Health() obs.EntityHealth {
+	c.mu.Lock()
+	clients := make(map[string]*rpc.ReconnectClient, len(c.mgmt)+len(c.attest))
+	for _, rc := range c.mgmt {
+		clients[rc.Peer()] = rc
+	}
+	for _, rc := range c.attest {
+		clients[rc.Peer()] = rc
+	}
+	c.mu.Unlock()
+	h := obs.EntityHealth{Entity: "controller", Alive: true}
+	names := make([]string, 0, len(clients))
+	for name := range clients {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h.Peers = append(h.Peers, obs.PeerHealth{Peer: name, Breaker: clients[name].BreakerState().String()})
+	}
+	return h
+}
+
 // onRPCEvent records a retry or breaker transition in the metrics registry
 // and the evidence ledger. It runs on the RPC client's goroutine, possibly
 // concurrently.
@@ -220,7 +256,7 @@ func (c *Controller) onRPCEvent(ev rpc.Event) {
 		if ev.Err != nil {
 			errMsg = ev.Err.Error()
 		}
-		c.record(ledger.KindRPCFault, "", "", struct {
+		c.record(ledger.KindRPCFault, "", "", "", struct {
 			Event   string `json:"event"`
 			Peer    string `json:"peer"`
 			Method  string `json:"method"`
@@ -232,7 +268,7 @@ func (c *Controller) onRPCEvent(ev rpc.Event) {
 		if ev.To == rpc.BreakerOpen {
 			c.cfg.Metrics.Counter("controller.rpc.breaker_opens").Inc()
 		}
-		c.record(ledger.KindRPCFault, "", "", struct {
+		c.record(ledger.KindRPCFault, "", "", "", struct {
 			Event string `json:"event"`
 			Peer  string `json:"peer"`
 			From  string `json:"from"`
@@ -271,8 +307,9 @@ func (c *Controller) newClient(peer, addr string) *rpc.ReconnectClient {
 }
 
 // record appends one evidence entry, best-effort: the ledger is the audit
-// trail, not a gate on the control path.
-func (c *Controller) record(kind ledger.Kind, vid string, prop properties.Property, payload any) {
+// trail, not a gate on the control path. trace, when non-empty, lets an
+// auditor join the evidence to the request's distributed trace.
+func (c *Controller) record(kind ledger.Kind, vid string, prop properties.Property, trace string, payload any) {
 	if c.cfg.Ledger == nil {
 		return
 	}
@@ -285,6 +322,7 @@ func (c *Controller) record(kind ledger.Kind, vid string, prop properties.Proper
 		Kind:    kind,
 		Vid:     vid,
 		Prop:    string(prop),
+		Trace:   trace,
 		Payload: data,
 	})
 }
@@ -524,6 +562,13 @@ type LaunchResult struct {
 // the next qualified server; an image-integrity failure rejects the launch
 // (paper §5.1).
 func (c *Controller) LaunchVM(req LaunchRequest) (LaunchResult, error) {
+	return c.LaunchVMTraced(obs.SpanContext{}, req)
+}
+
+// LaunchVMTraced is LaunchVM recording its pipeline under parent: one
+// "launch" span with a child span per stage, so the Fig. 9 stage breakdown
+// can be read from real per-request spans.
+func (c *Controller) LaunchVMTraced(parent obs.SpanContext, req LaunchRequest) (LaunchResult, error) {
 	flavor, err := image.FlavorByName(req.Flavor)
 	if err != nil {
 		return LaunchResult{}, err
@@ -552,10 +597,17 @@ func (c *Controller) LaunchVM(req LaunchRequest) (LaunchResult, error) {
 	c.mu.Unlock()
 
 	result := LaunchResult{Vid: vid}
+	lsp := c.tracer.Start(parent, "launch")
+	lsp.SetVM(vid, "")
 	// Every launch decision — accept or reject, with the placement and the
-	// rejection reason — leaves an evidence entry.
+	// rejection reason — leaves an evidence entry, joined to the trace.
 	defer func() {
-		c.record(ledger.KindLaunch, vid, "", struct {
+		if result.OK {
+			lsp.End("")
+		} else {
+			lsp.End("rejected: " + result.Reason)
+		}
+		c.record(ledger.KindLaunch, vid, "", lsp.Context().Trace, struct {
 			OK     bool   `json:"ok"`
 			Owner  string `json:"owner"`
 			Server string `json:"server,omitempty"`
@@ -563,7 +615,9 @@ func (c *Controller) LaunchVM(req LaunchRequest) (LaunchResult, error) {
 		}{result.OK, req.Owner, result.Server, result.Reason})
 	}()
 	stage := func(name string, d time.Duration) {
+		ssp := lsp.Child("stage:" + name)
 		c.cfg.Clock.Advance(d)
+		ssp.End("")
 		result.Stages = append(result.Stages, StageTiming{Stage: name, Duration: d})
 	}
 
@@ -578,7 +632,7 @@ func (c *Controller) LaunchVM(req LaunchRequest) (LaunchResult, error) {
 	// Stages 2–5, retrying on another qualified server if the platform
 	// fails its integrity attestation.
 	for attempt, cand := range cands {
-		ok, reason, verdict, err := c.placeAndAttest(vid, req, flavor, img, golden, cand, &result, attempt == 0)
+		ok, reason, verdict, err := c.placeAndAttest(lsp, vid, req, flavor, img, golden, cand, &result, attempt == 0)
 		if err != nil {
 			return result, err
 		}
@@ -609,10 +663,13 @@ func verdictBlamesImage(v properties.Verdict) bool {
 	return strings.Contains(v.Reason, "image")
 }
 
-// placeAndAttest runs stages 2–5 on one candidate server.
-func (c *Controller) placeAndAttest(vid string, req LaunchRequest, flavor image.Flavor, img *image.Image, golden [32]byte, cand *ServerEntry, result *LaunchResult, firstAttempt bool) (bool, string, properties.Verdict, error) {
+// placeAndAttest runs stages 2–5 on one candidate server, recording each
+// stage as a child span of lsp (the launch span; nil when untraced).
+func (c *Controller) placeAndAttest(lsp *obs.ActiveSpan, vid string, req LaunchRequest, flavor image.Flavor, img *image.Image, golden [32]byte, cand *ServerEntry, result *LaunchResult, firstAttempt bool) (bool, string, properties.Verdict, error) {
 	stage := func(name string, d time.Duration) {
+		ssp := lsp.Child("stage:" + name)
 		c.cfg.Clock.Advance(d)
+		ssp.End("")
 		result.Stages = append(result.Stages, StageTiming{Stage: name, Duration: d})
 	}
 	mgmt, err := c.mgmtClient(cand.Name)
@@ -670,16 +727,21 @@ func (c *Controller) placeAndAttest(vid string, req LaunchRequest, flavor image.
 
 	// Stage 5: Attestation — startup integrity of platform and image.
 	attStart := c.cfg.Clock.Now()
+	asp := lsp.Child("stage:attestation")
+	asp.SetVM(vid, string(properties.StartupIntegrity))
 	c.cfg.Clock.Advance(c.cfg.Latency.HopRTT) // controller ↔ attestation server
-	rep, n2, err := c.appraise(ac, vid, cand.Name, properties.StartupIntegrity)
+	rep, n2, err := c.appraise(obs.ContextWith(context.Background(), asp), ac, vid, cand.Name, properties.StartupIntegrity)
 	if err != nil {
+		asp.EndErr(err)
 		c.teardown(vid)
 		return false, fmt.Sprintf("startup attestation failed: %v", err), properties.Verdict{}, nil
 	}
 	if err := wire.VerifyReport(rep, c.attestKey(cand.Cluster), vid, properties.StartupIntegrity, n2); err != nil {
+		asp.EndErr(err)
 		c.teardown(vid)
 		return false, fmt.Sprintf("attestation report rejected: %v", err), properties.Verdict{}, nil
 	}
+	asp.End("")
 	result.Stages = append(result.Stages, StageTiming{Stage: "attestation", Duration: c.cfg.Clock.Now() - attStart})
 
 	if !rep.Verdict.Healthy {
@@ -692,11 +754,12 @@ func (c *Controller) placeAndAttest(vid string, req LaunchRequest, flavor image.
 
 // appraise requests one appraisal, regenerating N2 on every retry attempt
 // so the Attestation Server's replay cache never rejects a re-issue. It
-// returns the nonce the delivered report must answer.
-func (c *Controller) appraise(ac *rpc.ReconnectClient, vid, serverID string, p properties.Property) (*wire.Report, cryptoutil.Nonce, error) {
+// returns the nonce the delivered report must answer. ctx may carry a span
+// (obs.ContextWith), under which each RPC attempt records a child span.
+func (c *Controller) appraise(ctx context.Context, ac *rpc.ReconnectClient, vid, serverID string, p properties.Property) (*wire.Report, cryptoutil.Nonce, error) {
 	var n2 cryptoutil.Nonce
 	var rep wire.Report
-	err := ac.CallFresh(context.Background(), attestsrv.MethodAppraise, func(int) (any, error) {
+	err := ac.CallFresh(ctx, attestsrv.MethodAppraise, func(int) (any, error) {
 		n, err := cryptoutil.NewNonce(c.cfg.Rand)
 		if err != nil {
 			return nil, err

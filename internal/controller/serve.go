@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 
+	"cloudmonatt/internal/obs"
 	"cloudmonatt/internal/rpc"
 	"cloudmonatt/internal/secchan"
 	"cloudmonatt/internal/wire"
@@ -23,6 +24,23 @@ const (
 	MethodListEvents            = "list_events"
 )
 
+// apiRoot opens the customer-facing root span for one nova api request.
+// The trace ID travels two ways: the customer mints it into the wire
+// request (from N1) and the rpc envelope carries the caller's span context;
+// the explicit header wins so the trace survives untraced relay hops.
+func (c *Controller) apiRoot(peer rpc.Peer, method, trace, vid, prop string) *obs.ActiveSpan {
+	parent := peer.Trace
+	if trace != "" {
+		parent = obs.SpanContext{Trace: trace}
+	}
+	sp := c.apiTracer.Start(parent, "api:"+method)
+	sp.SetVM(vid, prop)
+	if peer.Name != "" {
+		sp.Annotate("customer", peer.Name)
+	}
+	return sp
+}
+
 // Handler returns the nova api dispatch.
 func (c *Controller) Handler() rpc.Handler {
 	return func(peer rpc.Peer, method string, body []byte) ([]byte, error) {
@@ -39,7 +57,9 @@ func (c *Controller) Handler() rpc.Handler {
 			if req.Owner == "" {
 				req.Owner = peer.Name
 			}
-			res, err := c.LaunchVM(req)
+			sp := c.apiRoot(peer, method, "", "", "")
+			res, err := c.LaunchVMTraced(sp.Context(), req)
+			sp.EndErr(err)
 			if err != nil {
 				return nil, err
 			}
@@ -61,7 +81,12 @@ func (c *Controller) Handler() rpc.Handler {
 			if err := rpc.Decode(body, &req); err != nil {
 				return nil, err
 			}
-			rep, err := c.Attest(req)
+			sp := c.apiRoot(peer, method, req.Trace, req.Vid, string(req.Prop))
+			rep, err := c.AttestTraced(sp.Context(), req)
+			if err == nil && rep != nil && rep.Stale {
+				sp.Annotate("degraded", "stale-report")
+			}
+			sp.EndErr(err)
 			if err != nil {
 				return nil, err
 			}
@@ -71,7 +96,10 @@ func (c *Controller) Handler() rpc.Handler {
 			if err := rpc.Decode(body, &req); err != nil {
 				return nil, err
 			}
-			if err := c.StartPeriodic(req); err != nil {
+			sp := c.apiRoot(peer, method, req.Trace, req.Vid, string(req.Prop))
+			err := c.StartPeriodic(req)
+			sp.EndErr(err)
+			if err != nil {
 				return nil, err
 			}
 			return rpc.Encode(true)
@@ -80,7 +108,9 @@ func (c *Controller) Handler() rpc.Handler {
 			if err := rpc.Decode(body, &req); err != nil {
 				return nil, err
 			}
+			sp := c.apiRoot(peer, method, req.Trace, req.Vid, string(req.Prop))
 			reps, err := c.StopPeriodic(req)
+			sp.EndErr(err)
 			if err != nil {
 				return nil, err
 			}
@@ -90,7 +120,9 @@ func (c *Controller) Handler() rpc.Handler {
 			if err := rpc.Decode(body, &req); err != nil {
 				return nil, err
 			}
+			sp := c.apiRoot(peer, method, req.Trace, req.Vid, string(req.Prop))
 			reps, err := c.FetchPeriodic(req)
+			sp.EndErr(err)
 			if err != nil {
 				return nil, err
 			}

@@ -174,12 +174,16 @@ func KeyEqual(a, b ed25519.PublicKey) bool { return bytes.Equal(a, b) }
 // ReplayCache remembers recently seen nonces and rejects duplicates. It is
 // bounded: when full, the oldest entries are evicted (FIFO), which is safe
 // because a replayed nonce old enough to have been evicted also fails the
-// session binding of the surrounding protocol.
+// session binding of the surrounding protocol. FIFO order lives in a fixed
+// ring buffer: the previous `order = order[1:]` slice shift kept the full
+// backing array reachable and forced append to re-allocate it over and
+// over on the hot nonce-admission path.
 type ReplayCache struct {
-	mu    sync.Mutex
-	seen  map[Nonce]struct{}
-	order []Nonce
-	cap   int
+	mu   sync.Mutex
+	seen map[Nonce]struct{}
+	ring []Nonce
+	head int // ring slot holding the oldest nonce
+	n    int // nonces currently held
 }
 
 // NewReplayCache creates a cache holding up to capacity nonces.
@@ -187,7 +191,7 @@ func NewReplayCache(capacity int) *ReplayCache {
 	if capacity <= 0 {
 		capacity = 1024
 	}
-	return &ReplayCache{seen: make(map[Nonce]struct{}, capacity), cap: capacity}
+	return &ReplayCache{seen: make(map[Nonce]struct{}, capacity), ring: make([]Nonce, capacity)}
 }
 
 // Check records n and reports whether it was fresh (true) or replayed (false).
@@ -197,13 +201,15 @@ func (rc *ReplayCache) Check(n Nonce) bool {
 	if _, dup := rc.seen[n]; dup {
 		return false
 	}
-	if len(rc.order) >= rc.cap {
-		old := rc.order[0]
-		rc.order = rc.order[1:]
-		delete(rc.seen, old)
+	if rc.n == len(rc.ring) {
+		delete(rc.seen, rc.ring[rc.head])
+		rc.ring[rc.head] = n
+		rc.head = (rc.head + 1) % len(rc.ring)
+	} else {
+		rc.ring[(rc.head+rc.n)%len(rc.ring)] = n
+		rc.n++
 	}
 	rc.seen[n] = struct{}{}
-	rc.order = append(rc.order, n)
 	return true
 }
 

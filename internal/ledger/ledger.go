@@ -58,18 +58,20 @@ type Entry struct {
 	Kind     Kind
 	Vid      string
 	Prop     string
+	Trace    string // obs trace ID joining this evidence to its timing spans
 	Payload  []byte
 	PrevHash [32]byte
 	Hash     [32]byte
 }
 
 // entryHash computes Hash = H(prevHash ‖ seq ‖ at ‖ kind ‖ vid ‖ prop ‖
-// payload) with the domain-separated injective encoding of cryptoutil.Hash.
-func entryHash(prev [32]byte, seq uint64, at time.Duration, kind Kind, vid, prop string, payload []byte) [32]byte {
+// trace ‖ payload) with the domain-separated injective encoding of
+// cryptoutil.Hash.
+func entryHash(prev [32]byte, seq uint64, at time.Duration, kind Kind, vid, prop, trace string, payload []byte) [32]byte {
 	var seqB, atB [8]byte
 	binary.BigEndian.PutUint64(seqB[:], seq)
 	binary.BigEndian.PutUint64(atB[:], uint64(at))
-	return cryptoutil.Hash("ledger-entry", prev[:], seqB[:], atB[:], []byte(kind), []byte(vid), []byte(prop), payload)
+	return cryptoutil.Hash("ledger-entry", prev[:], seqB[:], atB[:], []byte(kind), []byte(vid), []byte(prop), []byte(trace), payload)
 }
 
 // --- on-disk frame format ---
@@ -80,6 +82,7 @@ func entryHash(prev [32]byte, seq uint64, at time.Duration, kind Kind, vid, prop
 //	u16 len(kind)  ‖ kind
 //	u16 len(vid)   ‖ vid
 //	u16 len(prop)  ‖ prop
+//	u16 len(trace) ‖ trace
 //	u32 len(payload) ‖ payload
 //	prevHash[32]
 //	hash[32]
@@ -94,7 +97,7 @@ const (
 )
 
 func frameSize(e *Entry) int {
-	return 8 + 8 + 2 + len(e.Kind) + 2 + len(e.Vid) + 2 + len(e.Prop) + 4 + len(e.Payload) + 32 + 32
+	return 8 + 8 + 2 + len(e.Kind) + 2 + len(e.Vid) + 2 + len(e.Prop) + 2 + len(e.Trace) + 4 + len(e.Payload) + 32 + 32
 }
 
 func appendFrame(buf []byte, e *Entry) []byte {
@@ -107,6 +110,8 @@ func appendFrame(buf []byte, e *Entry) []byte {
 	buf = append(buf, e.Vid...)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.Prop)))
 	buf = append(buf, e.Prop...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.Trace)))
+	buf = append(buf, e.Trace...)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.Payload)))
 	buf = append(buf, e.Payload...)
 	buf = append(buf, e.PrevHash[:]...)
@@ -142,10 +147,11 @@ func decodeFrame(body []byte) (Entry, error) {
 	kind, ok1 := str()
 	vid, ok2 := str()
 	prop, ok3 := str()
-	if !ok1 || !ok2 || !ok3 {
+	trace, ok6 := str()
+	if !ok1 || !ok2 || !ok3 || !ok6 {
 		return e, errors.New("ledger: short frame")
 	}
-	e.Kind, e.Vid, e.Prop = Kind(kind), vid, prop
+	e.Kind, e.Vid, e.Prop, e.Trace = Kind(kind), vid, prop, trace
 	plb, ok := take(4)
 	if !ok {
 		return e, errors.New("ledger: short frame")
@@ -398,7 +404,7 @@ func (l *Ledger) scanSegment(seg *segment, segIdx int) (int64, error) {
 		if e.PrevHash != l.headHash {
 			return off, fmt.Errorf("entry %d does not chain from its predecessor", e.Seq)
 		}
-		if e.Hash != entryHash(e.PrevHash, e.Seq, e.At, e.Kind, e.Vid, e.Prop, e.Payload) {
+		if e.Hash != entryHash(e.PrevHash, e.Seq, e.At, e.Kind, e.Vid, e.Prop, e.Trace, e.Payload) {
 			return off, fmt.Errorf("entry %d hash mismatch", e.Seq)
 		}
 		l.indexEntry(&e, loc{seg: segIdx, off: off, n: int32(frameHeader + n)})
@@ -416,6 +422,9 @@ func (l *Ledger) indexEntry(e *Entry, lc loc) {
 	l.postings["k:"+string(e.Kind)] = append(l.postings["k:"+string(e.Kind)], e.Seq)
 	if e.Prop != "" {
 		l.postings["p:"+e.Prop] = append(l.postings["p:"+e.Prop], e.Seq)
+	}
+	if e.Trace != "" {
+		l.postings["t:"+e.Trace] = append(l.postings["t:"+e.Trace], e.Seq)
 	}
 }
 
@@ -445,7 +454,7 @@ func (l *Ledger) Append(e Entry) (Entry, error) {
 	if e.Kind == "" {
 		return Entry{}, errors.New("ledger: entry kind required")
 	}
-	if len(e.Vid) >= maxSmallField || len(e.Prop) >= maxSmallField || len(string(e.Kind)) >= maxSmallField {
+	if len(e.Vid) >= maxSmallField || len(e.Prop) >= maxSmallField || len(string(e.Kind)) >= maxSmallField || len(e.Trace) >= maxSmallField {
 		return Entry{}, errors.New("ledger: field too large")
 	}
 	if len(e.Payload) > maxPayload {
@@ -508,7 +517,7 @@ func (l *Ledger) commit(batch []*waiter) {
 		seq++
 		e.Seq = seq
 		e.PrevHash = prev
-		e.Hash = entryHash(prev, e.Seq, e.At, e.Kind, e.Vid, e.Prop, e.Payload)
+		e.Hash = entryHash(prev, e.Seq, e.At, e.Kind, e.Vid, e.Prop, e.Trace, e.Payload)
 		prev = e.Hash
 		start := len(buf)
 		buf = appendFrame(buf, &e)
@@ -589,6 +598,7 @@ type Filter struct {
 	Vid   string
 	Kind  Kind
 	Prop  string
+	Trace string
 	From  time.Duration
 	To    time.Duration
 	Limit int
@@ -602,6 +612,9 @@ func (f *Filter) match(e *Entry) bool {
 		return false
 	}
 	if f.Prop != "" && e.Prop != f.Prop {
+		return false
+	}
+	if f.Trace != "" && e.Trace != f.Trace {
 		return false
 	}
 	if e.At < f.From {
@@ -637,6 +650,9 @@ func (l *Ledger) Query(f Filter) ([]Entry, error) {
 	}
 	if f.Prop != "" {
 		consider("p:" + f.Prop)
+	}
+	if f.Trace != "" {
+		consider("t:" + f.Trace)
 	}
 	if !narrowed {
 		cands = make([]uint64, 0, len(l.locs))
@@ -713,7 +729,7 @@ func (l *Ledger) Verify() (int, error) {
 		if e.PrevHash != prev {
 			return n, fmt.Errorf("ledger: verify: chain broken at %d", seq)
 		}
-		want := entryHash(prev, e.Seq, e.At, e.Kind, e.Vid, e.Prop, e.Payload)
+		want := entryHash(prev, e.Seq, e.At, e.Kind, e.Vid, e.Prop, e.Trace, e.Payload)
 		if e.Hash != want {
 			return n, fmt.Errorf("ledger: verify: hash mismatch at %d", seq)
 		}

@@ -1,0 +1,22 @@
+package metrics
+
+import "testing"
+
+// BenchmarkCounterInc measures the uncontended counter hot path.
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkCounterIncParallel measures the contended counter hot path
+// (retry/breaker/degradation counters are bumped from many goroutines).
+func BenchmarkCounterIncParallel(b *testing.B) {
+	var c Counter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}

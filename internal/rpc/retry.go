@@ -9,10 +9,12 @@ import (
 	"hash/fnv"
 	mathrand "math/rand"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"cloudmonatt/internal/obs"
 	"cloudmonatt/internal/secchan"
 )
 
@@ -186,15 +188,21 @@ func (rc *ReconnectClient) CallIdem(ctx context.Context, method, key string, req
 }
 
 func (rc *ReconnectClient) do(ctx context.Context, method, idemKey string, makeReq func(int) (any, error), resp any, retryable bool) error {
+	// Each attempt gets its own child span under whatever span the caller
+	// put in ctx, so retries show up as sibling "rpc:<method>" spans and
+	// the remote handler's spans nest under the attempt that carried them.
+	parent := obs.FromContext(ctx)
 	var lastErr error
 	for attempt := 0; attempt < rc.cfg.Retry.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			rc.event(Event{Kind: EventRetry, Peer: rc.cfg.Peer, Method: method, Attempt: attempt + 1, Err: lastErr})
+			parent.Annotate("retry", fmt.Sprintf("%s attempt %d after: %v", method, attempt+1, lastErr))
 			if err := rc.sleep(ctx, attempt); err != nil {
 				return lastErr
 			}
 		}
 		if err := rc.breaker.allow(time.Now()); err != nil {
+			parent.Annotate("breaker", fmt.Sprintf("%s to %s rejected: breaker %s", method, rc.cfg.Peer, rc.breaker.State()))
 			if lastErr != nil {
 				return fmt.Errorf("rpc: %s to %s: %w (last failure: %v)", method, rc.cfg.Peer, err, lastErr)
 			}
@@ -204,7 +212,11 @@ func (rc *ReconnectClient) do(ctx context.Context, method, idemKey string, makeR
 		if err != nil {
 			return err
 		}
-		sent, err := rc.attempt(ctx, method, idemKey, req, resp)
+		asp := parent.Child("rpc:" + method)
+		asp.Annotate("peer", rc.cfg.Peer)
+		asp.Annotate("attempt", strconv.Itoa(attempt+1))
+		sent, err := rc.attempt(obs.ContextWith(ctx, asp), method, idemKey, req, resp)
+		asp.EndErr(err)
 		if err == nil {
 			rc.breaker.success()
 			return nil

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"cloudmonatt/internal/obs"
 	"cloudmonatt/internal/secchan"
 )
 
@@ -176,7 +177,12 @@ type requestEnvelope struct {
 	// the handler executes at most once per key and duplicates receive the
 	// recorded response (see idemCache).
 	IdemKey string
-	Body    []byte
+	// Trace/Span carry the caller's trace context so the remote handler's
+	// spans nest under the calling attempt. Empty when the caller is not
+	// traced; gob omits absent fields, so old peers interoperate.
+	Trace string
+	Span  string
+	Body  []byte
 }
 
 type responseEnvelope struct {
@@ -201,9 +207,11 @@ func Decode(body []byte, v any) error {
 	return nil
 }
 
-// Peer describes the authenticated remote endpoint of a request.
+// Peer describes the authenticated remote endpoint of a request, plus the
+// request's propagated trace context (zero when the caller is untraced).
 type Peer struct {
-	Name string
+	Name  string
+	Trace obs.SpanContext
 }
 
 // Handler serves one RPC: it receives the authenticated peer, the method
@@ -267,7 +275,7 @@ func serveConn(raw net.Conn, cfg secchan.Config, h Handler, hsTimeout time.Durat
 		return // handshake failed: unauthenticated peer or network attacker
 	}
 	raw.SetDeadline(time.Time{})
-	peer := Peer{Name: conn.PeerName()}
+	basePeer := Peer{Name: conn.PeerName()}
 	for {
 		msg, err := conn.ReadMsg()
 		if err != nil {
@@ -277,6 +285,8 @@ func serveConn(raw net.Conn, cfg secchan.Config, h Handler, hsTimeout time.Durat
 		if err := Decode(msg, &req); err != nil {
 			return
 		}
+		peer := basePeer
+		peer.Trace = obs.SpanContext{Trace: req.Trace, Span: req.Span}
 		var resp responseEnvelope
 		if req.IdemKey != "" {
 			resp = idem.do(req.IdemKey, func() responseEnvelope { return dispatch(h, peer, req) })
@@ -433,7 +443,11 @@ func (c *Client) call(ctx context.Context, method, idemKey string, req, resp any
 	if err != nil {
 		return err
 	}
-	out, err := Encode(requestEnvelope{Method: method, IdemKey: idemKey, Body: body})
+	env := requestEnvelope{Method: method, IdemKey: idemKey, Body: body}
+	if sc := obs.FromContext(ctx).Context(); sc.Traced() {
+		env.Trace, env.Span = sc.Trace, sc.Span
+	}
+	out, err := Encode(env)
 	if err != nil {
 		return err
 	}
@@ -457,16 +471,16 @@ func (c *Client) call(ctx context.Context, method, idemKey string, req, resp any
 		c.broken = true
 		return fmt.Errorf("rpc: awaiting %s reply: %w", method, err)
 	}
-	var env responseEnvelope
-	if err := Decode(msg, &env); err != nil {
+	var reply responseEnvelope
+	if err := Decode(msg, &reply); err != nil {
 		c.broken = true
 		return err
 	}
-	if env.Err != "" {
-		return &RemoteError{Method: method, Msg: env.Err}
+	if reply.Err != "" {
+		return &RemoteError{Method: method, Msg: reply.Err}
 	}
 	if resp == nil {
 		return nil
 	}
-	return Decode(env.Body, resp)
+	return Decode(reply.Body, resp)
 }

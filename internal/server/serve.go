@@ -35,7 +35,10 @@ func (s *Server) Handler() rpc.Handler {
 			if err := rpc.Decode(body, &req); err != nil {
 				return nil, err
 			}
+			sp := s.tracer.Start(peer.Trace, "measure")
+			sp.SetVM(req.Vid, "")
 			ev, err := s.Measure(req)
+			sp.EndErr(err)
 			if err != nil {
 				return nil, err
 			}

@@ -18,6 +18,7 @@ import (
 	"cloudmonatt/internal/guest"
 	"cloudmonatt/internal/image"
 	"cloudmonatt/internal/monitor"
+	"cloudmonatt/internal/obs"
 	"cloudmonatt/internal/sim"
 	"cloudmonatt/internal/trust"
 	"cloudmonatt/internal/vclock"
@@ -56,6 +57,9 @@ type Config struct {
 	Dom0CostPerCollection time.Duration
 	// SchedConfig overrides the hypervisor scheduler parameters.
 	SchedConfig *xen.Config
+	// Obs, when set, receives one span per served measurement (the entity
+	// is the server's Name).
+	Obs *obs.Store
 }
 
 // LaunchSpec describes a VM to place on this server.
@@ -92,10 +96,11 @@ type hostedVM struct {
 
 // Server is one cloud server node.
 type Server struct {
-	cfg Config
-	hv  *xen.Hypervisor
-	tm  *trust.Module
-	mon *monitor.Module
+	cfg    Config
+	hv     *xen.Hypervisor
+	tm     *trust.Module
+	mon    *monitor.Module
+	tracer *obs.Tracer
 
 	mu      sync.Mutex
 	vms     map[string]*hostedVM
@@ -167,6 +172,7 @@ func New(cfg Config) (*Server, error) {
 		hv:       hv,
 		tm:       tm,
 		mon:      mon,
+		tracer:   obs.NewTracer(cfg.Obs, cfg.Name, cfg.Clock.Now),
 		vms:      make(map[string]*hostedVM),
 		dom0Prog: &dom0Program{},
 	}

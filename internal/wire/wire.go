@@ -30,10 +30,14 @@ import (
 // --- customer → controller (Table 1 APIs) ---
 
 // AttestRequest invokes startup_attest_current or runtime_attest_current.
+// Trace is the customer-minted trace ID (obs.MintTrace over N1); it is a
+// transport header, not part of the signed protocol content, so tampering
+// with it can corrupt telemetry but never a verdict.
 type AttestRequest struct {
-	Vid  string
-	Prop properties.Property
-	N1   cryptoutil.Nonce
+	Vid   string
+	Prop  properties.Property
+	N1    cryptoutil.Nonce
+	Trace string
 }
 
 // PeriodicRequest invokes runtime_attest_periodic, with a constant
@@ -44,13 +48,15 @@ type PeriodicRequest struct {
 	Freq   time.Duration
 	Random bool
 	N1     cryptoutil.Nonce
+	Trace  string
 }
 
 // StopPeriodicRequest invokes stop_attest_periodic.
 type StopPeriodicRequest struct {
-	Vid  string
-	Prop properties.Property
-	N1   cryptoutil.Nonce
+	Vid   string
+	Prop  properties.Property
+	N1    cryptoutil.Nonce
+	Trace string
 }
 
 // --- controller → attestation server ---
