@@ -50,8 +50,15 @@ type bootstrap struct {
 }
 
 type cli struct {
-	client  *rpc.ReconnectClient
-	ctrlKey ed25519.PublicKey
+	client   *rpc.ReconnectClient
+	ctrlKey  ed25519.PublicKey
+	opBudget time.Duration
+}
+
+// opCtx bounds one CLI operation end to end (every retry attempt plus
+// backoff), so a dead controller yields an error instead of a hung prompt.
+func (c *cli) opCtx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), c.opBudget)
 }
 
 func connect(path string, timeout time.Duration, retries int) (*cli, error) {
@@ -94,11 +101,15 @@ func connect(path string, timeout time.Duration, retries int) (*cli, error) {
 			return method == controller.MethodListVMs || method == controller.MethodListEvents
 		},
 	})
-	if err := client.Connect(context.Background()); err != nil {
+	c := &cli{client: client, ctrlKey: ctrlKey,
+		opBudget: time.Duration(retries)*timeout + 5*time.Second}
+	ctx, cancel := c.opCtx()
+	defer cancel()
+	if err := client.Connect(ctx); err != nil {
 		client.Close()
 		return nil, fmt.Errorf("dialing controller: %w", err)
 	}
-	return &cli{client: client, ctrlKey: ctrlKey}, nil
+	return c, nil
 }
 
 func parseProp(s string) (properties.Property, error) {
@@ -151,7 +162,9 @@ func main() {
 			ps = append(ps, p)
 		}
 		var res controller.LaunchResult
-		err := c.client.CallIdem(context.Background(), controller.MethodLaunchVM, rpc.NewIdemKey(), controller.LaunchRequest{
+		ctx, cancel := c.opCtx()
+		defer cancel()
+		err := c.client.CallIdem(ctx, controller.MethodLaunchVM, rpc.NewIdemKey(), controller.LaunchRequest{
 			ImageName: *img, Flavor: *flavor, Workload: *work,
 			Props: ps, Allowlist: splitList(*allow), MinShare: *minShare, Pin: -1,
 		}, &res)
@@ -183,7 +196,9 @@ func main() {
 		// cache never rejects a re-issued request.
 		var n1 cryptoutil.Nonce
 		var rep wire.CustomerReport
-		if err := c.client.CallFresh(context.Background(), method, func(int) (any, error) {
+		ctx, cancel := c.opCtx()
+		defer cancel()
+		if err := c.client.CallFresh(ctx, method, func(int) (any, error) {
 			n1 = cryptoutil.MustNonce()
 			return wire.AttestRequest{Vid: *vid, Prop: p, N1: n1}, nil
 		}, &rep); err != nil {
@@ -211,7 +226,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := c.client.CallIdem(context.Background(), controller.MethodRuntimeAttestPeriodic, rpc.NewIdemKey(), wire.PeriodicRequest{
+		ctx, cancel := c.opCtx()
+		defer cancel()
+		if err := c.client.CallIdem(ctx, controller.MethodRuntimeAttestPeriodic, rpc.NewIdemKey(), wire.PeriodicRequest{
 			Vid: *vid, Prop: p, Freq: *freq, N1: cryptoutil.MustNonce(),
 		}, nil); err != nil {
 			log.Fatal(err)
@@ -235,7 +252,9 @@ func main() {
 		var reps []*wire.CustomerReport
 		// Drains are idempotency-keyed: a retried drain replays the recorded
 		// batch instead of losing it.
-		if err := c.client.CallIdem(context.Background(), method, rpc.NewIdemKey(),
+		ctx, cancel := c.opCtx()
+		defer cancel()
+		if err := c.client.CallIdem(ctx, method, rpc.NewIdemKey(),
 			wire.StopPeriodicRequest{Vid: *vid, Prop: p, N1: n1}, &reps); err != nil {
 			log.Fatal(err)
 		}
@@ -255,7 +274,9 @@ func main() {
 		fs := flag.NewFlagSet("terminate", flag.ExitOnError)
 		vid := fs.String("vid", "", "VM id")
 		fs.Parse(args)
-		if err := c.client.CallIdem(context.Background(), controller.MethodTerminateVM, rpc.NewIdemKey(),
+		ctx, cancel := c.opCtx()
+		defer cancel()
+		if err := c.client.CallIdem(ctx, controller.MethodTerminateVM, rpc.NewIdemKey(),
 			struct{ Vid string }{*vid}, nil); err != nil {
 			log.Fatal(err)
 		}
@@ -263,7 +284,9 @@ func main() {
 
 	case "list":
 		var vms []controller.VMSummary
-		if err := c.client.Call(controller.MethodListVMs, struct{}{}, &vms); err != nil {
+		ctx, cancel := c.opCtx()
+		defer cancel()
+		if err := c.client.CallCtx(ctx, controller.MethodListVMs, struct{}{}, &vms); err != nil {
 			log.Fatal(err)
 		}
 		if len(vms) == 0 {
@@ -282,7 +305,9 @@ func main() {
 
 	case "events":
 		var events []controller.ResponseEvent
-		if err := c.client.Call(controller.MethodListEvents, struct{}{}, &events); err != nil {
+		ctx, cancel := c.opCtx()
+		defer cancel()
+		if err := c.client.CallCtx(ctx, controller.MethodListEvents, struct{}{}, &events); err != nil {
 			log.Fatal(err)
 		}
 		if len(events) == 0 {

@@ -125,11 +125,11 @@ func New(cfg Config) *Server {
 func (s *Server) onRPCEvent(ev rpc.Event) {
 	switch ev.Kind {
 	case rpc.EventRetry:
-		s.metrics.Counter("attestsrv.rpc.retries").Inc()
+		s.metrics.Counter("attestsrv/rpc-retries").Inc()
 	case rpc.EventBreaker:
-		s.metrics.Counter("attestsrv.rpc.breaker_transitions").Inc()
+		s.metrics.Counter("attestsrv/rpc-breaker-transitions").Inc()
 		if ev.To == rpc.BreakerOpen {
-			s.metrics.Counter("attestsrv.rpc.breaker_opens").Inc()
+			s.metrics.Counter("attestsrv/rpc-breaker-opens").Inc()
 		}
 	}
 	if s.cfg.Ledger == nil {
@@ -324,11 +324,24 @@ func (s *Server) AppraiseTraced(parent obs.SpanContext, req wire.AppraisalReques
 	if lat := s.cfg.Latency; lat != nil {
 		s.cfg.Clock.Advance(lat.HopRTT + lat.QuoteCost + lat.CertifyCost)
 	}
+	// The whole measurement exchange — every retry and its backoff — is
+	// bounded so a wedged cloud server degrades this appraisal instead of
+	// pinning an attestation worker forever.
+	per := s.cfg.CallTimeout
+	if per <= 0 {
+		per = 30 * time.Second
+	}
+	attempts := s.cfg.Retry.MaxAttempts
+	if attempts <= 0 {
+		attempts = 4 // rpc default
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(attempts)*per+5*time.Second)
+	defer cancel()
 	// N3 is regenerated for every retry attempt, so a re-issued measurement
 	// request is a fresh challenge, never a replay.
 	var n3 cryptoutil.Nonce
 	var ev wire.Evidence
-	if err := c.CallFresh(obs.ContextWith(context.Background(), sp), server.MethodMeasure, func(int) (any, error) {
+	if err := c.CallFresh(obs.ContextWith(ctx, sp), server.MethodMeasure, func(int) (any, error) {
 		n, err := cryptoutil.NewNonce(s.cfg.Rand)
 		if err != nil {
 			return nil, err

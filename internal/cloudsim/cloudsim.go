@@ -162,7 +162,11 @@ func New(opts Options) (*Testbed, error) {
 		return l, l.Addr().String(), nil
 	}
 
-	led, err := ledger.Open(ledger.Options{Dir: opts.LedgerDir})
+	// Ledger latency summaries run on the testbed's virtual clock so a
+	// seeded run replays to identical metrics.
+	led, err := ledger.Open(ledger.Options{Dir: opts.LedgerDir, Now: func() time.Time {
+		return time.Unix(0, int64(tb.Clock.Now()))
+	}})
 	if err != nil {
 		return nil, err
 	}
@@ -507,9 +511,17 @@ func (tb *Testbed) LaunchRFACoResident(targetVid string, pin int) (string, error
 
 // Customer is a cloud customer: the protocol initiator and end-verifier.
 type Customer struct {
-	id      *cryptoutil.Identity
-	client  *rpc.ReconnectClient
-	ctrlKey ed25519.PublicKey
+	id       *cryptoutil.Identity
+	client   *rpc.ReconnectClient
+	ctrlKey  ed25519.PublicKey
+	opBudget time.Duration
+}
+
+// opCtx bounds one customer exchange end to end (all retry attempts plus
+// backoff), so a wedged or partitioned controller fails the call instead
+// of hanging the customer forever.
+func (cu *Customer) opCtx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), cu.opBudget)
 }
 
 // NewCustomer registers a fresh customer identity and connects it to the
@@ -531,11 +543,23 @@ func (tb *Testbed) NewCustomerWithIdentity(id *cryptoutil.Identity) (*Customer, 
 		Breaker:     tb.opts.Breaker,
 		CallTimeout: tb.opts.CallTimeout,
 	})
-	if err := client.Connect(context.Background()); err != nil {
+	per := tb.opts.CallTimeout
+	if per <= 0 {
+		per = 30 * time.Second
+	}
+	attempts := tb.opts.Retry.MaxAttempts
+	if attempts <= 0 {
+		attempts = 4 // rpc default
+	}
+	cu := &Customer{id: id, client: client, ctrlKey: tb.Ctrl.PublicKey(),
+		opBudget: time.Duration(attempts)*per + 5*time.Second}
+	ctx, cancel := cu.opCtx()
+	defer cancel()
+	if err := client.Connect(ctx); err != nil {
 		client.Close()
 		return nil, err
 	}
-	return &Customer{id: id, client: client, ctrlKey: tb.Ctrl.PublicKey()}, nil
+	return cu, nil
 }
 
 // RegisterIdentity adds an externally provisioned identity (like a CLI
@@ -549,7 +573,9 @@ func (tb *Testbed) RegisterIdentity(name string, pub ed25519.PublicKey) {
 func (cu *Customer) Launch(req controller.LaunchRequest) (controller.LaunchResult, error) {
 	req.Owner = cu.id.Name
 	var res controller.LaunchResult
-	err := cu.client.CallIdem(context.Background(), controller.MethodLaunchVM, rpc.NewIdemKey(), req, &res)
+	ctx, cancel := cu.opCtx()
+	defer cancel()
+	err := cu.client.CallIdem(ctx, controller.MethodLaunchVM, rpc.NewIdemKey(), req, &res)
 	return res, err
 }
 
@@ -575,7 +601,9 @@ func (cu *Customer) AttestReport(vid string, p properties.Property) (*wire.Custo
 	}
 	var n1 cryptoutil.Nonce
 	var rep wire.CustomerReport
-	if err := cu.client.CallFresh(context.Background(), method, func(int) (any, error) {
+	ctx, cancel := cu.opCtx()
+	defer cancel()
+	if err := cu.client.CallFresh(ctx, method, func(int) (any, error) {
 		n1 = cryptoutil.MustNonce()
 		// The trace ID is minted from the request nonce: deterministic
 		// under the seeded RNG, and fresh per retry attempt like N1 itself.
@@ -592,7 +620,9 @@ func (cu *Customer) AttestReport(vid string, p properties.Property) (*wire.Custo
 // StartPeriodic arms periodic attestation (runtime_attest_periodic).
 func (cu *Customer) StartPeriodic(vid string, p properties.Property, freq time.Duration) error {
 	n1 := cryptoutil.MustNonce()
-	return cu.client.CallIdem(context.Background(), controller.MethodRuntimeAttestPeriodic, rpc.NewIdemKey(),
+	ctx, cancel := cu.opCtx()
+	defer cancel()
+	return cu.client.CallIdem(ctx, controller.MethodRuntimeAttestPeriodic, rpc.NewIdemKey(),
 		wire.PeriodicRequest{Vid: vid, Prop: p, Freq: freq, N1: n1, Trace: obs.MintTrace(n1[:])}, nil)
 }
 
@@ -601,7 +631,9 @@ func (cu *Customer) StartPeriodic(vid string, p properties.Property, freq time.D
 // measurement windows.
 func (cu *Customer) StartPeriodicRandom(vid string, p properties.Property, freq time.Duration) error {
 	n1 := cryptoutil.MustNonce()
-	return cu.client.CallIdem(context.Background(), controller.MethodRuntimeAttestPeriodic, rpc.NewIdemKey(),
+	ctx, cancel := cu.opCtx()
+	defer cancel()
+	return cu.client.CallIdem(ctx, controller.MethodRuntimeAttestPeriodic, rpc.NewIdemKey(),
 		wire.PeriodicRequest{Vid: vid, Prop: p, Freq: freq, Random: true, N1: n1, Trace: obs.MintTrace(n1[:])}, nil)
 }
 
@@ -621,7 +653,9 @@ func (cu *Customer) periodicCall(method, vid string, p properties.Property) ([]p
 	var reps []*wire.CustomerReport
 	// Fetch/stop drain results controller-side; the idempotency key makes a
 	// retried drain replay the recorded batch instead of losing it.
-	if err := cu.client.CallIdem(context.Background(), method, rpc.NewIdemKey(),
+	ctx, cancel := cu.opCtx()
+	defer cancel()
+	if err := cu.client.CallIdem(ctx, method, rpc.NewIdemKey(),
 		wire.StopPeriodicRequest{Vid: vid, Prop: p, N1: n1, Trace: obs.MintTrace(n1[:])}, &reps); err != nil {
 		return nil, err
 	}
@@ -637,7 +671,9 @@ func (cu *Customer) periodicCall(method, vid string, p properties.Property) ([]p
 
 // Terminate releases the VM (idempotency-keyed: never executed twice).
 func (cu *Customer) Terminate(vid string) error {
-	return cu.client.CallIdem(context.Background(), controller.MethodTerminateVM, rpc.NewIdemKey(),
+	ctx, cancel := cu.opCtx()
+	defer cancel()
+	return cu.client.CallIdem(ctx, controller.MethodTerminateVM, rpc.NewIdemKey(),
 		struct{ Vid string }{vid}, nil)
 }
 

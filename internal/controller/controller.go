@@ -251,7 +251,7 @@ func (c *Controller) Health() obs.EntityHealth {
 func (c *Controller) onRPCEvent(ev rpc.Event) {
 	switch ev.Kind {
 	case rpc.EventRetry:
-		c.cfg.Metrics.Counter("controller.rpc.retries").Inc()
+		c.cfg.Metrics.Counter("controller/rpc-retries").Inc()
 		errMsg := ""
 		if ev.Err != nil {
 			errMsg = ev.Err.Error()
@@ -264,9 +264,9 @@ func (c *Controller) onRPCEvent(ev rpc.Event) {
 			Err     string `json:"err,omitempty"`
 		}{"retry", ev.Peer, ev.Method, ev.Attempt, errMsg})
 	case rpc.EventBreaker:
-		c.cfg.Metrics.Counter("controller.rpc.breaker_transitions").Inc()
+		c.cfg.Metrics.Counter("controller/rpc-breaker-transitions").Inc()
 		if ev.To == rpc.BreakerOpen {
-			c.cfg.Metrics.Counter("controller.rpc.breaker_opens").Inc()
+			c.cfg.Metrics.Counter("controller/rpc-breaker-opens").Inc()
 		}
 		c.record(ledger.KindRPCFault, "", "", "", struct {
 			Event string `json:"event"`
@@ -431,6 +431,23 @@ func (c *Controller) attestClientOfVM(vid string) (*rpc.ReconnectClient, int, er
 	}
 	cl, err := c.attestClientFor(cluster)
 	return cl, cluster, err
+}
+
+// opCtx bounds one control-plane exchange end to end: the per-attempt
+// CallTimeout times the retry budget, plus slack for backoff sleeps. Every
+// controller-originated RPC derives its context here so a wedged peer can
+// degrade an operation but never wedge the controller (the ctxdeadline
+// analyzer enforces this at each call site).
+func (c *Controller) opCtx() (context.Context, context.CancelFunc) {
+	per := c.cfg.CallTimeout
+	if per <= 0 {
+		per = 30 * time.Second
+	}
+	attempts := c.cfg.Retry.MaxAttempts
+	if attempts <= 0 {
+		attempts = 4 // rpc default
+	}
+	return context.WithTimeout(context.Background(), time.Duration(attempts)*per+5*time.Second)
 }
 
 // mgmtClient returns the fault-tolerant client for a cloud server's
@@ -676,7 +693,9 @@ func (c *Controller) placeAndAttest(lsp *obs.ActiveSpan, vid string, req LaunchR
 	if err != nil {
 		return false, fmt.Sprintf("server %s unknown: %v", cand.Name, err), properties.Verdict{}, nil
 	}
-	if err := mgmt.Connect(context.Background()); err != nil {
+	ctx, cancel := c.opCtx()
+	defer cancel()
+	if err := mgmt.Connect(ctx); err != nil {
 		// An unreachable server is a candidate failure, not a launch
 		// failure: the scheduler moves on to the next qualified host.
 		return false, fmt.Sprintf("server %s unreachable: %v", cand.Name, err), properties.Verdict{}, nil
@@ -696,7 +715,7 @@ func (c *Controller) placeAndAttest(lsp *obs.ActiveSpan, vid string, req LaunchR
 	var launched bool
 	// The idempotency key lets the spawn be retried without double-booking
 	// the host if only the response was lost.
-	if err := mgmt.CallIdem(context.Background(), server.MethodLaunch, rpc.NewIdemKey(), spec, &launched); err != nil {
+	if err := mgmt.CallIdem(ctx, server.MethodLaunch, rpc.NewIdemKey(), spec, &launched); err != nil {
 		return false, fmt.Sprintf("spawn failed on %s: %v", cand.Name, err), properties.Verdict{}, nil
 	}
 	c.reserve(cand.Name, flavor)
@@ -708,7 +727,7 @@ func (c *Controller) placeAndAttest(lsp *obs.ActiveSpan, vid string, req LaunchR
 	if err != nil {
 		return false, "", properties.Verdict{}, err
 	}
-	if err := ac.Call(attestsrv.MethodRegisterVM, attestsrv.VMRecord{
+	if err := ac.CallCtx(ctx, attestsrv.MethodRegisterVM, attestsrv.VMRecord{
 		Vid:           vid,
 		ExpectedImage: golden,
 		TaskAllowlist: req.Allowlist,
@@ -800,11 +819,13 @@ func (c *Controller) teardown(vid string) {
 		return
 	}
 	c.release(rec.Server, rec.Flavor)
+	ctx, cancel := c.opCtx()
+	defer cancel()
 	if mgmt, err := c.mgmtClient(rec.Server); err == nil {
-		mgmt.CallIdem(context.Background(), server.MethodTerminate, rpc.NewIdemKey(), server.VidRequest{Vid: vid}, nil)
+		mgmt.CallIdem(ctx, server.MethodTerminate, rpc.NewIdemKey(), server.VidRequest{Vid: vid}, nil)
 	}
 	if ac, err := c.attestClientFor(c.clusterOfServer(rec.Server)); err == nil {
-		ac.Call(attestsrv.MethodForgetVM, struct{ Vid string }{vid}, nil)
+		ac.CallCtx(ctx, attestsrv.MethodForgetVM, struct{ Vid string }{vid}, nil)
 	}
 }
 

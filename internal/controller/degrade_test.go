@@ -71,10 +71,10 @@ func TestAttestDegradesToStaleReportOnPartition(t *testing.T) {
 
 	// The degradation and the retries are observable.
 	m := tb.Ctrl.Metrics()
-	if m.Counter("controller.degraded.stale_reports").Value() == 0 {
+	if m.Counter("controller/degraded-stale-reports").Value() == 0 {
 		t.Fatal("stale-report counter not incremented")
 	}
-	if m.Counter("controller.rpc.retries").Value() == 0 {
+	if m.Counter("controller/rpc-retries").Value() == 0 {
 		t.Fatal("retry counter not incremented")
 	}
 	if es, err := tb.Ledger.Query(ledger.Filter{Kind: ledger.KindDegraded}); err != nil || len(es) == 0 {

@@ -7,10 +7,10 @@
 package cryptoutil
 
 import (
-	"bytes"
 	"crypto/ed25519"
 	"crypto/rand"
 	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -168,8 +168,21 @@ func VerifyCertificate(c *Certificate, issuerName string, issuerKey ed25519.Publ
 	return nil
 }
 
-// KeyEqual reports whether two public keys are identical.
-func KeyEqual(a, b ed25519.PublicKey) bool { return bytes.Equal(a, b) }
+// ConstEqual compares two byte strings in constant time. Every comparison
+// of secret-derived material (keys, quotes, MACs, signatures) must go
+// through here: an early-exit compare tells a network observer how many
+// leading bytes matched, which is exactly the oracle that makes forged
+// quotes cheap to search for. Length mismatch returns false immediately —
+// lengths are public protocol constants.
+func ConstEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return subtle.ConstantTimeCompare(a, b) == 1
+}
+
+// KeyEqual reports whether two public keys are identical, in constant time.
+func KeyEqual(a, b ed25519.PublicKey) bool { return ConstEqual(a, b) }
 
 // ReplayCache remembers recently seen nonces and rejects duplicates. It is
 // bounded: when full, the oldest entries are evicted (FIFO), which is safe

@@ -225,6 +225,10 @@ type Options struct {
 	// Metrics receives append/flush latency and batch-size summaries.
 	// A private registry is created when nil.
 	Metrics *metrics.Registry
+	// Now supplies the clock used for append/flush latency measurement.
+	// The simulator injects its virtual clock here so latency summaries
+	// are reproducible under seeded replay; nil falls back to wall time.
+	Now func() time.Time
 }
 
 // ErrClosed is returned by operations on a closed ledger.
@@ -304,6 +308,10 @@ func open(opts Options, st store) (*Ledger, error) {
 	reg := opts.Metrics
 	if reg == nil {
 		reg = metrics.NewRegistry()
+	}
+	if opts.Now == nil {
+		//lint:wallclock default latency clock when no virtual clock is injected
+		opts.Now = time.Now
 	}
 	l := &Ledger{
 		opts:      opts,
@@ -463,7 +471,7 @@ func (l *Ledger) Append(e Entry) (Entry, error) {
 	if l.opts.ReadOnly {
 		return Entry{}, errors.New("ledger: read-only")
 	}
-	w := &waiter{in: e, start: time.Now(), done: make(chan struct{})}
+	w := &waiter{in: e, start: l.opts.Now(), done: make(chan struct{})}
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -488,7 +496,7 @@ func (l *Ledger) Append(e Entry) (Entry, error) {
 		l.cond.Broadcast()
 		l.mu.Unlock()
 	}
-	l.appendSum.Observe(time.Since(w.start))
+	l.appendSum.Observe(l.opts.Now().Sub(w.start))
 	return w.out, w.err
 }
 
@@ -496,7 +504,7 @@ func (l *Ledger) Append(e Entry) (Entry, error) {
 // every queued entry. Only the committer runs here, so chain state reads
 // are exclusive; mutations happen back under l.mu.
 func (l *Ledger) commit(batch []*waiter) {
-	flushStart := time.Now()
+	flushStart := l.opts.Now()
 
 	l.mu.Lock()
 	seq, prev := l.headSeq, l.headHash
@@ -549,7 +557,7 @@ func (l *Ledger) commit(batch []*waiter) {
 	l.mu.Unlock()
 
 	finishBatch(batch, nil)
-	l.flushSum.Observe(time.Since(flushStart))
+	l.flushSum.Observe(l.opts.Now().Sub(flushStart))
 	l.batchSum.Observe(int64(len(batch)))
 }
 

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// Fixtures follow the go/analysis analysistest convention: a comment
+// `want `+"`regex`"+` on a line asserts that exactly that line carries a
+// diagnostic matching the regex; every other line must be clean. Fixture
+// packages live under testdata/src (invisible to the go tool) and are
+// type-checked against the real module packages they import, under a
+// synthetic import path chosen to put them in the analyzer's scope.
+func TestAnalyzerFixtures(t *testing.T) {
+	cases := []struct {
+		dir      string
+		asPath   string
+		analyzer *Analyzer
+	}{
+		{"vclockonly", "cloudmonatt/internal/vclockonlyfix", VClockOnly},
+		{"noncefresh", "cloudmonatt/internal/noncefreshfix", NonceFresh},
+		// consttime's math/rand rule only applies inside key-handling
+		// packages; the synthetic path plants the fixture there.
+		{"consttime", "cloudmonatt/internal/cryptoutil/consttimefix", ConstTime},
+		{"ctxdeadline", "cloudmonatt/internal/ctxdeadlinefix", CtxDeadline},
+		{"spanend", "cloudmonatt/internal/spanendfix", SpanEnd},
+		{"metricsname", "cloudmonatt/internal/metricsnamefix", MetricsName},
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			runFixture(t, loader, tc.dir, tc.asPath, tc.analyzer)
+		})
+	}
+}
+
+// wantPattern extracts the expectation regex from a fixture comment.
+var wantPattern = regexp.MustCompile("want `([^`]+)`")
+
+func runFixture(t *testing.T, loader *Loader, dir, asPath string, analyzer *Analyzer) {
+	t.Helper()
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", dir), asPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+
+	type lineKey struct {
+		file string
+		line int
+	}
+	wants := make(map[lineKey]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantPattern.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want regex %q: %v", m[1], err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants[lineKey{pos.Filename, pos.Line}] = re
+			}
+		}
+	}
+
+	matched := make(map[lineKey]bool)
+	for _, d := range Run(pkg, []*Analyzer{analyzer}) {
+		pos := pkg.Fset.Position(d.Pos)
+		k := lineKey{pos.Filename, pos.Line}
+		re, ok := wants[k]
+		switch {
+		case !ok:
+			t.Errorf("unexpected diagnostic at %s:%d: %s [%s]", pos.Filename, pos.Line, d.Message, d.Analyzer)
+		case !re.MatchString(d.Message):
+			t.Errorf("diagnostic at %s:%d = %q does not match want %q", pos.Filename, pos.Line, d.Message, re)
+		default:
+			matched[k] = true
+		}
+	}
+	for k, re := range wants {
+		if !matched[k] {
+			t.Errorf("missing diagnostic at %s:%d (want %q)", k.file, k.line, re)
+		}
+	}
+}

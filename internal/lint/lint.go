@@ -1,0 +1,220 @@
+// Package lint is monatt-vet's analysis engine: a small, dependency-free
+// analogue of golang.org/x/tools/go/analysis that encodes CloudMonatt's
+// protocol invariants as compile-time checks.
+//
+// The paper's security argument rests on rules the Go compiler cannot see:
+// nonces N1–N3 must be fresh per attempt, quotes and MACs must be compared
+// in constant time, simulation code must use the injected virtual clock,
+// and every RPC crossing an entity boundary must carry a deadline
+// (Zhang & Lee, ISCA'15 §4–5). Each rule is an Analyzer; the monatt-vet
+// driver (cmd/monatt-vet) runs them over type-checked packages and fails
+// the build on any finding.
+//
+// Suppression is explicit and audited. Two comment directives exist:
+//
+//	//lint:wallclock <justification>   – allow wall-clock time on this line
+//	//lint:ignore <analyzer> <reason>  – suppress one analyzer on this line
+//
+// Both require a non-empty justification; a bare directive is itself a
+// diagnostic. A directive applies to findings on its own line or, when it
+// stands alone, on the line directly below it.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //lint:ignore.
+	Name string
+	// Doc is the one-paragraph description shown by monatt-vet -list.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// A Diagnostic is one finding, positioned in the shared FileSet.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// String renders a diagnostic as file:line:col: message [analyzer].
+func (d Diagnostic) String(fset *token.FileSet) string {
+	return fmt.Sprintf("%s: %s [%s]", fset.Position(d.Pos), d.Message, d.Analyzer)
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		VClockOnly,
+		NonceFresh,
+		ConstTime,
+		CtxDeadline,
+		SpanEnd,
+		MetricsName,
+	}
+}
+
+// Run executes the given analyzers over one loaded package and returns the
+// surviving diagnostics: directive-suppressed findings are dropped,
+// malformed directives are added.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	dirs := collectDirectives(pkg.Fset, pkg.Files)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+		}
+		a.Run(pass)
+		for _, d := range pass.diags {
+			if !dirs.suppresses(pkg.Fset, d) {
+				out = append(out, d)
+			}
+		}
+	}
+	out = append(out, dirs.malformed...)
+	sortDiagnostics(pkg.Fset, out)
+	return out
+}
+
+// RunAll runs analyzers over every package and concatenates the findings.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		out = append(out, Run(pkg, analyzers)...)
+	}
+	return out
+}
+
+func sortDiagnostics(fset *token.FileSet, ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		pi, pj := fset.Position(ds[i].Pos), fset.Position(ds[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return ds[i].Analyzer < ds[j].Analyzer
+	})
+}
+
+// --- directives ---
+
+// directive is one parsed //lint: comment.
+type directive struct {
+	analyzer string // analyzer suppressed ("vclockonly" for wallclock)
+	file     string
+	line     int // the directive's own line
+}
+
+type directiveSet struct {
+	byLine    map[string]map[int][]directive // file → line → directives
+	malformed []Diagnostic
+}
+
+// collectDirectives scans all comments for //lint:wallclock and
+// //lint:ignore, validating that each carries a justification.
+func collectDirectives(fset *token.FileSet, files []*ast.File) *directiveSet {
+	ds := &directiveSet{byLine: make(map[string]map[int][]directive)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				verb, rest, _ := strings.Cut(text, " ")
+				rest = strings.TrimSpace(rest)
+				var d directive
+				switch verb {
+				case "wallclock":
+					if rest == "" {
+						ds.malformed = append(ds.malformed, Diagnostic{
+							Pos:      c.Pos(),
+							Analyzer: "directive",
+							Message:  "//lint:wallclock requires a justification (why is wall-clock time correct here?)",
+						})
+						continue
+					}
+					d = directive{analyzer: "vclockonly"}
+				case "ignore":
+					name, reason, _ := strings.Cut(rest, " ")
+					if name == "" || strings.TrimSpace(reason) == "" {
+						ds.malformed = append(ds.malformed, Diagnostic{
+							Pos:      c.Pos(),
+							Analyzer: "directive",
+							Message:  "//lint:ignore requires an analyzer name and a reason",
+						})
+						continue
+					}
+					d = directive{analyzer: name}
+				default:
+					ds.malformed = append(ds.malformed, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "directive",
+						Message:  fmt.Sprintf("unknown directive //lint:%s (want wallclock or ignore)", verb),
+					})
+					continue
+				}
+				d.file, d.line = pos.Filename, pos.Line
+				if ds.byLine[d.file] == nil {
+					ds.byLine[d.file] = make(map[int][]directive)
+				}
+				ds.byLine[d.file][d.line] = append(ds.byLine[d.file][d.line], d)
+			}
+		}
+	}
+	return ds
+}
+
+// suppresses reports whether a directive on the diagnostic's line, or on
+// the line directly above it, names the diagnostic's analyzer.
+func (ds *directiveSet) suppresses(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	lines := ds.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, dir := range lines[line] {
+			if dir.analyzer == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

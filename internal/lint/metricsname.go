@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+)
+
+// MetricsName keeps the Prometheus surface coherent: every counter and
+// summary registered on a metrics.Registry must be named
+// "entity/noun-verb" — lowercase slash-separated segments with hyphens
+// inside a segment ("periodic/ticks", "ledger/batch-size",
+// "controller/rpc-retries"). Dots and underscores are rejected: the
+// operator-facing names in /metrics are derived mechanically from these
+// strings, and one "attestsrv.rpc.retries" among "ledger/append" splits
+// dashboards and alert rules across two grammars.
+//
+// Names built at runtime are checked on their constant prefix
+// ("appraise/" + prop); fully dynamic names are skipped.
+var MetricsName = &Analyzer{
+	Name: "metricsname",
+	Doc: "metrics.Registry names must follow the entity/noun-verb " +
+		"convention: lowercase segments separated by '/', hyphens within a segment",
+	Run: runMetricsName,
+}
+
+var (
+	// fullMetricName: at least two segments, each [a-z0-9]+(-[a-z0-9]+)*.
+	fullMetricName = regexp.MustCompile(`^[a-z0-9]+(-[a-z0-9]+)*(/[a-z0-9]+(-[a-z0-9]+)*)+$`)
+	// metricPrefix: a valid proper prefix of such a name (may end mid-
+	// segment or at a separator).
+	metricPrefix = regexp.MustCompile(`^[a-z0-9]+(-[a-z0-9]+)*(/[a-z0-9-]*)*$`)
+)
+
+var registryCtors = map[string]bool{"Counter": true, "Summary": true, "IntSummary": true}
+
+func runMetricsName(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 1 {
+				return true
+			}
+			recv, method := methodOf(pass.Info, call)
+			if recv != "cloudmonatt/internal/metrics.Registry" || !registryCtors[method] {
+				return true
+			}
+			arg := call.Args[0]
+			if name, ok := constString(pass.Info, arg); ok {
+				if !fullMetricName.MatchString(name) {
+					pass.Reportf(arg.Pos(),
+						"metric name %q breaks the entity/noun-verb convention "+
+							"(lowercase segments joined by '/', hyphens within a segment, at least two segments)", name)
+				}
+				return true
+			}
+			// Dynamic name: validate the leftmost constant prefix if any.
+			if prefix, ok := constPrefix(pass, arg); ok && !metricPrefix.MatchString(prefix) {
+				pass.Reportf(arg.Pos(),
+					"metric name prefix %q breaks the entity/noun-verb convention "+
+						"(lowercase segments joined by '/', hyphens within a segment)", prefix)
+			}
+			return true
+		})
+	}
+}
+
+// constPrefix descends the left spine of a + concatenation to the leftmost
+// constant-foldable operand.
+func constPrefix(pass *Pass, e ast.Expr) (string, bool) {
+	for {
+		bin, ok := ast.Unparen(e).(*ast.BinaryExpr)
+		if !ok {
+			break
+		}
+		e = bin.X
+	}
+	return constString(pass.Info, e)
+}

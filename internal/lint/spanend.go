@@ -1,0 +1,424 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpanEnd keeps the tracing surface truthful: a span opened with
+// Tracer.Start or ActiveSpan.Child must be ended (End/EndErr) on every
+// path out of the function that opened it. An unended span is silent data
+// loss — the stage simply never appears in /traces, which is precisely the
+// failure mode an operator debugging a stuck attestation cannot afford.
+//
+// The check is structural, per function:
+//
+//   - a deferred sp.End/sp.EndErr (directly or inside a deferred closure)
+//     discharges the span on all paths, panics included — this is the
+//     preferred form;
+//   - otherwise every return (and explicit panic) reachable after the
+//     span's creation must be preceded by an End/EndErr on that path, and
+//     the fall-through end of the function must be closed too;
+//   - a span handed to another function, goroutine, or stored away
+//     ("escaped") is that code's responsibility and is not tracked —
+//     except obs.ContextWith, which only links the span to a context and
+//     does not end it;
+//   - a span whose result is discarded can never be ended and is always
+//     reported.
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc: "every obs span started in a function must be ended (End/EndErr) " +
+		"on all return paths; prefer defer sp.End(...) immediately after Start",
+	Run: runSpanEnd,
+}
+
+func runSpanEnd(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkSpansIn(pass, body)
+			}
+			return true
+		})
+	}
+}
+
+// spanCreation reports whether call opens a span.
+func spanCreation(pass *Pass, call *ast.CallExpr) bool {
+	recv, method := methodOf(pass.Info, call)
+	return (recv == "cloudmonatt/internal/obs.Tracer" && method == "Start") ||
+		(recv == "cloudmonatt/internal/obs.ActiveSpan" && method == "Child")
+}
+
+// checkSpansIn analyzes one function body. Nested function literals are
+// handled by their own invocation of checkSpansIn (runSpanEnd visits every
+// FuncLit), so the walk here does not descend into them when looking for
+// creations.
+func checkSpansIn(pass *Pass, body *ast.BlockStmt) {
+	for _, sp := range findCreations(pass, body) {
+		checkSpan(pass, body, sp)
+	}
+}
+
+type spanVar struct {
+	obj types.Object
+	pos token.Pos
+}
+
+// findCreations collects spans created and bound to a local variable in
+// this function (not in nested literals), and reports creations whose
+// result is discarded outright.
+func findCreations(pass *Pass, body *ast.BlockStmt) []spanVar {
+	var out []spanVar
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok && m != n {
+				return false // separate function, checked separately
+			}
+			switch m := m.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(m.X).(*ast.CallExpr); ok && spanCreation(pass, call) {
+					pass.Reportf(call.Pos(), "span result discarded; it can never be ended — bind it and End it on all paths")
+				}
+			case *ast.AssignStmt:
+				if len(m.Rhs) != 1 || len(m.Lhs) != 1 {
+					return true
+				}
+				call, ok := ast.Unparen(m.Rhs[0]).(*ast.CallExpr)
+				if !ok || !spanCreation(pass, call) {
+					return true
+				}
+				id, ok := m.Lhs[0].(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if id.Name == "_" {
+					pass.Reportf(call.Pos(), "span assigned to _; it can never be ended — bind it and End it on all paths")
+					return true
+				}
+				obj := pass.Info.Defs[id]
+				if obj == nil {
+					obj = pass.Info.Uses[id]
+				}
+				if obj != nil {
+					out = append(out, spanVar{obj: obj, pos: call.Pos()})
+				}
+			}
+			return true
+		})
+	}
+	walk(body)
+	return out
+}
+
+// checkSpan verifies one span's closure discipline within body.
+func checkSpan(pass *Pass, body *ast.BlockStmt, sp spanVar) {
+	if hasDeferredClose(pass, body, sp.obj) || closedInLiteral(pass, body, sp.obj) || escapes(pass, body, sp.obj) {
+		return
+	}
+	st := spanState{}
+	term := evalSpanStmts(pass, body.List, &st, sp)
+	if !term && st.born && !st.closed {
+		pass.Reportf(sp.pos, "span %s is not ended on the fall-through path out of this function", objName(sp.obj))
+	}
+}
+
+func objName(o types.Object) string { return o.Name() }
+
+func isBuiltin(o types.Object) bool {
+	_, ok := o.(*types.Builtin)
+	return ok
+}
+
+// isCloseCall reports whether stmt is sp.End(...)/sp.EndErr(...).
+func isCloseCall(pass *Pass, n ast.Node, obj types.Object) bool {
+	expr, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	return isCloseExpr(pass, expr.X, obj)
+}
+
+func isCloseExpr(pass *Pass, e ast.Expr, obj types.Object) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "End" && sel.Sel.Name != "EndErr") {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && pass.Info.Uses[id] == obj
+}
+
+// hasDeferredClose reports a defer of sp.End/EndErr, directly or within a
+// deferred closure.
+func hasDeferredClose(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return !found
+		}
+		if isCloseExpr(pass, d.Call, obj) {
+			found = true
+			return false
+		}
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if stmt, ok := m.(*ast.ExprStmt); ok && isCloseExpr(pass, stmt.X, obj) {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// closedInLiteral reports an End/EndErr inside a non-deferred function
+// literal (a goroutine or callback owns the close).
+func closedInLiteral(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return !found
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if stmt, ok := m.(*ast.ExprStmt); ok && isCloseExpr(pass, stmt.X, obj) {
+				found = true
+			}
+			return !found
+		})
+		return !found
+	})
+	return found
+}
+
+// escapes reports whether the span leaves this function's custody: passed
+// as an argument (other than to obs.ContextWith), aliased, returned,
+// stored in a composite, or sent on a channel.
+func escapes(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	escaped := false
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if escaped {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.Info.Uses[id] != obj {
+			return true
+		}
+		if spanUseEscapes(pass, stack, id) {
+			escaped = true
+		}
+		return true
+	})
+	return escaped
+}
+
+func spanUseEscapes(pass *Pass, stack []ast.Node, id *ast.Ident) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	parent := stack[len(stack)-2]
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		// sp.Method(...) — receiver position; any span method is local use.
+		if p.X == id && len(stack) >= 3 {
+			if call, ok := stack[len(stack)-3].(*ast.CallExpr); ok && call.Fun == p {
+				return false
+			}
+		}
+		return true
+	case *ast.CallExpr:
+		// Argument position: obs.ContextWith(ctx, sp) keeps custody here.
+		pkg, fn := calleeOf(pass.Info, p)
+		if pkg == "cloudmonatt/internal/obs" && fn == "ContextWith" {
+			return false
+		}
+		return true
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if lhs == id {
+				return false // reassignment of the variable itself
+			}
+		}
+		return true
+	case *ast.ValueSpec:
+		return true
+	case *ast.ReturnStmt, *ast.CompositeLit, *ast.SendStmt, *ast.KeyValueExpr, *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+// --- path evaluation ---
+
+type spanState struct {
+	born   bool
+	closed bool
+}
+
+func (s spanState) open() bool { return s.born && !s.closed }
+
+// evalSpanStmts walks a statement list in order, tracking whether the span
+// is open, and reports returns/panics that leave it open. The return value
+// says whether every path through the list terminates (return/panic)
+// before falling through.
+func evalSpanStmts(pass *Pass, stmts []ast.Stmt, st *spanState, sp spanVar) (terminates bool) {
+	for _, stmt := range stmts {
+		if evalSpanStmt(pass, stmt, st, sp) {
+			return true
+		}
+	}
+	return false
+}
+
+func evalSpanStmt(pass *Pass, stmt ast.Stmt, st *spanState, sp spanVar) (terminates bool) {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 && len(s.Lhs) == 1 {
+			if id, ok := s.Lhs[0].(*ast.Ident); ok {
+				if pass.Info.Defs[id] == sp.obj || pass.Info.Uses[id] == sp.obj {
+					st.born, st.closed = true, false
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		if isCloseCall(pass, s, sp.obj) {
+			st.closed = true
+		} else if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" && isBuiltin(pass.Info.Uses[id]) {
+				if st.open() {
+					pass.Reportf(s.Pos(), "span %s is open at this panic; defer its End so unwinding closes it", objName(sp.obj))
+				}
+				return true
+			}
+		}
+	case *ast.ReturnStmt:
+		if st.open() {
+			pass.Reportf(s.Pos(), "return leaves span %s open; End it on this path or defer the End", objName(sp.obj))
+		}
+		return true
+	case *ast.BlockStmt:
+		return evalSpanStmts(pass, s.List, st, sp)
+	case *ast.LabeledStmt:
+		return evalSpanStmt(pass, s.Stmt, st, sp)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			evalSpanStmt(pass, s.Init, st, sp)
+		}
+		branches := []ast.Stmt{s.Body}
+		if s.Else != nil {
+			branches = append(branches, s.Else)
+		} else {
+			branches = append(branches, nil)
+		}
+		return combineBranches(pass, branches, st, sp, true)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var branches []ast.Stmt
+		exhaustive := false
+		var list []ast.Stmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			list = sw.Body.List
+		case *ast.TypeSwitchStmt:
+			list = sw.Body.List
+		case *ast.SelectStmt:
+			list = sw.Body.List
+			exhaustive = len(list) > 0
+		}
+		for _, c := range list {
+			switch cc := c.(type) {
+			case *ast.CaseClause:
+				branches = append(branches, &ast.BlockStmt{List: cc.Body})
+				if cc.List == nil {
+					exhaustive = true
+				}
+			case *ast.CommClause:
+				branches = append(branches, &ast.BlockStmt{List: cc.Body})
+			}
+		}
+		if !exhaustive {
+			branches = append(branches, nil)
+		}
+		return combineBranches(pass, branches, st, sp, exhaustive)
+	case *ast.ForStmt:
+		evalLoopBody(pass, s.Body, st, sp)
+	case *ast.RangeStmt:
+		evalLoopBody(pass, s.Body, st, sp)
+	}
+	return false
+}
+
+// evalLoopBody evaluates a loop body that may run zero or more times.
+// Returns inside the body are checked against the body's own running
+// state. The state after the loop merges the zero-iteration path (state
+// unchanged) with the body's fall-through state: a span born in the body
+// is open after the loop only if an iteration's bottom leaves it open.
+func evalLoopBody(pass *Pass, body *ast.BlockStmt, st *spanState, sp spanVar) {
+	if body == nil {
+		return
+	}
+	bodySt := *st
+	term := evalSpanStmts(pass, body.List, &bodySt, sp)
+	if term {
+		return // every iteration path returns; after-loop state is the zero-iteration one
+	}
+	open := st.open() || bodySt.open()
+	st.born = st.born || bodySt.born
+	st.closed = st.born && !open
+}
+
+// combineBranches evaluates alternative branches from the same entry
+// state. A nil branch is the implicit fall-through (condition false, no
+// matching case). The merged state is open if any non-terminating branch
+// leaves the span open; the statement terminates only if every branch
+// (and there is no implicit one) terminates.
+func combineBranches(pass *Pass, branches []ast.Stmt, st *spanState, sp spanVar, canTerminate bool) bool {
+	allTerm := canTerminate
+	openAfter := false
+	bornAfter := st.born
+	for _, b := range branches {
+		bst := *st
+		term := false
+		if b != nil {
+			term = evalSpanStmt(pass, b, &bst, sp)
+		}
+		if !term {
+			allTerm = false
+			if bst.open() {
+				openAfter = true
+			}
+			if bst.born {
+				bornAfter = true
+			}
+		}
+	}
+	if allTerm && len(branches) > 0 {
+		return true
+	}
+	st.born = bornAfter
+	st.closed = bornAfter && !openAfter
+	return false
+}

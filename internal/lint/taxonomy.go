@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// This file is the suite's domain knowledge: which packages are wired to
+// the virtual clock, which RPC methods carry protocol nonces, and which
+// packages handle key material. Analyzers consult these tables so the
+// rules live in one reviewable place.
+
+// modPrefix is the module path every table below is keyed under.
+const modPrefix = "cloudmonatt/internal/"
+
+// vclockExempt lists internal packages where wall-clock time is the point:
+// the clock implementations themselves and the analysis tooling. Every
+// other internal/ package participates in the simulated protocols and must
+// route time through the injected virtual clock (vclock.Clock) so seeded
+// runs replay identically.
+var vclockExempt = map[string]bool{
+	"vclock": true, // defines the virtual clock
+	"sim":    true, // the discrete-event kernel under it
+	"lint":   true, // this tooling
+}
+
+// vclockScoped reports whether the vclockonly invariant applies to the
+// package with the given import path. Fixture packages loaded under a
+// synthetic internal/ path participate, which is how the analyzer's own
+// tests exercise both sides of the rule.
+func vclockScoped(path string) bool {
+	rel, ok := strings.CutPrefix(path, modPrefix)
+	if !ok {
+		return false
+	}
+	top, _, _ := strings.Cut(rel, "/")
+	return !vclockExempt[top]
+}
+
+// freshNonceMethods maps RPC method names (the wire strings, resolved from
+// constants or literals via constant folding) to the nonce they carry.
+// A request on one of these methods embeds a protocol nonce that the
+// peer's replay cache will reject if ever reused, so call sites must go
+// through ReconnectClient.CallFresh, which rebuilds the request — and the
+// nonce — on every retry attempt (paper §4.2: N1 customer→controller,
+// N2 controller→attestation server, N3 attestation server→cloud server).
+var freshNonceMethods = map[string]string{
+	"startup_attest_current": "N1",
+	"runtime_attest_current": "N1",
+	"appraise":               "N2",
+	"measure":                "N3",
+}
+
+// cryptoPkgs are the packages that generate or handle key material,
+// nonces, or attestation secrets. math/rand is forbidden in them outright:
+// a predictable nonce or key collapses the freshness and binding arguments
+// of the whole protocol (cf. the SEV attestation bypasses in Buhren et
+// al.). Seeded determinism for simulations is injected via io.Reader
+// entropy sources instead.
+var cryptoPkgs = map[string]bool{
+	"cryptoutil": true,
+	"tpm":        true,
+	"trust":      true,
+	"pca":        true,
+	"secchan":    true,
+	"vtpm":       true,
+}
+
+func cryptoScoped(path string) bool {
+	rel, ok := strings.CutPrefix(path, modPrefix)
+	if !ok {
+		return false
+	}
+	top, _, _ := strings.Cut(rel, "/")
+	return cryptoPkgs[top]
+}
+
+// rpcClientTypes are the client types whose call methods the noncefresh
+// and ctxdeadline analyzers police.
+var rpcClientTypes = map[string]bool{
+	"cloudmonatt/internal/rpc.Client":          true,
+	"cloudmonatt/internal/rpc.ReconnectClient": true,
+}
+
+// --- type-resolution helpers shared by the analyzers ---
+
+// calleeOf resolves a call to (package path, function name) for package-
+// level functions, or ("", "") otherwise.
+func calleeOf(info *types.Info, call *ast.CallExpr) (pkgPath, name string) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if obj, ok := info.Uses[fun.Sel]; ok {
+			if f, ok := obj.(*types.Func); ok && f.Pkg() != nil {
+				if f.Type().(*types.Signature).Recv() == nil {
+					return f.Pkg().Path(), f.Name()
+				}
+			}
+		}
+	case *ast.Ident:
+		if obj, ok := info.Uses[fun]; ok {
+			if f, ok := obj.(*types.Func); ok && f.Pkg() != nil {
+				if f.Type().(*types.Signature).Recv() == nil {
+					return f.Pkg().Path(), f.Name()
+				}
+			}
+		}
+	}
+	return "", ""
+}
+
+// methodOf resolves a method call to (qualified receiver type, method
+// name): ("cloudmonatt/internal/rpc.ReconnectClient", "CallFresh").
+// Pointer receivers are dereferenced.
+func methodOf(info *types.Info, call *ast.CallExpr) (recvType, method string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return "", ""
+	}
+	named := namedOf(s.Recv())
+	if named == nil || named.Obj().Pkg() == nil {
+		return "", ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name(), sel.Sel.Name
+}
+
+// namedOf unwraps pointers and aliases down to a named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt
+		case *types.Alias:
+			t = types.Unalias(tt)
+		default:
+			return nil
+		}
+	}
+}
+
+// constString resolves expr to a compile-time string value via constant
+// folding (literals, named constants, and concatenations thereof).
+func constString(info *types.Info, expr ast.Expr) (string, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// typeIs reports whether t (after unwrapping pointers/aliases) is the
+// named type pkgPath.name.
+func typeIs(t types.Type, pkgPath, name string) bool {
+	named := namedOf(t)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == pkgPath && named.Obj().Name() == name
+}

@@ -1,0 +1,41 @@
+// Package consttimefix exercises the consttime analyzer: early-exit
+// comparison of secret-derived material is flagged, as is math/rand in a
+// key-handling package; public nonces and non-secret values are not.
+package consttimefix
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"math/rand" // want `math/rand imported in a key-handling package`
+	"reflect"
+
+	"cloudmonatt/internal/cryptoutil"
+)
+
+func timingLeaks(q1, q2 [32]byte, sig, sig2 []byte, pub, other ed25519.PublicKey) bool {
+	if q1 == q2 { // want `q1 compared with ==`
+		return true
+	}
+	if bytes.Equal(sig, sig2) { // want `sig compared with bytes.Equal`
+		return true
+	}
+	if bytes.Equal(pub, other) { // want `pub compared with bytes.Equal`
+		return true
+	}
+	var sessionKey, peerKey []byte
+	if reflect.DeepEqual(sessionKey, peerKey) { // want `sessionKey compared with reflect.DeepEqual`
+		return true
+	}
+	_ = rand.Int()
+	return false
+}
+
+func cleanCompares(n1, n2 cryptoutil.Nonce, name, want string, count int) bool {
+	if n1 != n2 { // nonces are public: replay-cache material, not secret
+		return false
+	}
+	if name == want || count == 0 {
+		return false
+	}
+	return cryptoutil.ConstEqual([]byte(name), []byte(want))
+}

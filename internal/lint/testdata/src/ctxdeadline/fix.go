@@ -1,0 +1,38 @@
+// Package ctxdeadlinefix exercises the ctxdeadline analyzer: RPC call
+// sites with provably deadline-free contexts are flagged; WithTimeout
+// derivations and caller-supplied contexts are not.
+package ctxdeadlinefix
+
+import (
+	"context"
+	"time"
+
+	"cloudmonatt/internal/obs"
+	"cloudmonatt/internal/rpc"
+)
+
+type ctxKey struct{}
+
+func unbounded(rc *rpc.ReconnectClient, req, resp any) {
+	rc.Call("list_vms", req, resp)                          // want `carries no context`
+	rc.CallCtx(context.Background(), "list_vms", req, resp) // want `provably carries no deadline`
+	ctx := context.Background()
+	rc.CallCtx(ctx, "list_vms", req, resp) // want `provably carries no deadline`
+	rc.Connect(context.TODO())             // want `provably carries no deadline`
+}
+
+func laundered(rc *rpc.ReconnectClient, sp *obs.ActiveSpan, req, resp any) {
+	rc.CallCtx(context.WithValue(context.Background(), ctxKey{}, 1), "m", req, resp) // want `provably carries no deadline`
+	rc.CallCtx(obs.ContextWith(context.Background(), sp), "m", req, resp)            // want `provably carries no deadline`
+}
+
+func bounded(ctx context.Context, rc *rpc.ReconnectClient, req, resp any) error {
+	tctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := rc.CallCtx(tctx, "m", req, resp); err != nil {
+		return err
+	}
+	// A caller-supplied context is the caller's responsibility; the rule
+	// re-applies at that caller's own call site.
+	return rc.CallIdem(ctx, "m", "key", req, resp)
+}

@@ -1,0 +1,16 @@
+// Package metricsnamefix exercises the metricsname analyzer: registry
+// names must be lowercase slash-separated entity/noun-verb segments.
+package metricsnamefix
+
+import "cloudmonatt/internal/metrics"
+
+func register(reg *metrics.Registry, prop string) {
+	reg.Counter("attestsrv.rpc.retries").Inc() // want `breaks the entity/noun-verb convention`
+	reg.Counter("single").Inc()                // want `breaks the entity/noun-verb convention`
+	reg.Summary("Ledger/Append")               // want `breaks the entity/noun-verb convention`
+	reg.Counter("engine." + prop)              // want `metric name prefix "engine\." breaks`
+
+	reg.Counter("periodic/ticks").Inc()
+	reg.Summary("ledger/batch-size")
+	reg.IntSummary("appraise/" + prop)
+}

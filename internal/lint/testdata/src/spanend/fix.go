@@ -1,0 +1,60 @@
+// Package spanendfix exercises the spanend analyzer: spans must be ended
+// on every path out of the function that opened them; deferred Ends,
+// branch-complete Ends, and ownership transfer to a goroutine are clean.
+package spanendfix
+
+import (
+	"errors"
+
+	"cloudmonatt/internal/obs"
+)
+
+func leakedOnReturn(t *obs.Tracer, fail bool) error {
+	sp := t.Start(obs.SpanContext{}, "appraise")
+	if fail {
+		return errors.New("boom") // want `return leaves span sp open`
+	}
+	sp.End("")
+	return nil
+}
+
+func discarded(t *obs.Tracer) {
+	t.Start(obs.SpanContext{}, "appraise") // want `span result discarded`
+}
+
+func fallThrough(t *obs.Tracer) {
+	sp := t.Start(obs.SpanContext{}, "appraise") // want `not ended on the fall-through path`
+	sp.Annotate("k", "v")
+}
+
+func deferred(t *obs.Tracer, fail bool) error {
+	sp := t.Start(obs.SpanContext{}, "appraise")
+	defer sp.End("")
+	if fail {
+		return errors.New("boom")
+	}
+	return nil
+}
+
+func branchesClosed(t *obs.Tracer, err error) {
+	sp := t.Start(obs.SpanContext{}, "appraise")
+	if err != nil {
+		sp.EndErr(err)
+		return
+	}
+	sp.End("")
+}
+
+func closedEachIteration(t *obs.Tracer, items []int) {
+	for range items {
+		sp := t.Start(obs.SpanContext{}, "tick")
+		sp.End("")
+	}
+}
+
+func goroutineOwns(t *obs.Tracer) {
+	sp := t.Start(obs.SpanContext{}, "bg")
+	go func() {
+		sp.End("")
+	}()
+}

@@ -90,6 +90,10 @@ type ClientConfig struct {
 	OnEvent func(Event)
 	// Seed makes backoff jitter deterministic; 0 derives a seed from Addr.
 	Seed int64
+	// Now supplies the clock the circuit breaker uses for its open/half-open
+	// cooldown. Tests and the simulator inject a virtual clock so breaker
+	// state machines replay deterministically; nil falls back to wall time.
+	Now func() time.Time
 }
 
 // ReconnectClient is a fault-tolerant RPC client: it dials lazily,
@@ -116,6 +120,10 @@ func NewReconnectClient(cfg ClientConfig) *ReconnectClient {
 	cfg.Retry = cfg.Retry.withDefaults()
 	if cfg.CallTimeout == 0 {
 		cfg.CallTimeout = 30 * time.Second
+	}
+	if cfg.Now == nil {
+		//lint:wallclock default breaker clock when no virtual clock is injected
+		cfg.Now = time.Now
 	}
 	seed := cfg.Seed
 	if seed == 0 {
@@ -160,8 +168,10 @@ func (rc *ReconnectClient) Close() error {
 }
 
 // Call is CallCtx with a background context (the CallTimeout still bounds
-// each attempt).
+// each attempt). It exists for tests; production call sites carry a
+// deadline context and are held to that by the ctxdeadline analyzer.
 func (rc *ReconnectClient) Call(method string, req, resp any) error {
+	//lint:ignore ctxdeadline test-only convenience wrapper; CallTimeout still bounds each attempt
 	return rc.CallCtx(context.Background(), method, req, resp)
 }
 
@@ -201,7 +211,7 @@ func (rc *ReconnectClient) do(ctx context.Context, method, idemKey string, makeR
 				return lastErr
 			}
 		}
-		if err := rc.breaker.allow(time.Now()); err != nil {
+		if err := rc.breaker.allow(rc.cfg.Now()); err != nil {
 			parent.Annotate("breaker", fmt.Sprintf("%s to %s rejected: breaker %s", method, rc.cfg.Peer, rc.breaker.State()))
 			if lastErr != nil {
 				return fmt.Errorf("rpc: %s to %s: %w (last failure: %v)", method, rc.cfg.Peer, err, lastErr)
@@ -227,7 +237,7 @@ func (rc *ReconnectClient) do(ctx context.Context, method, idemKey string, makeR
 			rc.breaker.success()
 			return err
 		}
-		rc.breaker.failure(time.Now())
+		rc.breaker.failure(rc.cfg.Now())
 		lastErr = err
 		if ctx.Err() != nil {
 			return lastErr
@@ -315,6 +325,7 @@ func (rc *ReconnectClient) drop(c *Client) {
 }
 
 func (rc *ReconnectClient) sleep(ctx context.Context, attempt int) error {
+	//lint:wallclock backoff paces real network redials; it must elapse in real time even under simulation
 	t := time.NewTimer(rc.backoff(attempt))
 	defer t.Stop()
 	select {
@@ -360,6 +371,7 @@ var idemCounter atomic.Uint64
 func NewIdemKey() string {
 	var buf [16]byte
 	if _, err := rand.Read(buf[:]); err != nil {
+		//lint:wallclock entropy source of last resort when crypto/rand fails; uniqueness matters, not replay
 		return fmt.Sprintf("idem-%d-%d", time.Now().UnixNano(), idemCounter.Add(1))
 	}
 	return hex.EncodeToString(buf[:])

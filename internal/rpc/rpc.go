@@ -259,6 +259,7 @@ func ServeOpts(l net.Listener, cfg secchan.Config, h Handler, opts ServeOptions)
 			} else if backoff *= 2; backoff > 200*time.Millisecond {
 				backoff = 200 * time.Millisecond
 			}
+			//lint:wallclock accept-error backoff throttles a real listener; real time by design
 			time.Sleep(backoff)
 			continue
 		}
@@ -269,6 +270,7 @@ func ServeOpts(l net.Listener, cfg secchan.Config, h Handler, opts ServeOptions)
 
 func serveConn(raw net.Conn, cfg secchan.Config, h Handler, hsTimeout time.Duration, idem *idemCache) {
 	defer raw.Close()
+	//lint:wallclock net.Conn deadlines are kernel wall-clock deadlines by contract
 	raw.SetDeadline(time.Now().Add(hsTimeout))
 	conn, err := secchan.Server(raw, cfg)
 	if err != nil {
@@ -416,8 +418,10 @@ func (c *Client) Broken() bool {
 }
 
 // Call sends method(req) and decodes the reply into resp (resp may be nil
-// for fire-and-forget semantics with an empty reply).
+// for fire-and-forget semantics with an empty reply). It exists for tests;
+// production call sites carry a deadline context (ctxdeadline analyzer).
 func (c *Client) Call(method string, req, resp any) error {
+	//lint:ignore ctxdeadline test-only convenience wrapper; production sites use CallCtx with a deadline
 	return c.CallCtx(context.Background(), method, req, resp)
 }
 

@@ -141,7 +141,8 @@ func VerifyEvidence(e *Evidence, caName string, caKey ed25519.PublicKey, vid str
 	if !cryptoutil.Verify(ed25519.PublicKey(e.AVK), evidenceBody(e), e.Sig) {
 		return errors.New("wire: evidence signature invalid")
 	}
-	if e.Q3 != ComputeQ3(e.Vid, e.Req, e.Measurements, e.N3) {
+	want3 := ComputeQ3(e.Vid, e.Req, e.Measurements, e.N3)
+	if !cryptoutil.ConstEqual(e.Q3[:], want3[:]) {
 		return errors.New("wire: evidence quote Q3 mismatch")
 	}
 	return nil
@@ -201,7 +202,8 @@ func VerifyReport(r *Report, attestKey ed25519.PublicKey, vid string, p properti
 	if !cryptoutil.Verify(attestKey, reportBody(r), r.Sig) {
 		return errors.New("wire: report signature invalid")
 	}
-	if r.Q2 != ComputeQ2(r.Vid, r.ServerID, r.Prop, r.Verdict, r.N2) {
+	want2 := ComputeQ2(r.Vid, r.ServerID, r.Prop, r.Verdict, r.N2)
+	if !cryptoutil.ConstEqual(r.Q2[:], want2[:]) {
 		return errors.New("wire: report quote Q2 mismatch")
 	}
 	return nil
@@ -287,7 +289,8 @@ func VerifyCustomerReport(r *CustomerReport, controllerKey ed25519.PublicKey, vi
 	if !cryptoutil.Verify(controllerKey, customerReportBody(r), r.Sig) {
 		return errors.New("wire: customer report signature invalid")
 	}
-	if r.Q1 != ComputeQ1(r.Vid, r.Prop, r.Verdict, r.N1) {
+	want1 := ComputeQ1(r.Vid, r.Prop, r.Verdict, r.N1)
+	if !cryptoutil.ConstEqual(r.Q1[:], want1[:]) {
 		return errors.New("wire: customer report quote Q1 mismatch")
 	}
 	return nil
