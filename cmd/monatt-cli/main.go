@@ -152,6 +152,7 @@ func main() {
 		props := fs.String("props", "startup-integrity,runtime-integrity,covert-channel-freedom,cpu-availability", "requested security properties")
 		allow := fs.String("allowlist", "init,sshd,cron,rsyslogd,agetty", "task allowlist for runtime integrity")
 		minShare := fs.Float64("minshare", 0.25, "SLA CPU-share floor")
+		server := fs.String("server", "", "explicit placement on a named cloud server (bypasses the property filter; capacity still enforced)")
 		fs.Parse(args)
 		var ps []properties.Property
 		for _, s := range splitList(*props) {
@@ -165,7 +166,7 @@ func main() {
 		ctx, cancel := c.opCtx()
 		defer cancel()
 		err := c.client.CallIdem(ctx, controller.MethodLaunchVM, rpc.NewIdemKey(), controller.LaunchRequest{
-			ImageName: *img, Flavor: *flavor, Workload: *work,
+			ImageName: *img, Flavor: *flavor, Workload: *work, Server: *server,
 			Props: ps, Allowlist: splitList(*allow), MinShare: *minShare, Pin: -1,
 		}, &res)
 		if err != nil {

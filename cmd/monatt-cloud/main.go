@@ -25,6 +25,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"cloudmonatt/internal/attestsrv"
@@ -33,6 +34,7 @@ import (
 	"cloudmonatt/internal/metrics"
 	"cloudmonatt/internal/obs"
 	"cloudmonatt/internal/rpc"
+	"cloudmonatt/internal/trust/driver"
 )
 
 // Bootstrap is the connection info monatt-cli consumes.
@@ -58,7 +60,21 @@ func main() {
 	periodicServerCap := flag.Int("periodic-server-cap", 2, "max in-flight periodic appraisals per cloud server")
 	periodicBuffer := flag.Int("periodic-buffer", 64, "undelivered periodic results kept per task (oldest dropped beyond this)")
 	adminAddr := flag.String("admin-addr", "", "serve the operator HTTP surface (/metrics, /healthz, /traces, /debug/pprof) on this address; empty disables it")
+	trustBackend := flag.String("trust-backend", "tpm", "comma-separated trust backends assigned to servers round-robin (tpm, vtpm, sev-snp); a mixed list gives a mixed fleet")
 	flag.Parse()
+
+	var backends []driver.Backend
+	for _, f := range strings.Split(*trustBackend, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		b, err := driver.ParseBackend(f)
+		if err != nil {
+			log.Fatalf("-trust-backend: %v (registered: %v)", err, driver.Backends())
+		}
+		backends = append(backends, b)
+	}
 
 	var network rpc.Network = rpc.TCPNetwork{}
 	if *chaosDrop > 0 || *chaosDelay > 0 {
@@ -73,6 +89,7 @@ func main() {
 	tb, err := cloudsim.New(cloudsim.Options{
 		Seed:        *seed,
 		Servers:     *servers,
+		Backends:    backends,
 		Network:     network,
 		CallTimeout: *callTimeout,
 		Retry:       rpc.RetryPolicy{MaxAttempts: *retries},
@@ -123,7 +140,7 @@ func main() {
 
 	fmt.Printf("CloudMonatt cloud is up:\n")
 	fmt.Printf("  controller (nova api):  %s\n", tb.ControllerAddr)
-	fmt.Printf("  cloud servers:          %d\n", *servers)
+	fmt.Printf("  cloud servers:          %d (backends: %s)\n", *servers, *trustBackend)
 	fmt.Printf("  bootstrap written to:   %s\n", *bootstrapPath)
 	if *adminAddr != "" {
 		fmt.Printf("  operator surface:       http://%s/{metrics,healthz,traces,debug/pprof}\n", *adminAddr)

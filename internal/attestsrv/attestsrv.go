@@ -27,6 +27,8 @@ import (
 	"cloudmonatt/internal/rpc"
 	"cloudmonatt/internal/secchan"
 	"cloudmonatt/internal/server"
+	"cloudmonatt/internal/trust/driver"
+	"cloudmonatt/internal/trust/driver/sevsnp"
 	"cloudmonatt/internal/vclock"
 	"cloudmonatt/internal/wire"
 )
@@ -37,10 +39,22 @@ type ServerRecord struct {
 	Addr string
 	// IdentityKey (VKs) authenticates the secure channel to the server.
 	IdentityKey []byte
-	// AIK verifies the server's TPM platform quotes.
+	// AIK verifies the server's platform evidence: the TPM AIK, the vTPM
+	// hardware endorsement key, or the VCEK, per Backend.
 	AIK []byte
+	// Backend is the server's provisioned trust backend (empty = the
+	// classic TPM Trust Module).
+	Backend driver.Backend
 	// Properties lists the security properties the server can monitor.
 	Properties []properties.Property
+}
+
+// BackendOrDefault returns the record's backend, defaulting to tpm.
+func (r *ServerRecord) BackendOrDefault() driver.Backend {
+	if r.Backend == "" {
+		return driver.BackendTPM
+	}
+	return r.Backend
 }
 
 // Supports reports whether the server can monitor property p.
@@ -85,6 +99,10 @@ type Config struct {
 	// Periodic tunes the periodic monitoring engine (worker pool size,
 	// per-server in-flight cap, result buffer bound).
 	Periodic PeriodicConfig
+	// MinTCB is the minimum platform security version accepted from
+	// confidential-VM backends — the firmware-rollback floor. Zero means
+	// the sev-snp backend's fleet-current version.
+	MinTCB driver.TCBVersion
 	// Obs, when set, receives one span per appraisal stage (entity
 	// "attest-server") plus a root span per periodic tick.
 	Obs *obs.Store
@@ -311,11 +329,24 @@ func (s *Server) AppraiseTraced(parent obs.SpanContext, req wire.AppraisalReques
 	if !okV {
 		return nil, fmt.Errorf("attestsrv: no references for VM %q", req.Vid)
 	}
+	backend := srvRec.BackendOrDefault()
+	sp.Annotate("backend", string(backend))
+	s.metrics.Counter("appraise-backend/" + string(backend)).Inc()
+	if !driver.Attestable(backend, req.Prop) {
+		// The paper's V_fail: the property is outside the backend's
+		// capability map, so there is no measurement to request. The signed
+		// report says so explicitly — distinct from healthy and from
+		// compromised — and the attempt is ledgered like any appraisal.
+		s.metrics.Counter("appraise/unattestable").Inc()
+		verdict := properties.UnattestableVerdict(req.Prop, string(backend))
+		s.recordAppraisal(&req, verdict, sp.Context().Trace)
+		return wire.BuildReport(s.cfg.Identity, req.Vid, req.ServerID, req.Prop, verdict, req.N2), nil
+	}
 	if !srvRec.Supports(req.Prop) {
 		return nil, fmt.Errorf("attestsrv: server %s cannot monitor %s", req.ServerID, req.Prop)
 	}
 
-	rM, err := properties.MapToMeasurements(req.Prop)
+	rM, err := driver.MapToMeasurements(backend, req.Prop)
 	if err != nil {
 		return nil, err
 	}
@@ -354,9 +385,17 @@ func (s *Server) AppraiseTraced(parent obs.SpanContext, req wire.AppraisalReques
 	if err := wire.VerifyEvidence(&ev, s.cfg.PCAName, ed25519.PublicKey(s.cfg.PCAKey), req.Vid, rM, n3); err != nil {
 		return nil, fmt.Errorf("attestsrv: rejecting evidence: %w", err)
 	}
+	if ev.Backend != string(backend) {
+		return nil, fmt.Errorf("attestsrv: evidence claims backend %q, server %s is provisioned as %q",
+			ev.Backend, req.ServerID, backend)
+	}
 
 	if lat := s.cfg.Latency; lat != nil {
 		s.cfg.Clock.Advance(lat.InterpretCost)
+	}
+	minTCB := s.cfg.MinTCB
+	if minTCB.IsZero() {
+		minTCB = sevsnp.CurrentTCB
 	}
 	verdict := interpret.Interpret(req.Prop, ev.Measurements, n3, interpret.References{
 		ServerAIK:      ed25519.PublicKey(srvRec.AIK),
@@ -365,6 +404,8 @@ func (s *Server) AppraiseTraced(parent obs.SpanContext, req wire.AppraisalReques
 		Vid:            req.Vid,
 		TaskAllowlist:  vmRec.TaskAllowlist,
 		MinCPUShare:    vmRec.MinCPUShare,
+		Backend:        backend,
+		MinTCB:         minTCB,
 	})
 	s.recordAppraisal(&req, verdict, sp.Context().Trace)
 	return wire.BuildReport(s.cfg.Identity, req.Vid, req.ServerID, req.Prop, verdict, req.N2), nil
@@ -378,10 +419,13 @@ func (s *Server) recordAppraisal(req *wire.AppraisalRequest, v properties.Verdic
 		return
 	}
 	payload, err := json.Marshal(struct {
-		Server  string `json:"server"`
-		Healthy bool   `json:"healthy"`
-		Reason  string `json:"reason,omitempty"`
-	}{req.ServerID, v.Healthy, v.Reason})
+		Server       string `json:"server"`
+		Backend      string `json:"backend,omitempty"`
+		Healthy      bool   `json:"healthy"`
+		Unattestable bool   `json:"unattestable,omitempty"`
+		Class        string `json:"class,omitempty"`
+		Reason       string `json:"reason,omitempty"`
+	}{req.ServerID, v.Backend, v.Healthy, v.Unattestable, string(v.Class), v.Reason})
 	if err != nil {
 		return
 	}

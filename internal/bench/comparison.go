@@ -133,7 +133,7 @@ func cloudmonattDetects(s *scenario, seed int64, threat string) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	mon, err := monitor.New(s2.hv, tm, monitor.StandardPlatform())
+	mon, err := newTPMMonitor(s2.hv, tm, monitor.StandardPlatform())
 	if err != nil {
 		return false, err
 	}

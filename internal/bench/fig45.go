@@ -91,7 +91,7 @@ func Fig5(seed int64, window time.Duration) (Fig5Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		mon, err := monitor.New(hv, tm, monitor.StandardPlatform())
+		mon, err := newTPMMonitor(hv, tm, monitor.StandardPlatform())
 		if err != nil {
 			return nil, err
 		}

@@ -6,8 +6,11 @@ import (
 	"time"
 
 	"cloudmonatt/internal/attack"
+	"cloudmonatt/internal/monitor"
 	"cloudmonatt/internal/sim"
 	"cloudmonatt/internal/trust"
+	"cloudmonatt/internal/trust/driver"
+	_ "cloudmonatt/internal/trust/driver/tpmdrv"
 	"cloudmonatt/internal/workload"
 	"cloudmonatt/internal/xen"
 )
@@ -18,6 +21,17 @@ var CoTenants = []string{"idle", "database", "file", "web", "app", "stream", "ma
 // newTrustModule builds a Trust Module with crypto randomness.
 func newTrustModule(name string) (*trust.Module, error) {
 	return trust.NewModule(name, 0, rand.Reader)
+}
+
+// newTPMMonitor wires a Monitor Module to the module's TPM through the tpm
+// trust-backend driver — the benches always model the paper's own
+// architecture, so the backend is fixed.
+func newTPMMonitor(hv *xen.Hypervisor, tm *trust.Module, platform []monitor.Component) (*monitor.Module, error) {
+	drv, err := driver.Open(driver.BackendTPM, driver.Config{ServerName: "bench", TPM: tm.TPM()})
+	if err != nil {
+		return nil, err
+	}
+	return monitor.New(hv, tm.Registers(), drv, platform)
 }
 
 // Fig6Result reproduces Fig. 6: victim relative execution time under each

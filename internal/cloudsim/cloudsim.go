@@ -32,6 +32,8 @@ import (
 	"cloudmonatt/internal/secchan"
 	"cloudmonatt/internal/server"
 	"cloudmonatt/internal/sim"
+	"cloudmonatt/internal/trust/driver"
+	"cloudmonatt/internal/trust/driver/sevsnp"
 	"cloudmonatt/internal/vclock"
 	"cloudmonatt/internal/wire"
 	"cloudmonatt/internal/xen"
@@ -48,6 +50,20 @@ type Options struct {
 	AttestServers int
 	// TamperPlatform lists server names booted with a trojaned hypervisor.
 	TamperPlatform map[string]bool
+	// Backends assigns trust backends to the cloud servers: server i runs
+	// Backends[i%len(Backends)]. Empty runs the whole fleet on the paper's
+	// own Trust-Module/TPM backend. A mixed list gives a mixed fleet where
+	// a property can be attestable on one server and unattestable (V_fail)
+	// on its neighbor.
+	Backends []driver.Backend
+	// StaleFirmware lists sev-snp server names provisioned with a
+	// rolled-back platform security version (TCB), so their startup
+	// appraisals fail on platform version even though the launch
+	// measurement matches.
+	StaleFirmware map[string]bool
+	// MinTCB is the fleet-minimum platform security version the appraisers
+	// enforce on sev-snp evidence. Zero applies the current TCB.
+	MinTCB driver.TCBVersion
 	// Policy overrides the controller's response policy.
 	Policy map[properties.Property]controller.ResponseKind
 	// SchedConfig overrides the hypervisor scheduler on every server
@@ -195,6 +211,12 @@ func New(opts Options) (*Testbed, error) {
 	}
 
 	// Cloud servers.
+	backendOf := func(i int) driver.Backend {
+		if len(opts.Backends) == 0 {
+			return driver.BackendTPM
+		}
+		return opts.Backends[i%len(opts.Backends)]
+	}
 	serverAddrs := make(map[string]string, opts.Servers)
 	for i := 0; i < opts.Servers; i++ {
 		name := serverName(i)
@@ -207,9 +229,13 @@ func New(opts Options) (*Testbed, error) {
 			Rand:        rand.Reader,
 			SchedConfig: opts.SchedConfig,
 			Obs:         tb.Obs,
+			Backend:     backendOf(i),
 		}
 		if opts.TamperPlatform[name] {
 			cfg.Platform = trojanedPlatform()
+		}
+		if opts.StaleFirmware[name] {
+			cfg.TCB = sevsnp.RolledBackTCB
 		}
 		srv, err := server.New(cfg)
 		if err != nil {
@@ -245,6 +271,7 @@ func New(opts Options) (*Testbed, error) {
 			Breaker:     opts.Breaker,
 			Periodic:    opts.Periodic,
 			Obs:         tb.Obs,
+			MinTCB:      opts.MinTCB,
 		})
 		tb.AttestServers = append(tb.AttestServers, as)
 		al, addr, err := listen(id.Name)
@@ -258,12 +285,14 @@ func New(opts Options) (*Testbed, error) {
 	for i := 0; i < opts.Servers; i++ {
 		name := serverName(i)
 		srv := tb.Servers[name]
+		b := backendOf(i)
 		tb.AttestServers[i%opts.AttestServers].RegisterServer(attestsrv.ServerRecord{
 			Name:        name,
 			Addr:        serverAddrs[name],
 			IdentityKey: srv.IdentityKey(),
 			AIK:         srv.AIK(),
-			Properties:  properties.All,
+			Properties:  driver.AttestableProps(b),
+			Backend:     b,
 		})
 	}
 
@@ -296,7 +325,8 @@ func New(opts Options) (*Testbed, error) {
 			Name:     name,
 			Addr:     serverAddrs[name],
 			Capacity: opts.Capacity,
-			Props:    properties.All,
+			Props:    driver.AttestableProps(backendOf(i)),
+			Backend:  string(backendOf(i)),
 			Cluster:  i % opts.AttestServers,
 		})
 	}

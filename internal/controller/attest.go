@@ -93,7 +93,10 @@ func (c *Controller) AttestTraced(parent obs.SpanContext, req wire.AttestRequest
 		return nil, fmt.Errorf("controller: rejecting attestation report: %w", err)
 	}
 	c.storeLastGood(req.Vid, req.Prop, rep.Verdict)
-	if !rep.Verdict.Healthy && c.cfg.AutoRespond {
+	// Unattestable (V_fail) is a capability statement about the trust
+	// backend, not a compromise finding: remediation would punish a healthy
+	// VM, so the Response Module is never triggered for it.
+	if !rep.Verdict.Healthy && !rep.Verdict.Unattestable && c.cfg.AutoRespond {
 		sp.Annotate("respond", rep.Verdict.Reason)
 		c.Respond(req.Vid, req.Prop, rep.Verdict.Reason)
 	}
@@ -198,7 +201,7 @@ func (c *Controller) repackage(vid string, p properties.Property, n1 cryptoutil.
 			continue
 		}
 		c.storeLastGood(vid, p, rep.Verdict)
-		if !rep.Verdict.Healthy && c.cfg.AutoRespond && !responded {
+		if !rep.Verdict.Healthy && !rep.Verdict.Unattestable && c.cfg.AutoRespond && !responded {
 			c.Respond(vid, p, rep.Verdict.Reason)
 			responded = true
 		}
@@ -220,6 +223,10 @@ func (c *Controller) Respond(vid string, p properties.Property, reason string) (
 	c.mu.Lock()
 	rec, ok := c.vms[vid]
 	kind := c.policy[p]
+	var srv string
+	if ok {
+		srv = rec.Server
+	}
 	c.mu.Unlock()
 	if !ok {
 		return ResponseEvent{}, fmt.Errorf("controller: no such VM %q", vid)
@@ -260,9 +267,10 @@ func (c *Controller) Respond(vid string, p properties.Property, reason string) (
 	c.record(ledger.KindRemediation, vid, p, "", struct {
 		Response   string `json:"response"`
 		Reason     string `json:"reason,omitempty"`
+		Backend    string `json:"backend,omitempty"`
 		NewServer  string `json:"new_server,omitempty"`
 		Terminated bool   `json:"terminated,omitempty"`
-	}{string(kind), reason, ev.NewServer, ev.Terminated})
+	}{string(kind), reason, c.serverBackend(srv), ev.NewServer, ev.Terminated})
 	return ev, err
 }
 

@@ -58,6 +58,10 @@ type ServerEntry struct {
 	Addr     string
 	Capacity server.Capacity
 	Props    []properties.Property
+	// Backend is the server's trust backend type ("tpm", "vtpm",
+	// "sev-snp"; empty = tpm), recorded in launch and remediation ledger
+	// entries so the evidence trail names the root of trust involved.
+	Backend string
 	// Cluster selects which Attestation Server appraises this server's
 	// VMs (paper §3.2.3: "different Attestation Servers for different
 	// clusters of cloud servers, enabling scalability"). Migration keeps a
@@ -512,6 +516,40 @@ func (c *Controller) candidates(f image.Flavor, props []properties.Property, exc
 	return out
 }
 
+// namedCandidate resolves an explicitly requested placement: the named
+// server if it exists and has capacity, regardless of its property
+// support (LaunchRequest.Server documents why).
+func (c *Controller) namedCandidate(f image.Flavor, name string) []*ServerEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.servers[name]
+	if !ok {
+		return nil
+	}
+	used := c.used[name]
+	if f.VCPUs > e.Capacity.VCPUs-used.VCPUs ||
+		f.MemoryMB > e.Capacity.MemoryMB-used.MemoryMB ||
+		f.DiskGB > e.Capacity.DiskGB-used.DiskGB {
+		return nil
+	}
+	return []*ServerEntry{e}
+}
+
+// serverBackend reports a registered server's trust backend ("tpm" when
+// unset; empty for unknown servers, e.g. a launch that never placed).
+func (c *Controller) serverBackend(name string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.servers[name]
+	if !ok {
+		return ""
+	}
+	if e.Backend == "" {
+		return "tpm"
+	}
+	return e.Backend
+}
+
 func (c *Controller) reserve(name string, f image.Flavor) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -555,6 +593,13 @@ type LaunchRequest struct {
 	MinShare  float64
 	// Pin requests a specific pCPU on the host (co-residency experiments).
 	Pin int
+	// Server, when set, requests placement on that specific server,
+	// bypassing the property filter (capacity is still enforced). This is
+	// how mixed-fleet experiments position a VM on a trust backend that
+	// cannot attest every requested property: the launch proceeds, and the
+	// uncoverable properties later appraise as unattestable (V_fail)
+	// rather than being silently scheduled away from.
+	Server string
 }
 
 // StageTiming is one launch-pipeline stage's duration (Fig. 9).
@@ -625,11 +670,12 @@ func (c *Controller) LaunchVMTraced(parent obs.SpanContext, req LaunchRequest) (
 			lsp.End("rejected: " + result.Reason)
 		}
 		c.record(ledger.KindLaunch, vid, "", lsp.Context().Trace, struct {
-			OK     bool   `json:"ok"`
-			Owner  string `json:"owner"`
-			Server string `json:"server,omitempty"`
-			Reason string `json:"reason,omitempty"`
-		}{result.OK, req.Owner, result.Server, result.Reason})
+			OK      bool   `json:"ok"`
+			Owner   string `json:"owner"`
+			Server  string `json:"server,omitempty"`
+			Backend string `json:"backend,omitempty"`
+			Reason  string `json:"reason,omitempty"`
+		}{result.OK, req.Owner, result.Server, c.serverBackend(result.Server), result.Reason})
 	}()
 	stage := func(name string, d time.Duration) {
 		ssp := lsp.Child("stage:" + name)
@@ -638,11 +684,21 @@ func (c *Controller) LaunchVMTraced(parent obs.SpanContext, req LaunchRequest) (
 		result.Stages = append(result.Stages, StageTiming{Stage: name, Duration: d})
 	}
 
-	// Stage 1: Scheduling (the property_filter consults the capability DB).
-	cands := c.candidates(flavor, req.Props, "", -1)
+	// Stage 1: Scheduling (the property_filter consults the capability DB,
+	// unless the request pins an explicit server).
+	var cands []*ServerEntry
+	if req.Server != "" {
+		cands = c.namedCandidate(flavor, req.Server)
+	} else {
+		cands = c.candidates(flavor, req.Props, "", -1)
+	}
 	stage("scheduling", c.cfg.Latency.Scheduling(len(c.servers)))
 	if len(cands) == 0 {
-		result.Reason = "no qualified server supports the requested properties with free capacity"
+		if req.Server != "" {
+			result.Reason = fmt.Sprintf("requested server %s is unknown or lacks capacity", req.Server)
+		} else {
+			result.Reason = "no qualified server supports the requested properties with free capacity"
+		}
 		return result, nil
 	}
 

@@ -18,7 +18,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -26,7 +25,13 @@ import (
 	"cloudmonatt/internal/cryptoutil"
 	"cloudmonatt/internal/monitor"
 	"cloudmonatt/internal/properties"
-	"cloudmonatt/internal/tpm"
+	"cloudmonatt/internal/trust/driver"
+
+	// Startup-evidence appraisal dispatches to the per-backend appraisers,
+	// so the verifier links every backend the fleet can contain.
+	_ "cloudmonatt/internal/trust/driver/sevsnp"
+	_ "cloudmonatt/internal/trust/driver/tpmdrv"
+	_ "cloudmonatt/internal/trust/driver/vtpmdrv"
 )
 
 // References holds the appraisal inputs for one VM's attestation: what the
@@ -51,6 +56,12 @@ type References struct {
 	TaskAllowlist []string
 	// MinCPUShare is the SLA floor for relative CPU usage (0..1).
 	MinCPUShare float64
+	// Backend identifies the trust backend that rooted the evidence (empty
+	// = the classic TPM Trust Module); startup appraisal dispatches on it.
+	Backend driver.Backend
+	// MinTCB is the fleet-minimum platform security version for
+	// confidential-VM backends (rollback floor; zero accepts any version).
+	MinTCB driver.TCBVersion
 }
 
 // GoldenPlatform returns the reference digests of the standard platform
@@ -100,8 +111,21 @@ func UnregisterInterpreter(p properties.Property) {
 	delete(interpreters, p)
 }
 
-// Interpret dispatches to the property's interpreter.
+// Interpret dispatches to the property's interpreter and stamps the
+// verdict with the trust backend whose evidence it appraised.
 func Interpret(p properties.Property, ms []properties.Measurement, nonce cryptoutil.Nonce, refs References) properties.Verdict {
+	v := interpret(p, ms, nonce, refs)
+	if v.Backend == "" {
+		b := refs.Backend
+		if b == "" {
+			b = driver.BackendTPM
+		}
+		v.Backend = string(b)
+	}
+	return v
+}
+
+func interpret(p properties.Property, ms []properties.Measurement, nonce cryptoutil.Nonce, refs References) properties.Verdict {
 	switch p {
 	case properties.StartupIntegrity:
 		return StartupIntegrity(ms, nonce, refs)
@@ -134,117 +158,24 @@ func unhealthy(p properties.Property, class properties.FailureClass, reason stri
 	return properties.Verdict{Property: p, Healthy: false, Class: class, Reason: reason, Details: details}
 }
 
-// StartupIntegrity appraises the platform quote and the VM image digest
-// (case study I). The verdict distinguishes a compromised platform from a
-// compromised image because the remediation differs (reschedule vs. reject,
-// paper §5.1).
+// StartupIntegrity appraises the startup evidence (case study I,
+// generalized across trust backends): it converts the references to the
+// backend-neutral form and dispatches to the backend's appraiser — the
+// TPM measured-boot appraisal, the vTPM endorsement-chain appraisal, or
+// the SEV-SNP report appraisal with its rollback floor.
 func StartupIntegrity(ms []properties.Measurement, nonce cryptoutil.Nonce, refs References) properties.Verdict {
-	const p = properties.StartupIntegrity
-	quote, ok := find(ms, properties.KindPlatformQuote)
-	if !ok {
-		return unhealthy(p, properties.FailurePlatform, "missing platform quote", nil)
+	b := refs.Backend
+	if b == "" {
+		b = driver.BackendTPM
 	}
-	img, ok := find(ms, properties.KindImageDigest)
-	if !ok {
-		return unhealthy(p, properties.FailureImage, "missing image digest", nil)
-	}
-
-	// 1. The quote signature must verify under the server's TPM AIK and be
-	// bound to our nonce.
-	q := &tpm.Quote{Nonce: nonce, Sig: quote.QuoteSig}
-	for i, pcr := range quote.QuotePCR {
-		q.PCRs = append(q.PCRs, int(pcr))
-		q.Values = append(q.Values, quote.QuoteVal[i])
-	}
-	if err := tpm.VerifyQuote(q, refs.ServerAIK, nonce); err != nil {
-		return unhealthy(p, properties.FailurePlatform, "platform quote rejected: "+err.Error(), nil)
-	}
-
-	// 2. The measurement log must explain the quoted PCR values.
-	events, err := parseLog(quote)
-	if err != nil {
-		return unhealthy(p, properties.FailurePlatform, err.Error(), nil)
-	}
-	replayed := tpm.ReplayLog(events)
-	for i, pcr := range q.PCRs {
-		if replayed[pcr] != q.Values[i] {
-			return unhealthy(p, properties.FailurePlatform, fmt.Sprintf("measurement log does not explain PCR %d", pcr), nil)
-		}
-	}
-
-	// 3. Every logged platform component must be known-good; our VM's image
-	// entry must match the expected image. (Other VMs' image entries are
-	// appraised by their own attestations.)
-	for i, e := range events {
-		desc := quote.LogNames[i]
-		name := desc[strings.Index(desc, ":")+1:]
-		if strings.HasPrefix(name, "vm-image-") {
-			if name == "vm-image-"+refs.Vid && e.Measurement != refs.ExpectedImage {
-				return unhealthy(p, properties.FailureImage, "VM image measurement differs from pristine image",
-					map[string]string{"component": name})
-			}
-			continue
-		}
-		if !approvedComponent(refs, name, e.Measurement) {
-			if _, known := refs.PlatformGolden[name]; !known && !knownInAnyVersion(refs, name) {
-				return unhealthy(p, properties.FailurePlatform, "unknown software measured into platform",
-					map[string]string{"component": name})
-			}
-			return unhealthy(p, properties.FailurePlatform, "platform component differs from known-good build",
-				map[string]string{"component": name})
-		}
-	}
-
-	// 4. Belt and braces: the directly reported image digest must also match.
-	if img.Digest != refs.ExpectedImage {
-		return unhealthy(p, properties.FailureImage, "VM image digest mismatch", nil)
-	}
-	return properties.Verdict{Property: p, Healthy: true, Reason: "platform and VM image match known-good measurements"}
-}
-
-// approvedComponent checks a measured component against every approved
-// catalog.
-func approvedComponent(refs References, name string, m [32]byte) bool {
-	if golden, ok := refs.PlatformGolden[name]; ok && m == golden {
-		return true
-	}
-	for _, cat := range refs.ApprovedVersions {
-		if golden, ok := cat[name]; ok && m == golden {
-			return true
-		}
-	}
-	return false
-}
-
-// knownInAnyVersion reports whether any approved catalog names the component.
-func knownInAnyVersion(refs References, name string) bool {
-	for _, cat := range refs.ApprovedVersions {
-		if _, ok := cat[name]; ok {
-			return true
-		}
-	}
-	return false
-}
-
-// parseLog reconstructs TPM events from the measurement's "pcr:description"
-// encoded log names.
-func parseLog(m properties.Measurement) ([]tpm.Event, error) {
-	if len(m.LogNames) != len(m.LogSums) {
-		return nil, fmt.Errorf("malformed measurement log")
-	}
-	events := make([]tpm.Event, len(m.LogNames))
-	for i, n := range m.LogNames {
-		idx := strings.Index(n, ":")
-		if idx <= 0 {
-			return nil, fmt.Errorf("malformed log entry %q", n)
-		}
-		pcr, err := strconv.Atoi(n[:idx])
-		if err != nil {
-			return nil, fmt.Errorf("malformed log entry %q", n)
-		}
-		events[i] = tpm.Event{PCR: pcr, Description: n[idx+1:], Measurement: m.LogSums[i]}
-	}
-	return events, nil
+	return driver.AppraiseStartup(b, ms, nonce, driver.Refs{
+		AttestationKey:   refs.ServerAIK,
+		PlatformGolden:   refs.PlatformGolden,
+		ApprovedVersions: refs.ApprovedVersions,
+		ExpectedImage:    refs.ExpectedImage,
+		Vid:              refs.Vid,
+		MinTCB:           refs.MinTCB,
+	})
 }
 
 // RuntimeIntegrity compares the introspected (true) task list against the

@@ -13,6 +13,7 @@ import (
 	"cloudmonatt/internal/properties"
 	"cloudmonatt/internal/sim"
 	"cloudmonatt/internal/trust"
+	"cloudmonatt/internal/trust/driver"
 	"cloudmonatt/internal/workload"
 	"cloudmonatt/internal/xen"
 )
@@ -39,7 +40,11 @@ func newTestbed(t *testing.T, platform []monitor.Component) *testbed {
 	if platform == nil {
 		platform = monitor.StandardPlatform()
 	}
-	mon, err := monitor.New(hv, tm, platform)
+	drv, err := driver.Open(driver.BackendTPM, driver.Config{ServerName: "server-1", TPM: tm.TPM()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := monitor.New(hv, tm.Registers(), drv, platform)
 	if err != nil {
 		t.Fatal(err)
 	}

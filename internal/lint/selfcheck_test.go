@@ -26,3 +26,33 @@ func TestRepoIsClean(t *testing.T) {
 		t.Errorf("%s", d.String(loader.Fset))
 	}
 }
+
+// TestCryptoScopeCoversDriverTree pins the consttime/math-rand scope to
+// the trust-backend driver packages: scoping is by first path segment, so
+// the "trust" entry must keep covering the whole driver subtree where
+// evidence and measurement comparisons live.
+func TestCryptoScopeCoversDriverTree(t *testing.T) {
+	covered := []string{
+		"cloudmonatt/internal/trust",
+		"cloudmonatt/internal/trust/driver",
+		"cloudmonatt/internal/trust/driver/tpmdrv",
+		"cloudmonatt/internal/trust/driver/vtpmdrv",
+		"cloudmonatt/internal/trust/driver/sevsnp",
+		"cloudmonatt/internal/vtpm",
+	}
+	for _, path := range covered {
+		if !cryptoScoped(path) {
+			t.Errorf("cryptoScoped(%q) = false, want true", path)
+		}
+	}
+	uncovered := []string{
+		"cloudmonatt/internal/monitor",
+		"cloudmonatt/internal/interpret",
+		"crypto/subtle",
+	}
+	for _, path := range uncovered {
+		if cryptoScoped(path) {
+			t.Errorf("cryptoScoped(%q) = true, want false", path)
+		}
+	}
+}

@@ -59,6 +59,12 @@ var freshNonceMethods = map[string]string{
 // of the whole protocol (cf. the SEV attestation bypasses in Buhren et
 // al.). Seeded determinism for simulations is injected via io.Reader
 // entropy sources instead.
+//
+// Scoping is by the first path segment under internal/, so an entry covers
+// its whole subtree: "trust" includes the trust-backend driver packages
+// (trust/driver, trust/driver/tpmdrv, trust/driver/vtpmdrv,
+// trust/driver/sevsnp), whose evidence and measurement comparisons are the
+// verifier-side targets the consttime rule exists for.
 var cryptoPkgs = map[string]bool{
 	"cryptoutil": true,
 	"tpm":        true,

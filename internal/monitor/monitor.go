@@ -21,8 +21,8 @@ import (
 	"cloudmonatt/internal/guest"
 	"cloudmonatt/internal/properties"
 	"cloudmonatt/internal/sim"
-	"cloudmonatt/internal/tpm"
 	"cloudmonatt/internal/trust"
+	"cloudmonatt/internal/trust/driver"
 	"cloudmonatt/internal/xen"
 )
 
@@ -64,20 +64,6 @@ func StandardPlatform() []Component {
 	}
 }
 
-// componentPCR maps a platform component to the PCR it extends.
-func componentPCR(name string) int {
-	switch name {
-	case "firmware":
-		return tpm.PCRFirmware
-	case "hypervisor":
-		return tpm.PCRHypervisor
-	case "host-os":
-		return tpm.PCRHostOS
-	default:
-		return tpm.PCRConfig
-	}
-}
-
 // VM is the monitor's handle on one hosted virtual machine.
 type VM struct {
 	Vid         string
@@ -88,8 +74,9 @@ type VM struct {
 
 // Module is the Monitor Module of one cloud server.
 type Module struct {
-	hv *xen.Hypervisor
-	tm *trust.Module
+	hv   *xen.Hypervisor
+	regs *trust.Registers
+	drv  driver.Driver
 
 	mu         sync.Mutex
 	vms        map[string]*VM
@@ -99,19 +86,23 @@ type Module struct {
 }
 
 // New creates the Monitor Module, wires the PMU into the hypervisor's run
-// trace, and boots the IMU by measuring the platform components into the
-// TPM. Passing tampered components models a compromised platform.
-func New(hv *xen.Hypervisor, tm *trust.Module, platform []Component) (*Module, error) {
+// trace, and boots the IMU by measuring the platform components through
+// the trust-backend driver (into the TPM, or dropped by backends whose
+// evidence does not cover the host). Passing tampered components models a
+// compromised platform. regs is the Trust Evidence Register bank the
+// scheduler-level monitors store into.
+func New(hv *xen.Hypervisor, regs *trust.Registers, drv driver.Driver, platform []Component) (*Module, error) {
 	m := &Module{
 		hv:         hv,
-		tm:         tm,
+		regs:       regs,
+		drv:        drv,
 		vms:        make(map[string]*VM),
 		watches:    make(map[string]*intervalWatch),
 		busWatches: make(map[string]*busWatch),
 		profiles:   make(map[string]*profileWindow),
 	}
 	for _, c := range platform {
-		if _, err := tm.TPM().Measure(componentPCR(c.Name), c.Name, c.Data); err != nil {
+		if err := drv.BootMeasure(c.Name, c.Data); err != nil {
 			return nil, fmt.Errorf("monitor: measuring %s: %w", c.Name, err)
 		}
 	}
@@ -121,21 +112,27 @@ func New(hv *xen.Hypervisor, tm *trust.Module, platform []Component) (*Module, e
 }
 
 // AddVM registers a hosted VM with the monitor. The image digest must be
-// the measurement taken before launch (IMU extends it into the image PCR).
+// the measurement taken before launch (the IMU records it through the
+// trust backend: an image-PCR extension, a vTPM provisioning, or a launch
+// measurement).
 func (m *Module) AddVM(vm *VM) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, dup := m.vms[vm.Vid]; dup {
 		return fmt.Errorf("monitor: VM %s already registered", vm.Vid)
 	}
+	if err := m.drv.AddVM(vm.Vid, vm.ImageDigest); err != nil {
+		return err
+	}
 	m.vms[vm.Vid] = vm
-	return m.tm.TPM().Extend(tpm.PCRVMImage, "vm-image-"+vm.Vid, vm.ImageDigest)
+	return nil
 }
 
 // RemoveVM forgets a VM (termination or migration away).
 func (m *Module) RemoveVM(vid string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.drv.RemoveVM(vid)
 	delete(m.vms, vid)
 	delete(m.watches, vid)
 	delete(m.busWatches, vid)
@@ -231,7 +228,7 @@ func (m *Module) CollectIntervalHistogram(vid string) (properties.Measurement, e
 		return properties.Measurement{}, fmt.Errorf("monitor: no interval watch armed for %s", vid)
 	}
 	w.closeInterval()
-	regs := m.tm.Registers()
+	regs := m.regs
 	counters := make([]uint64, HistogramBins)
 	for i, c := range w.bins {
 		if err := regs.Set(i, c); err != nil {
@@ -356,7 +353,7 @@ func (m *Module) CollectProfile(vid string) (properties.Measurement, error) {
 	}
 	cpu := p.dom.TotalRuntime() - p.startRT
 	wall := m.hv.Kernel().Now() - p.startAt
-	if err := m.tm.Registers().Set(CPUTimeRegister, uint64(cpu/time.Microsecond)); err != nil {
+	if err := m.regs.Set(CPUTimeRegister, uint64(cpu/time.Microsecond)); err != nil {
 		return properties.Measurement{}, err
 	}
 	return properties.Measurement{Kind: properties.KindCPUTime, CPUTime: cpu, WallTime: wall}, nil
@@ -384,26 +381,25 @@ func (m *Module) CollectTaskList(vid string) (properties.Measurement, error) {
 
 // --- Integrity Measurement Unit ---------------------------------------------
 
-// PlatformQuote produces the measured-boot evidence: a TPM quote over the
-// platform PCRs bound to the verifier's nonce, plus the measurement log
-// that explains it.
-func (m *Module) PlatformQuote(nonce [16]byte) (properties.Measurement, error) {
-	pcrs := []int{tpm.PCRFirmware, tpm.PCRHypervisor, tpm.PCRHostOS, tpm.PCRConfig, tpm.PCRVMImage}
-	q, err := m.tm.TPM().GenerateQuote(pcrs, nonce)
+// PlatformEvidence produces the trust backend's platform/startup evidence
+// for the VM (a TPM platform quote, a vTPM quote, or an attestation
+// report) bound to the verifier's nonce. The evidence kind must match
+// what the verifier requested — a mismatch means the appraiser believes
+// the server runs a different backend than it does.
+func (m *Module) PlatformEvidence(vid string, kind properties.MeasurementKind, nonce [16]byte) (properties.Measurement, error) {
+	meas, err := m.drv.PlatformEvidence(vid, nonce)
 	if err != nil {
 		return properties.Measurement{}, err
 	}
-	meas := properties.Measurement{Kind: properties.KindPlatformQuote, QuoteSig: q.Sig}
-	for i, p := range q.PCRs {
-		meas.QuotePCR = append(meas.QuotePCR, uint32(p))
-		meas.QuoteVal = append(meas.QuoteVal, q.Values[i])
-	}
-	for _, e := range m.tm.TPM().Log() {
-		meas.LogNames = append(meas.LogNames, fmt.Sprintf("%d:%s", e.PCR, e.Description))
-		meas.LogSums = append(meas.LogSums, e.Measurement)
+	if meas.Kind != kind {
+		return properties.Measurement{}, fmt.Errorf("monitor: %s backend produces %s evidence, not %s",
+			m.drv.Backend(), meas.Kind, kind)
 	}
 	return meas, nil
 }
+
+// Backend reports the trust backend rooting this server's evidence.
+func (m *Module) Backend() driver.Backend { return m.drv.Backend() }
 
 // ImageDigest returns the measurement of the VM's image taken before launch.
 func (m *Module) ImageDigest(vid string) (properties.Measurement, error) {
@@ -432,7 +428,8 @@ func RegisterCollector(kind properties.MeasurementKind, c Collector) error {
 	switch kind {
 	case properties.KindPlatformQuote, properties.KindImageDigest,
 		properties.KindTaskList, properties.KindIntervalHistogram,
-		properties.KindBusLockTrace, properties.KindCPUTime:
+		properties.KindBusLockTrace, properties.KindCPUTime,
+		properties.KindVTPMQuote, properties.KindAttestationReport:
 		return fmt.Errorf("monitor: %q is a built-in measurement kind", kind)
 	}
 	if c == nil {
@@ -507,8 +504,8 @@ func (m *Module) Collect(vid string, req properties.Request, nonce [16]byte, adv
 		var meas properties.Measurement
 		var err error
 		switch k {
-		case properties.KindPlatformQuote:
-			meas, err = m.PlatformQuote(nonce)
+		case properties.KindPlatformQuote, properties.KindVTPMQuote, properties.KindAttestationReport:
+			meas, err = m.PlatformEvidence(vid, k, nonce)
 		case properties.KindImageDigest:
 			meas, err = m.ImageDigest(vid)
 		case properties.KindTaskList:

@@ -13,6 +13,8 @@ import (
 	"cloudmonatt/internal/sim"
 	"cloudmonatt/internal/tpm"
 	"cloudmonatt/internal/trust"
+	"cloudmonatt/internal/trust/driver"
+	_ "cloudmonatt/internal/trust/driver/tpmdrv"
 	"cloudmonatt/internal/workload"
 	"cloudmonatt/internal/xen"
 )
@@ -35,7 +37,11 @@ func newRig(t *testing.T, platform []Component) *rig {
 	if platform == nil {
 		platform = StandardPlatform()
 	}
-	m, err := New(hv, tm, platform)
+	drv, err := driver.Open(driver.BackendTPM, driver.Config{ServerName: "server-1", TPM: tm.TPM()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(hv, tm.Registers(), drv, platform)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +228,7 @@ func TestHistogramCovertSenderIsBimodal(t *testing.T) {
 func TestPlatformQuoteVerifies(t *testing.T) {
 	r := newRig(t, nil)
 	nonce := cryptoutil.MustNonce()
-	meas, err := r.m.PlatformQuote(nonce)
+	meas, err := r.m.PlatformEvidence("vm-1", properties.KindPlatformQuote, nonce)
 	if err != nil {
 		t.Fatal(err)
 	}

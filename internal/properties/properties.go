@@ -71,6 +71,12 @@ const (
 	// KindCPUTime: the VM's virtual running time over a measurement window
 	// (VMM Profile Tool).
 	KindCPUTime MeasurementKind = "cpu-time"
+	// KindVTPMQuote: a virtual-TPM quote over the VM's own PCRs, carrying
+	// the vAIK and its hardware endorsement (vtpm trust backend).
+	KindVTPMQuote MeasurementKind = "vtpm-quote"
+	// KindAttestationReport: an opaque signed attestation report — launch
+	// measurement plus platform version (sev-snp trust backend).
+	KindAttestationReport MeasurementKind = "attestation-report"
 )
 
 // Request rM names the measurements the Attestation Server asks a cloud
@@ -141,6 +147,13 @@ type Measurement struct {
 	// KindCPUTime
 	CPUTime  time.Duration
 	WallTime time.Duration
+
+	// KindAttestationReport: the backend-encoded report bytes.
+	Report []byte
+	// KindVTPMQuote: the per-VM verification key (vAIK) and the hardware
+	// root's endorsement of it.
+	VKey    []byte
+	Endorse []byte
 }
 
 // Encode renders the measurement canonically.
@@ -181,6 +194,9 @@ func (m Measurement) Encode() []byte {
 	}
 	out = binary.BigEndian.AppendUint64(out, uint64(m.CPUTime))
 	out = binary.BigEndian.AppendUint64(out, uint64(m.WallTime))
+	appendBytes(m.Report)
+	appendBytes(m.VKey)
+	appendBytes(m.Endorse)
 	return out
 }
 
@@ -226,6 +242,26 @@ type Verdict struct {
 	Class    FailureClass // set when !Healthy; empty for healthy verdicts
 	Reason   string
 	Details  map[string]string
+	// Backend records which trust backend's evidence the verdict appraises
+	// ("tpm", "vtpm", "sev-snp"); it rides the signed report chain so the
+	// customer learns what kind of root of trust vouched for the VM.
+	Backend string
+	// Unattestable marks the paper's V_fail outcome: the property cannot
+	// be evidenced on the VM's trust backend at all, as opposed to being
+	// measured and found compromised. Always paired with Healthy=false.
+	Unattestable bool
+}
+
+// UnattestableVerdict builds the V_fail verdict for a property the VM's
+// trust backend cannot evidence.
+func UnattestableVerdict(p Property, backend string) Verdict {
+	return Verdict{
+		Property:     p,
+		Healthy:      false,
+		Unattestable: true,
+		Backend:      backend,
+		Reason:       fmt.Sprintf("property %s is not attestable on the %s trust backend", p, backend),
+	}
 }
 
 // Encode renders the verdict canonically for the Q1/Q2 quotes.
@@ -245,13 +281,22 @@ func (v Verdict) Encode() []byte {
 	appendBytes([]byte(v.Reason))
 	// Details are advisory and excluded from the signed body; Class and
 	// Reason carry the authoritative finding.
+	appendBytes([]byte(v.Backend))
+	if v.Unattestable {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
 	return out
 }
 
 // String renders the verdict for humans.
 func (v Verdict) String() string {
 	state := "HEALTHY"
-	if !v.Healthy {
+	switch {
+	case v.Unattestable:
+		state = "UNATTESTABLE"
+	case !v.Healthy:
 		state = "COMPROMISED"
 	}
 	return fmt.Sprintf("%s: %s (%s)", v.Property, state, v.Reason)

@@ -21,6 +21,13 @@ import (
 	"cloudmonatt/internal/obs"
 	"cloudmonatt/internal/sim"
 	"cloudmonatt/internal/trust"
+	"cloudmonatt/internal/trust/driver"
+
+	// Every trust backend a server can be provisioned with registers here.
+	_ "cloudmonatt/internal/trust/driver/sevsnp"
+	_ "cloudmonatt/internal/trust/driver/tpmdrv"
+	_ "cloudmonatt/internal/trust/driver/vtpmdrv"
+
 	"cloudmonatt/internal/vclock"
 	"cloudmonatt/internal/wire"
 	"cloudmonatt/internal/workload"
@@ -52,6 +59,12 @@ type Config struct {
 	// Platform overrides the measured boot chain (nil = pristine standard
 	// platform); pass tampered components to model a compromised host.
 	Platform []monitor.Component
+	// Backend selects the trust backend rooting this server's platform
+	// evidence (empty = the classic TPM Trust Module).
+	Backend driver.Backend
+	// TCB is the platform security version a confidential-VM backend
+	// reports; an old version models a stale-firmware rollback scenario.
+	TCB driver.TCBVersion
 	// Dom0CostPerCollection is the host-VM CPU work each measurement
 	// collection costs (it runs in Dom0, never intercepting the guest).
 	Dom0CostPerCollection time.Duration
@@ -99,6 +112,7 @@ type Server struct {
 	cfg    Config
 	hv     *xen.Hypervisor
 	tm     *trust.Module
+	drv    driver.Driver
 	mon    *monitor.Module
 	tracer *obs.Tracer
 
@@ -163,7 +177,20 @@ func New(cfg Config) (*Server, error) {
 	if platform == nil {
 		platform = monitor.StandardPlatform()
 	}
-	mon, err := monitor.New(hv, tm, platform)
+	backend := cfg.Backend
+	if backend == "" {
+		backend = driver.BackendTPM
+	}
+	drv, err := driver.Open(backend, driver.Config{
+		ServerName: cfg.Name,
+		Rand:       cfg.Rand,
+		TPM:        tm.TPM(),
+		TCB:        cfg.TCB,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mon, err := monitor.New(hv, tm.Registers(), drv, platform)
 	if err != nil {
 		return nil, err
 	}
@@ -171,6 +198,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		hv:       hv,
 		tm:       tm,
+		drv:      drv,
 		mon:      mon,
 		tracer:   obs.NewTracer(cfg.Obs, cfg.Name, cfg.Clock.Now),
 		vms:      make(map[string]*hostedVM),
@@ -193,9 +221,13 @@ func (s *Server) IdentityKey() []byte { return s.tm.IdentityKey() }
 // already present — we share the Trust Module identity.
 func (s *Server) Identity() *cryptoutil.Identity { return s.tm.Identity() }
 
-// AIK returns the TPM attestation identity key (registered with the
-// Attestation Server's database at provisioning).
-func (s *Server) AIK() []byte { return s.tm.TPM().AIK() }
+// AIK returns the trust backend's attestation key — the TPM AIK, the vTPM
+// hardware endorsement key, or the VCEK — registered with the Attestation
+// Server's database at provisioning.
+func (s *Server) AIK() []byte { return s.drv.AttestationKey() }
+
+// Backend reports the trust backend rooting this server's evidence.
+func (s *Server) Backend() driver.Backend { return s.drv.Backend() }
 
 // TrustModule exposes the Trust Module (provisioning and tests).
 func (s *Server) TrustModule() *trust.Module { return s.tm }
@@ -480,5 +512,5 @@ func (s *Server) Measure(req wire.MeasureRequest) (*wire.Evidence, error) {
 	if err != nil {
 		return nil, err
 	}
-	return wire.BuildEvidence(sess, req.Vid, req.Req, ms, req.N3), nil
+	return wire.BuildEvidence(sess, req.Vid, req.Req, ms, req.N3, string(s.drv.Backend())), nil
 }

@@ -1,0 +1,294 @@
+// Package driver defines the pluggable trust-backend subsystem. The paper
+// models the Trust Module as a single TPM-like device per cloud server, but
+// real clouds attest heterogeneous hardware — hardware TPMs, per-VM virtual
+// TPMs, SEV-SNP confidential VMs — through per-backend drivers (cf. "Remote
+// attestation of SEV-SNP confidential VMs using e-vTPMs", arXiv:2303.16463).
+//
+// A Driver is the attester side: it provisions the backend's attestation
+// key, measures the platform boot chain and VM images, and produces the
+// platform evidence (quote, vTPM quote, or attestation report) bound to the
+// verifier's nonce. The verifier side is the per-backend startup appraiser
+// plus the capability map: which security properties of the paper's catalog
+// the backend can evidence at all. A property outside a backend's
+// capability map yields the paper's V_fail — `unattestable` — rather than a
+// healthy-or-compromised verdict.
+//
+// Backends self-register from their package init, so linking a backend
+// package (tpmdrv, vtpmdrv, sevsnp) is what makes it available; the
+// backend type travels in wire messages, ledger entries, traces and
+// metrics end to end.
+package driver
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"cloudmonatt/internal/cryptoutil"
+	"cloudmonatt/internal/properties"
+	"cloudmonatt/internal/tpm"
+)
+
+// Backend names one trust-backend type. The string form is what travels in
+// wire messages and ledger payloads.
+type Backend string
+
+const (
+	// BackendTPM is the paper's Trust Module: a hardware TPM measuring the
+	// platform boot chain, quoting under the module's AIK.
+	BackendTPM Backend = "tpm"
+	// BackendVTPM is pre-CloudMonatt virtual-TPM multiplexing (paper §2.2):
+	// each VM gets a software TPM whose vAIK the hardware root endorses.
+	BackendVTPM Backend = "vtpm"
+	// BackendSEVSNP is a simulated SEV-SNP confidential-VM backend: evidence
+	// is a launch measurement + platform version (TCB/firmware SVN) report
+	// signed by a VCEK-style per-server key.
+	BackendSEVSNP Backend = "sev-snp"
+)
+
+// ParseBackend resolves a backend name to a registered backend type.
+func ParseBackend(s string) (Backend, error) {
+	b := Backend(s)
+	regMu.RLock()
+	_, ok := registry[b]
+	regMu.RUnlock()
+	if !ok {
+		return "", fmt.Errorf("driver: unknown trust backend %q (have %v)", s, Backends())
+	}
+	return b, nil
+}
+
+// TCBVersion is the platform security-version vector a confidential-VM
+// backend reports: the secure-processor bootloader, trusted OS, SNP
+// firmware and microcode SVNs. A platform is acceptable only if every
+// component is at or above the verifier's floor — the defense against the
+// "Insecure Until Proven Updated" firmware-rollback attack
+// (arXiv:1908.11680).
+type TCBVersion struct {
+	Bootloader uint8
+	TEE        uint8
+	SNP        uint8
+	Microcode  uint8
+}
+
+// AtLeast reports whether every component of t meets the floor min.
+func (t TCBVersion) AtLeast(min TCBVersion) bool {
+	return t.Bootloader >= min.Bootloader && t.TEE >= min.TEE &&
+		t.SNP >= min.SNP && t.Microcode >= min.Microcode
+}
+
+// IsZero reports whether no version is set.
+func (t TCBVersion) IsZero() bool { return t == TCBVersion{} }
+
+// String renders the vector as bootloader.tee.snp.microcode.
+func (t TCBVersion) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", t.Bootloader, t.TEE, t.SNP, t.Microcode)
+}
+
+// Config provisions a driver for one cloud server.
+type Config struct {
+	// ServerName names the server the backend is rooted in.
+	ServerName string
+	// Rand is the entropy source for backend key generation.
+	Rand io.Reader
+	// TPM, when the server already provisioned a Trust Module, is its
+	// embedded TPM; the tpm backend roots in it so evidence matches the
+	// module's AIK. Other backends ignore it.
+	TPM *tpm.TPM
+	// TCB is the platform security version a confidential-VM backend
+	// reports (zero = the backend's fleet-current version). Setting an old
+	// version models a stale-firmware / rollback scenario.
+	TCB TCBVersion
+}
+
+// Driver is the attester side of one trust backend on one cloud server.
+type Driver interface {
+	// Backend returns the backend type.
+	Backend() Backend
+	// AttestationKey is the public key the verifier checks platform
+	// evidence under (TPM AIK, vTPM hardware endorsement key, or VCEK),
+	// registered in the Attestation Server's database at provisioning.
+	AttestationKey() []byte
+	// BootMeasure records one platform boot-chain component into the
+	// backend's measurement store. Backends whose evidence does not cover
+	// the host platform accept and ignore it.
+	BootMeasure(name string, data []byte) error
+	// AddVM records a VM's pristine image measurement before launch.
+	AddVM(vid string, imageDigest [32]byte) error
+	// RemoveVM forgets a VM (termination or migration away).
+	RemoveVM(vid string)
+	// PlatformEvidence produces the backend's platform/startup evidence for
+	// the VM, bound to the verifier's nonce.
+	PlatformEvidence(vid string, nonce cryptoutil.Nonce) (properties.Measurement, error)
+}
+
+// Refs are the verifier-side appraisal references for one VM's startup
+// evidence (the backend-relevant subset of interpret.References, kept free
+// of an interpret import so backends stay leaf packages).
+type Refs struct {
+	// AttestationKey is the registered key for the attested server.
+	AttestationKey []byte
+	// PlatformGolden maps platform component names to known-good digests.
+	PlatformGolden map[string][32]byte
+	// ApprovedVersions lists additional acceptable platform catalogs.
+	ApprovedVersions []map[string][32]byte
+	// ExpectedImage is the pristine digest of the VM's image.
+	ExpectedImage [32]byte
+	// Vid is the attested VM's identifier.
+	Vid string
+	// MinTCB is the minimum acceptable platform security version for
+	// confidential-VM backends (zero accepts any version).
+	MinTCB TCBVersion
+}
+
+// AppraiseFunc appraises a backend's startup evidence into a verdict.
+type AppraiseFunc func(ms []properties.Measurement, nonce cryptoutil.Nonce, refs Refs) properties.Verdict
+
+// Registration describes one backend to the registry.
+type Registration struct {
+	// New opens the backend's driver on a cloud server.
+	New func(Config) (Driver, error)
+	// Caps is the backend's capability map: for each built-in property it
+	// can evidence, the measurement request that backs it. A built-in
+	// property absent from the map is unattestable on this backend.
+	Caps map[properties.Property]properties.Request
+	// AppraiseStartup is the verifier-side interpreter for the backend's
+	// startup evidence.
+	AppraiseStartup AppraiseFunc
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[Backend]Registration{}
+)
+
+// Register installs a backend. Backends register from init; a duplicate
+// registration is a programming error.
+func Register(b Backend, reg Registration) error {
+	if b == "" || reg.New == nil || reg.AppraiseStartup == nil {
+		return fmt.Errorf("driver: incomplete registration for backend %q", b)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[b]; dup {
+		return fmt.Errorf("driver: backend %q already registered", b)
+	}
+	registry[b] = reg
+	return nil
+}
+
+// MustRegister is Register for package init paths.
+func MustRegister(b Backend, reg Registration) {
+	if err := Register(b, reg); err != nil {
+		panic(err)
+	}
+}
+
+// Backends lists the registered backend types in stable order.
+func Backends() []Backend {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Backend, 0, len(registry))
+	for b := range registry {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func lookup(b Backend) (Registration, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	reg, ok := registry[b]
+	return reg, ok
+}
+
+// Open provisions the backend's driver on a cloud server.
+func Open(b Backend, cfg Config) (Driver, error) {
+	reg, ok := lookup(b)
+	if !ok {
+		return nil, fmt.Errorf("driver: unknown trust backend %q (have %v)", b, Backends())
+	}
+	return reg.New(cfg)
+}
+
+// builtin reports whether p is one of the paper's built-in properties.
+func builtin(p properties.Property) bool {
+	for _, q := range properties.All {
+		if p == q {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrUnattestable marks a property a backend cannot evidence: the paper's
+// V_fail outcome, distinct from both healthy and compromised.
+var ErrUnattestable = errors.New("driver: property not attestable on this backend")
+
+// Attestable reports whether backend b can evidence property p at all.
+// Custom (registered-extension) properties are collected and interpreted by
+// backend-independent monitor tools, so every backend attests them.
+func Attestable(b Backend, p properties.Property) bool {
+	if !builtin(p) {
+		return true
+	}
+	reg, ok := lookup(b)
+	if !ok {
+		return false
+	}
+	_, ok = reg.Caps[p]
+	return ok
+}
+
+// AttestableProps lists the built-in properties backend b can evidence, in
+// the catalog's order (the server's monitoring capabilities as provisioned
+// in the Attestation Server and controller databases).
+func AttestableProps(b Backend) []properties.Property {
+	reg, ok := lookup(b)
+	if !ok {
+		return nil
+	}
+	var out []properties.Property
+	for _, p := range properties.All {
+		if _, ok := reg.Caps[p]; ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// MapToMeasurements is the per-backend property→measurement mapping (paper
+// §4.1 generalized across backend types): the measurement request rM that
+// evidences p on backend b. Unattestable built-ins return ErrUnattestable;
+// custom properties fall back to the extension registry's mapping.
+func MapToMeasurements(b Backend, p properties.Property) (properties.Request, error) {
+	reg, ok := lookup(b)
+	if !ok {
+		return properties.Request{}, fmt.Errorf("driver: unknown trust backend %q", b)
+	}
+	if req, ok := reg.Caps[p]; ok {
+		return req, nil
+	}
+	if builtin(p) {
+		return properties.Request{}, fmt.Errorf("%w: %s on %s", ErrUnattestable, p, b)
+	}
+	return properties.MapToMeasurements(p)
+}
+
+// AppraiseStartup dispatches startup-evidence appraisal to backend b's
+// interpreter.
+func AppraiseStartup(b Backend, ms []properties.Measurement, nonce cryptoutil.Nonce, refs Refs) properties.Verdict {
+	reg, ok := lookup(b)
+	if !ok {
+		return properties.Verdict{
+			Property: properties.StartupIntegrity,
+			Healthy:  false,
+			Class:    properties.FailurePlatform,
+			Reason:   fmt.Sprintf("unknown trust backend %q", b),
+		}
+	}
+	return reg.AppraiseStartup(ms, nonce, refs)
+}

@@ -1,0 +1,241 @@
+// Package tpmdrv is the trust-backend driver for the paper's own Trust
+// Module: a hardware TPM as the Integrity Measurement Unit's storage root.
+// The attester side measures the platform boot chain and VM images into
+// the TPM's PCRs and quotes them under the module's AIK; the verifier side
+// is the measured-boot appraisal of case study I — quote verification, log
+// replay, and component-by-component comparison against known-good builds.
+package tpmdrv
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cloudmonatt/internal/cryptoutil"
+	"cloudmonatt/internal/properties"
+	"cloudmonatt/internal/tpm"
+	"cloudmonatt/internal/trust/driver"
+)
+
+func init() {
+	caps := make(map[properties.Property]properties.Request, len(properties.All))
+	for _, p := range properties.All {
+		req, err := properties.MapToMeasurements(p)
+		if err != nil {
+			panic(err)
+		}
+		// The Trust Module backend evidences the full catalog; its mapping
+		// is exactly the canonical one of paper §4.1.
+		caps[p] = req
+	}
+	driver.MustRegister(driver.BackendTPM, driver.Registration{
+		New:             New,
+		Caps:            caps,
+		AppraiseStartup: AppraiseStartup,
+	})
+}
+
+// Driver roots platform evidence in a (hardware) TPM.
+type Driver struct {
+	t *tpm.TPM
+}
+
+// New opens the backend. When the server already provisioned a Trust
+// Module, its embedded TPM is passed in so evidence verifies under the
+// module's registered AIK; otherwise a fresh TPM is initialised.
+func New(cfg driver.Config) (driver.Driver, error) {
+	t := cfg.TPM
+	if t == nil {
+		var err error
+		t, err = tpm.New(cfg.Rand)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Driver{t: t}, nil
+}
+
+// Backend implements driver.Driver.
+func (d *Driver) Backend() driver.Backend { return driver.BackendTPM }
+
+// AttestationKey returns the TPM's AIK.
+func (d *Driver) AttestationKey() []byte { return d.t.AIK() }
+
+// componentPCR maps a platform component to the PCR it extends.
+func componentPCR(name string) int {
+	switch name {
+	case "firmware":
+		return tpm.PCRFirmware
+	case "hypervisor":
+		return tpm.PCRHypervisor
+	case "host-os":
+		return tpm.PCRHostOS
+	default:
+		return tpm.PCRConfig
+	}
+}
+
+// BootMeasure measures a platform component into its boot-chain PCR.
+func (d *Driver) BootMeasure(name string, data []byte) error {
+	if _, err := d.t.Measure(componentPCR(name), name, data); err != nil {
+		return fmt.Errorf("tpmdrv: measuring %s: %w", name, err)
+	}
+	return nil
+}
+
+// AddVM extends the VM's pristine image digest into the image PCR.
+func (d *Driver) AddVM(vid string, imageDigest [32]byte) error {
+	return d.t.Extend(tpm.PCRVMImage, "vm-image-"+vid, imageDigest)
+}
+
+// RemoveVM implements driver.Driver. PCR history is append-only: the image
+// extension stays in the log, exactly as the Trust Module behaved.
+func (d *Driver) RemoveVM(string) {}
+
+// PlatformEvidence produces the measured-boot evidence: a TPM quote over
+// the platform PCRs bound to the verifier's nonce, plus the measurement
+// log that explains it.
+func (d *Driver) PlatformEvidence(_ string, nonce cryptoutil.Nonce) (properties.Measurement, error) {
+	pcrs := []int{tpm.PCRFirmware, tpm.PCRHypervisor, tpm.PCRHostOS, tpm.PCRConfig, tpm.PCRVMImage}
+	q, err := d.t.GenerateQuote(pcrs, nonce)
+	if err != nil {
+		return properties.Measurement{}, err
+	}
+	meas := properties.Measurement{Kind: properties.KindPlatformQuote, QuoteSig: q.Sig}
+	for i, p := range q.PCRs {
+		meas.QuotePCR = append(meas.QuotePCR, uint32(p))
+		meas.QuoteVal = append(meas.QuoteVal, q.Values[i])
+	}
+	for _, e := range d.t.Log() {
+		meas.LogNames = append(meas.LogNames, fmt.Sprintf("%d:%s", e.PCR, e.Description))
+		meas.LogSums = append(meas.LogSums, e.Measurement)
+	}
+	return meas, nil
+}
+
+func unhealthy(class properties.FailureClass, reason string, details map[string]string) properties.Verdict {
+	return properties.Verdict{Property: properties.StartupIntegrity, Healthy: false, Class: class, Reason: reason, Details: details}
+}
+
+// AppraiseStartup appraises the platform quote and the VM image digest
+// (case study I). The verdict distinguishes a compromised platform from a
+// compromised image because the remediation differs (reschedule vs.
+// reject, paper §5.1).
+func AppraiseStartup(ms []properties.Measurement, nonce cryptoutil.Nonce, refs driver.Refs) properties.Verdict {
+	quote, ok := find(ms, properties.KindPlatformQuote)
+	if !ok {
+		return unhealthy(properties.FailurePlatform, "missing platform quote", nil)
+	}
+	img, ok := find(ms, properties.KindImageDigest)
+	if !ok {
+		return unhealthy(properties.FailureImage, "missing image digest", nil)
+	}
+
+	// 1. The quote signature must verify under the server's TPM AIK and be
+	// bound to our nonce.
+	q := &tpm.Quote{Nonce: nonce, Sig: quote.QuoteSig}
+	for i, pcr := range quote.QuotePCR {
+		q.PCRs = append(q.PCRs, int(pcr))
+		q.Values = append(q.Values, quote.QuoteVal[i])
+	}
+	if err := tpm.VerifyQuote(q, ed25519.PublicKey(refs.AttestationKey), nonce); err != nil {
+		return unhealthy(properties.FailurePlatform, "platform quote rejected: "+err.Error(), nil)
+	}
+
+	// 2. The measurement log must explain the quoted PCR values.
+	events, err := parseLog(quote)
+	if err != nil {
+		return unhealthy(properties.FailurePlatform, err.Error(), nil)
+	}
+	replayed := tpm.ReplayLog(events)
+	for i, pcr := range q.PCRs {
+		if replayed[pcr] != q.Values[i] {
+			return unhealthy(properties.FailurePlatform, fmt.Sprintf("measurement log does not explain PCR %d", pcr), nil)
+		}
+	}
+
+	// 3. Every logged platform component must be known-good; our VM's image
+	// entry must match the expected image. (Other VMs' image entries are
+	// appraised by their own attestations.)
+	for i, e := range events {
+		desc := quote.LogNames[i]
+		name := desc[strings.Index(desc, ":")+1:]
+		if strings.HasPrefix(name, "vm-image-") {
+			if name == "vm-image-"+refs.Vid && !cryptoutil.ConstEqual(e.Measurement[:], refs.ExpectedImage[:]) {
+				return unhealthy(properties.FailureImage, "VM image measurement differs from pristine image",
+					map[string]string{"component": name})
+			}
+			continue
+		}
+		if !approvedComponent(refs, name, e.Measurement) {
+			if _, known := refs.PlatformGolden[name]; !known && !knownInAnyVersion(refs, name) {
+				return unhealthy(properties.FailurePlatform, "unknown software measured into platform",
+					map[string]string{"component": name})
+			}
+			return unhealthy(properties.FailurePlatform, "platform component differs from known-good build",
+				map[string]string{"component": name})
+		}
+	}
+
+	// 4. Belt and braces: the directly reported image digest must also match.
+	if !cryptoutil.ConstEqual(img.Digest[:], refs.ExpectedImage[:]) {
+		return unhealthy(properties.FailureImage, "VM image digest mismatch", nil)
+	}
+	return properties.Verdict{Property: properties.StartupIntegrity, Healthy: true,
+		Reason: "platform and VM image match known-good measurements"}
+}
+
+func find(ms []properties.Measurement, kind properties.MeasurementKind) (properties.Measurement, bool) {
+	for _, m := range ms {
+		if m.Kind == kind {
+			return m, true
+		}
+	}
+	return properties.Measurement{}, false
+}
+
+// approvedComponent checks a measured component against every approved
+// catalog.
+func approvedComponent(refs driver.Refs, name string, m [32]byte) bool {
+	if golden, ok := refs.PlatformGolden[name]; ok && cryptoutil.ConstEqual(m[:], golden[:]) {
+		return true
+	}
+	for _, cat := range refs.ApprovedVersions {
+		if golden, ok := cat[name]; ok && cryptoutil.ConstEqual(m[:], golden[:]) {
+			return true
+		}
+	}
+	return false
+}
+
+// knownInAnyVersion reports whether any approved catalog names the component.
+func knownInAnyVersion(refs driver.Refs, name string) bool {
+	for _, cat := range refs.ApprovedVersions {
+		if _, ok := cat[name]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// parseLog reconstructs TPM events from the measurement's
+// "pcr:description" encoded log names.
+func parseLog(m properties.Measurement) ([]tpm.Event, error) {
+	if len(m.LogNames) != len(m.LogSums) {
+		return nil, fmt.Errorf("malformed measurement log")
+	}
+	events := make([]tpm.Event, len(m.LogNames))
+	for i, n := range m.LogNames {
+		idx := strings.Index(n, ":")
+		if idx <= 0 {
+			return nil, fmt.Errorf("malformed log entry %q", n)
+		}
+		pcr, err := strconv.Atoi(n[:idx])
+		if err != nil {
+			return nil, fmt.Errorf("malformed log entry %q", n)
+		}
+		events[i] = tpm.Event{PCR: pcr, Description: n[idx+1:], Measurement: m.LogSums[i]}
+	}
+	return events, nil
+}

@@ -1,0 +1,187 @@
+// Package vtpmdrv is the trust-backend driver for pre-CloudMonatt virtual
+// TPM multiplexing (paper §2.2, [8]): each VM gets its own software TPM
+// whose attestation key (vAIK) the hardware root endorses. Its startup
+// evidence is a vTPM quote over the VM's image PCR.
+//
+// The capability gap is the point (and is what the paper's critique of
+// vTPM attestation predicts): the evidence chain covers the VM, not the
+// hosting environment. BootMeasure is accepted but produces nothing a
+// verifier sees — a trojaned hypervisor is invisible to this backend — and
+// the scheduler-level monitors backed by Trust Evidence Registers
+// (covert-channel freedom, CPU availability) are absent from its
+// capability map, so those properties appraise as unattestable (V_fail).
+package vtpmdrv
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cloudmonatt/internal/cryptoutil"
+	"cloudmonatt/internal/properties"
+	"cloudmonatt/internal/tpm"
+	"cloudmonatt/internal/trust/driver"
+	"cloudmonatt/internal/vtpm"
+)
+
+func init() {
+	driver.MustRegister(driver.BackendVTPM, driver.Registration{
+		New: New,
+		Caps: map[properties.Property]properties.Request{
+			properties.StartupIntegrity: {Kinds: []properties.MeasurementKind{properties.KindVTPMQuote, properties.KindImageDigest}},
+			// VM introspection is hypervisor-level and needs no trust
+			// hardware, so runtime integrity survives on this backend.
+			properties.RuntimeIntegrity: {Kinds: []properties.MeasurementKind{properties.KindTaskList}},
+		},
+		AppraiseStartup: AppraiseStartup,
+	})
+}
+
+// Driver multiplexes per-VM virtual TPMs on one hardware endorsement root.
+type Driver struct {
+	mgr *vtpm.Manager
+}
+
+// New provisions the vTPM manager and its hardware endorsement key.
+func New(cfg driver.Config) (driver.Driver, error) {
+	mgr, err := vtpm.NewManager(cfg.ServerName, cfg.Rand)
+	if err != nil {
+		return nil, err
+	}
+	return &Driver{mgr: mgr}, nil
+}
+
+// Backend implements driver.Driver.
+func (d *Driver) Backend() driver.Backend { return driver.BackendVTPM }
+
+// AttestationKey returns the hardware endorsement-verification key the
+// verifier checks vAIK endorsements under.
+func (d *Driver) AttestationKey() []byte { return d.mgr.HardwareKey() }
+
+// BootMeasure implements driver.Driver. The vTPM evidence chain does not
+// cover the host platform, so platform components are accepted and
+// dropped — the measurement gap the paper's §2.2 critique describes.
+func (d *Driver) BootMeasure(string, []byte) error { return nil }
+
+// AddVM provisions the VM's virtual TPM, endorses its vAIK, and extends
+// the pristine image digest into the vTPM's image PCR.
+func (d *Driver) AddVM(vid string, imageDigest [32]byte) error {
+	inst, err := d.mgr.Create(vid)
+	if err != nil {
+		return err
+	}
+	return inst.TPM.Extend(tpm.PCRVMImage, "vm-image-"+vid, imageDigest)
+}
+
+// RemoveVM destroys the VM's vTPM instance.
+func (d *Driver) RemoveVM(vid string) { d.mgr.Destroy(vid) }
+
+// PlatformEvidence produces a vTPM quote over the VM's image PCR bound to
+// the verifier's nonce, carrying the vAIK and its hardware endorsement so
+// the verifier can chain the quote to the physical root of trust.
+func (d *Driver) PlatformEvidence(vid string, nonce cryptoutil.Nonce) (properties.Measurement, error) {
+	inst, err := d.mgr.Get(vid)
+	if err != nil {
+		return properties.Measurement{}, err
+	}
+	q, err := inst.TPM.GenerateQuote([]int{tpm.PCRVMImage}, nonce)
+	if err != nil {
+		return properties.Measurement{}, err
+	}
+	meas := properties.Measurement{
+		Kind:     properties.KindVTPMQuote,
+		QuoteSig: q.Sig,
+		VKey:     append([]byte(nil), inst.TPM.AIK()...),
+		Endorse:  append([]byte(nil), inst.Endorsement...),
+	}
+	for i, p := range q.PCRs {
+		meas.QuotePCR = append(meas.QuotePCR, uint32(p))
+		meas.QuoteVal = append(meas.QuoteVal, q.Values[i])
+	}
+	for _, e := range inst.TPM.Log() {
+		meas.LogNames = append(meas.LogNames, fmt.Sprintf("%d:%s", e.PCR, e.Description))
+		meas.LogSums = append(meas.LogSums, e.Measurement)
+	}
+	return meas, nil
+}
+
+func unhealthy(class properties.FailureClass, reason string, details map[string]string) properties.Verdict {
+	return properties.Verdict{Property: properties.StartupIntegrity, Healthy: false, Class: class, Reason: reason, Details: details}
+}
+
+// AppraiseStartup verifies the endorsement chain (hardware root → vAIK),
+// the quote under the vAIK, the log replay, and the VM image. Note what is
+// *not* here: no platform components are appraised, because none are in
+// the evidence — the backend's documented blind spot.
+func AppraiseStartup(ms []properties.Measurement, nonce cryptoutil.Nonce, refs driver.Refs) properties.Verdict {
+	quote, ok := find(ms, properties.KindVTPMQuote)
+	if !ok {
+		return unhealthy(properties.FailurePlatform, "missing vTPM quote", nil)
+	}
+	img, ok := find(ms, properties.KindImageDigest)
+	if !ok {
+		return unhealthy(properties.FailureImage, "missing image digest", nil)
+	}
+	vaik := ed25519.PublicKey(quote.VKey)
+	if err := vtpm.VerifyEndorsement(ed25519.PublicKey(refs.AttestationKey), refs.Vid, vaik, quote.Endorse); err != nil {
+		return unhealthy(properties.FailurePlatform, "vAIK endorsement rejected: "+err.Error(), nil)
+	}
+	q := &tpm.Quote{Nonce: nonce, Sig: quote.QuoteSig}
+	for i, pcr := range quote.QuotePCR {
+		q.PCRs = append(q.PCRs, int(pcr))
+		q.Values = append(q.Values, quote.QuoteVal[i])
+	}
+	if err := tpm.VerifyQuote(q, vaik, nonce); err != nil {
+		return unhealthy(properties.FailurePlatform, "vTPM quote rejected: "+err.Error(), nil)
+	}
+
+	// The vTPM log must explain the quoted PCR and carry our image entry.
+	if len(quote.LogNames) != len(quote.LogSums) {
+		return unhealthy(properties.FailurePlatform, "malformed vTPM measurement log", nil)
+	}
+	events := make([]tpm.Event, len(quote.LogNames))
+	imageSeen := false
+	for i, n := range quote.LogNames {
+		idx := strings.Index(n, ":")
+		if idx <= 0 {
+			return unhealthy(properties.FailurePlatform, fmt.Sprintf("malformed vTPM log entry %q", n), nil)
+		}
+		pcr, err := strconv.Atoi(n[:idx])
+		if err != nil {
+			return unhealthy(properties.FailurePlatform, fmt.Sprintf("malformed vTPM log entry %q", n), nil)
+		}
+		desc := n[idx+1:]
+		events[i] = tpm.Event{PCR: pcr, Description: desc, Measurement: quote.LogSums[i]}
+		if desc == "vm-image-"+refs.Vid {
+			imageSeen = true
+			if !cryptoutil.ConstEqual(quote.LogSums[i][:], refs.ExpectedImage[:]) {
+				return unhealthy(properties.FailureImage, "VM image measurement differs from pristine image",
+					map[string]string{"component": desc})
+			}
+		}
+	}
+	replayed := tpm.ReplayLog(events)
+	for i, pcr := range q.PCRs {
+		if replayed[pcr] != q.Values[i] {
+			return unhealthy(properties.FailurePlatform, fmt.Sprintf("vTPM log does not explain PCR %d", pcr), nil)
+		}
+	}
+	if !imageSeen {
+		return unhealthy(properties.FailureImage, "vTPM log carries no measurement for this VM's image", nil)
+	}
+	if !cryptoutil.ConstEqual(img.Digest[:], refs.ExpectedImage[:]) {
+		return unhealthy(properties.FailureImage, "VM image digest mismatch", nil)
+	}
+	return properties.Verdict{Property: properties.StartupIntegrity, Healthy: true,
+		Reason: "vTPM quote chains to the hardware root and the VM image matches (host platform not covered by this backend)"}
+}
+
+func find(ms []properties.Measurement, kind properties.MeasurementKind) (properties.Measurement, bool) {
+	for _, m := range ms {
+		if m.Kind == kind {
+			return m, true
+		}
+	}
+	return properties.Measurement{}, false
+}

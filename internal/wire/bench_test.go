@@ -47,7 +47,7 @@ func BenchmarkAblationPerSessionKeys(b *testing.B) {
 		}
 		sess.Cert = cert
 		n3 := cryptoutil.MustNonce()
-		ev := BuildEvidence(sess, "vm-1", req, ms, n3)
+		ev := BuildEvidence(sess, "vm-1", req, ms, n3, "tpm")
 		if err := VerifyEvidence(ev, ca.Name(), ca.PublicKey(), "vm-1", req, n3); err != nil {
 			b.Fatal(err)
 		}
@@ -72,7 +72,7 @@ func BenchmarkAblationLongLivedKey(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n3 := cryptoutil.MustNonce()
-		ev := BuildEvidence(sess, "vm-1", req, ms, n3)
+		ev := BuildEvidence(sess, "vm-1", req, ms, n3, "tpm")
 		if err := VerifyEvidence(ev, ca.Name(), ca.PublicKey(), "vm-1", req, n3); err != nil {
 			b.Fatal(err)
 		}

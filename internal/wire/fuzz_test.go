@@ -49,6 +49,7 @@ func wireSeeds() [][]byte {
 		Measurements: ms,
 		N3:           n3,
 		Q3:           wire.ComputeQ3("vm-1", req, ms, n3),
+		Backend:      "tpm",
 	}
 	msgs := []any{
 		wire.AttestRequest{Vid: "vm-1", Prop: properties.RuntimeIntegrity, N1: n1},

@@ -18,7 +18,7 @@ func TestEvidenceGobRoundTrip(t *testing.T) {
 	f := newFixture(t)
 	req, ms := sampleMeasurements()
 	n3 := cryptoutil.MustNonce()
-	ev := BuildEvidence(f.sess, "vm-1", req, ms, n3)
+	ev := BuildEvidence(f.sess, "vm-1", req, ms, n3, "tpm")
 	body, err := rpc.Encode(ev)
 	if err != nil {
 		t.Fatal(err)
@@ -53,7 +53,7 @@ func TestEvidenceWithAllMeasurementKindsRoundTrips(t *testing.T) {
 		{Kind: properties.KindCPUTime, CPUTime: 480 * time.Millisecond, WallTime: time.Second},
 	}
 	n3 := cryptoutil.MustNonce()
-	ev := BuildEvidence(f.sess, "vm-1", req, ms, n3)
+	ev := BuildEvidence(f.sess, "vm-1", req, ms, n3, "tpm")
 	body, err := rpc.Encode(ev)
 	if err != nil {
 		t.Fatal(err)

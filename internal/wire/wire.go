@@ -83,13 +83,17 @@ type MeasureRequest struct {
 // --- cloud server → attestation server ---
 
 // Evidence is the cloud server's signed measurement report:
-// [Vid, rM, M, N3, Q3]_ASKs plus the pCA certificate for AVKs.
+// [Vid, rM, M, N3, Q3]_ASKs plus the pCA certificate for AVKs. Backend
+// names the trust backend that rooted the measurements ("tpm", "vtpm",
+// "sev-snp"); it is bound by the evidence signature, so the appraiser can
+// cross-check it against the server's provisioned backend type.
 type Evidence struct {
 	Vid          string
 	Req          properties.Request
 	Measurements []properties.Measurement
 	N3           cryptoutil.Nonce
 	Q3           [32]byte
+	Backend      string
 	AVK          []byte
 	Cert         *cryptoutil.Certificate
 	Sig          []byte
@@ -102,19 +106,21 @@ func ComputeQ3(vid string, req properties.Request, ms []properties.Measurement, 
 
 func evidenceBody(e *Evidence) []byte {
 	sum := cryptoutil.Hash("evidence",
-		[]byte(e.Vid), e.Req.Encode(), properties.EncodeAll(e.Measurements), e.N3[:], e.Q3[:], e.AVK)
+		[]byte(e.Vid), e.Req.Encode(), properties.EncodeAll(e.Measurements), e.N3[:], e.Q3[:], []byte(e.Backend), e.AVK)
 	return sum[:]
 }
 
 // BuildEvidence assembles and signs the evidence with the Trust Module's
-// session attestation key.
-func BuildEvidence(sess *trust.Session, vid string, req properties.Request, ms []properties.Measurement, n3 cryptoutil.Nonce) *Evidence {
+// session attestation key. backend names the trust backend that rooted the
+// measurements.
+func BuildEvidence(sess *trust.Session, vid string, req properties.Request, ms []properties.Measurement, n3 cryptoutil.Nonce, backend string) *Evidence {
 	e := &Evidence{
 		Vid:          vid,
 		Req:          req,
 		Measurements: ms,
 		N3:           n3,
 		Q3:           ComputeQ3(vid, req, ms, n3),
+		Backend:      backend,
 		AVK:          append([]byte(nil), sess.Public()...),
 		Cert:         sess.Cert,
 	}

@@ -62,7 +62,7 @@ func TestEvidenceRoundTrip(t *testing.T) {
 	f := newFixture(t)
 	req, ms := sampleMeasurements()
 	n3 := cryptoutil.MustNonce()
-	ev := BuildEvidence(f.sess, "vm-1", req, ms, n3)
+	ev := BuildEvidence(f.sess, "vm-1", req, ms, n3, "tpm")
 	if err := VerifyEvidence(ev, f.ca.Name(), f.ca.PublicKey(), "vm-1", req, n3); err != nil {
 		t.Fatalf("genuine evidence rejected: %v", err)
 	}
@@ -74,20 +74,20 @@ func TestEvidenceRejectsTampering(t *testing.T) {
 	n3 := cryptoutil.MustNonce()
 
 	// Tampered measurement (attacker inflates the CPU time).
-	ev := BuildEvidence(f.sess, "vm-1", req, ms, n3)
+	ev := BuildEvidence(f.sess, "vm-1", req, ms, n3, "tpm")
 	ev.Measurements[0].CPUTime = time.Second
 	if err := VerifyEvidence(ev, f.ca.Name(), f.ca.PublicKey(), "vm-1", req, n3); err == nil {
 		t.Fatal("tampered measurements accepted")
 	}
 
 	// Wrong VM.
-	ev = BuildEvidence(f.sess, "vm-1", req, ms, n3)
+	ev = BuildEvidence(f.sess, "vm-1", req, ms, n3, "tpm")
 	if err := VerifyEvidence(ev, f.ca.Name(), f.ca.PublicKey(), "vm-2", req, n3); err == nil {
 		t.Fatal("evidence accepted for the wrong VM")
 	}
 
 	// Replayed nonce.
-	ev = BuildEvidence(f.sess, "vm-1", req, ms, n3)
+	ev = BuildEvidence(f.sess, "vm-1", req, ms, n3, "tpm")
 	if err := VerifyEvidence(ev, f.ca.Name(), f.ca.PublicKey(), "vm-1", req, cryptoutil.MustNonce()); err == nil {
 		t.Fatal("evidence accepted with a stale nonce")
 	}
@@ -108,7 +108,7 @@ func TestEvidenceRejectsUncertifiedKey(t *testing.T) {
 		t.Fatal(err)
 	}
 	sess.Cert = nil
-	ev := BuildEvidence(sess, "vm-1", req, ms, n3)
+	ev := BuildEvidence(sess, "vm-1", req, ms, n3, "tpm")
 	if err := VerifyEvidence(ev, f.ca.Name(), f.ca.PublicKey(), "vm-1", req, n3); err == nil {
 		t.Fatal("evidence with uncertified attestation key accepted")
 	}
@@ -121,7 +121,7 @@ func TestEvidenceRejectsUncertifiedKey(t *testing.T) {
 		t.Fatal(err)
 	}
 	sess2.Cert = cert
-	ev = BuildEvidence(sess2, "vm-1", req, ms, n3)
+	ev = BuildEvidence(sess2, "vm-1", req, ms, n3, "tpm")
 	if err := VerifyEvidence(ev, f.ca.Name(), f.ca.PublicKey(), "vm-1", req, n3); err == nil {
 		t.Fatal("evidence certified by a rogue CA accepted")
 	}
@@ -133,7 +133,7 @@ func TestEvidenceKeySubstitution(t *testing.T) {
 	f := newFixture(t)
 	req, ms := sampleMeasurements()
 	n3 := cryptoutil.MustNonce()
-	ev := BuildEvidence(f.sess, "vm-1", req, ms, n3)
+	ev := BuildEvidence(f.sess, "vm-1", req, ms, n3, "tpm")
 	mallory := cryptoutil.MustIdentity("mallory")
 	ev.Measurements[0].CPUTime = 0
 	ev.Q3 = ComputeQ3(ev.Vid, ev.Req, ev.Measurements, ev.N3)
