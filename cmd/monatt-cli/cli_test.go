@@ -94,11 +94,21 @@ func TestCLIBinaryEndToEnd(t *testing.T) {
 		t.Fatalf("events output: %s", out)
 	}
 
+	statusOut := cli("vm", "status", "-vid", vid)
+	for _, want := range []string{vid, "state=active", "Placed", "Attested", "Healthy"} {
+		if !strings.Contains(statusOut, want) {
+			t.Fatalf("vm status output missing %q:\n%s", want, statusOut)
+		}
+	}
+
 	if out := cli("terminate", "-vid", vid); !strings.Contains(out, "terminated") {
 		t.Fatalf("terminate output: %s", out)
 	}
 	if out := cli("list"); !strings.Contains(out, "no VMs") {
 		t.Fatalf("list after terminate: %s", out)
+	}
+	if out := cli("vm", "status", "-vid", vid); !strings.Contains(out, "state=terminated") {
+		t.Fatalf("vm status after terminate: %s", out)
 	}
 }
 

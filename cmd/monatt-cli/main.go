@@ -19,6 +19,7 @@
 //	terminate -vid vm-0001
 //	list                 (this customer's VMs)
 //	events               (remediation responses executed on them)
+//	vm status -vid vm-0001   (reconcile view: lifecycle, placement, conditions)
 package main
 
 import (
@@ -98,7 +99,8 @@ func connect(path string, timeout time.Duration, retries int) (*cli, error) {
 		// Read-only queries are safe to blindly re-issue; mutations go
 		// through idempotency keys or fresh nonces below.
 		Idempotent: func(method string) bool {
-			return method == controller.MethodListVMs || method == controller.MethodListEvents
+			return method == controller.MethodListVMs || method == controller.MethodListEvents ||
+				method == controller.MethodVMStatus
 		},
 	})
 	c := &cli{client: client, ctrlKey: ctrlKey,
@@ -318,6 +320,37 @@ func main() {
 		for _, ev := range events {
 			fmt.Printf("t=%-8s %-11s %-8s prop=%-24s %.1fs  %s\n",
 				ev.At.Round(time.Millisecond), ev.Response, ev.Vid, ev.Prop, ev.Duration.Seconds(), ev.Reason)
+		}
+
+	case "vm", "status":
+		// "vm status" is the documented spelling; bare "status" works too.
+		if cmd == "vm" {
+			if len(args) < 1 || args[0] != "status" {
+				log.Fatal("usage: monatt-cli vm status -vid vm-0001")
+			}
+			args = args[1:]
+		}
+		fs := flag.NewFlagSet("status", flag.ExitOnError)
+		vid := fs.String("vid", "", "VM id")
+		fs.Parse(args)
+		var st wire.VMStatus
+		ctx, cancel := c.opCtx()
+		defer cancel()
+		if err := c.client.CallCtx(ctx, controller.MethodVMStatus, struct{ Vid string }{*vid}, &st); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s  owner=%s  server=%s  state=%s", st.Vid, st.Owner, st.Server, st.State)
+		if st.Deleted {
+			fmt.Printf("  deleted  finalized=%v", st.Finalized)
+		}
+		fmt.Println()
+		if len(st.Conditions) == 0 {
+			fmt.Println("no conditions recorded")
+			return
+		}
+		fmt.Printf("%-14s %-8s %-16s %s\n", "CONDITION", "STATUS", "REASON", "MESSAGE")
+		for _, cond := range st.Conditions {
+			fmt.Printf("%-14s %-8s %-16s %s\n", cond.Type, cond.Status, cond.Reason, cond.Message)
 		}
 
 	default:

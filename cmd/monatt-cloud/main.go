@@ -61,6 +61,7 @@ func main() {
 	periodicBuffer := flag.Int("periodic-buffer", 64, "undelivered periodic results kept per task (oldest dropped beyond this)")
 	adminAddr := flag.String("admin-addr", "", "serve the operator HTTP surface (/metrics, /healthz, /traces, /debug/pprof) on this address; empty disables it")
 	trustBackend := flag.String("trust-backend", "tpm", "comma-separated trust backends assigned to servers round-robin (tpm, vtpm, sev-snp); a mixed list gives a mixed fleet")
+	reattestEvery := flag.Duration("reattest-every", 0, "virtual-time interval for the reconcile loop to re-attest every active VM; 0 disables")
 	flag.Parse()
 
 	var backends []driver.Backend
@@ -98,6 +99,7 @@ func main() {
 			ServerInflight: *periodicServerCap,
 			ResultBuffer:   *periodicBuffer,
 		},
+		ReattestEvery: *reattestEvery,
 	})
 	if err != nil {
 		log.Fatalf("assembling cloud: %v", err)

@@ -93,6 +93,13 @@ type Options struct {
 	Periodic attestsrv.PeriodicConfig
 	// SpanCapacity bounds the shared span store (0 = obs default).
 	SpanCapacity int
+	// ReattestEvery, when positive, makes the controller's reconcile loop
+	// periodically re-attest every active VM's provisioned properties.
+	ReattestEvery time.Duration
+	// FailPoint, when set, is consulted at the controller's named crash
+	// points (crash injection for the recovery tests). RestartController
+	// builds the replacement controller without it, like a fresh process.
+	FailPoint func(point string) bool
 }
 
 // Testbed is the assembled cloud.
@@ -124,6 +131,14 @@ type Testbed struct {
 	tamperNext bool
 	nextCoVM   int
 	opts       Options // retained for customer client fault-tolerance knobs
+
+	// Assembly state retained so RestartController can rebuild the
+	// controller exactly as New did (same identity, same fleet), minus the
+	// failpoints — a fresh process recovering from the ledger.
+	ctrlID      *cryptoutil.Identity
+	attIDs      []*cryptoutil.Identity
+	serverAddrs map[string]string
+	attestAddrs []string
 }
 
 // serverName formats the i-th cloud server's name.
@@ -139,6 +154,9 @@ func New(opts Options) (*Testbed, error) {
 	}
 	if opts.Capacity == (server.Capacity{}) {
 		opts.Capacity = server.Capacity{VCPUs: 16, MemoryMB: 32768, DiskGB: 500}
+	}
+	if opts.AttestServers <= 0 {
+		opts.AttestServers = 1
 	}
 	kernel := sim.NewKernel(opts.Seed)
 	network := opts.Network
@@ -195,9 +213,6 @@ func New(opts Options) (*Testbed, error) {
 	tb.PCA = caSrv
 	caSrv.SetLedger(led, tb.Clock.Now)
 
-	if opts.AttestServers <= 0 {
-		opts.AttestServers = 1
-	}
 	ctrlID := cryptoutil.MustIdentity("cloud-controller")
 	tb.register("cloud-controller", ctrlID.Public())
 	attIDs := make([]*cryptoutil.Identity, opts.AttestServers)
@@ -296,47 +311,95 @@ func New(opts Options) (*Testbed, error) {
 		})
 	}
 
-	// Cloud Controller.
-	tb.Ctrl = controller.New(controller.Config{
-		Identity:    ctrlID,
-		Network:     tb.Net,
-		Clock:       tb.Clock,
-		Latency:     tb.Lat,
-		Images:      tb.Images,
-		Verify:      tb.Verify,
-		Rand:        rand.Reader,
-		AttestAddrs: attestAddrs,
-		Policy:      opts.Policy,
-		AutoRespond: true,
-		ImageTamper: tb.imageTamper,
-		Serialize:   &tb.opMu,
-		Ledger:      led,
-		CallTimeout: opts.CallTimeout,
-		Retry:       opts.Retry,
-		Breaker:     opts.Breaker,
-		Obs:         tb.Obs,
-	})
-	for i, id := range attIDs {
-		tb.Ctrl.SetAttestKeyFor(i, id.Public())
-	}
-	for i := 0; i < opts.Servers; i++ {
-		name := serverName(i)
-		tb.Ctrl.RegisterServer(controller.ServerEntry{
-			Name:     name,
-			Addr:     serverAddrs[name],
-			Capacity: opts.Capacity,
-			Props:    driver.AttestableProps(backendOf(i)),
-			Backend:  string(backendOf(i)),
-			Cluster:  i % opts.AttestServers,
-		})
-	}
+	// Cloud Controller. The construction recipe is retained on the testbed
+	// (newController) so a crash/restart test can build a replacement
+	// process against the same ledger and fleet.
+	tb.ctrlID = ctrlID
+	tb.attIDs = attIDs
+	tb.serverAddrs = serverAddrs
+	tb.attestAddrs = attestAddrs
+	tb.Ctrl = tb.newController(opts.FailPoint)
 	cl, ctrlAddr, err := listen("cloud-controller")
 	if err != nil {
 		return nil, err
 	}
 	tb.ControllerAddr = ctrlAddr
-	tb.Ctrl.Serve(cl, tb.Verify)
+	// The nova api endpoint outlives controller restarts: the listener
+	// dispatches to whichever controller currently backs the testbed, so
+	// customers keep their address (and the controller its identity)
+	// across a crash.
+	go rpc.Serve(cl, secchan.Config{Identity: ctrlID, Verify: tb.Verify, Rand: rand.Reader},
+		func(peer rpc.Peer, method string, body []byte) ([]byte, error) {
+			tb.mu.Lock()
+			ctrl := tb.Ctrl
+			tb.mu.Unlock()
+			return ctrl.Handler()(peer, method, body)
+		})
 	return tb, nil
+}
+
+// newController assembles a cloud controller against the testbed's fleet:
+// same identity, network, ledger, and server registry every time. fp is
+// the crash-injection hook; a restarted controller gets none, like a
+// freshly exec'd process.
+func (tb *Testbed) newController(fp func(string) bool) *controller.Controller {
+	backendOf := func(i int) driver.Backend {
+		if len(tb.opts.Backends) == 0 {
+			return driver.BackendTPM
+		}
+		return tb.opts.Backends[i%len(tb.opts.Backends)]
+	}
+	c := controller.New(controller.Config{
+		Identity:      tb.ctrlID,
+		Network:       tb.Net,
+		Clock:         tb.Clock,
+		Latency:       tb.Lat,
+		Images:        tb.Images,
+		Verify:        tb.Verify,
+		Rand:          rand.Reader,
+		AttestAddrs:   tb.attestAddrs,
+		Policy:        tb.opts.Policy,
+		AutoRespond:   true,
+		ImageTamper:   tb.imageTamper,
+		Serialize:     &tb.opMu,
+		Ledger:        tb.Ledger,
+		CallTimeout:   tb.opts.CallTimeout,
+		Retry:         tb.opts.Retry,
+		Breaker:       tb.opts.Breaker,
+		Obs:           tb.Obs,
+		ReattestEvery: tb.opts.ReattestEvery,
+		FailPoint:     fp,
+	})
+	for i, id := range tb.attIDs {
+		c.SetAttestKeyFor(i, id.Public())
+	}
+	for i := 0; i < tb.opts.Servers; i++ {
+		name := serverName(i)
+		c.RegisterServer(controller.ServerEntry{
+			Name:     name,
+			Addr:     tb.serverAddrs[name],
+			Capacity: tb.opts.Capacity,
+			Props:    driver.AttestableProps(backendOf(i)),
+			Backend:  string(backendOf(i)),
+			Cluster:  i % tb.opts.AttestServers,
+		})
+	}
+	return c
+}
+
+// RestartController simulates a controller crash and recovery: the old
+// controller's in-memory state is abandoned, a fresh controller (same
+// identity, no failpoints) is swapped behind the nova api endpoint, and
+// its ledger replay reconverges the fleet. Returns the replay error, if
+// any; the testbed always points at the new controller afterwards.
+func (tb *Testbed) RestartController() error {
+	tb.opMu.Lock()
+	defer tb.opMu.Unlock()
+	ctrl := tb.newController(nil)
+	tb.mu.Lock()
+	tb.Ctrl = ctrl
+	tb.mu.Unlock()
+	return ctrl.Recover()
 }
 
 // trojanedPlatform returns a platform stack with a modified hypervisor, as
@@ -407,7 +470,12 @@ func (tb *Testbed) RunFor(d time.Duration) {
 	defer tb.opMu.Unlock()
 	end := tb.Clock.Now() + d
 	for {
+		ctrl := tb.ctrl()
+		ctrl.ReconcileNow()
 		due, ok := tb.nextPeriodicDue()
+		if rDue, rOK := ctrl.NextReconcileDue(); rOK && (!ok || rDue < due) {
+			due, ok = rDue, true
+		}
 		if !ok || due > end {
 			break
 		}
@@ -421,6 +489,15 @@ func (tb *Testbed) RunFor(d time.Duration) {
 	if now := tb.Clock.Now(); now < end {
 		tb.Clock.Advance(end - now)
 	}
+	tb.ctrl().ReconcileNow()
+}
+
+// ctrl returns the currently installed controller; it changes across
+// RestartController, so kernel-driving loops re-read it each step.
+func (tb *Testbed) ctrl() *controller.Controller {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	return tb.Ctrl
 }
 
 // Health assembles the per-entity health report for the operator /healthz
@@ -697,6 +774,17 @@ func (cu *Customer) periodicCall(method, vid string, p properties.Property) ([]p
 		out = append(out, rep.Verdict)
 	}
 	return out, nil
+}
+
+// Status fetches the desired/observed state join the controller keeps for
+// one of the customer's VMs: lifecycle state, placement, the teardown
+// finalizer and the typed reconcile conditions.
+func (cu *Customer) Status(vid string) (wire.VMStatus, error) {
+	var st wire.VMStatus
+	ctx, cancel := cu.opCtx()
+	defer cancel()
+	err := cu.client.CallCtx(ctx, controller.MethodVMStatus, struct{ Vid string }{vid}, &st)
+	return st, err
 }
 
 // Terminate releases the VM (idempotency-keyed: never executed twice).

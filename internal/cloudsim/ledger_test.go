@@ -96,13 +96,41 @@ func TestEvidenceLedgerEndToEnd(t *testing.T) {
 		t.Fatalf("remediation entries %+v", rems)
 	}
 
+	// The control plane's two-phase intents: every begin must be matched by
+	// an end — an unmatched begin after a clean run would mean a torn
+	// intent without a crash.
+	ints, err := tb.Ledger.Query(ledger.Filter{Kind: ledger.KindIntent, Vid: res.Vid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := map[string]int{}
+	for _, e := range ints {
+		var ir struct {
+			Phase string `json:"phase"`
+			ID    string `json:"id"`
+		}
+		if err := json.Unmarshal(e.Payload, &ir); err != nil {
+			t.Fatalf("intent payload %s: %v", e.Payload, err)
+		}
+		if ir.Phase == "begin" {
+			open[ir.ID]++
+		} else {
+			open[ir.ID]--
+		}
+	}
+	for id, n := range open {
+		if n > 0 {
+			t.Fatalf("intent %s left torn (%d unmatched begins) without a crash", id, n)
+		}
+	}
+
 	// Querying by VM id alone interleaves all kinds for that VM, in order.
 	byVM, err := tb.Ledger.Query(ledger.Filter{Vid: res.Vid})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(byVM) != len(launches)+len(appr)+len(rems) {
-		t.Fatalf("by-vid query = %d entries, want %d", len(byVM), len(launches)+len(appr)+len(rems))
+	if len(byVM) != len(launches)+len(appr)+len(rems)+len(ints) {
+		t.Fatalf("by-vid query = %d entries, want %d", len(byVM), len(launches)+len(appr)+len(rems)+len(ints))
 	}
 	for i := 1; i < len(byVM); i++ {
 		if byVM[i].Seq <= byVM[i-1].Seq {

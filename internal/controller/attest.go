@@ -10,6 +10,7 @@ import (
 	"cloudmonatt/internal/ledger"
 	"cloudmonatt/internal/obs"
 	"cloudmonatt/internal/properties"
+	"cloudmonatt/internal/reconcile"
 	"cloudmonatt/internal/rpc"
 	"cloudmonatt/internal/server"
 	"cloudmonatt/internal/wire"
@@ -217,64 +218,46 @@ func (c *Controller) repackage(vid string, p properties.Property, n1 cryptoutil.
 
 // --- Response Module (paper §5.2) ---
 
-// Respond executes the policy response for a failed property on a VM and
-// records the event with its modeled reaction time (Fig. 11).
+// Respond declares the policy response for a failed property on a VM and
+// drives the reconcile loop to converge it, returning the executed event
+// with its modeled reaction time (Fig. 11). If the response cannot
+// complete (e.g. the host is unreachable), the declaration stays pending
+// and the loop retries it with backoff; the error reports the first
+// failure.
 func (c *Controller) Respond(vid string, p properties.Property, reason string) (ResponseEvent, error) {
 	c.mu.Lock()
 	rec, ok := c.vms[vid]
-	kind := c.policy[p]
-	var srv string
-	if ok {
-		srv = rec.Server
-	}
 	c.mu.Unlock()
 	if !ok {
 		return ResponseEvent{}, fmt.Errorf("controller: no such VM %q", vid)
 	}
-	if kind == "" {
-		kind = Terminate
-	}
-	ev := ResponseEvent{Vid: vid, Prop: p, Response: kind, Reason: reason, At: c.cfg.Clock.Now()}
-	var err error
-	switch kind {
-	case Terminate:
-		err = c.TerminateVM(vid)
-		ev.Terminated = true
-		ev.Duration = c.cfg.Latency.Termination(rec.Flavor)
-	case Suspend:
-		err = c.SuspendVM(vid)
-		ev.Duration = c.cfg.Latency.Suspension(rec.Flavor)
-		c.mu.Lock()
-		rec.SuspendedFor = p
-		c.mu.Unlock()
-	case Migrate:
-		var dest string
-		dest, err = c.MigrateVM(vid)
-		ev.NewServer = dest
-		ev.Duration = c.cfg.Latency.Migration(rec.Flavor)
-		if err != nil {
-			// No qualified destination: the VM is terminated for safety
-			// (paper §5.3).
-			if terr := c.TerminateVM(vid); terr == nil {
-				ev.Terminated = true
-			}
-		}
-	}
-	c.cfg.Clock.Advance(ev.Duration)
+	c.declareRemediation(rec, p, reason)
 	c.mu.Lock()
-	c.events = append(c.events, ev)
+	declared := rec.Pending != nil
+	rec.lastEvent, rec.lastErr = nil, nil
 	c.mu.Unlock()
-	c.record(ledger.KindRemediation, vid, p, "", struct {
-		Response   string `json:"response"`
-		Reason     string `json:"reason,omitempty"`
-		Backend    string `json:"backend,omitempty"`
-		NewServer  string `json:"new_server,omitempty"`
-		Terminated bool   `json:"terminated,omitempty"`
-	}{string(kind), reason, c.serverBackend(srv), ev.NewServer, ev.Terminated})
-	return ev, err
+	if !declared {
+		return ResponseEvent{}, fmt.Errorf("controller: no active VM %q", vid)
+	}
+	c.loop.Enqueue(vid)
+	c.loop.ProcessReady()
+	c.mu.Lock()
+	ev, err := rec.lastEvent, rec.lastErr
+	stillPending := rec.Pending != nil
+	c.mu.Unlock()
+	if ev == nil {
+		if err == nil && stillPending {
+			err = fmt.Errorf("controller: response %s for %s did not converge", c.policyFor(p), vid)
+		}
+		return ResponseEvent{Vid: vid, Prop: p, Response: c.policyFor(p), Reason: reason}, err
+	}
+	return *ev, err
 }
 
-// TerminateVM shuts a VM down (#1 Termination).
+// TerminateVM shuts a VM down (#1 Termination): it declares the teardown
+// (the desired state becomes "gone") and drives the finalizer through the
+// reconcile loop. On a transport failure the declaration survives — the
+// loop keeps finishing the teardown — and the first error is returned.
 func (c *Controller) TerminateVM(vid string) error {
 	c.mu.Lock()
 	rec, ok := c.vms[vid]
@@ -283,20 +266,20 @@ func (c *Controller) TerminateVM(vid string) error {
 		return fmt.Errorf("controller: no active VM %q", vid)
 	}
 	rec.State = "terminated"
-	srv, flavor := rec.Server, rec.Flavor
+	rec.Deleted = true
+	rec.lastErr = nil
 	c.mu.Unlock()
-	c.release(srv, flavor)
-	mgmt, err := c.mgmtClient(srv)
-	if err != nil {
-		return err
-	}
-	ctx, cancel := c.opCtx()
-	defer cancel()
-	if err := mgmt.CallIdem(ctx, server.MethodTerminate, rpc.NewIdemKey(), server.VidRequest{Vid: vid}, nil); err != nil {
-		return err
-	}
-	if ac, err := c.attestClientFor(c.clusterOfServer(srv)); err == nil {
-		ac.CallCtx(ctx, attestsrv.MethodForgetVM, struct{ Vid string }{vid}, nil)
+	id := c.intentBegin(vid, "", intentRecord{Op: "terminate"})
+	c.mu.Lock()
+	rec.terminateIntent = id
+	c.mu.Unlock()
+	c.setCond(rec, reconcile.CondTerminating, reconcile.True, "Requested", "teardown declared")
+	c.loop.Enqueue(vid)
+	c.loop.ProcessReady()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !rec.Finalized {
+		return rec.lastErr
 	}
 	return nil
 }
@@ -318,7 +301,11 @@ func (c *Controller) SuspendVM(vid string) error {
 	}
 	ctx, cancel := c.opCtx()
 	defer cancel()
-	return mgmt.CallCtx(ctx, server.MethodSuspend, server.VidRequest{Vid: vid}, nil)
+	if err := mgmt.CallCtx(ctx, server.MethodSuspend, server.VidRequest{Vid: vid}, nil); err != nil {
+		return err
+	}
+	c.stateIntent(vid, "suspended")
+	return nil
 }
 
 // ResumeVM continues a suspended VM after the platform re-attests healthy.
@@ -398,7 +385,10 @@ func (c *Controller) RecheckAndResume(vid string) (properties.Verdict, bool, err
 }
 
 // MigrateVM moves a VM to another qualified server (#3 Migration) and
-// returns the destination.
+// returns the destination. The migration is a convergent two-step: once
+// the VM has left its source (migrate-out, recorded with the captured
+// spec), a failed relaunch can be retried — by the caller or by the
+// reconcile loop after a crash — without repeating the migrate-out.
 func (c *Controller) MigrateVM(vid string) (string, error) {
 	c.mu.Lock()
 	rec, ok := c.vms[vid]
@@ -407,7 +397,17 @@ func (c *Controller) MigrateVM(vid string) (string, error) {
 		return "", fmt.Errorf("controller: no active VM %q", vid)
 	}
 	src, flavor, props := rec.Server, rec.Flavor, rec.Props
+	migratedOut := rec.MigratedOut
+	var spec server.LaunchSpec
+	if migratedOut && rec.MigrateSpec != nil {
+		spec = *rec.MigrateSpec
+	}
 	c.mu.Unlock()
+
+	// One deadline covers the whole migration: it is a single logical
+	// remediation, and a half-migrated VM is worse than a timed-out one.
+	ctx, cancel := c.opCtx()
+	defer cancel()
 
 	// Destinations are restricted to the VM's attestation cluster so its
 	// appraisal state stays with one Attestation Server (paper §3.2.3).
@@ -416,22 +416,35 @@ func (c *Controller) MigrateVM(vid string) (string, error) {
 		return "", fmt.Errorf("controller: no qualified destination for %s", vid)
 	}
 	dest := cands[0]
-	srcMgmt, err := c.mgmtClient(src)
-	if err != nil {
-		return "", err
+
+	if !migratedOut {
+		srcMgmt, err := c.mgmtClient(src)
+		if err != nil {
+			return "", err
+		}
+		// Migrate-out removes the VM from the source host; the key makes a
+		// retried call replay the captured spec instead of failing on a VM
+		// that is already gone.
+		if err := srcMgmt.CallIdem(ctx, server.MethodMigrateOut, rpc.NewIdemKey(), server.VidRequest{Vid: vid}, &spec); err != nil {
+			return "", err
+		}
+		c.release(src, flavor)
+		c.mu.Lock()
+		rec.MigratedOut = true
+		sp := spec
+		rec.MigrateSpec = &sp
+		c.mu.Unlock()
+		// The migrate-out is complete external state: record it so recovery
+		// can finish the relaunch from the ledger alone.
+		c.record(ledger.KindIntent, vid, "", "", intentRecord{
+			Phase: "end", Op: "migrate-out", ID: c.intentID(), OK: true,
+			Server: src, Spec: &sp,
+		})
+		if err := c.failpoint("mid-migrate"); err != nil {
+			return "", err
+		}
 	}
-	// One deadline covers the whole migration: it is a single logical
-	// remediation, and a half-migrated VM is worse than a timed-out one.
-	ctx, cancel := c.opCtx()
-	defer cancel()
-	var spec server.LaunchSpec
-	// Migrate-out removes the VM from the source host; the key makes a
-	// retried call replay the captured spec instead of failing on a VM
-	// that is already gone.
-	if err := srcMgmt.CallIdem(ctx, server.MethodMigrateOut, rpc.NewIdemKey(), server.VidRequest{Vid: vid}, &spec); err != nil {
-		return "", err
-	}
-	c.release(src, flavor)
+
 	destMgmt, err := c.mgmtClient(dest.Name)
 	if err != nil {
 		return "", err
@@ -443,7 +456,13 @@ func (c *Controller) MigrateVM(vid string) (string, error) {
 	c.reserve(dest.Name, flavor)
 	c.mu.Lock()
 	rec.Server = dest.Name
+	rec.MigratedOut = false
+	rec.MigrateSpec = nil
 	c.mu.Unlock()
+	c.record(ledger.KindIntent, vid, "", "", intentRecord{
+		Phase: "end", Op: "migrated", ID: c.intentID(), OK: true, Server: dest.Name,
+	})
+	c.setCond(rec, reconcile.CondPlaced, reconcile.True, "Migrated", dest.Name)
 	// Ongoing periodic monitoring follows the VM to its new host.
 	if ac, err := c.attestClientFor(dest.Cluster); err == nil {
 		ac.CallCtx(ctx, attestsrv.MethodRebindVM, attestsrv.RebindRequest{Vid: vid, ServerID: dest.Name}, nil)

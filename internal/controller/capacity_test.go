@@ -2,8 +2,11 @@ package controller_test
 
 import (
 	"testing"
+	"time"
 
 	"cloudmonatt/internal/cloudsim"
+	"cloudmonatt/internal/properties"
+	"cloudmonatt/internal/rpc"
 	"cloudmonatt/internal/server"
 )
 
@@ -71,6 +74,54 @@ func TestCapacityAccountingBalanced(t *testing.T) {
 		}
 		if got := totalUsed(tb, names); got != (server.Capacity{}) {
 			t.Fatalf("rejected launch leaked capacity: %+v", got)
+		}
+	})
+
+	t.Run("unreachable appraiser registration releases the candidate", func(t *testing.T) {
+		// The guest spawns and its reservation is taken before the controller
+		// registers appraisal references with the Attestation Server; if that
+		// registration cannot round-trip, both must be unwound.
+		fn := rpc.NewFaultNetwork(rpc.NewMemNetwork(), rpc.FaultConfig{Seed: 3})
+		tb, _ := newTB(t, cloudsim.Options{
+			Seed: 84, Servers: 2, Network: fn,
+			CallTimeout: 250 * time.Millisecond,
+			Retry:       rpc.RetryPolicy{MaxAttempts: 2, BaseDelay: 5 * time.Millisecond, MaxDelay: 10 * time.Millisecond},
+			Breaker:     rpc.BreakerPolicy{Threshold: -1},
+		})
+		fn.Partition("attestation-server")
+		r := req()
+		r.Owner = "tester"
+		// Direct call: the controller's retry budget against the partitioned
+		// appraiser outlives a customer-facing rpc timeout.
+		res, err := tb.Ctrl.LaunchVM(r)
+		if err == nil && res.OK {
+			t.Fatal("launch succeeded with the appraiser unreachable")
+		}
+		if got := totalUsed(tb, names); got != (server.Capacity{}) {
+			t.Fatalf("appraiser-failure launch leaked capacity: %+v", got)
+		}
+	})
+
+	t.Run("remediation terminate releases", func(t *testing.T) {
+		tb, cu := newTB(t, cloudsim.Options{Seed: 85, Servers: 2})
+		res, err := cu.Launch(req())
+		if err != nil || !res.OK {
+			t.Fatalf("launch: %v %s", err, res.Reason)
+		}
+		g, err := tb.GuestOf(res.Vid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.InfectRootkit("stealth-miner")
+		if v, err := cu.Attest(res.Vid, properties.RuntimeIntegrity); err != nil || v.Healthy {
+			t.Fatalf("rootkit attest: %v %v", v, err)
+		}
+		// The auto-response terminated the VM; its reservation must be gone.
+		if st, _ := tb.Ctrl.VMState(res.Vid); st != "terminated" {
+			t.Fatalf("state %q after response", st)
+		}
+		if got := totalUsed(tb, names); got != (server.Capacity{}) {
+			t.Fatalf("remediation terminate leaked capacity: %+v", got)
 		}
 	})
 

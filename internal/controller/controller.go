@@ -11,6 +11,7 @@ package controller
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -26,6 +27,7 @@ import (
 	"cloudmonatt/internal/metrics"
 	"cloudmonatt/internal/obs"
 	"cloudmonatt/internal/properties"
+	"cloudmonatt/internal/reconcile"
 	"cloudmonatt/internal/rpc"
 	"cloudmonatt/internal/secchan"
 	"cloudmonatt/internal/server"
@@ -83,7 +85,10 @@ func (e *ServerEntry) supports(ps []properties.Property) bool {
 	return true
 }
 
-// vmRecord is the nova database row for one VM.
+// vmRecord is the nova database row for one VM: the declared desired
+// state (image, flavor, properties, owner — and the teardown finalizer)
+// joined to the observed state (placement, lifecycle state, conditions)
+// the reconcile loop converges toward it.
 type vmRecord struct {
 	Vid       string
 	Owner     string
@@ -98,6 +103,45 @@ type vmRecord struct {
 	// SuspendedFor records which failing property triggered a suspension,
 	// so the recheck (paper §5.2 response #2) re-attests the same property.
 	SuspendedFor properties.Property
+
+	// Conditions is the typed observed-state summary (Placed, Attested,
+	// Healthy, Remediating, Terminating) with virtual-clock transition
+	// times.
+	Conditions reconcile.Conditions
+	// Deleted is the teardown finalizer: the desired state is "gone", and
+	// the reconcile loop keeps finishing the teardown (capacity release,
+	// host terminate, appraiser forget) until Finalized.
+	Deleted   bool
+	Finalized bool
+	// Released guards the capacity release within one process lifetime so
+	// finalizer retries never double-release. (Recovery rebuilds `used`
+	// from the ledger, so the flag intentionally does not persist.)
+	Released bool
+	// Pending is a declared-but-incomplete remediation; the reconcile loop
+	// retries it to convergence.
+	Pending *pendingRemediation
+	// MigratedOut marks a half-finished migration: the VM has left Server
+	// (spec captured in MigrateSpec) but is not yet relaunched elsewhere.
+	MigratedOut bool
+	MigrateSpec *server.LaunchSpec
+	// terminateIntent is the open two-phase intent the finalizer must
+	// close.
+	terminateIntent string
+	// nextReattest schedules the loop-driven periodic re-attestation.
+	nextReattest time.Duration
+	// lastEvent/lastErr surface the most recent remediation pass outcome
+	// to the synchronous Respond API.
+	lastEvent *ResponseEvent
+	lastErr   error
+}
+
+// pendingRemediation is a declared policy response awaiting convergence.
+type pendingRemediation struct {
+	Prop     properties.Property
+	Reason   string
+	Response ResponseKind
+	IntentID string
+	Attempts int
 }
 
 // ResponseEvent records one executed remediation response.
@@ -162,6 +206,21 @@ type Config struct {
 	// nova api records the root span of each request and the controller's
 	// internal stages nest under it.
 	Obs *obs.Store
+	// EventsCap bounds the in-memory remediation event list: beyond it the
+	// oldest event is dropped (and counted in controller/events-dropped),
+	// matching the obs.Store ring convention. 0 applies the default (1024).
+	EventsCap int
+	// ReattestEvery, when positive, schedules a periodic re-attestation of
+	// every active VM's provisioned properties through the reconcile loop
+	// (an explicit requeue-after on the VM's key). 0 disables it; customers
+	// can still drive runtime_attest_periodic explicitly.
+	ReattestEvery time.Duration
+	// FailPoint, when set, is consulted at named crash points in the
+	// control plane. Returning true makes the in-flight operation die
+	// there — after any intent entry already appended, before the
+	// completion entry — exactly as a controller crash would. Crash
+	// recovery testing only.
+	FailPoint func(point string) bool
 }
 
 // Controller is the Cloud Controller.
@@ -173,6 +232,10 @@ type Controller struct {
 	apiTracer *obs.Tracer
 	tracer    *obs.Tracer
 
+	// loop is the level-triggered reconcile loop; every VM key on it is
+	// driven toward its desired state with per-VM serialization.
+	loop *reconcile.Loop
+
 	mu         sync.Mutex
 	servers    map[string]*ServerEntry
 	used       map[string]server.Capacity
@@ -181,8 +244,9 @@ type Controller struct {
 	attest     map[int]*rpc.ReconnectClient
 	attestPubs map[int][]byte
 	nextVid    int
+	nextIntent int
 	replay     *cryptoutil.ReplayCache
-	events     []ResponseEvent
+	events     []ResponseEvent // bounded drop-oldest ring (Config.EventsCap)
 	policy     map[properties.Property]ResponseKind
 	lastGood   map[string]lastVerdict
 }
@@ -205,7 +269,7 @@ func New(cfg Config) *Controller {
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
 	}
-	return &Controller{
+	c := &Controller{
 		cfg:        cfg,
 		apiTracer:  obs.NewTracer(cfg.Obs, "customer-api", cfg.Clock.Now),
 		tracer:     obs.NewTracer(cfg.Obs, "controller", cfg.Clock.Now),
@@ -219,6 +283,14 @@ func New(cfg Config) *Controller {
 		policy:     cfg.Policy,
 		lastGood:   make(map[string]lastVerdict),
 	}
+	c.loop = reconcile.NewLoop(reconcile.LoopConfig{
+		Queue:     reconcile.QueueConfig{Now: cfg.Clock.Now},
+		Reconcile: c.reconcileVM,
+		Metrics:   cfg.Metrics,
+		Obs:       cfg.Obs,
+		Entity:    "controller",
+	})
+	return c
 }
 
 // Metrics returns the controller's registry (retry, breaker and
@@ -237,7 +309,11 @@ func (c *Controller) Health() obs.EntityHealth {
 		clients[rc.Peer()] = rc
 	}
 	c.mu.Unlock()
-	h := obs.EntityHealth{Entity: "controller", Alive: true}
+	h := obs.EntityHealth{Entity: "controller", Alive: true, Queue: &obs.QueueHealth{
+		Ready:   c.loop.Len(),
+		Delayed: c.loop.DelayedLen(),
+		Dropped: c.loop.Dropped(),
+	}}
 	names := make([]string, 0, len(clients))
 	for name := range clients {
 		names = append(names, name)
@@ -339,11 +415,33 @@ func (c *Controller) RegisterServer(e ServerEntry) {
 	c.servers[e.Name] = &cp
 }
 
-// Events returns the executed remediation responses.
+// Events returns the executed remediation responses (the most recent
+// Config.EventsCap of them; older ones are dropped from the ring but
+// remain in the evidence ledger).
 func (c *Controller) Events() []ResponseEvent {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return append([]ResponseEvent(nil), c.events...)
+}
+
+// appendEvent records an executed remediation in the bounded drop-oldest
+// event ring. Evictions are counted; the ledger keeps the full history.
+func (c *Controller) appendEvent(ev ResponseEvent) {
+	bound := c.cfg.EventsCap
+	if bound <= 0 {
+		bound = 1024
+	}
+	c.mu.Lock()
+	c.events = append(c.events, ev)
+	var dropped int64
+	for len(c.events) > bound {
+		c.events = c.events[1:]
+		dropped++
+	}
+	c.mu.Unlock()
+	if dropped > 0 {
+		c.cfg.Metrics.Counter("controller/events-dropped").Add(dropped)
+	}
 }
 
 // VMSummary is one row of the nova database as shown to its owner.
@@ -630,7 +728,7 @@ func (c *Controller) LaunchVM(req LaunchRequest) (LaunchResult, error) {
 // LaunchVMTraced is LaunchVM recording its pipeline under parent: one
 // "launch" span with a child span per stage, so the Fig. 9 stage breakdown
 // can be read from real per-request spans.
-func (c *Controller) LaunchVMTraced(parent obs.SpanContext, req LaunchRequest) (LaunchResult, error) {
+func (c *Controller) LaunchVMTraced(parent obs.SpanContext, req LaunchRequest) (result LaunchResult, retErr error) {
 	flavor, err := image.FlavorByName(req.Flavor)
 	if err != nil {
 		return LaunchResult{}, err
@@ -658,12 +756,32 @@ func (c *Controller) LaunchVMTraced(parent obs.SpanContext, req LaunchRequest) (
 	vid := fmt.Sprintf("vm-%04d", c.nextVid)
 	c.mu.Unlock()
 
-	result := LaunchResult{Vid: vid}
+	// Declare the desired state *before* acting: the launch-begin intent
+	// carries the full request, so a crashed launch can be recognized (and
+	// cleaned up) from the ledger alone.
+	props := make([]string, len(req.Props))
+	for i, p := range req.Props {
+		props[i] = string(p)
+	}
+	launchIntent := c.intentBegin(vid, "", intentRecord{
+		Op: "launch", Owner: req.Owner, Image: req.ImageName,
+		Flavor: req.Flavor, Workload: req.Workload, Props: props,
+		Allowlist: req.Allowlist, MinShare: req.MinShare, Pin: req.Pin,
+		ReqServer: req.Server,
+	})
+
+	result = LaunchResult{Vid: vid}
 	lsp := c.tracer.Start(parent, "launch")
 	lsp.SetVM(vid, "")
 	// Every launch decision — accept or reject, with the placement and the
-	// rejection reason — leaves an evidence entry, joined to the trace.
+	// rejection reason — leaves an evidence entry, joined to the trace. A
+	// simulated crash skips the completion records, exactly as a real
+	// controller death would.
 	defer func() {
+		if errors.Is(retErr, ErrCrash) {
+			lsp.End("crashed")
+			return
+		}
 		if result.OK {
 			lsp.End("")
 		} else {
@@ -676,6 +794,9 @@ func (c *Controller) LaunchVMTraced(parent obs.SpanContext, req LaunchRequest) (
 			Backend string `json:"backend,omitempty"`
 			Reason  string `json:"reason,omitempty"`
 		}{result.OK, req.Owner, result.Server, c.serverBackend(result.Server), result.Reason})
+		c.intentEnd(vid, intentRecord{
+			Op: "launch", ID: launchIntent, OK: result.OK, Server: result.Server,
+		})
 	}()
 	stage := func(name string, d time.Duration) {
 		ssp := lsp.Child("stage:" + name)
@@ -768,19 +889,33 @@ func (c *Controller) placeAndAttest(lsp *obs.ActiveSpan, vid string, req LaunchR
 		Workload:    req.Workload,
 		Pin:         req.Pin,
 	}
+	// The place intent goes in *before* the spawn: a crash after the guest
+	// exists but before any completion record leaves a torn place intent
+	// naming the server, which recovery cleans up.
+	placeIntent := c.intentBegin(vid, "", intentRecord{Op: "place", Server: cand.Name})
 	var launched bool
 	// The idempotency key lets the spawn be retried without double-booking
 	// the host if only the response was lost.
 	if err := mgmt.CallIdem(ctx, server.MethodLaunch, rpc.NewIdemKey(), spec, &launched); err != nil {
+		c.intentEnd(vid, intentRecord{Op: "place", ID: placeIntent, OK: false})
 		return false, fmt.Sprintf("spawn failed on %s: %v", cand.Name, err), properties.Verdict{}, nil
 	}
 	c.reserve(cand.Name, flavor)
 	stage("spawning", c.cfg.Latency.Spawning(img, flavor))
+	if err := c.failpoint("launch-spawned"); err != nil {
+		// Crash with the guest live on the host, the reservation held in
+		// memory only, and both the launch and place intents torn.
+		return false, "", properties.Verdict{}, err
+	}
 
 	// Register appraisal references (with the candidate's cluster
-	// Attestation Server) and record the VM before attesting.
+	// Attestation Server) and record the VM before attesting. From here on
+	// every failure must unwind the spawn and the reservation — leaving
+	// either behind leaks capacity until the host is drained.
 	ac, err := c.attestClientFor(cand.Cluster)
 	if err != nil {
+		c.unplace(vid, cand.Name, flavor)
+		c.intentEnd(vid, intentRecord{Op: "place", ID: placeIntent, OK: false})
 		return false, "", properties.Verdict{}, err
 	}
 	if err := ac.CallCtx(ctx, attestsrv.MethodRegisterVM, attestsrv.VMRecord{
@@ -789,6 +924,8 @@ func (c *Controller) placeAndAttest(lsp *obs.ActiveSpan, vid string, req LaunchR
 		TaskAllowlist: req.Allowlist,
 		MinCPUShare:   req.MinShare,
 	}, nil); err != nil {
+		c.unplace(vid, cand.Name, flavor)
+		c.intentEnd(vid, intentRecord{Op: "place", ID: placeIntent, OK: false})
 		return false, "", properties.Verdict{}, err
 	}
 	c.mu.Lock()
@@ -809,11 +946,13 @@ func (c *Controller) placeAndAttest(lsp *obs.ActiveSpan, vid string, req LaunchR
 	if err != nil {
 		asp.EndErr(err)
 		c.teardown(vid)
+		c.intentEnd(vid, intentRecord{Op: "place", ID: placeIntent, OK: false})
 		return false, fmt.Sprintf("startup attestation failed: %v", err), properties.Verdict{}, nil
 	}
 	if err := wire.VerifyReport(rep, c.attestKey(cand.Cluster), vid, properties.StartupIntegrity, n2); err != nil {
 		asp.EndErr(err)
 		c.teardown(vid)
+		c.intentEnd(vid, intentRecord{Op: "place", ID: placeIntent, OK: false})
 		return false, fmt.Sprintf("attestation report rejected: %v", err), properties.Verdict{}, nil
 	}
 	asp.End("")
@@ -821,10 +960,33 @@ func (c *Controller) placeAndAttest(lsp *obs.ActiveSpan, vid string, req LaunchR
 
 	if !rep.Verdict.Healthy {
 		c.teardown(vid)
+		c.intentEnd(vid, intentRecord{Op: "place", ID: placeIntent, OK: false})
 		return false, rep.Verdict.Reason, rep.Verdict, nil
 	}
 	c.storeLastGood(vid, properties.StartupIntegrity, rep.Verdict)
+	c.intentEnd(vid, intentRecord{Op: "place", ID: placeIntent, OK: true, Server: cand.Name})
+	c.mu.Lock()
+	rec := c.vms[vid]
+	c.mu.Unlock()
+	c.setCond(rec, reconcile.CondPlaced, reconcile.True, "Scheduled", cand.Name)
+	c.setCond(rec, reconcile.CondAttested, reconcile.True, "Verified", string(properties.StartupIntegrity))
+	c.setCond(rec, reconcile.CondHealthy, reconcile.True, "Verified", string(properties.StartupIntegrity))
+	// Hand the VM to the reconcile loop (periodic re-attestation rides on
+	// its requeue-after schedule).
+	c.loop.Enqueue(vid)
 	return true, "", rep.Verdict, nil
+}
+
+// unplace reverses a spawn that will not become a VM: release the
+// reservation and terminate the guest on the host (best effort; the torn
+// place intent lets recovery finish the job if this call also fails).
+func (c *Controller) unplace(vid, srv string, flavor image.Flavor) {
+	c.release(srv, flavor)
+	ctx, cancel := c.opCtx()
+	defer cancel()
+	if mgmt, err := c.mgmtClient(srv); err == nil {
+		mgmt.CallIdem(ctx, server.MethodTerminate, rpc.NewIdemKey(), server.VidRequest{Vid: vid}, nil)
+	}
 }
 
 // appraise requests one appraisal, regenerating N2 on every retry attempt

@@ -1,0 +1,514 @@
+package controller
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"cloudmonatt/internal/attestsrv"
+	"cloudmonatt/internal/ledger"
+	"cloudmonatt/internal/obs"
+	"cloudmonatt/internal/properties"
+	"cloudmonatt/internal/reconcile"
+	"cloudmonatt/internal/rpc"
+	"cloudmonatt/internal/server"
+	"cloudmonatt/internal/wire"
+)
+
+// ErrCrash is the simulated-crash sentinel: a Config.FailPoint firing
+// makes the in-flight operation fail with an error wrapping it, leaving
+// exactly the ledger state a real controller death at that point would —
+// intents begun, completions missing. Tests match it with errors.Is.
+var ErrCrash = errors.New("controller: crash injected")
+
+// failpoint consults Config.FailPoint and returns the crash sentinel when
+// the named point fires.
+func (c *Controller) failpoint(point string) error {
+	if c.cfg.FailPoint != nil && c.cfg.FailPoint(point) {
+		return fmt.Errorf("%w at %s", ErrCrash, point)
+	}
+	return nil
+}
+
+// --- two-phase intents ---
+
+// intentRecord is the JSON payload of a KindIntent ledger entry. One
+// struct covers every op; unused fields are omitted.
+type intentRecord struct {
+	Phase string `json:"phase"` // begin | end
+	Op    string `json:"op"`    // launch | place | remediate | terminate | migrate-out | migrated | state
+	ID    string `json:"id"`
+	OK    bool   `json:"ok,omitempty"`
+
+	// launch begin: the full desired state being declared.
+	Owner     string   `json:"owner,omitempty"`
+	Image     string   `json:"image,omitempty"`
+	Flavor    string   `json:"flavor,omitempty"`
+	Workload  string   `json:"workload,omitempty"`
+	Props     []string `json:"props,omitempty"`
+	Allowlist []string `json:"allowlist,omitempty"`
+	MinShare  float64  `json:"min_share,omitempty"`
+	Pin       int      `json:"pin,omitempty"`
+	ReqServer string   `json:"req_server,omitempty"`
+
+	// place begin / launch end / migrate-out end / migrated end: placement.
+	Server string `json:"server,omitempty"`
+
+	// remediate begin/end.
+	Response   string `json:"response,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+	NewServer  string `json:"new_server,omitempty"`
+	Terminated bool   `json:"terminated,omitempty"`
+
+	// state end: a lifecycle transition outside remediation.
+	State string `json:"state,omitempty"`
+
+	// migrate-out end: the captured spec that relaunches the VM.
+	Spec *server.LaunchSpec `json:"spec,omitempty"`
+}
+
+// intentID allocates the next intent identifier.
+func (c *Controller) intentID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextIntent++
+	return fmt.Sprintf("in-%06d", c.nextIntent)
+}
+
+// intentBegin appends the begin half of a two-phase intent *before* the
+// operation acts, so a crash between action and completion leaves a torn
+// intent recovery can finish. It returns the intent id ("" without a
+// ledger — recovery is then unsupported, and nothing is recorded).
+func (c *Controller) intentBegin(vid string, prop properties.Property, ir intentRecord) string {
+	if c.cfg.Ledger == nil {
+		return ""
+	}
+	ir.Phase = "begin"
+	ir.ID = c.intentID()
+	c.record(ledger.KindIntent, vid, prop, "", ir)
+	return ir.ID
+}
+
+// intentEnd appends the end half, marking the intent complete.
+func (c *Controller) intentEnd(vid string, ir intentRecord) {
+	if c.cfg.Ledger == nil || ir.ID == "" {
+		return
+	}
+	ir.Phase = "end"
+	c.record(ledger.KindIntent, vid, "", "", ir)
+}
+
+// stateIntent appends a completed lifecycle transition (a customer-driven
+// suspend outside the remediation flow) so replay folds it.
+func (c *Controller) stateIntent(vid, state string) {
+	if c.cfg.Ledger == nil {
+		return
+	}
+	c.record(ledger.KindIntent, vid, "", "", intentRecord{
+		Phase: "end", Op: "state", ID: c.intentID(), OK: true, State: state,
+	})
+}
+
+// --- conditions ---
+
+// setCond updates one condition on a VM record under the controller lock.
+func (c *Controller) setCond(rec *vmRecord, t reconcile.ConditionType, s reconcile.Status, reason, msg string) {
+	now := c.cfg.Clock.Now()
+	c.mu.Lock()
+	rec.Conditions.Set(now, reconcile.Condition{Type: t, Status: s, Reason: reason, Message: msg})
+	c.mu.Unlock()
+}
+
+// VMStatus reports a VM's desired/observed state join: lifecycle state,
+// placement, the teardown finalizer and the full condition set.
+func (c *Controller) VMStatus(vid string) (wire.VMStatus, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.vms[vid]
+	if !ok {
+		return wire.VMStatus{}, fmt.Errorf("controller: no such VM %q", vid)
+	}
+	st := wire.VMStatus{
+		Vid:       rec.Vid,
+		Owner:     rec.Owner,
+		Server:    rec.Server,
+		State:     rec.State,
+		Deleted:   rec.Deleted,
+		Finalized: rec.Finalized,
+	}
+	for _, cond := range rec.Conditions {
+		st.Conditions = append(st.Conditions, wire.Condition{
+			Type:    string(cond.Type),
+			Status:  string(cond.Status),
+			Reason:  cond.Reason,
+			Message: cond.Message,
+			At:      cond.At,
+		})
+	}
+	return st, nil
+}
+
+// --- the reconcile loop ---
+
+// ReconcileNow drives the loop until the ready list drains (or the drain
+// bound), returning the number of passes run. Callers must hold the
+// testbed's serialization; the nova api handlers and RunFor both do.
+func (c *Controller) ReconcileNow() int { return c.loop.ProcessReady() }
+
+// NextReconcileDue reports the earliest virtual time a delayed requeue
+// (backoff retry or periodic re-attestation) becomes ready.
+func (c *Controller) NextReconcileDue() (time.Duration, bool) { return c.loop.NextDue() }
+
+// ReconcilePending reports whether any key is ready or waiting on a timer.
+func (c *Controller) ReconcilePending() bool { return c.loop.Len() > 0 || c.loop.DelayedLen() > 0 }
+
+// reconcileVM is the Reconciler: one pass converges a single VM toward
+// its declared desired state. It is idempotent and per-VM serialized by
+// the loop.
+func (c *Controller) reconcileVM(vid string) (reconcile.Result, error) {
+	c.mu.Lock()
+	rec, ok := c.vms[vid]
+	var pending *pendingRemediation
+	var deleted, finalized bool
+	if ok {
+		pending = rec.Pending
+		deleted, finalized = rec.Deleted, rec.Finalized
+	}
+	c.mu.Unlock()
+	if !ok {
+		return reconcile.Result{}, nil // nothing desired; converged by absence
+	}
+
+	// 1. Declared remediation: converge the policy response. This runs
+	// before the teardown finalizer so a remediation interrupted mid-
+	// termination still completes its event and closes its intent.
+	if pending != nil {
+		if err := c.executeRemediation(rec, pending); err != nil {
+			c.mu.Lock()
+			rec.lastErr = err
+			c.mu.Unlock()
+			return reconcile.Result{}, err
+		}
+		c.mu.Lock()
+		deleted, finalized = rec.Deleted, rec.Finalized
+		c.mu.Unlock()
+	}
+
+	// 2. Teardown finalizer: the desired state is "gone"; keep finishing
+	// until every external resource is released.
+	if deleted {
+		if finalized {
+			return reconcile.Result{}, nil
+		}
+		err := c.finalizeTeardown(rec)
+		c.mu.Lock()
+		rec.lastErr = err
+		c.mu.Unlock()
+		return reconcile.Result{}, err
+	}
+
+	// 3. Periodic re-attestation: the explicit requeue-after schedule.
+	if c.cfg.ReattestEvery > 0 {
+		c.mu.Lock()
+		state := rec.State
+		next := rec.nextReattest
+		c.mu.Unlock()
+		if state == "active" {
+			now := c.cfg.Clock.Now()
+			if next == 0 {
+				// Freshly placed: the launch pipeline just attested it.
+				next = now + c.cfg.ReattestEvery
+			} else if now >= next {
+				c.reattest(rec)
+				now = c.cfg.Clock.Now()
+				next = now + c.cfg.ReattestEvery
+			}
+			c.mu.Lock()
+			rec.nextReattest = next
+			state = rec.State
+			c.mu.Unlock()
+			if state == "active" {
+				return reconcile.Result{RequeueAfter: next - now}, nil
+			}
+		}
+	}
+	return reconcile.Result{}, nil
+}
+
+// finalizeTeardown finishes a declared teardown: release the capacity
+// reservation (once per process lifetime), terminate the guest on the
+// host, forget the appraisal registration, and close the terminate
+// intent. Each step is idempotent, so a pass interrupted by a transport
+// failure (or a crash) is simply resumed by the next one.
+func (c *Controller) finalizeTeardown(rec *vmRecord) error {
+	c.mu.Lock()
+	vid, srv, flavor := rec.Vid, rec.Server, rec.Flavor
+	released, migratedOut := rec.Released, rec.MigratedOut
+	intentID := rec.terminateIntent
+	c.mu.Unlock()
+
+	if !released {
+		if !migratedOut { // a half-migrated VM holds no reservation
+			c.release(srv, flavor)
+		}
+		c.mu.Lock()
+		rec.Released = true
+		c.mu.Unlock()
+	}
+	if err := c.failpoint("mid-teardown"); err != nil {
+		return err
+	}
+	ctx, cancel := c.opCtx()
+	defer cancel()
+	if !migratedOut {
+		mgmt, err := c.mgmtClient(srv)
+		if err != nil {
+			return err
+		}
+		if err := mgmt.CallIdem(ctx, server.MethodTerminate, rpc.NewIdemKey(), server.VidRequest{Vid: vid}, nil); err != nil && !isNoVM(err) {
+			// Transport failure: the finalizer retries on the next pass
+			// (half-finished teardowns always finish).
+			return err
+		}
+	}
+	if ac, err := c.attestClientFor(c.clusterOfServer(srv)); err == nil {
+		// Best effort, matching the pre-existing teardown semantics: the
+		// Attestation Server tolerates appraising a forgotten VM.
+		ac.CallCtx(ctx, attestsrv.MethodForgetVM, struct{ Vid string }{vid}, nil)
+	}
+	c.intentEnd(vid, intentRecord{Op: "terminate", ID: intentID, OK: true})
+	c.mu.Lock()
+	rec.Finalized = true
+	c.mu.Unlock()
+	c.setCond(rec, reconcile.CondTerminating, reconcile.True, "Finalized", "teardown complete")
+	return nil
+}
+
+// maxMigrateAttempts bounds migrate retries before the loop falls back to
+// termination for safety (paper §5.3): a VM that cannot be moved off a
+// failing platform must not keep running on it indefinitely.
+const maxMigrateAttempts = 3
+
+// executeRemediation converges one declared policy response. A transport
+// failure returns an error so the loop retries with backoff; completion
+// appends the event, records the evidence, closes the intent and clears
+// the pending declaration.
+func (c *Controller) executeRemediation(rec *vmRecord, p *pendingRemediation) error {
+	c.mu.Lock()
+	vid := rec.Vid
+	state := rec.State
+	flavor := rec.Flavor
+	srv := rec.Server
+	deleted := rec.Deleted
+	c.mu.Unlock()
+
+	if p.IntentID == "" {
+		p.IntentID = c.intentBegin(vid, p.Prop, intentRecord{
+			Op: "remediate", Response: string(p.Response), Reason: p.Reason,
+		})
+	}
+	c.setCond(rec, reconcile.CondRemediating, reconcile.True, string(p.Response), p.Reason)
+	if err := c.failpoint("mid-remediation"); err != nil {
+		return err
+	}
+
+	ev := ResponseEvent{Vid: vid, Prop: p.Prop, Response: p.Response, Reason: p.Reason, At: c.cfg.Clock.Now()}
+	var opErr error
+	switch p.Response {
+	case Terminate:
+		if err := c.remediationTerminate(rec); err != nil {
+			return err
+		}
+		ev.Terminated = true
+		ev.Duration = c.cfg.Latency.Termination(flavor)
+	case Suspend:
+		if state != "suspended" { // already converged otherwise
+			if err := c.SuspendVM(vid); err != nil {
+				return err
+			}
+		}
+		ev.Duration = c.cfg.Latency.Suspension(flavor)
+		c.mu.Lock()
+		rec.SuspendedFor = p.Prop
+		c.mu.Unlock()
+	case Migrate:
+		if deleted {
+			// A previous pass already fell back to termination; finish it.
+			if err := c.remediationTerminate(rec); err != nil {
+				return err
+			}
+			ev.Terminated = true
+			ev.Duration = c.cfg.Latency.Termination(flavor)
+			break
+		}
+		var dest string
+		dest, opErr = c.MigrateVM(vid)
+		ev.NewServer = dest
+		ev.Duration = c.cfg.Latency.Migration(flavor)
+		if opErr != nil {
+			if errors.Is(opErr, ErrCrash) {
+				return opErr
+			}
+			p.Attempts++
+			noDest := strings.Contains(opErr.Error(), "no qualified destination")
+			if !noDest && p.Attempts < maxMigrateAttempts {
+				// Transient failure mid-migration: leave the remediation
+				// pending; the next pass resumes exactly where the
+				// migration stopped (MigratedOut + captured spec).
+				c.setCond(rec, reconcile.CondRemediating, reconcile.True, string(p.Response),
+					fmt.Sprintf("retrying: %v", opErr))
+				return opErr
+			}
+			// No destination exists (or retries are exhausted): terminate
+			// for safety (paper §5.3).
+			if err := c.remediationTerminate(rec); err != nil {
+				return err
+			}
+			ev.Terminated = true
+		}
+	}
+
+	c.cfg.Clock.Advance(ev.Duration)
+	c.appendEvent(ev)
+	c.mu.Lock()
+	rec.Pending = nil
+	rec.lastEvent = &ev
+	rec.lastErr = opErr
+	c.mu.Unlock()
+	c.setCond(rec, reconcile.CondRemediating, reconcile.False, "Completed", string(p.Response))
+	backendSrv := srv
+	if ev.NewServer != "" {
+		backendSrv = ev.NewServer
+	}
+	c.record(ledger.KindRemediation, vid, p.Prop, "", struct {
+		Response   string `json:"response"`
+		Reason     string `json:"reason,omitempty"`
+		Backend    string `json:"backend,omitempty"`
+		NewServer  string `json:"new_server,omitempty"`
+		Terminated bool   `json:"terminated,omitempty"`
+		Intent     string `json:"intent,omitempty"`
+	}{string(p.Response), p.Reason, c.serverBackend(backendSrv), ev.NewServer, ev.Terminated, p.IntentID})
+	c.intentEnd(vid, intentRecord{
+		Op: "remediate", ID: p.IntentID, OK: opErr == nil,
+		Response: string(p.Response), Reason: p.Reason,
+		NewServer: ev.NewServer, Terminated: ev.Terminated,
+	})
+	return nil
+}
+
+// remediationTerminate declares and finalizes a termination as part of a
+// remediation. Unlike the customer-facing TerminateVM it tolerates a VM
+// already terminated (idempotent re-execution after a crash).
+func (c *Controller) remediationTerminate(rec *vmRecord) error {
+	c.mu.Lock()
+	rec.State = "terminated"
+	rec.Deleted = true
+	alreadyFinal := rec.Finalized
+	c.mu.Unlock()
+	c.setCond(rec, reconcile.CondTerminating, reconcile.True, "Remediation", "terminated by policy response")
+	if alreadyFinal {
+		return nil
+	}
+	return c.finalizeTeardown(rec)
+}
+
+// reattest runs the loop-driven periodic re-attestation of every
+// provisioned property on one VM. Infrastructure failures degrade (the
+// Attested condition goes Unknown) and never remediate — the degradation
+// semantics the one-shot Attest path already guarantees, enforced inside
+// the loop as well.
+func (c *Controller) reattest(rec *vmRecord) {
+	c.mu.Lock()
+	vid := rec.Vid
+	srv := rec.Server
+	props := append([]properties.Property(nil), rec.Props...)
+	c.mu.Unlock()
+	if len(props) == 0 {
+		props = []properties.Property{properties.RuntimeIntegrity}
+	}
+	ac, cluster, err := c.attestClientOfVM(vid)
+	if err != nil {
+		return
+	}
+	sp := c.tracer.Start(obs.SpanContext{}, "controller.reattest")
+	sp.SetVM(vid, "")
+	defer sp.End("")
+	for _, p := range props {
+		c.cfg.Clock.Advance(c.cfg.Latency.HopRTT)
+		rep, n2, err := c.appraise(obs.ContextWith(context.Background(), sp), ac, vid, srv, p)
+		if err != nil {
+			var rerr *rpc.RemoteError
+			if !errors.As(err, &rerr) {
+				// Unreachable infrastructure: degrade, never remediate.
+				c.cfg.Metrics.Counter("controller/reattest-degraded").Inc()
+				c.setCond(rec, reconcile.CondAttested, reconcile.Unknown, "InfraUnreachable", err.Error())
+			} else {
+				c.setCond(rec, reconcile.CondAttested, reconcile.False, "AppraisalRefused", rerr.Msg)
+			}
+			continue
+		}
+		if err := wire.VerifyReport(rep, c.attestKey(cluster), vid, p, n2); err != nil {
+			c.setCond(rec, reconcile.CondAttested, reconcile.False, "BadReport", err.Error())
+			continue
+		}
+		c.storeLastGood(vid, p, rep.Verdict)
+		c.setCond(rec, reconcile.CondAttested, reconcile.True, "Verified", string(p))
+		c.observeVerdict(rec, p, rep.Verdict)
+		if !rep.Verdict.Healthy && !rep.Verdict.Unattestable && c.cfg.AutoRespond {
+			c.declareRemediation(rec, p, rep.Verdict.Reason)
+			c.mu.Lock()
+			pending := rec.Pending
+			c.mu.Unlock()
+			if pending != nil {
+				// Already inside this VM's pass: converge now rather than
+				// waiting a requeue. A transport failure leaves the
+				// declaration pending for the loop's backoff retry.
+				_ = c.executeRemediation(rec, pending)
+			}
+			return
+		}
+	}
+}
+
+// observeVerdict folds a verified verdict into the Healthy condition.
+func (c *Controller) observeVerdict(rec *vmRecord, p properties.Property, v properties.Verdict) {
+	switch {
+	case v.Unattestable:
+		c.setCond(rec, reconcile.CondHealthy, reconcile.Unknown, "Unattestable", v.Reason)
+	case v.Healthy:
+		c.setCond(rec, reconcile.CondHealthy, reconcile.True, "Verified", string(p))
+	default:
+		c.setCond(rec, reconcile.CondHealthy, reconcile.False, string(p), v.Reason)
+	}
+}
+
+// declareRemediation sets the desired policy response on a VM (level: the
+// loop converges it) unless one is already pending.
+func (c *Controller) declareRemediation(rec *vmRecord, p properties.Property, reason string) {
+	kind := c.policyFor(p)
+	c.mu.Lock()
+	if rec.Pending == nil && rec.State != "terminated" {
+		rec.Pending = &pendingRemediation{Prop: p, Reason: reason, Response: kind}
+	}
+	c.mu.Unlock()
+}
+
+// policyFor resolves the configured response for a property.
+func (c *Controller) policyFor(p properties.Property) ResponseKind {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if k, ok := c.policy[p]; ok && k != "" {
+		return k
+	}
+	return Terminate
+}
+
+// isNoVM reports a remote "no VM" refusal from a cloud server — the
+// converged outcome of a terminate that already happened (e.g. re-executed
+// after a crash), not a failure.
+func isNoVM(err error) bool {
+	var rerr *rpc.RemoteError
+	return errors.As(err, &rerr) && strings.Contains(rerr.Msg, "no VM")
+}

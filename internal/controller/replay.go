@@ -1,0 +1,296 @@
+package controller
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"cloudmonatt/internal/attestsrv"
+	"cloudmonatt/internal/image"
+	"cloudmonatt/internal/ledger"
+	"cloudmonatt/internal/properties"
+	"cloudmonatt/internal/reconcile"
+	"cloudmonatt/internal/rpc"
+	"cloudmonatt/internal/server"
+)
+
+// Recover rebuilds the controller's desired state and in-flight intents
+// from the evidence ledger after a crash, then reconciles to convergence.
+//
+// The fold walks every retained entry in chain order and replays the
+// two-phase intents:
+//
+//   - a completed launch recreates the VM row (desired state from the
+//     begin record, placement from the end) and its capacity reservation;
+//   - a begin without an end is a torn intent — the crash hit between
+//     acting and recording completion — and becomes work: torn launches
+//     are cleaned off their candidate hosts, torn remediations are
+//     re-declared (idempotently re-executed, never duplicated: completed
+//     intents fold as already done), torn teardowns re-enter the
+//     finalizer;
+//   - migrate-out / migrated / terminate / state completions move the
+//     fold the same way the live operations moved the controller.
+//
+// Degradation evidence (KindDegraded) replays to nothing: an
+// infrastructure failure never becomes a remediation, crash or no crash.
+func (c *Controller) Recover() error {
+	if c.cfg.Ledger == nil {
+		return fmt.Errorf("controller: recovery requires a ledger")
+	}
+
+	type launchBegin struct {
+		ir intentRecord
+	}
+	launchBegins := make(map[string]*launchBegin)        // vid → open launch
+	openPlaces := make(map[string]map[string]string)     // vid → intent id → server
+	openRemediate := make(map[string]*pendingRemediation) // vid → torn remediation
+	recs := make(map[string]*vmRecord)
+	var eventOrder []ResponseEvent
+	maxVid, maxIntent, replayed := 0, 0, 0
+
+	noteIntent := func(id string) {
+		var n int
+		if _, err := fmt.Sscanf(id, "in-%d", &n); err == nil && n > maxIntent {
+			maxIntent = n
+		}
+	}
+	noteVid := func(vid string) {
+		var n int
+		if _, err := fmt.Sscanf(vid, "vm-%d", &n); err == nil && n > maxVid {
+			maxVid = n
+		}
+	}
+	flavorOf := func(name string) (image.Flavor, bool) {
+		f, err := image.FlavorByName(name)
+		return f, err == nil
+	}
+
+	cur := c.cfg.Ledger.Cursor()
+	for {
+		e, ok, err := cur.Next()
+		if err != nil {
+			return fmt.Errorf("controller: ledger replay: %w", err)
+		}
+		if !ok {
+			break
+		}
+		replayed++
+		switch e.Kind {
+		case ledger.KindIntent:
+			var ir intentRecord
+			if err := json.Unmarshal(e.Payload, &ir); err != nil {
+				continue
+			}
+			noteIntent(ir.ID)
+			rec := recs[e.Vid]
+			switch {
+			case ir.Op == "launch" && ir.Phase == "begin":
+				noteVid(e.Vid)
+				launchBegins[e.Vid] = &launchBegin{ir: ir}
+			case ir.Op == "launch" && ir.Phase == "end":
+				lb := launchBegins[e.Vid]
+				delete(launchBegins, e.Vid)
+				if !ir.OK || lb == nil {
+					break
+				}
+				flavor, okF := flavorOf(lb.ir.Flavor)
+				if !okF {
+					break
+				}
+				props := make([]properties.Property, len(lb.ir.Props))
+				for i, p := range lb.ir.Props {
+					props[i] = properties.Property(p)
+				}
+				nr := &vmRecord{
+					Vid: e.Vid, Owner: lb.ir.Owner, Server: ir.Server,
+					ImageName: lb.ir.Image, Flavor: flavor, Props: props,
+					Allowlist: lb.ir.Allowlist, MinShare: lb.ir.MinShare,
+					Workload: lb.ir.Workload, State: "active",
+				}
+				recs[e.Vid] = nr
+				c.reserve(ir.Server, flavor)
+			case ir.Op == "place" && ir.Phase == "begin":
+				if openPlaces[e.Vid] == nil {
+					openPlaces[e.Vid] = make(map[string]string)
+				}
+				openPlaces[e.Vid][ir.ID] = ir.Server
+			case ir.Op == "place" && ir.Phase == "end":
+				delete(openPlaces[e.Vid], ir.ID)
+			case ir.Op == "remediate" && ir.Phase == "begin":
+				openRemediate[e.Vid] = &pendingRemediation{
+					Prop:     properties.Property(e.Prop),
+					Reason:   ir.Reason,
+					Response: ResponseKind(ir.Response),
+					IntentID: ir.ID,
+				}
+			case ir.Op == "remediate" && ir.Phase == "end":
+				open := openRemediate[e.Vid]
+				delete(openRemediate, e.Vid)
+				ev := ResponseEvent{
+					Vid: e.Vid, Response: ResponseKind(ir.Response),
+					Reason: ir.Reason, At: e.At,
+					NewServer: ir.NewServer, Terminated: ir.Terminated,
+				}
+				if open != nil {
+					ev.Prop = open.Prop
+				}
+				eventOrder = append(eventOrder, ev)
+				if rec == nil {
+					break
+				}
+				switch {
+				case ir.Terminated:
+					// The remediation completion is only written after the
+					// termination fully finalized.
+					rec.State = "terminated"
+					rec.Deleted = true
+					if !rec.Finalized {
+						rec.Finalized = true
+						if !rec.MigratedOut {
+							c.release(rec.Server, rec.Flavor)
+						}
+					}
+					rec.MigratedOut = false
+				case ResponseKind(ir.Response) == Suspend:
+					rec.State = "suspended"
+					rec.SuspendedFor = ev.Prop
+				}
+			case ir.Op == "terminate" && ir.Phase == "begin":
+				if rec != nil {
+					rec.State = "terminated"
+					rec.Deleted = true
+					rec.terminateIntent = ir.ID
+				}
+			case ir.Op == "terminate" && ir.Phase == "end":
+				if rec != nil && !rec.Finalized {
+					rec.State = "terminated"
+					rec.Deleted, rec.Finalized = true, true
+					if !rec.MigratedOut {
+						c.release(rec.Server, rec.Flavor)
+					}
+					rec.MigratedOut = false
+				}
+			case ir.Op == "migrate-out":
+				if rec != nil && !rec.MigratedOut {
+					c.release(rec.Server, rec.Flavor)
+					rec.MigratedOut = true
+					rec.MigrateSpec = ir.Spec
+				}
+			case ir.Op == "migrated":
+				if rec != nil {
+					c.reserve(ir.Server, rec.Flavor)
+					rec.Server = ir.Server
+					rec.MigratedOut = false
+					rec.MigrateSpec = nil
+				}
+			case ir.Op == "state":
+				if rec != nil && rec.State != "terminated" && ir.State != "" {
+					rec.State = ir.State
+				}
+			}
+		case ledger.KindRemediation:
+			// ResumeVM leaves a plain remediation record; fold it so a
+			// suspended-then-resumed VM recovers as active.
+			var p struct {
+				Response string `json:"response"`
+			}
+			if err := json.Unmarshal(e.Payload, &p); err == nil && p.Response == "resume" {
+				if rec := recs[e.Vid]; rec != nil && rec.State == "suspended" {
+					rec.State = "active"
+					rec.SuspendedFor = ""
+				}
+			}
+		}
+	}
+
+	// Torn launches: the crash hit mid-pipeline. Any open place intent may
+	// have left a guest (and an appraisal registration) behind on its
+	// candidate server — clean both up, best effort; the VM row never
+	// materializes, so the customer simply saw the launch fail.
+	torn := 0
+	for vid := range launchBegins {
+		for _, srv := range openPlaces[vid] {
+			torn++
+			c.recoverCleanup(vid, srv)
+		}
+		delete(openPlaces, vid)
+		c.cfg.Metrics.Counter("controller/recover-torn-launches").Inc()
+	}
+	// Torn places under a completed launch cannot happen (a crash kills the
+	// whole launch), but clean up defensively if the fold disagrees.
+	for vid, places := range openPlaces {
+		rec := recs[vid]
+		for _, srv := range places {
+			if rec != nil && rec.Server == srv {
+				continue
+			}
+			torn++
+			c.recoverCleanup(vid, srv)
+		}
+	}
+
+	// Install the recovered rows, then turn torn intents into declared
+	// work for the reconcile loop.
+	c.mu.Lock()
+	for vid, rec := range recs {
+		c.vms[vid] = rec
+	}
+	if maxVid > c.nextVid {
+		c.nextVid = maxVid
+	}
+	if maxIntent > c.nextIntent {
+		c.nextIntent = maxIntent
+	}
+	c.mu.Unlock()
+
+	now := c.cfg.Clock.Now()
+	for vid, rec := range recs {
+		rec.Conditions.Set(now, reconcile.Condition{
+			Type: reconcile.CondPlaced, Status: reconcile.True,
+			Reason: "Recovered", Message: rec.Server,
+		})
+		if p := openRemediate[vid]; p != nil && !rec.Finalized {
+			torn++
+			rec.Pending = p
+			c.cfg.Metrics.Counter("controller/recover-torn-remediations").Inc()
+		}
+		if rec.Deleted && !rec.Finalized {
+			torn++
+		}
+		for _, ev := range eventOrder {
+			if ev.Vid == vid {
+				e := ev
+				rec.lastEvent = &e
+			}
+		}
+		if !(rec.Deleted && rec.Finalized) {
+			c.loop.Enqueue(vid)
+		}
+	}
+	for _, ev := range eventOrder {
+		c.appendEvent(ev)
+	}
+	c.cfg.Metrics.Counter("controller/recover-replayed-entries").Add(int64(replayed))
+	c.cfg.Metrics.Counter("controller/recover-torn-intents").Add(int64(torn))
+	c.record(ledger.KindIntent, "", "", "", intentRecord{
+		Phase: "end", Op: "recover", ID: c.intentID(), OK: true,
+	})
+
+	// Converge: finish torn teardowns, re-execute torn remediations,
+	// schedule periodic re-attestation for the survivors.
+	c.loop.ProcessReady()
+	return nil
+}
+
+// recoverCleanup removes the debris of a torn placement: the guest on the
+// candidate server and its appraisal registration. Best effort — the
+// server may never have spawned it, and "no VM" is the converged outcome.
+func (c *Controller) recoverCleanup(vid, srv string) {
+	ctx, cancel := c.opCtx()
+	defer cancel()
+	if mgmt, err := c.mgmtClient(srv); err == nil {
+		mgmt.CallIdem(ctx, server.MethodTerminate, rpc.NewIdemKey(), server.VidRequest{Vid: vid}, nil)
+	}
+	if ac, err := c.attestClientFor(c.clusterOfServer(srv)); err == nil {
+		ac.CallCtx(ctx, attestsrv.MethodForgetVM, struct{ Vid string }{vid}, nil)
+	}
+}

@@ -22,6 +22,7 @@ const (
 	MethodFetchPeriodic         = "fetch_attest_periodic"
 	MethodListVMs               = "list_vms"
 	MethodListEvents            = "list_events"
+	MethodVMStatus              = "vm_status"
 )
 
 // apiRoot opens the customer-facing root span for one nova api request.
@@ -132,6 +133,20 @@ func (c *Controller) Handler() rpc.Handler {
 			return rpc.Encode(c.ListVMs(peer.Name))
 		case MethodListEvents:
 			return rpc.Encode(c.EventsFor(peer.Name))
+		case MethodVMStatus:
+			var req struct{ Vid string }
+			if err := rpc.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			st, err := c.VMStatus(req.Vid)
+			if err != nil {
+				return nil, err
+			}
+			// Scoped to the authenticated peer, like list_vms.
+			if st.Owner != peer.Name {
+				return nil, fmt.Errorf("controller: no such VM %q", req.Vid)
+			}
+			return rpc.Encode(st)
 		}
 		return nil, fmt.Errorf("controller: unknown method %q", method)
 	}

@@ -1,0 +1,55 @@
+package ledger
+
+// Cursor streams the committed chain in sequence order, starting at the
+// compaction base. It is the replay primitive crash recovery is built on:
+// the controller walks every retained entry once, folding intents and
+// decisions back into its in-memory state, without materializing the
+// whole chain the way Query does.
+//
+// A cursor reads committed state only; entries appended after the cursor
+// was positioned are returned as the walk reaches them (each Next re-reads
+// the current head).
+type Cursor struct {
+	l    *Ledger
+	next uint64
+}
+
+// Cursor returns a cursor positioned at the first retained entry
+// (base.Seq+1). Entries compacted away are not replayable; recovery that
+// needs them must start from the compaction snapshot they were folded
+// into.
+func (l *Ledger) Cursor() *Cursor {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return &Cursor{l: l, next: l.base.Seq + 1}
+}
+
+// CursorFrom returns a cursor positioned at seq (clamped below to the
+// first retained entry).
+func (l *Ledger) CursorFrom(seq uint64) *Cursor {
+	c := l.Cursor()
+	if seq > c.next {
+		c.next = seq
+	}
+	return c
+}
+
+// Next returns the next committed entry. ok is false when the cursor has
+// reached the head; a later Next may return more if the chain has grown.
+func (c *Cursor) Next() (Entry, bool, error) {
+	c.l.mu.Lock()
+	head := c.l.headSeq
+	c.l.mu.Unlock()
+	if c.next > head {
+		return Entry{}, false, nil
+	}
+	e, err := c.l.Entry(c.next)
+	if err != nil {
+		return Entry{}, false, err
+	}
+	c.next++
+	return e, true, nil
+}
+
+// Seq reports the sequence number the next call to Next will read.
+func (c *Cursor) Seq() uint64 { return c.next }

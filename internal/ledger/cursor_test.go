@@ -1,0 +1,76 @@
+package ledger
+
+import "testing"
+
+func TestCursorWalksChainInOrder(t *testing.T) {
+	l := mustOpen(t, Options{})
+	entries := appendN(t, l, 7)
+
+	c := l.Cursor()
+	for i, want := range entries {
+		e, ok, err := c.Next()
+		if err != nil || !ok {
+			t.Fatalf("Next %d = ok=%v err=%v", i, ok, err)
+		}
+		if e.Seq != want.Seq || e.Hash != want.Hash {
+			t.Fatalf("entry %d: seq %d hash %x, want seq %d hash %x", i, e.Seq, e.Hash, want.Seq, want.Hash)
+		}
+	}
+	if _, ok, err := c.Next(); ok || err != nil {
+		t.Fatalf("cursor past head: ok=%v err=%v", ok, err)
+	}
+
+	// The cursor observes appends made after it reached the head.
+	more := appendN(t, l, 2)
+	e, ok, err := c.Next()
+	if err != nil || !ok || e.Seq != more[0].Seq {
+		t.Fatalf("post-append Next = %+v ok=%v err=%v", e, ok, err)
+	}
+}
+
+func TestCursorEmptyLedger(t *testing.T) {
+	l := mustOpen(t, Options{})
+	c := l.Cursor()
+	if _, ok, err := c.Next(); ok || err != nil {
+		t.Fatalf("empty ledger: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestCursorStartsAtCompactionBase(t *testing.T) {
+	// Tiny segments so Compact can actually retire some.
+	dir := t.TempDir()
+	l := mustOpen(t, Options{Dir: dir, MaxSegmentBytes: 128})
+	appendN(t, l, 10)
+	if err := l.Compact(6); err != nil {
+		t.Fatal(err)
+	}
+	baseSeq, _ := func() (uint64, [32]byte) { return l.base.Seq, l.base.Hash }()
+	if baseSeq == 0 {
+		t.Fatal("compaction retired nothing; segment sizing assumption broken")
+	}
+	c := l.Cursor()
+	e, ok, err := c.Next()
+	if err != nil || !ok || e.Seq != baseSeq+1 {
+		t.Fatalf("first retained entry seq = %d (ok=%v err=%v), want %d", e.Seq, ok, err, baseSeq+1)
+	}
+	n := uint64(1)
+	for {
+		_, ok, err := c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 10-baseSeq {
+		t.Fatalf("walked %d retained entries, want %d", n, 10-baseSeq)
+	}
+
+	cf := l.CursorFrom(9)
+	e, ok, err = cf.Next()
+	if err != nil || !ok || e.Seq != 9 {
+		t.Fatalf("CursorFrom(9) first = %d (ok=%v err=%v)", e.Seq, ok, err)
+	}
+}

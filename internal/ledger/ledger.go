@@ -48,6 +48,12 @@ const (
 	// KindRPCFault is one observed fault-tolerance event on an RPC channel:
 	// a retried call or a circuit-breaker transition.
 	KindRPCFault Kind = "rpc-fault"
+	// KindIntent is one two-phase control-plane intent (controller): a
+	// "begin" entry appended before a state-changing operation executes and
+	// an "end" entry appended once it completes. A begin without a matching
+	// end marks an operation torn by a crash; recovery replays the chain
+	// and finishes (or cleans up after) exactly those.
+	KindIntent Kind = "intent"
 )
 
 // Entry is one committed evidence record. Seq, PrevHash and Hash are

@@ -16,11 +16,23 @@ type PeerHealth struct {
 	Breaker string `json:"breaker"` // closed | open | half-open
 }
 
+// QueueHealth reports the state of an entity's reconcile workqueue: how
+// many keys are ready, how many wait on timers (backoff or requeue-after
+// schedules), and how many the queue bound has evicted since start.
+type QueueHealth struct {
+	Ready   int    `json:"ready"`
+	Delayed int    `json:"delayed"`
+	Dropped uint64 `json:"dropped"`
+}
+
 // EntityHealth reports one entity's liveness plus its downstream peers.
 type EntityHealth struct {
 	Entity string       `json:"entity"`
 	Alive  bool         `json:"alive"`
 	Peers  []PeerHealth `json:"peers,omitempty"`
+	// Queue, when present, is the entity's reconcile-queue state (the
+	// controller reports its level-triggered control loop here).
+	Queue *QueueHealth `json:"queue,omitempty"`
 }
 
 // AdminConfig assembles the operator surface. Every field is optional;

@@ -1,0 +1,111 @@
+// Package reconcile provides the level-triggered reconciliation
+// primitives the Cloud Controller is built on: typed conditions joining a
+// VM's declared desired state to its observed state, a bounded dedup
+// workqueue with per-key serialization, and a reconcile loop that drives
+// registered keys toward convergence with rate-limited backoff requeues
+// and explicit requeue-after scheduling.
+//
+// The package is deliberately a leaf: it knows nothing about VMs,
+// attestation or RPC. Time is virtual — every timestamp comes from the
+// injected now() func (the testbed's discrete-event clock), so a seeded
+// run replays to identical transition times and backoff schedules.
+package reconcile
+
+import "time"
+
+// ConditionType names one facet of a VM's convergence state.
+type ConditionType string
+
+// The condition types the controller maintains per VM.
+const (
+	// CondPlaced: the VM is spawned on a cloud server with capacity
+	// reserved (observed placement matches desired).
+	CondPlaced ConditionType = "Placed"
+	// CondAttested: the most recent appraisal exchange completed and its
+	// signed report verified (False on verification failure, Unknown when
+	// the attestation infrastructure is unreachable and a stale verdict
+	// is being served).
+	CondAttested ConditionType = "Attested"
+	// CondHealthy: the latest verified verdict found the property healthy.
+	CondHealthy ConditionType = "Healthy"
+	// CondRemediating: a policy response (terminate / suspend / migrate)
+	// has been declared and is not yet complete.
+	CondRemediating ConditionType = "Remediating"
+	// CondTerminating: the teardown finalizer is set; True until every
+	// external resource (host spawn, appraisal registration, capacity
+	// reservation) is released.
+	CondTerminating ConditionType = "Terminating"
+)
+
+// Status is a condition's tri-state value.
+type Status string
+
+// The three condition statuses, matching the Kubernetes convention.
+const (
+	True    Status = "True"
+	False   Status = "False"
+	Unknown Status = "Unknown"
+)
+
+// Condition is one typed observation about a VM, with the virtual-clock
+// time of its last status transition.
+type Condition struct {
+	Type    ConditionType `json:"type"`
+	Status  Status        `json:"status"`
+	Reason  string        `json:"reason,omitempty"`
+	Message string        `json:"message,omitempty"`
+	// At is the virtual time the condition last changed Status. Reason and
+	// message updates that keep the same status preserve At, so "how long
+	// has this VM been unhealthy" is answerable from the condition alone.
+	At time.Duration `json:"at"`
+}
+
+// Conditions is a VM's condition set, keyed by type.
+type Conditions []Condition
+
+// Set updates (or inserts) the condition of c.Type. The transition time
+// is only advanced to now when the status actually changes; reason and
+// message always take the latest values. It reports whether the status
+// changed.
+func (cs *Conditions) Set(now time.Duration, c Condition) bool {
+	for i := range *cs {
+		if (*cs)[i].Type != c.Type {
+			continue
+		}
+		changed := (*cs)[i].Status != c.Status
+		at := (*cs)[i].At
+		if changed {
+			at = now
+		}
+		(*cs)[i] = Condition{Type: c.Type, Status: c.Status, Reason: c.Reason, Message: c.Message, At: at}
+		return changed
+	}
+	c.At = now
+	*cs = append(*cs, c)
+	return true
+}
+
+// Get returns the condition of type t, if present.
+func (cs Conditions) Get(t ConditionType) (Condition, bool) {
+	for _, c := range cs {
+		if c.Type == t {
+			return c, true
+		}
+	}
+	return Condition{}, false
+}
+
+// IsTrue reports whether the condition of type t is present with status
+// True.
+func (cs Conditions) IsTrue(t ConditionType) bool {
+	c, ok := cs.Get(t)
+	return ok && c.Status == True
+}
+
+// Clone returns an independent copy of the condition set.
+func (cs Conditions) Clone() Conditions {
+	if cs == nil {
+		return nil
+	}
+	return append(Conditions(nil), cs...)
+}

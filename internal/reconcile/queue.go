@@ -1,0 +1,235 @@
+package reconcile
+
+import (
+	"sync"
+	"time"
+)
+
+// QueueConfig tunes the workqueue.
+type QueueConfig struct {
+	// Now is the virtual clock (required).
+	Now func() time.Duration
+	// Bound caps the number of distinct keys waiting in the ready list;
+	// when exceeded the oldest ready key is dropped (and counted). The
+	// level-triggered model makes a drop safe: a dropped key is re-added
+	// the next time any event observes it off its desired state. 0 applies
+	// the default (1024).
+	Bound int
+	// BaseDelay and MaxDelay shape the per-key exponential backoff used by
+	// AddRateLimited: delay = BaseDelay << (failures-1), capped at
+	// MaxDelay. Defaults: 100ms base, 1m cap (virtual time).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+const (
+	defaultBound     = 1024
+	defaultBaseDelay = 100 * time.Millisecond
+	defaultMaxDelay  = time.Minute
+)
+
+// Queue is a bounded, deduplicating workqueue with per-key serialization
+// and virtual-time delayed requeues. It mirrors the Kubernetes workqueue
+// contract: a key is held by at most one reconcile pass at a time; adds
+// arriving while the key is being processed mark it dirty so it runs
+// exactly one more pass; duplicate adds collapse.
+type Queue struct {
+	cfg QueueConfig
+
+	mu         sync.Mutex
+	ready      []string                 // FIFO of runnable keys
+	queued     map[string]bool          // key is in ready
+	processing map[string]bool          // key is held by a pass
+	dirty      map[string]bool          // re-add after current pass
+	delayed    map[string]time.Duration // key -> virtual due time
+	failures   map[string]int           // consecutive failures (backoff)
+	dropped    uint64
+}
+
+// NewQueue builds a workqueue on the given virtual clock.
+func NewQueue(cfg QueueConfig) *Queue {
+	if cfg.Bound <= 0 {
+		cfg.Bound = defaultBound
+	}
+	if cfg.BaseDelay <= 0 {
+		cfg.BaseDelay = defaultBaseDelay
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = defaultMaxDelay
+	}
+	return &Queue{
+		cfg:        cfg,
+		queued:     make(map[string]bool),
+		processing: make(map[string]bool),
+		dirty:      make(map[string]bool),
+		delayed:    make(map[string]time.Duration),
+		failures:   make(map[string]int),
+	}
+}
+
+// Add marks key as needing reconciliation now. Adds collapse: a key
+// already waiting is not duplicated, and a key currently being processed
+// is marked dirty so it reruns once its pass completes.
+func (q *Queue) Add(key string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.addLocked(key)
+}
+
+func (q *Queue) addLocked(key string) {
+	if q.processing[key] {
+		q.dirty[key] = true
+		return
+	}
+	if q.queued[key] {
+		return
+	}
+	// An immediate add supersedes any pending delayed retry.
+	delete(q.delayed, key)
+	q.queued[key] = true
+	q.ready = append(q.ready, key)
+	for len(q.ready) > q.cfg.Bound {
+		old := q.ready[0]
+		q.ready = q.ready[1:]
+		delete(q.queued, old)
+		q.dropped++
+	}
+}
+
+// AddAfter schedules key to become ready d from now (virtual time). An
+// earlier pending schedule for the same key wins; a key already ready is
+// left alone (it will run sooner anyway).
+func (q *Queue) AddAfter(key string, d time.Duration) {
+	if d <= 0 {
+		q.Add(key)
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.queued[key] {
+		return
+	}
+	due := q.cfg.Now() + d
+	if prev, ok := q.delayed[key]; ok && prev <= due {
+		return
+	}
+	q.delayed[key] = due
+}
+
+// AddRateLimited schedules key with exponential backoff: each consecutive
+// call (without an intervening Forget) doubles the delay from BaseDelay
+// up to MaxDelay.
+func (q *Queue) AddRateLimited(key string) {
+	q.mu.Lock()
+	q.failures[key]++
+	n := q.failures[key]
+	q.mu.Unlock()
+	q.AddAfter(key, q.backoff(n))
+}
+
+// backoff computes the delay for the n-th consecutive failure (n >= 1).
+func (q *Queue) backoff(n int) time.Duration {
+	d := q.cfg.BaseDelay
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= q.cfg.MaxDelay {
+			return q.cfg.MaxDelay
+		}
+	}
+	if d > q.cfg.MaxDelay {
+		return q.cfg.MaxDelay
+	}
+	return d
+}
+
+// Failures returns the consecutive-failure count backing key's backoff.
+func (q *Queue) Failures(key string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.failures[key]
+}
+
+// Forget resets key's backoff state after a successful pass.
+func (q *Queue) Forget(key string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	delete(q.failures, key)
+}
+
+// Promote moves every delayed key whose due time has arrived into the
+// ready list.
+func (q *Queue) Promote() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.cfg.Now()
+	for key, due := range q.delayed {
+		if due <= now {
+			delete(q.delayed, key)
+			q.addLocked(key)
+		}
+	}
+}
+
+// Get pops the next ready key and marks it processing. ok is false when
+// nothing is ready.
+func (q *Queue) Get() (key string, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.ready) == 0 {
+		return "", false
+	}
+	key = q.ready[0]
+	q.ready = q.ready[1:]
+	delete(q.queued, key)
+	q.processing[key] = true
+	return key, true
+}
+
+// Done releases key after a pass. If adds arrived during the pass (the
+// dirty mark) the key is immediately requeued, preserving per-key
+// serialization without losing level-triggered events.
+func (q *Queue) Done(key string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	delete(q.processing, key)
+	if q.dirty[key] {
+		delete(q.dirty, key)
+		q.addLocked(key)
+	}
+}
+
+// NextDue returns the earliest virtual due time among delayed keys.
+func (q *Queue) NextDue() (time.Duration, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var min time.Duration
+	found := false
+	for _, due := range q.delayed {
+		if !found || due < min {
+			min = due
+			found = true
+		}
+	}
+	return min, found
+}
+
+// Len reports the number of ready keys.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.ready)
+}
+
+// DelayedLen reports the number of keys waiting on a timer.
+func (q *Queue) DelayedLen() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.delayed)
+}
+
+// Dropped reports how many ready keys the bound has evicted.
+func (q *Queue) Dropped() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.dropped
+}

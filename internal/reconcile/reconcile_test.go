@@ -1,0 +1,243 @@
+package reconcile
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced virtual clock.
+type fakeClock struct{ t time.Duration }
+
+func (c *fakeClock) Now() time.Duration      { return c.t }
+func (c *fakeClock) Advance(d time.Duration) { c.t += d }
+
+func TestConditionTransitionTime(t *testing.T) {
+	var cs Conditions
+	if changed := cs.Set(10, Condition{Type: CondHealthy, Status: True, Reason: "verified"}); !changed {
+		t.Fatal("first set should report a change")
+	}
+	// Same status later: reason updates, transition time preserved.
+	if changed := cs.Set(20, Condition{Type: CondHealthy, Status: True, Reason: "re-verified"}); changed {
+		t.Fatal("same-status set should not report a change")
+	}
+	c, ok := cs.Get(CondHealthy)
+	if !ok || c.At != 10 || c.Reason != "re-verified" {
+		t.Fatalf("condition = %+v, want At=10 reason=re-verified", c)
+	}
+	// Status flip: transition time advances.
+	if changed := cs.Set(30, Condition{Type: CondHealthy, Status: False, Reason: "rootkit"}); !changed {
+		t.Fatal("status flip should report a change")
+	}
+	c, _ = cs.Get(CondHealthy)
+	if c.At != 30 || c.Status != False {
+		t.Fatalf("condition = %+v, want At=30 status=False", c)
+	}
+	if cs.IsTrue(CondHealthy) {
+		t.Fatal("IsTrue after flip to False")
+	}
+	if _, ok := cs.Get(CondPlaced); ok {
+		t.Fatal("absent condition type found")
+	}
+}
+
+func TestQueueDedupAndSerialization(t *testing.T) {
+	clk := &fakeClock{}
+	q := NewQueue(QueueConfig{Now: clk.Now})
+	q.Add("a")
+	q.Add("a")
+	q.Add("b")
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (dedup)", q.Len())
+	}
+	key, ok := q.Get()
+	if !ok || key != "a" {
+		t.Fatalf("Get = %q %v, want a", key, ok)
+	}
+	// Add while processing: marks dirty, does not enter ready.
+	q.Add("a")
+	if q.Len() != 1 {
+		t.Fatalf("Len during processing = %d, want 1", q.Len())
+	}
+	if k, _ := q.Get(); k != "b" {
+		t.Fatalf("second Get = %q, want b", k)
+	}
+	q.Done("b")
+	// Done on dirty key requeues it exactly once.
+	q.Done("a")
+	if q.Len() != 1 {
+		t.Fatalf("Len after dirty Done = %d, want 1", q.Len())
+	}
+	if k, _ := q.Get(); k != "a" {
+		t.Fatal("dirty key not requeued")
+	}
+	q.Done("a")
+	if q.Len() != 0 {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestQueueBoundDropsOldest(t *testing.T) {
+	clk := &fakeClock{}
+	q := NewQueue(QueueConfig{Now: clk.Now, Bound: 2})
+	q.Add("a")
+	q.Add("b")
+	q.Add("c")
+	if q.Len() != 2 || q.Dropped() != 1 {
+		t.Fatalf("Len=%d Dropped=%d, want 2/1", q.Len(), q.Dropped())
+	}
+	k1, _ := q.Get()
+	k2, _ := q.Get()
+	if k1 != "b" || k2 != "c" {
+		t.Fatalf("survivors = %q %q, want b c (oldest dropped)", k1, k2)
+	}
+}
+
+func TestQueueBackoffGrowthAndReset(t *testing.T) {
+	clk := &fakeClock{}
+	q := NewQueue(QueueConfig{Now: clk.Now, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second})
+	wants := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, time.Second, time.Second,
+	}
+	for i, want := range wants {
+		if got := q.backoff(i + 1); got != want {
+			t.Fatalf("backoff(%d) = %v, want %v", i+1, got, want)
+		}
+	}
+	q.AddRateLimited("a")
+	q.AddRateLimited("a") // still delayed; failures now 2
+	if q.Failures("a") != 2 {
+		t.Fatalf("failures = %d, want 2", q.Failures("a"))
+	}
+	q.Forget("a")
+	if q.Failures("a") != 0 {
+		t.Fatal("Forget did not reset backoff")
+	}
+}
+
+func TestQueueAddAfterOrderingAndPromote(t *testing.T) {
+	clk := &fakeClock{}
+	q := NewQueue(QueueConfig{Now: clk.Now})
+	q.AddAfter("late", 100*time.Millisecond)
+	q.AddAfter("early", 10*time.Millisecond)
+	// Earlier schedule for the same key wins.
+	q.AddAfter("early", 500*time.Millisecond)
+	due, ok := q.NextDue()
+	if !ok || due != 10*time.Millisecond {
+		t.Fatalf("NextDue = %v %v, want 10ms", due, ok)
+	}
+	q.Promote()
+	if q.Len() != 0 {
+		t.Fatal("nothing should promote before its due time")
+	}
+	clk.Advance(10 * time.Millisecond)
+	q.Promote()
+	if q.Len() != 1 || q.DelayedLen() != 1 {
+		t.Fatalf("after first due: Len=%d DelayedLen=%d, want 1/1", q.Len(), q.DelayedLen())
+	}
+	if k, _ := q.Get(); k != "early" {
+		t.Fatalf("promoted %q, want early", k)
+	}
+	q.Done("early")
+	clk.Advance(90 * time.Millisecond)
+	q.Promote()
+	if k, _ := q.Get(); k != "late" {
+		t.Fatalf("second promote got %q, want late", k)
+	}
+}
+
+func TestQueueImmediateAddSupersedesDelayed(t *testing.T) {
+	clk := &fakeClock{}
+	q := NewQueue(QueueConfig{Now: clk.Now})
+	q.AddAfter("a", time.Hour)
+	q.Add("a")
+	if q.DelayedLen() != 0 || q.Len() != 1 {
+		t.Fatalf("DelayedLen=%d Len=%d, want 0/1", q.DelayedLen(), q.Len())
+	}
+}
+
+func TestLoopConvergenceAndBackoffRequeue(t *testing.T) {
+	clk := &fakeClock{}
+	attempts := map[string]int{}
+	lp := NewLoop(LoopConfig{
+		Queue: QueueConfig{Now: clk.Now, BaseDelay: 10 * time.Millisecond},
+		Reconcile: func(key string) (Result, error) {
+			attempts[key]++
+			if key == "flaky" && attempts[key] < 3 {
+				return Result{}, errors.New("transient")
+			}
+			return Result{}, nil
+		},
+	})
+	lp.Enqueue("ok")
+	lp.Enqueue("flaky")
+	if n := lp.ProcessReady(); n != 2 {
+		t.Fatalf("passes = %d, want 2", n)
+	}
+	// flaky failed once: waiting on backoff, not ready.
+	if lp.Len() != 0 || lp.DelayedLen() != 1 {
+		t.Fatalf("Len=%d DelayedLen=%d, want 0/1", lp.Len(), lp.DelayedLen())
+	}
+	clk.Advance(10 * time.Millisecond)
+	lp.ProcessReady() // second attempt fails, backoff doubles to 20ms
+	clk.Advance(10 * time.Millisecond)
+	if n := lp.ProcessReady(); n != 0 {
+		t.Fatalf("ran %d passes before backoff elapsed", n)
+	}
+	clk.Advance(10 * time.Millisecond)
+	lp.ProcessReady() // third attempt converges
+	if attempts["flaky"] != 3 || attempts["ok"] != 1 {
+		t.Fatalf("attempts = %v", attempts)
+	}
+	if lp.DelayedLen() != 0 || lp.Len() != 0 {
+		t.Fatal("loop not quiescent after convergence")
+	}
+	if lp.Failures("flaky") != 0 {
+		t.Fatal("success did not reset backoff")
+	}
+}
+
+func TestLoopRequeueAfter(t *testing.T) {
+	clk := &fakeClock{}
+	runs := 0
+	lp := NewLoop(LoopConfig{
+		Queue: QueueConfig{Now: clk.Now},
+		Reconcile: func(string) (Result, error) {
+			runs++
+			return Result{RequeueAfter: time.Second}, nil
+		},
+	})
+	lp.Enqueue("vm-0001")
+	lp.ProcessReady()
+	due, ok := lp.NextDue()
+	if !ok || due != clk.Now()+time.Second {
+		t.Fatalf("NextDue = %v %v, want +1s", due, ok)
+	}
+	clk.Advance(time.Second)
+	lp.ProcessReady()
+	if runs != 2 {
+		t.Fatalf("runs = %d, want 2 (periodic requeue-after)", runs)
+	}
+}
+
+func TestLoopMaxPassesBound(t *testing.T) {
+	clk := &fakeClock{}
+	lp := NewLoop(LoopConfig{
+		Queue:             QueueConfig{Now: clk.Now},
+		MaxPassesPerDrain: 3,
+		Reconcile: func(key string) (Result, error) {
+			// Pathological reconciler: always wants to run again immediately.
+			return Result{RequeueAfter: 0, Requeue: false}, nil
+		},
+	})
+	for _, k := range []string{"a", "b", "c", "d", "e"} {
+		lp.Enqueue(k)
+	}
+	if n := lp.ProcessReady(); n != 3 {
+		t.Fatalf("drain ran %d passes, want 3 (bounded)", n)
+	}
+	if n := lp.ProcessReady(); n != 2 {
+		t.Fatalf("second drain ran %d passes, want 2", n)
+	}
+}
