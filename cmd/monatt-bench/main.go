@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	monatt-bench [-seed N] [-exp all|table1|fig4|fig5|fig6|fig7|fig9|fig10|fig11|ablation|traces]
+//	monatt-bench [-seed N] [-exp all|table1|fig4|fig5|fig6|fig7|fig9|fig10|fig11|ablation|hotpath|traces]
 package main
 
 import (
@@ -18,7 +18,7 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
-	exp := flag.String("exp", "all", "experiment to run (all, table1, fig4, fig5, fig6, fig7, fig9, fig10, fig11, ablation, comparison, rfa, traces)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1, fig4, fig5, fig6, fig7, fig9, fig10, fig11, ablation, comparison, rfa, hotpath, traces)")
 	flag.Parse()
 
 	run := func(name string, f func() (string, error)) {
@@ -87,6 +87,13 @@ func main() {
 	run("rfa", func() (string, error) {
 		r, err := bench.RFA(*seed)
 		return r.Render(), err
+	})
+	run("hotpath", func() (string, error) {
+		r, err := bench.HotPath(*seed, 50, 200)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
 	})
 	run("traces", func() (string, error) {
 		r, err := bench.TraceStages(*seed, 20)

@@ -14,6 +14,7 @@
 //
 //	monatt-cloud [-servers 3] [-seed 1] [-bootstrap monatt-bootstrap.json]
 //	             [-admin-addr 127.0.0.1:9190]
+//	             [-codec binary|gob] [-resume] [-batch-verify]
 package main
 
 import (
@@ -62,7 +63,19 @@ func main() {
 	adminAddr := flag.String("admin-addr", "", "serve the operator HTTP surface (/metrics, /healthz, /traces, /debug/pprof) on this address; empty disables it")
 	trustBackend := flag.String("trust-backend", "tpm", "comma-separated trust backends assigned to servers round-robin (tpm, vtpm, sev-snp); a mixed list gives a mixed fleet")
 	reattestEvery := flag.Duration("reattest-every", 0, "virtual-time interval for the reconcile loop to re-attest every active VM; 0 disables")
+	resume := flag.Bool("resume", true, "cache secchan resumption tickets so reconnects skip the asymmetric handshake")
+	codec := flag.String("codec", "binary", "wire codec for protocol messages (binary, gob); gob is the pre-codec compatibility mode")
+	batchVerify := flag.Bool("batch-verify", true, "batch the attestation servers' signature verifications across concurrent appraisals")
 	flag.Parse()
+
+	switch *codec {
+	case "binary":
+		rpc.SetLegacyGob(false)
+	case "gob":
+		rpc.SetLegacyGob(true)
+	default:
+		log.Fatalf("-codec: unknown codec %q (want binary or gob)", *codec)
+	}
 
 	var backends []driver.Backend
 	for _, f := range strings.Split(*trustBackend, ",") {
@@ -100,6 +113,8 @@ func main() {
 			ResultBuffer:   *periodicBuffer,
 		},
 		ReattestEvery: *reattestEvery,
+		Resume:        *resume,
+		BatchVerify:   *batchVerify,
 	})
 	if err != nil {
 		log.Fatalf("assembling cloud: %v", err)

@@ -106,17 +106,35 @@ type Config struct {
 	// Obs, when set, receives one span per appraisal stage (entity
 	// "attest-server") plus a root span per periodic tick.
 	Obs *obs.Store
+	// Batch, when set, routes evidence-signature and certificate checks
+	// through a shared BatchVerifier: concurrent appraisals coalesce
+	// identical certificate verifications and fan distinct signature
+	// checks across cores. Nil verifies inline.
+	Batch *cryptoutil.BatchVerifier
+	// Resume enables secure-channel session resumption on the measurement
+	// channels: reconnects to a cloud server ride a ticket instead of
+	// re-running the asymmetric handshake.
+	Resume bool
+}
+
+// verifier returns the signature verifier appraisals should use.
+func (c Config) verifier() cryptoutil.Verifier {
+	if c.Batch != nil {
+		return c.Batch
+	}
+	return cryptoutil.Direct
 }
 
 // Server is the Attestation Server.
 type Server struct {
 	cfg Config
 
-	mu      sync.Mutex
-	servers map[string]*ServerRecord
-	vms     map[string]*VMRecord
-	clients map[string]*rpc.ReconnectClient
-	replay  *cryptoutil.ReplayCache
+	mu       sync.Mutex
+	servers  map[string]*ServerRecord
+	vms      map[string]*VMRecord
+	clients  map[string]*rpc.ReconnectClient
+	sessions *secchan.SessionCache // resumption tickets, nil unless cfg.Resume
+	replay   *cryptoutil.ReplayCache
 
 	periodic *periodicEngine
 	metrics  *metrics.Registry
@@ -133,6 +151,9 @@ func New(cfg Config) *Server {
 		replay:  cryptoutil.NewReplayCache(4096),
 		metrics: metrics.NewRegistry(),
 		tracer:  obs.NewTracer(cfg.Obs, "attest-server", cfg.Clock.Now),
+	}
+	if cfg.Resume {
+		s.sessions = secchan.NewSessionCache()
 	}
 	s.periodic = newPeriodicEngine(cfg.Periodic, s.cfg.Clock.Now, s.drawJitter, s.appraiseOnce, s.metrics, s.tracer)
 	return s
@@ -273,6 +294,7 @@ func (s *Server) client(rec *ServerRecord) *rpc.ReconnectClient {
 			Identity: s.cfg.Identity,
 			Verify:   s.cfg.Verify,
 			Rand:     s.cfg.Rand,
+			Session:  s.sessions,
 		},
 		Retry:       s.cfg.Retry,
 		Breaker:     s.cfg.Breaker,
@@ -382,7 +404,7 @@ func (s *Server) AppraiseTraced(parent obs.SpanContext, req wire.AppraisalReques
 	}, &ev); err != nil {
 		return nil, fmt.Errorf("attestsrv: measurement collection failed: %w", err)
 	}
-	if err := wire.VerifyEvidence(&ev, s.cfg.PCAName, ed25519.PublicKey(s.cfg.PCAKey), req.Vid, rM, n3); err != nil {
+	if err := wire.VerifyEvidenceWith(&ev, s.cfg.PCAName, ed25519.PublicKey(s.cfg.PCAKey), req.Vid, rM, n3, s.cfg.verifier()); err != nil {
 		return nil, fmt.Errorf("attestsrv: rejecting evidence: %w", err)
 	}
 	if ev.Backend != string(backend) {

@@ -1,0 +1,114 @@
+package binenc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var b []byte
+	b = AppendUint8(b, 0xC1)
+	b = AppendBool(b, true)
+	b = AppendBool(b, false)
+	b = AppendUint32(b, 0xDEADBEEF)
+	b = AppendUint64(b, 1<<63|42)
+	b = AppendBytes(b, []byte("payload"))
+	b = AppendBytes(b, nil)
+	b = AppendString(b, "name")
+
+	r := NewReader(b)
+	if got := r.Uint8(); got != 0xC1 {
+		t.Fatalf("Uint8 = %#x", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("bools did not round-trip")
+	}
+	if got := r.Uint32(); got != 0xDEADBEEF {
+		t.Fatalf("Uint32 = %#x", got)
+	}
+	if got := r.Uint64(); got != 1<<63|42 {
+		t.Fatalf("Uint64 = %#x", got)
+	}
+	if got := r.Bytes(); !bytes.Equal(got, []byte("payload")) {
+		t.Fatalf("Bytes = %q", got)
+	}
+	if got := r.Bytes(); got != nil {
+		t.Fatalf("empty field decoded to %v, want nil", got)
+	}
+	if got := r.String(); got != "name" {
+		t.Fatalf("String = %q", got)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+func TestTruncatedAndTrailing(t *testing.T) {
+	r := NewReader([]byte{0, 0, 0, 9, 'x'})
+	if got := r.Bytes(); got != nil || r.Err() == nil {
+		t.Fatalf("truncated field: got %v err %v", got, r.Err())
+	}
+	if !errors.Is(r.Done(), ErrTruncated) {
+		t.Fatalf("Done after truncation: %v", r.Done())
+	}
+
+	r = NewReader([]byte{7, 8})
+	r.Uint8()
+	if err := r.Done(); !errors.Is(err, ErrTrailing) {
+		t.Fatalf("trailing bytes not rejected: %v", err)
+	}
+}
+
+func TestBoolRejectsNonCanonical(t *testing.T) {
+	r := NewReader([]byte{2})
+	r.Bool()
+	if !errors.Is(r.Err(), ErrNonCanonical) {
+		t.Fatalf("Bool(2) err = %v", r.Err())
+	}
+}
+
+func TestErrorsStick(t *testing.T) {
+	r := NewReader(nil)
+	r.Uint64()
+	if r.Err() == nil {
+		t.Fatal("no error on empty read")
+	}
+	// Every later read is a no-op returning zero values.
+	if r.Uint32() != 0 || r.Bytes() != nil || r.String() != "" || r.Uint8() != 0 {
+		t.Fatal("reads after error returned non-zero values")
+	}
+}
+
+func TestCountBoundsAllocation(t *testing.T) {
+	// A count claiming 2^31 elements over a 4-byte remainder must fail
+	// instead of sizing a slice from attacker input.
+	var b []byte
+	b = AppendUint32(b, 1<<31)
+	b = append(b, 1, 2, 3, 4)
+	r := NewReader(b)
+	if n := r.Count(8); n != 0 || r.Err() == nil {
+		t.Fatalf("hostile count admitted: n=%d err=%v", n, r.Err())
+	}
+
+	b = AppendUint32(nil, 2)
+	b = append(b, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16)
+	r = NewReader(b)
+	if n := r.Count(8); n != 2 || r.Err() != nil {
+		t.Fatalf("honest count rejected: n=%d err=%v", n, r.Err())
+	}
+}
+
+func TestFixed(t *testing.T) {
+	var dst [4]byte
+	r := NewReader([]byte{1, 2, 3, 4})
+	r.Fixed(dst[:])
+	if dst != [4]byte{1, 2, 3, 4} || r.Done() != nil {
+		t.Fatalf("Fixed: %v %v", dst, r.Done())
+	}
+	r = NewReader([]byte{1, 2})
+	r.Fixed(dst[:])
+	if r.Err() == nil {
+		t.Fatal("short Fixed read not rejected")
+	}
+}

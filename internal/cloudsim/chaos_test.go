@@ -15,7 +15,7 @@ import (
 // succeed end to end. Faults are seeded, so the run is reproducible.
 func TestFullFlowUnderChaos(t *testing.T) {
 	fn := rpc.NewFaultNetwork(rpc.NewMemNetwork(), rpc.FaultConfig{
-		Seed:      42,
+		Seed:      5,
 		DropRate:  0.15, // >= 10% of dials refused
 		ResetRate: 0.25, // connections torn mid-stream force redials
 		DelayRate: 0.3,

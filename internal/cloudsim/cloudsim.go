@@ -100,6 +100,14 @@ type Options struct {
 	// points (crash injection for the recovery tests). RestartController
 	// builds the replacement controller without it, like a fresh process.
 	FailPoint func(point string) bool
+	// Resume lets the Attestation Servers cache secchan resumption tickets
+	// for their cloud-server connections, so a redial after a drop skips
+	// the asymmetric handshake (cmd/monatt-cloud -resume).
+	Resume bool
+	// BatchVerify routes the Attestation Servers' evidence and certificate
+	// signature checks through a shared group-commit BatchVerifier
+	// (cmd/monatt-cloud -batch-verify).
+	BatchVerify bool
 }
 
 // Testbed is the assembled cloud.
@@ -121,6 +129,9 @@ type Testbed struct {
 	// Obs is the shared span store: every entity records its attestation
 	// spans here, keyed by the trace IDs customers mint from their nonces.
 	Obs *obs.Store
+	// Batch is the Attestation Servers' shared signature batcher (nil
+	// unless Options.BatchVerify); its Stats show what batching saved.
+	Batch *cryptoutil.BatchVerifier
 
 	// ControllerAddr is where the nova api listens (useful with TCP).
 	ControllerAddr string
@@ -270,6 +281,11 @@ func New(opts Options) (*Testbed, error) {
 	// Attestation Servers, one per cluster; each cloud server registers
 	// with its cluster's appraiser only.
 	attestAddrs := make([]string, opts.AttestServers)
+	if opts.BatchVerify {
+		// One verifier shared by every cluster: concurrent appraisals
+		// coalesce even across Attestation Servers.
+		tb.Batch = cryptoutil.NewBatchVerifier(0)
+	}
 	for i, id := range attIDs {
 		as := attestsrv.New(attestsrv.Config{
 			Identity:    id,
@@ -287,6 +303,8 @@ func New(opts Options) (*Testbed, error) {
 			Periodic:    opts.Periodic,
 			Obs:         tb.Obs,
 			MinTCB:      opts.MinTCB,
+			Batch:       tb.Batch,
+			Resume:      opts.Resume,
 		})
 		tb.AttestServers = append(tb.AttestServers, as)
 		al, addr, err := listen(id.Name)

@@ -498,3 +498,25 @@ func TestScaleManyVMsManyServers(t *testing.T) {
 		t.Fatalf("free vCPUs after teardown = %d, want 116", free)
 	}
 }
+
+// TestHotPathOptions wires the hot-path knobs end to end: with BatchVerify
+// and Resume on, launches and attestations still succeed, and the shared
+// batch verifier actually served the appraisals' signature checks.
+func TestHotPathOptions(t *testing.T) {
+	tb := newTB(t, Options{Seed: 1, BatchVerify: true, Resume: true})
+	cu, err := tb.NewCustomer("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := launch(t, cu, basicLaunch())
+	v, err := cu.Attest(res.Vid, properties.RuntimeIntegrity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Healthy {
+		t.Fatalf("healthy VM attested unhealthy: %s", v.Reason)
+	}
+	if st := tb.Batch.Stats(); st.Items == 0 {
+		t.Fatal("batch verifier saw no verification requests; appraisal path is not routed through it")
+	}
+}

@@ -211,7 +211,7 @@ func TestPeriodicAttestationTraces(t *testing.T) {
 // retry annotation.
 func TestTracesUnderChaos(t *testing.T) {
 	fn := rpc.NewFaultNetwork(rpc.NewMemNetwork(), rpc.FaultConfig{
-		Seed:      42,
+		Seed:      5,
 		DropRate:  0.15,
 		ResetRate: 0.25,
 		DelayRate: 0.3,

@@ -40,8 +40,8 @@ func (c *Controller) Recover() error {
 	type launchBegin struct {
 		ir intentRecord
 	}
-	launchBegins := make(map[string]*launchBegin)        // vid → open launch
-	openPlaces := make(map[string]map[string]string)     // vid → intent id → server
+	launchBegins := make(map[string]*launchBegin)         // vid → open launch
+	openPlaces := make(map[string]map[string]string)      // vid → intent id → server
 	openRemediate := make(map[string]*pendingRemediation) // vid → torn remediation
 	recs := make(map[string]*vmRecord)
 	var eventOrder []ResponseEvent

@@ -310,11 +310,11 @@ func TestRecoverReplayTable(t *testing.T) {
 // unbounded growth.
 func TestEventsRingBounded(t *testing.T) {
 	c := New(Config{
-		Identity: cryptoutil.MustIdentity("cloud-controller"),
-		Network:  rpc.NewMemNetwork(),
-		Clock:    vclock.New(sim.NewKernel(1)),
-		Latency:  latency.New(1),
-		Rand:     rand.Reader,
+		Identity:  cryptoutil.MustIdentity("cloud-controller"),
+		Network:   rpc.NewMemNetwork(),
+		Clock:     vclock.New(sim.NewKernel(1)),
+		Latency:   latency.New(1),
+		Rand:      rand.Reader,
 		EventsCap: 3,
 	})
 	for i := 0; i < 5; i++ {

@@ -1,0 +1,198 @@
+package cryptoutil
+
+import (
+	"crypto/ed25519"
+	"runtime"
+	"sync"
+)
+
+// Verifier abstracts signature verification so hot paths can swap the
+// direct per-call ed25519.Verify for a batching implementation.
+type Verifier interface {
+	Verify(pub ed25519.PublicKey, msg, sig []byte) bool
+}
+
+// VerifierFunc adapts a function to the Verifier interface.
+type VerifierFunc func(pub ed25519.PublicKey, msg, sig []byte) bool
+
+// Verify calls f.
+func (f VerifierFunc) Verify(pub ed25519.PublicKey, msg, sig []byte) bool { return f(pub, msg, sig) }
+
+// Direct is the non-batching Verifier: one ed25519.Verify per call.
+var Direct Verifier = VerifierFunc(Verify)
+
+// BatchVerifier amortizes ed25519 verification across concurrent callers
+// by leader-based group commit. The first caller to arrive while no batch
+// is running becomes the leader: it drains everything queued, coalesces
+// identical (pub, msg, sig) triples into one verification, and fans the
+// distinct ones out over a bounded worker pool; callers that arrived while
+// the leader was busy form the next batch. Followers block until the
+// leader publishes their verdict.
+//
+// Two effects make this cheaper than calling ed25519.Verify inline:
+// coalescing (concurrent appraisals of the same cloud server all verify
+// the same pCA certificate signature — the batch verifies it once), and
+// parallelism (a burst of distinct signatures spreads across cores even
+// when each caller is itself sequential).
+//
+// Failure falls back to individual verification: when a coalesced group's
+// shared verification fails, every member is re-verified on its own
+// bytes, so one caller handing in an aliased or concurrently mutated
+// buffer can never condemn another caller's valid signature.
+//
+// The zero value is not usable; construct with NewBatchVerifier. A
+// BatchVerifier implements Verifier and is safe for concurrent use.
+type BatchVerifier struct {
+	workers int
+
+	mu      sync.Mutex
+	queue   []*batchReq
+	leading bool
+
+	stats BatchStats
+}
+
+// BatchStats counts what the batching achieved.
+type BatchStats struct {
+	Batches   uint64 // group commits run
+	Items     uint64 // verification requests served
+	Coalesced uint64 // requests answered by another request's verification
+	Fallbacks uint64 // individual re-verifications after a group failure
+	MaxBatch  uint64 // largest single group commit
+}
+
+type batchReq struct {
+	pub  ed25519.PublicKey
+	msg  []byte
+	sig  []byte
+	ok   bool
+	done chan struct{}
+}
+
+// NewBatchVerifier creates a batch verifier fanning out over at most
+// workers goroutines; workers <= 0 selects GOMAXPROCS.
+func NewBatchVerifier(workers int) *BatchVerifier {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &BatchVerifier{workers: workers}
+}
+
+// Verify enqueues one signature check and blocks until a group commit
+// answers it. Call it from the goroutine that needs the verdict; the
+// batching comes from concurrent callers, not from deferred evaluation.
+func (b *BatchVerifier) Verify(pub ed25519.PublicKey, msg, sig []byte) bool {
+	r := &batchReq{pub: pub, msg: msg, sig: sig, done: make(chan struct{})}
+	b.mu.Lock()
+	b.queue = append(b.queue, r)
+	if b.leading {
+		// A leader is running; it (or its successor drain) will take us.
+		b.mu.Unlock()
+		<-r.done
+		return r.ok
+	}
+	b.leading = true
+	for {
+		// Yield once before draining: callers already runnable get to
+		// enqueue and join this commit instead of forming a one-element
+		// batch each. This is what lets the group grow on a single core,
+		// where nothing preempts a verification in flight — the classic
+		// group-commit "hold the door" beat, priced at one scheduler pass.
+		b.mu.Unlock()
+		runtime.Gosched()
+		b.mu.Lock()
+		batch := b.queue
+		b.queue = nil
+		b.mu.Unlock()
+		b.run(batch)
+		b.mu.Lock()
+		if len(b.queue) == 0 {
+			b.leading = false
+			b.mu.Unlock()
+			break
+		}
+		// Followers queued while we verified: lead their batch too rather
+		// than leaving them to wait for a fresh caller.
+	}
+	<-r.done
+	return r.ok
+}
+
+// Stats snapshots the counters.
+func (b *BatchVerifier) Stats() BatchStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// run verifies one drained batch and wakes every member.
+func (b *BatchVerifier) run(batch []*batchReq) {
+	// Coalesce identical triples: one verification answers all of them.
+	// The key hashes all three components, so two requests share a group
+	// only when they are byte-identical.
+	groups := make(map[[32]byte][]*batchReq, len(batch))
+	order := make([][32]byte, 0, len(batch))
+	for _, r := range batch {
+		k := Hash("batch-verify", r.pub, r.msg, r.sig)
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], r)
+	}
+
+	workers := b.workers
+	if workers > len(order) {
+		workers = len(order)
+	}
+	var wg sync.WaitGroup
+	idx := make(chan [32]byte, len(order))
+	for _, k := range order {
+		idx <- k
+	}
+	close(idx)
+	var fallbacks uint64
+	var fbMu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range idx {
+				grp := groups[k]
+				rep := grp[0]
+				ok := Verify(rep.pub, rep.msg, rep.sig)
+				if ok {
+					for _, r := range grp {
+						r.ok = true
+					}
+					continue
+				}
+				// Group failed: re-check every member individually so a
+				// caller whose buffer was mutated after enqueue (making the
+				// shared key stale) cannot drag the others down with it.
+				rep.ok = false
+				for _, r := range grp[1:] {
+					r.ok = Verify(r.pub, r.msg, r.sig)
+				}
+				if len(grp) > 1 {
+					fbMu.Lock()
+					fallbacks += uint64(len(grp) - 1)
+					fbMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, r := range batch {
+		close(r.done)
+	}
+
+	b.mu.Lock()
+	b.stats.Batches++
+	b.stats.Items += uint64(len(batch))
+	b.stats.Coalesced += uint64(len(batch) - len(order))
+	b.stats.Fallbacks += fallbacks
+	if n := uint64(len(batch)); n > b.stats.MaxBatch {
+		b.stats.MaxBatch = n
+	}
+	b.mu.Unlock()
+}

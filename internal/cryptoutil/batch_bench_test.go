@@ -1,0 +1,73 @@
+package cryptoutil
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// BenchmarkVerify compares direct per-call ed25519 verification against the
+// group-commit BatchVerifier at 1, 8 and 64 concurrent callers — the shape
+// of an attestation server appraising many VMs at once. Two workloads:
+//
+//   - unique: every caller verifies its own distinct signed message (fresh
+//     per-session evidence signatures). No coalescing is possible, so this
+//     measures the batcher's pure queuing overhead.
+//   - shared: every caller re-checks the same signed message (the fleet's
+//     current ledger checkpoint, the pCA root cert). Identical triples
+//     coalesce into one underlying verification per group commit — the
+//     case the batcher exists for.
+func BenchmarkVerify(b *testing.B) {
+	id := MustIdentity("bench-signer")
+	const distinct = 64
+	msgs := make([][]byte, distinct)
+	sigs := make([][]byte, distinct)
+	for i := range msgs {
+		msgs[i] = []byte(fmt.Sprintf("evidence-%02d", i))
+		sigs[i] = id.Sign(msgs[i])
+	}
+	pub := id.Public()
+
+	run := func(v Verifier, callers int, shared bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for c := 0; c < callers; c++ {
+				n := b.N / callers
+				if c < b.N%callers {
+					n++
+				}
+				wg.Add(1)
+				go func(c, n int) {
+					defer wg.Done()
+					for i := 0; i < n; i++ {
+						k := 0
+						if !shared {
+							k = (c*31 + i) % distinct
+						}
+						if !v.Verify(pub, msgs[k], sigs[k]) {
+							b.Error("valid signature rejected")
+							return
+						}
+					}
+				}(c, n)
+			}
+			wg.Wait()
+			if bv, ok := v.(*BatchVerifier); ok {
+				st := bv.Stats()
+				if st.Items > 0 {
+					b.ReportMetric(float64(st.Coalesced)/float64(st.Items)*100, "%coalesced")
+				}
+			}
+		}
+	}
+
+	for _, load := range []string{"unique", "shared"} {
+		shared := load == "shared"
+		for _, callers := range []int{1, 8, 64} {
+			b.Run(fmt.Sprintf("%s/direct/callers-%d", load, callers), run(Direct, callers, shared))
+			b.Run(fmt.Sprintf("%s/batch/callers-%d", load, callers), run(NewBatchVerifier(0), callers, shared))
+		}
+	}
+}

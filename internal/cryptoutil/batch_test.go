@@ -1,0 +1,118 @@
+package cryptoutil
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func batchReqFor(id *Identity, msg []byte, valid bool) *batchReq {
+	sig := id.Sign(msg)
+	if !valid {
+		sig[0] ^= 0xff
+	}
+	return &batchReq{pub: id.Public(), msg: msg, sig: sig, done: make(chan struct{})}
+}
+
+// TestBatchVerifierRunCoalesces drives one group commit directly: identical
+// triples must be answered by a single underlying verification, distinct
+// ones verified individually, and the op counters must show the saving.
+func TestBatchVerifierRunCoalesces(t *testing.T) {
+	id := MustIdentity("signer")
+	msg := []byte("evidence body")
+	sig := id.Sign(msg)
+
+	var batch []*batchReq
+	for i := 0; i < 5; i++ { // five byte-identical requests
+		batch = append(batch, &batchReq{pub: id.Public(), msg: msg, sig: sig, done: make(chan struct{})})
+	}
+	for i := 0; i < 3; i++ { // three distinct valid requests
+		batch = append(batch, batchReqFor(id, []byte(fmt.Sprintf("distinct-%d", i)), true))
+	}
+	bad := batchReqFor(id, []byte("forged"), false)
+	batch = append(batch, bad)
+
+	b := NewBatchVerifier(4)
+	before := Ops()
+	b.run(batch)
+	delta := Ops().Sub(before)
+
+	for i, r := range batch {
+		want := r != bad
+		if r.ok != want {
+			t.Errorf("request %d: ok=%v, want %v", i, r.ok, want)
+		}
+	}
+	// 9 requests, 5 coalesced into 1: exactly 5 verifications happen.
+	if delta.Verify != 5 {
+		t.Errorf("underlying verifications: %d, want 5 (coalescing broken)", delta.Verify)
+	}
+	st := b.Stats()
+	if st.Batches != 1 || st.Items != 9 || st.Coalesced != 4 || st.MaxBatch != 9 {
+		t.Errorf("stats %+v, want 1 batch / 9 items / 4 coalesced / max 9", st)
+	}
+}
+
+// TestBatchVerifierFallback: when a coalesced group's shared verification
+// fails, every member is re-verified individually, so the group verdict is
+// not trusted for rejection.
+func TestBatchVerifierFallback(t *testing.T) {
+	id := MustIdentity("signer")
+	msg := []byte("tampered")
+	sig := id.Sign(msg)
+	sig[1] ^= 0x01
+
+	var batch []*batchReq
+	for i := 0; i < 3; i++ {
+		batch = append(batch, &batchReq{pub: id.Public(), msg: msg, sig: sig, done: make(chan struct{})})
+	}
+	b := NewBatchVerifier(2)
+	b.run(batch)
+	for i, r := range batch {
+		if r.ok {
+			t.Errorf("request %d: forged signature verified", i)
+		}
+	}
+	if st := b.Stats(); st.Fallbacks != 2 {
+		t.Errorf("fallbacks %d, want 2 (members re-verified individually)", st.Fallbacks)
+	}
+}
+
+// TestBatchVerifierConcurrent hammers the public Verify path from many
+// goroutines with a mix of valid and forged signatures: every caller must
+// get its own correct verdict regardless of how the batches formed.
+func TestBatchVerifierConcurrent(t *testing.T) {
+	ids := []*Identity{MustIdentity("a"), MustIdentity("b")}
+	b := NewBatchVerifier(0)
+	const n = 96
+	var wg sync.WaitGroup
+	errs := make(chan string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := ids[i%2]
+			msg := []byte(fmt.Sprintf("msg-%d", i%8)) // some duplicates
+			sig := id.Sign(msg)
+			valid := i%5 != 0
+			if !valid {
+				sig[2] ^= 0x80
+			}
+			if got := b.Verify(id.Public(), msg, sig); got != valid {
+				errs <- fmt.Sprintf("caller %d: got %v, want %v", i, got, valid)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	st := b.Stats()
+	if st.Items != n {
+		t.Errorf("items %d, want %d", st.Items, n)
+	}
+	if st.Batches == 0 || st.Batches > n {
+		t.Errorf("batches %d out of range", st.Batches)
+	}
+}

@@ -1,0 +1,32 @@
+// Binary wire codec for certificates, shared by the wire-message codec.
+package cryptoutil
+
+import (
+	"crypto/ed25519"
+
+	"cloudmonatt/internal/binenc"
+)
+
+// AppendWire appends the certificate's binary wire encoding to b.
+func (c Certificate) AppendWire(b []byte) []byte {
+	b = binenc.AppendString(b, c.Subject)
+	b = binenc.AppendString(b, c.Purpose)
+	b = binenc.AppendBytes(b, c.Key)
+	b = binenc.AppendString(b, c.Issuer)
+	b = binenc.AppendUint64(b, c.Serial)
+	b = binenc.AppendBytes(b, c.Sig)
+	return b
+}
+
+// ReadWire decodes one certificate from the cursor.
+func (c *Certificate) ReadWire(rd *binenc.Reader) {
+	*c = Certificate{}
+	c.Subject = rd.String()
+	c.Purpose = rd.String()
+	if k := rd.Bytes(); k != nil {
+		c.Key = ed25519.PublicKey(k)
+	}
+	c.Issuer = rd.String()
+	c.Serial = rd.Uint64()
+	c.Sig = rd.Bytes()
+}

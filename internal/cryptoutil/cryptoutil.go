@@ -91,10 +91,14 @@ func IdentityFromSeed(name string, seed []byte) (*Identity, error) {
 }
 
 // Sign signs msg with the private key.
-func (id *Identity) Sign(msg []byte) []byte { return ed25519.Sign(id.priv, msg) }
+func (id *Identity) Sign(msg []byte) []byte {
+	opSign.Add(1)
+	return ed25519.Sign(id.priv, msg)
+}
 
 // Verify checks sig over msg under pub.
 func Verify(pub ed25519.PublicKey, msg, sig []byte) bool {
+	opVerify.Add(1)
 	return len(pub) == ed25519.PublicKeySize && ed25519.Verify(pub, msg, sig)
 }
 
@@ -156,13 +160,19 @@ func IssueCertificate(issuer *Identity, subject, purpose string, key ed25519.Pub
 // VerifyCertificate checks the certificate signature under the issuer's
 // public key and that the issuer name matches.
 func VerifyCertificate(c *Certificate, issuerName string, issuerKey ed25519.PublicKey) error {
+	return VerifyCertificateWith(c, issuerName, issuerKey, Direct)
+}
+
+// VerifyCertificateWith is VerifyCertificate with a pluggable Verifier, so
+// hot paths can route the signature check through a BatchVerifier.
+func VerifyCertificateWith(c *Certificate, issuerName string, issuerKey ed25519.PublicKey, v Verifier) error {
 	if c == nil {
 		return errors.New("cryptoutil: nil certificate")
 	}
 	if c.Issuer != issuerName {
 		return fmt.Errorf("cryptoutil: certificate issued by %q, want %q", c.Issuer, issuerName)
 	}
-	if !Verify(issuerKey, certBody(c), c.Sig) {
+	if !v.Verify(issuerKey, certBody(c), c.Sig) {
 		return errors.New("cryptoutil: certificate signature invalid")
 	}
 	return nil

@@ -27,10 +27,10 @@ var CtxDeadline = &Analyzer{
 }
 
 var deadlineMethods = map[string]bool{
-	"CallCtx":  true,
+	"CallCtx":   true,
 	"CallFresh": true,
-	"CallIdem": true,
-	"Connect":  true,
+	"CallIdem":  true,
+	"Connect":   true,
 }
 
 func runCtxDeadline(pass *Pass) {

@@ -1,0 +1,92 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Golden vectors for the rpc envelopes, matching internal/wire's golden
+// tests: the envelope framing is part of the versioned wire contract, and
+// a silent change here breaks every method call in a mixed-version fleet.
+// Regenerate deliberately with REGEN_GOLDEN=1.
+
+type envelopeGolden struct {
+	name string
+	enc  []byte
+	rt   func(data []byte) ([]byte, error)
+}
+
+func envelopeGoldens() []envelopeGolden {
+	req := requestEnvelope{
+		Method:  "attest.v1/Appraise",
+		IdemKey: "idem-0123456789abcdef",
+		Trace:   "trace-a1b2c3d4",
+		Span:    "span-0007",
+		Body:    []byte{0xC1, 0x01, 0x06, 0xde, 0xad, 0xbe, 0xef},
+	}
+	resp := responseEnvelope{
+		Err:  "attestsrv: evidence signature invalid",
+		Body: []byte("partial"),
+	}
+	empty := responseEnvelope{}
+	return []envelopeGolden{
+		{"request-envelope", req.AppendWire(nil), func(d []byte) ([]byte, error) {
+			var e requestEnvelope
+			if err := e.DecodeWire(d); err != nil {
+				return nil, err
+			}
+			return e.AppendWire(nil), nil
+		}},
+		{"response-envelope", resp.AppendWire(nil), func(d []byte) ([]byte, error) {
+			var e responseEnvelope
+			if err := e.DecodeWire(d); err != nil {
+				return nil, err
+			}
+			return e.AppendWire(nil), nil
+		}},
+		{"response-envelope-empty", empty.AppendWire(nil), func(d []byte) ([]byte, error) {
+			var e responseEnvelope
+			if err := e.DecodeWire(d); err != nil {
+				return nil, err
+			}
+			return e.AppendWire(nil), nil
+		}},
+	}
+}
+
+func TestEnvelopeGoldenVectors(t *testing.T) {
+	for _, gc := range envelopeGoldens() {
+		t.Run(gc.name, func(t *testing.T) {
+			path := filepath.Join("testdata", "golden", gc.name+".hex")
+			if os.Getenv("REGEN_GOLDEN") != "" {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(hex.EncodeToString(gc.enc)+"\n"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden vector (run with REGEN_GOLDEN=1 after an intentional format change): %v", err)
+			}
+			want, err := hex.DecodeString(string(bytes.TrimSpace(raw)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gc.enc, want) {
+				t.Fatalf("%s encoding drifted from the committed golden vector\n got: %x\nwant: %x", gc.name, gc.enc, want)
+			}
+			re, err := gc.rt(want)
+			if err != nil {
+				t.Fatalf("decoding golden vector: %v", err)
+			}
+			if !bytes.Equal(re, want) {
+				t.Fatalf("%s golden vector does not round-trip", gc.name)
+			}
+		})
+	}
+}

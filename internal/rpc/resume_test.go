@@ -1,0 +1,77 @@
+package rpc
+
+import (
+	"testing"
+
+	"cloudmonatt/internal/cryptoutil"
+	"cloudmonatt/internal/secchan"
+)
+
+// TestReconnectClientResumesSessions: a ReconnectClient configured with a
+// session cache reconnects after a dropped connection via ticket
+// resumption — the redial performs zero asymmetric crypto operations,
+// proven by differencing the process-wide op counters around it.
+func TestReconnectClientResumesSessions(t *testing.T) {
+	n := NewMemNetwork()
+	keeper, err := secchan.NewTicketKeeper(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := n.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go Serve(l, secchan.Config{Identity: cryptoutil.MustIdentity("server"), Verify: verifyAny, Tickets: keeper},
+		func(peer Peer, method string, body []byte) ([]byte, error) {
+			var req echoReq
+			if err := Decode(body, &req); err != nil {
+				return nil, err
+			}
+			return Encode(echoResp{Text: req.Text})
+		})
+
+	rc := NewReconnectClient(ClientConfig{
+		Network: n,
+		Addr:    "srv",
+		Secchan: secchan.Config{
+			Identity: cryptoutil.MustIdentity("client"),
+			Verify:   verifyAny,
+			Session:  secchan.NewSessionCache(),
+		},
+	})
+	defer rc.Close()
+
+	var resp echoResp
+	if err := rc.Call("echo", echoReq{Text: "one"}, &resp); err != nil {
+		t.Fatalf("first call: %v", err)
+	}
+	rc.mu.Lock()
+	first := rc.client
+	rc.mu.Unlock()
+	if first.conn.Resumed() {
+		t.Fatal("first connection claims resumption")
+	}
+
+	// Kill the connection the way a transport failure would, then call
+	// again: the redial must ride the ticket, not the asymmetric handshake.
+	rc.drop(first)
+	before := cryptoutil.Ops()
+	if err := rc.Call("echo", echoReq{Text: "two"}, &resp); err != nil {
+		t.Fatalf("call after drop: %v", err)
+	}
+	if resp.Text != "two" {
+		t.Fatalf("echoed %q", resp.Text)
+	}
+	delta := cryptoutil.Ops().Sub(before)
+	if n := delta.Asymmetric(); n != 0 {
+		t.Fatalf("redial performed %d asymmetric ops (sign=%d verify=%d ecdh=%d); resumption not used",
+			n, delta.Sign, delta.Verify, delta.ECDH)
+	}
+	rc.mu.Lock()
+	second := rc.client
+	rc.mu.Unlock()
+	if second == first || !second.conn.Resumed() {
+		t.Fatal("redialed connection is not a resumed session")
+	}
+}

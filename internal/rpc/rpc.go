@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"cloudmonatt/internal/binenc"
 	"cloudmonatt/internal/obs"
 	"cloudmonatt/internal/secchan"
 )
@@ -190,8 +191,13 @@ type responseEnvelope struct {
 	Body []byte
 }
 
-// Encode gob-encodes a value (exported for handlers building responses).
+// Encode serializes a value (exported for handlers building responses):
+// the zero-allocation binary codec when v supports it, gob otherwise. The
+// returned slice is owned by the caller.
 func Encode(v any) ([]byte, error) {
+	if wa, ok := v.(WireAppender); ok && !legacyGob.Load() {
+		return encodeBinary(wa), nil
+	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
 		return nil, fmt.Errorf("rpc: encoding %T: %w", v, err)
@@ -199,8 +205,17 @@ func Encode(v any) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// Decode gob-decodes body into v.
+// Decode deserializes body into v, auto-detecting the codec: bodies
+// starting with the binary magic byte use v's strict binary decoder,
+// everything else (including messages from pre-codec peers) is gob.
 func Decode(body []byte, v any) error {
+	if len(body) > 0 && body[0] == binenc.Magic {
+		wd, ok := v.(WireDecoder)
+		if !ok {
+			return fmt.Errorf("rpc: binary message for %T, which has no binary decoder", v)
+		}
+		return wd.DecodeWire(body)
+	}
 	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(v); err != nil {
 		return fmt.Errorf("rpc: decoding %T: %w", v, err)
 	}
@@ -384,7 +399,15 @@ func Dial(n Network, addr string, cfg secchan.Config) (*Client, error) {
 
 // DialContext establishes a secure channel to addr over n, bounding both
 // connection establishment and the authentication handshake with ctx.
+//
+// When cfg carries a secchan.SessionCache, the dial address keys the
+// resumption ticket for this peer (unless cfg.ResumeTo overrides it), so a
+// ReconnectClient redialing after a broken connection skips the asymmetric
+// handshake whenever it holds a live ticket.
 func DialContext(ctx context.Context, n Network, addr string, cfg secchan.Config) (*Client, error) {
+	if cfg.Session != nil && cfg.ResumeTo == "" {
+		cfg.ResumeTo = addr
+	}
 	raw, err := dialNet(ctx, n, addr)
 	if err != nil {
 		return nil, err
@@ -405,6 +428,10 @@ func DialContext(ctx context.Context, n Network, addr string, cfg secchan.Config
 
 // PeerName returns the authenticated server name.
 func (c *Client) PeerName() string { return c.conn.PeerName() }
+
+// Resumed reports whether this connection was established by ticket
+// resumption rather than a full asymmetric handshake.
+func (c *Client) Resumed() bool { return c.conn.Resumed() }
 
 // Close tears down the channel.
 func (c *Client) Close() error { return c.conn.Close() }

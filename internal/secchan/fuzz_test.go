@@ -74,37 +74,23 @@ func FuzzHandshakeDecode(f *testing.F) {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
-		// A successful decode must re-encode to a canonical form that
-		// decodes to the same message (the nonce field may shrink to
-		// NonceSize, so equality is checked after one canonicalization).
+		// A successful decode must re-encode to exactly the parsed bytes:
+		// fixed-width fields (nonces, flags) are rejected at any other
+		// length, never zero-padded or truncated, so encode∘decode is the
+		// identity on every accepted input.
 		if h, err := decodeHelloC(data); err == nil {
-			e1 := encodeHelloC(h)
-			h2, err := decodeHelloC(e1)
-			if err != nil {
-				t.Fatalf("re-decode helloC: %v", err)
-			}
-			if !bytes.Equal(encodeHelloC(h2), e1) {
-				t.Fatal("helloC encode not stable under decode")
+			if !bytes.Equal(encodeHelloC(h), data) {
+				t.Fatal("helloC decode accepted a non-canonical encoding")
 			}
 		}
 		if h, err := decodeHelloS(data); err == nil {
-			e1 := encodeHelloS(h)
-			h2, err := decodeHelloS(e1)
-			if err != nil {
-				t.Fatalf("re-decode helloS: %v", err)
-			}
-			if !bytes.Equal(encodeHelloS(h2), e1) {
-				t.Fatal("helloS encode not stable under decode")
+			if !bytes.Equal(encodeHelloS(h), data) {
+				t.Fatal("helloS decode accepted a non-canonical encoding")
 			}
 		}
 		if fin, err := decodeFinishC(data); err == nil {
-			e1 := encodeFinishC(fin)
-			f2, err := decodeFinishC(e1)
-			if err != nil {
-				t.Fatalf("re-decode finishC: %v", err)
-			}
-			if !bytes.Equal(encodeFinishC(f2), e1) {
-				t.Fatal("finishC encode not stable under decode")
+			if !bytes.Equal(encodeFinishC(fin), data) {
+				t.Fatal("finishC decode accepted a non-canonical encoding")
 			}
 		}
 	})
@@ -115,12 +101,15 @@ func FuzzReadFrame(f *testing.F) {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
-		payload, err := readFrame(bytes.NewReader(data))
+		// Pre-authentication reads are capped at the handshake frame size:
+		// an attacker-chosen length header must never size an allocation
+		// beyond it.
+		payload, err := readFrame(bytes.NewReader(data), maxHandshakeFrame)
 		if err != nil {
 			return
 		}
-		if len(payload) > maxFrame {
-			t.Fatalf("readFrame accepted %d-byte payload past maxFrame", len(payload))
+		if len(payload) > maxHandshakeFrame {
+			t.Fatalf("readFrame accepted %d-byte payload past the handshake cap", len(payload))
 		}
 		var buf bytes.Buffer
 		if err := writeFrame(&buf, payload); err != nil {

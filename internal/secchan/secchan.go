@@ -5,16 +5,22 @@
 // AES-256-GCM record layer with counter nonces that rejects replayed,
 // reordered or tampered records.
 //
-// The handshake (3 messages over a framed transport):
+// The full handshake (typed frames over a length-delimited transport):
 //
-//	C→S  hello_c:  nameC, ephC, nonceC
+//	C→S  hello_c:  nameC, ephC, nonceC, flags
 //	S→C  hello_s:  nameS, ephS, nonceS, sig_S(transcript)
 //	C→S  finish_c: sig_C(transcript)
+//	S→C  ticket:   resumption ticket (only when hello_c requested one)
 //
 // where transcript = H(nameC‖nameS‖ephC‖ephS‖nonceC‖nonceS). Both sides
 // verify the peer's signature under the public key their identity registry
 // expects for the peer's claimed name, then derive directional AES keys
 // from the ECDH secret and the transcript.
+//
+// Session resumption (resume.go) lets a client that holds a ticket from a
+// prior session rekey with symmetric crypto only — no X25519, no Ed25519 —
+// which is what makes high-frequency periodic re-attestation of the same
+// cloud server cheap.
 package secchan
 
 import (
@@ -34,9 +40,24 @@ import (
 	"cloudmonatt/internal/cryptoutil"
 )
 
-// maxFrame bounds a single record to keep a malicious peer from forcing
-// huge allocations.
+// maxFrame bounds a single authenticated record to keep a malicious peer
+// from forcing huge allocations.
 const maxFrame = 1 << 22 // 4 MiB
+
+// maxHandshakeFrame bounds frames read before the peer has authenticated.
+// Every handshake message (hellos, finish, tickets, resume exchange) fits
+// in well under a kilobyte, so the unauthenticated surface never gets to
+// size a buffer beyond this.
+const maxHandshakeFrame = 4096
+
+// ErrSequenceExhausted reports a connection that has sent or received
+// 2^64-1 records: the next record would reuse a GCM nonce, so the channel
+// fails closed and must be re-established.
+var ErrSequenceExhausted = errors.New("secchan: record sequence exhausted; channel must be re-established")
+
+// seqMax is the sentinel sequence value at which the channel poisons
+// itself rather than wrap the counter nonce.
+const seqMax = ^uint64(0)
 
 // VerifyPeer checks that the peer's claimed name is bound to the presented
 // identity key (the caller's trust registry / certificate store).
@@ -48,6 +69,16 @@ type Config struct {
 	Verify   VerifyPeer
 	// Rand supplies handshake entropy; crypto/rand when nil.
 	Rand io.Reader
+
+	// Tickets, on a server, issues and redeems resumption tickets. Nil
+	// disables resumption (clients requesting a ticket get an empty one).
+	Tickets *TicketKeeper
+	// Session, on a client, caches resumption tickets across connections.
+	// Nil disables resumption.
+	Session *SessionCache
+	// ResumeTo keys this connection's ticket in Session (the dial address;
+	// set by the rpc layer). Resumption needs both Session and ResumeTo.
+	ResumeTo string
 }
 
 func (c Config) rand() io.Reader {
@@ -57,16 +88,37 @@ func (c Config) rand() io.Reader {
 	return rand.Reader
 }
 
+func (c Config) wantsResume() bool { return c.Session != nil && c.ResumeTo != "" }
+
 // Conn is an established secure channel. It is message oriented: WriteMsg
-// sends one authenticated-encrypted record, ReadMsg receives one.
+// sends one authenticated-encrypted record, ReadMsg receives one. A Conn
+// supports one concurrent reader plus one concurrent writer (the rpc layer
+// serializes further).
 type Conn struct {
 	raw      net.Conn
 	peer     string
 	peerKey  ed25519.PublicKey
+	resumed  bool
 	sendAEAD cipher.AEAD
 	recvAEAD cipher.AEAD
 	sendSeq  uint64
 	recvSeq  uint64
+	sendErr  error
+	recvErr  error
+	sendBuf  []byte // reused frame build buffer (header + sealed record)
+	recvBuf  []byte // reused record read buffer; ReadMsg returns views of it
+}
+
+func newConn(raw net.Conn, peer string, peerKey ed25519.PublicKey, sendKey, recvKey []byte, resumed bool) (*Conn, error) {
+	send, err := newAEAD(sendKey)
+	if err != nil {
+		return nil, err
+	}
+	recv, err := newAEAD(recvKey)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{raw: raw, peer: peer, peerKey: peerKey, sendAEAD: send, recvAEAD: recv, resumed: resumed}, nil
 }
 
 // PeerName returns the authenticated name of the remote endpoint.
@@ -74,6 +126,10 @@ func (c *Conn) PeerName() string { return c.peer }
 
 // PeerKey returns the remote endpoint's verified identity key.
 func (c *Conn) PeerKey() ed25519.PublicKey { return c.peerKey }
+
+// Resumed reports whether this channel was established by ticket
+// resumption rather than a full handshake.
+func (c *Conn) Resumed() bool { return c.resumed }
 
 // Close closes the underlying transport.
 func (c *Conn) Close() error { return c.raw.Close() }
@@ -92,27 +148,30 @@ func (c *Conn) SetWriteDeadline(t time.Time) error { return c.raw.SetWriteDeadli
 
 // --- raw framing (pre-encryption transport) ---
 
+// writeFrame sends one length-delimited frame as a single Write.
 func writeFrame(w io.Writer, payload []byte) error {
 	if len(payload) > maxFrame {
 		return fmt.Errorf("secchan: frame of %d bytes exceeds limit", len(payload))
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(payload)))
+	copy(buf[4:], payload)
+	_, err := w.Write(buf)
 	return err
 }
 
-func readFrame(r io.Reader) ([]byte, error) {
+// readFrame reads one length-delimited frame of at most limit bytes. The
+// limit is the caller's authentication state: handshake reads pass
+// maxHandshakeFrame so an unauthenticated peer's length header can never
+// size a large allocation; only authenticated record reads use maxFrame.
+func readFrame(r io.Reader, limit int) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxFrame {
-		return nil, fmt.Errorf("secchan: oversized frame (%d bytes)", n)
+	if int64(n) > int64(limit) {
+		return nil, fmt.Errorf("secchan: oversized frame (%d bytes, limit %d)", n, limit)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
@@ -123,10 +182,53 @@ func readFrame(r io.Reader) ([]byte, error) {
 
 // --- handshake ---
 
+// Handshake frame types: the first payload byte of every pre-record frame.
+const (
+	hsHelloC  byte = 1
+	hsHelloS  byte = 2
+	hsFinishC byte = 3
+	hsTicket  byte = 4
+	hsResumeC byte = 5
+	hsResumeS byte = 6
+)
+
+func writeHS(w io.Writer, typ byte, payload []byte) error {
+	buf := make([]byte, 1+len(payload))
+	buf[0] = typ
+	copy(buf[1:], payload)
+	return writeFrame(w, buf)
+}
+
+func readHS(r io.Reader) (byte, []byte, error) {
+	b, err := readFrame(r, maxHandshakeFrame)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(b) < 1 {
+		return 0, nil, errors.New("secchan: empty handshake frame")
+	}
+	return b[0], b[1:], nil
+}
+
+func expectHS(r io.Reader, typ byte) ([]byte, error) {
+	got, body, err := readHS(r)
+	if err != nil {
+		return nil, err
+	}
+	if got != typ {
+		return nil, fmt.Errorf("secchan: unexpected handshake frame type %d (want %d)", got, typ)
+	}
+	return body, nil
+}
+
+// helloC flag bits.
+const flagWantTicket = 1 << 0
+
 type helloC struct {
 	Name  string
 	Eph   []byte
 	Nonce cryptoutil.Nonce
+	Flags uint32
 }
 
 type helloS struct {
@@ -154,6 +256,12 @@ func deriveKeys(secret, trans []byte) (c2s, s2c []byte) {
 	return kc[:], ks[:]
 }
 
+// deriveRMS derives the resumption master secret both sides remember after
+// a full handshake; tickets and resumed-session keys are rooted in it.
+func deriveRMS(secret, trans []byte) [32]byte {
+	return cryptoutil.Hash("secchan-rms", secret, trans)
+}
+
 func newAEAD(key []byte) (cipher.AEAD, error) {
 	block, err := aes.NewCipher(key)
 	if err != nil {
@@ -163,20 +271,31 @@ func newAEAD(key []byte) (cipher.AEAD, error) {
 }
 
 // encode/decode for handshake structs: simple length-prefixed fields (no
-// reflection, injective).
+// reflection, injective). Decoders are strict about fixed-width fields —
+// a nonce field of the wrong length is rejected, never zero-padded or
+// truncated, so pack∘unpack stays the identity on valid messages.
 func encodeHelloC(h helloC) []byte {
-	return packFields([]byte(h.Name), h.Eph, h.Nonce[:])
+	var flags [4]byte
+	binary.BigEndian.PutUint32(flags[:], h.Flags)
+	return packFields([]byte(h.Name), h.Eph, h.Nonce[:], flags[:])
 }
 
 func decodeHelloC(b []byte) (helloC, error) {
-	fs, err := unpackFields(b, 3)
+	fs, err := unpackFields(b, 4)
 	if err != nil {
 		return helloC{}, err
 	}
 	var h helloC
 	h.Name = string(fs[0])
 	h.Eph = fs[1]
+	if len(fs[2]) != len(h.Nonce) {
+		return helloC{}, fmt.Errorf("secchan: hello nonce field is %d bytes, want %d", len(fs[2]), len(h.Nonce))
+	}
 	copy(h.Nonce[:], fs[2])
+	if len(fs[3]) != 4 {
+		return helloC{}, fmt.Errorf("secchan: hello flags field is %d bytes, want 4", len(fs[3]))
+	}
+	h.Flags = binary.BigEndian.Uint32(fs[3])
 	return h, nil
 }
 
@@ -192,6 +311,9 @@ func decodeHelloS(b []byte) (helloS, error) {
 	var h helloS
 	h.Name = string(fs[0])
 	h.Eph = fs[1]
+	if len(fs[2]) != len(h.Nonce) {
+		return helloS{}, fmt.Errorf("secchan: hello nonce field is %d bytes, want %d", len(fs[2]), len(h.Nonce))
+	}
 	copy(h.Nonce[:], fs[2])
 	h.Key = fs[3]
 	h.Sig = fs[4]
@@ -237,11 +359,30 @@ func unpackFields(b []byte, n int) ([][]byte, error) {
 	return out, nil
 }
 
-// Client performs the initiator handshake over conn.
+// Client performs the initiator handshake over conn. When the config
+// carries a session cache with a live ticket for ResumeTo, it first
+// attempts resumption; a server-side reject falls back to the full
+// handshake on the same connection (and drops the ticket).
 func Client(conn net.Conn, cfg Config) (*Conn, error) {
 	if cfg.Identity == nil || cfg.Verify == nil {
 		return nil, errors.New("secchan: config needs identity and verifier")
 	}
+	if cfg.wantsResume() {
+		if tk := cfg.Session.take(cfg.ResumeTo); tk != nil {
+			c, retryFull, err := clientResume(conn, cfg, tk)
+			if err != nil {
+				return nil, err
+			}
+			if !retryFull {
+				return c, nil
+			}
+		}
+	}
+	return clientFull(conn, cfg)
+}
+
+func clientFull(conn net.Conn, cfg Config) (*Conn, error) {
+	cryptoutil.NoteECDH()
 	eph, err := ecdh.X25519().GenerateKey(cfg.rand())
 	if err != nil {
 		return nil, err
@@ -251,10 +392,13 @@ func Client(conn net.Conn, cfg Config) (*Conn, error) {
 		return nil, err
 	}
 	hc := helloC{Name: cfg.Identity.Name, Eph: eph.PublicKey().Bytes(), Nonce: nonceC}
-	if err := writeFrame(conn, encodeHelloC(hc)); err != nil {
+	if cfg.wantsResume() {
+		hc.Flags |= flagWantTicket
+	}
+	if err := writeHS(conn, hsHelloC, encodeHelloC(hc)); err != nil {
 		return nil, fmt.Errorf("secchan: sending hello: %w", err)
 	}
-	raw, err := readFrame(conn)
+	raw, err := expectHS(conn, hsHelloS)
 	if err != nil {
 		return nil, fmt.Errorf("secchan: reading server hello: %w", err)
 	}
@@ -274,6 +418,7 @@ func Client(conn net.Conn, cfg Config) (*Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("secchan: bad server ephemeral: %w", err)
 	}
+	cryptoutil.NoteECDH()
 	secret, err := eph.ECDH(peerEph)
 	if err != nil {
 		return nil, err
@@ -282,34 +427,55 @@ func Client(conn net.Conn, cfg Config) (*Conn, error) {
 		Key: cfg.Identity.Public(),
 		Sig: cfg.Identity.Sign(append([]byte("client|"), trans...)),
 	}
-	if err := writeFrame(conn, encodeFinishC(fin)); err != nil {
+	if err := writeHS(conn, hsFinishC, encodeFinishC(fin)); err != nil {
 		return nil, fmt.Errorf("secchan: sending finish: %w", err)
 	}
+	if hc.Flags&flagWantTicket != 0 {
+		raw, err := expectHS(conn, hsTicket)
+		if err != nil {
+			return nil, fmt.Errorf("secchan: reading ticket: %w", err)
+		}
+		rms := deriveRMS(secret, trans)
+		cfg.Session.storeIssued(cfg.ResumeTo, hs.Name, serverKey, rms, raw)
+	}
 	kc, ks := deriveKeys(secret, trans)
-	send, err := newAEAD(kc)
-	if err != nil {
-		return nil, err
-	}
-	recv, err := newAEAD(ks)
-	if err != nil {
-		return nil, err
-	}
-	return &Conn{raw: conn, peer: hs.Name, peerKey: serverKey, sendAEAD: send, recvAEAD: recv}, nil
+	return newConn(conn, hs.Name, serverKey, kc, ks, false)
 }
 
-// Server performs the responder handshake over conn.
+// Server performs the responder handshake over conn. A client opening
+// with a resumption attempt is served symmetrically when its ticket checks
+// out; otherwise the server rejects the attempt and falls back to the full
+// handshake on the same connection.
 func Server(conn net.Conn, cfg Config) (*Conn, error) {
 	if cfg.Identity == nil || cfg.Verify == nil {
 		return nil, errors.New("secchan: config needs identity and verifier")
 	}
-	raw, err := readFrame(conn)
+	typ, body, err := readHS(conn)
 	if err != nil {
 		return nil, fmt.Errorf("secchan: reading client hello: %w", err)
 	}
-	hc, err := decodeHelloC(raw)
+	if typ == hsResumeC {
+		c, helloBody, err := serverResume(conn, cfg, body)
+		if err != nil {
+			return nil, err
+		}
+		if c != nil {
+			return c, nil
+		}
+		// Resume rejected: the client re-opens with a full hello.
+		body = helloBody
+	} else if typ != hsHelloC {
+		return nil, fmt.Errorf("secchan: unexpected handshake frame type %d", typ)
+	}
+	return serverFull(conn, cfg, body)
+}
+
+func serverFull(conn net.Conn, cfg Config, helloBody []byte) (*Conn, error) {
+	hc, err := decodeHelloC(helloBody)
 	if err != nil {
 		return nil, err
 	}
+	cryptoutil.NoteECDH()
 	eph, err := ecdh.X25519().GenerateKey(cfg.rand())
 	if err != nil {
 		return nil, err
@@ -326,10 +492,10 @@ func Server(conn net.Conn, cfg Config) (*Conn, error) {
 		Key:   cfg.Identity.Public(),
 		Sig:   cfg.Identity.Sign(append([]byte("server|"), trans...)),
 	}
-	if err := writeFrame(conn, encodeHelloS(hs)); err != nil {
+	if err := writeHS(conn, hsHelloS, encodeHelloS(hs)); err != nil {
 		return nil, fmt.Errorf("secchan: sending server hello: %w", err)
 	}
-	raw, err = readFrame(conn)
+	raw, err := expectHS(conn, hsFinishC)
 	if err != nil {
 		return nil, fmt.Errorf("secchan: reading client finish: %w", err)
 	}
@@ -348,42 +514,81 @@ func Server(conn net.Conn, cfg Config) (*Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("secchan: bad client ephemeral: %w", err)
 	}
+	cryptoutil.NoteECDH()
 	secret, err := eph.ECDH(peerEph)
 	if err != nil {
 		return nil, err
 	}
+	if hc.Flags&flagWantTicket != 0 {
+		rms := deriveRMS(secret, trans)
+		ticket := issueTicketPayload(cfg, hc.Name, clientKey, rms)
+		if err := writeHS(conn, hsTicket, ticket); err != nil {
+			return nil, fmt.Errorf("secchan: sending ticket: %w", err)
+		}
+	}
 	kc, ks := deriveKeys(secret, trans)
-	recv, err := newAEAD(kc)
-	if err != nil {
-		return nil, err
-	}
-	send, err := newAEAD(ks)
-	if err != nil {
-		return nil, err
-	}
-	return &Conn{raw: conn, peer: hc.Name, peerKey: clientKey, sendAEAD: send, recvAEAD: recv}, nil
+	return newConn(conn, hc.Name, clientKey, ks, kc, false)
 }
 
-// WriteMsg encrypts and sends one record. The sequence number is the GCM
-// nonce, so replayed or reordered records fail authentication on receive.
+// --- record layer ---
+
+// WriteMsg encrypts and sends one record as a single frame write. The
+// sequence number is the GCM nonce, so replayed or reordered records fail
+// authentication on receive; when the sequence space is exhausted the
+// channel fails closed (ErrSequenceExhausted) instead of reusing a nonce.
 func (c *Conn) WriteMsg(payload []byte) error {
-	nonce := make([]byte, c.sendAEAD.NonceSize())
-	binary.BigEndian.PutUint64(nonce[len(nonce)-8:], c.sendSeq)
+	if c.sendErr != nil {
+		return c.sendErr
+	}
+	if c.sendSeq == seqMax {
+		c.sendErr = ErrSequenceExhausted
+		return c.sendErr
+	}
+	if len(payload)+c.sendAEAD.Overhead() > maxFrame {
+		return fmt.Errorf("secchan: frame of %d bytes exceeds limit", len(payload))
+	}
+	var nonce [12]byte
+	binary.BigEndian.PutUint64(nonce[4:], c.sendSeq)
 	c.sendSeq++
-	sealed := c.sendAEAD.Seal(nil, nonce, payload, nil)
-	return writeFrame(c.raw, sealed)
+	b := append(c.sendBuf[:0], 0, 0, 0, 0)
+	b = c.sendAEAD.Seal(b, nonce[:], payload, nil)
+	c.sendBuf = b[:0] // keep the (possibly grown) buffer for reuse
+	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
+	_, err := c.raw.Write(b)
+	return err
 }
 
-// ReadMsg receives and decrypts one record.
+// ReadMsg receives and decrypts one record. The returned slice aliases the
+// connection's reusable record buffer: it is valid until the next ReadMsg
+// on this Conn, which is exactly the lifetime the rpc dispatch loop needs;
+// callers that retain a record across reads must copy it.
 func (c *Conn) ReadMsg() ([]byte, error) {
-	sealed, err := readFrame(c.raw)
-	if err != nil {
+	if c.recvErr != nil {
+		return nil, c.recvErr
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.raw, hdr[:]); err != nil {
 		return nil, err
 	}
-	nonce := make([]byte, c.recvAEAD.NonceSize())
-	binary.BigEndian.PutUint64(nonce[len(nonce)-8:], c.recvSeq)
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("secchan: oversized frame (%d bytes)", n)
+	}
+	if cap(c.recvBuf) < int(n) {
+		c.recvBuf = make([]byte, n)
+	}
+	sealed := c.recvBuf[:n]
+	if _, err := io.ReadFull(c.raw, sealed); err != nil {
+		return nil, err
+	}
+	if c.recvSeq == seqMax {
+		c.recvErr = ErrSequenceExhausted
+		return nil, c.recvErr
+	}
+	var nonce [12]byte
+	binary.BigEndian.PutUint64(nonce[4:], c.recvSeq)
 	c.recvSeq++
-	plain, err := c.recvAEAD.Open(nil, nonce, sealed, nil)
+	plain, err := c.recvAEAD.Open(sealed[:0], nonce[:], sealed, nil)
 	if err != nil {
 		return nil, fmt.Errorf("secchan: record authentication failed (tampering or replay): %w", err)
 	}

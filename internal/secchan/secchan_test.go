@@ -175,11 +175,9 @@ func TestTamperedRecordDetected(t *testing.T) {
 		s, err := Server(sRaw, Config{Identity: si, Verify: verify})
 		ch <- res{s, err}
 	}()
-	// Handshake sends 2 writes from the client (hello + finish); tamper with
-	// write #4 = the 2nd data record payload. Each WriteMsg does 2 writes
-	// (header+payload), so target payload write index: hello(2)+finish(2)+
-	// rec1(2)+rec2 payload = 8.
-	tc := &tamperConn{Conn: cRaw, target: 8}
+	// Every frame is one Write: hello(1), finish(2), rec1(3), rec2(4).
+	// Tamper with write #4 = the 2nd data record.
+	tc := &tamperConn{Conn: cRaw, target: 4}
 	c, err := Client(tc, Config{Identity: ci, Verify: verify})
 	if err != nil {
 		t.Fatal(err)
@@ -209,7 +207,8 @@ func TestTamperedRecordDetected(t *testing.T) {
 	}
 }
 
-// replayConn records the nth record and replays it instead of the n+1th.
+// replayConn records the nth frame write and replays it instead of the
+// n+1th (each frame is a single Write).
 type replayConn struct {
 	net.Conn
 	count    int
@@ -220,13 +219,8 @@ type replayConn struct {
 
 func (rc *replayConn) Write(b []byte) (int, error) {
 	rc.count++
-	if rc.count == rc.capture || rc.count == rc.capture-1 {
-		rc.captured = append(rc.captured, b...) // header+payload of record 1
-	}
-	if rc.count == rc.replayAt-1 {
-		// Swallow the header of the record to be replaced; emit captured
-		// frame bytes instead once the payload write arrives.
-		return len(b), nil
+	if rc.count == rc.capture {
+		rc.captured = append([]byte(nil), b...)
 	}
 	if rc.count == rc.replayAt {
 		if _, err := rc.Conn.Write(rc.captured); err != nil {
@@ -250,9 +244,9 @@ func TestReplayedRecordDetected(t *testing.T) {
 		s, err := Server(sRaw, Config{Identity: si, Verify: verify})
 		ch <- res{s, err}
 	}()
-	// Client writes: hello(1,2) finish(3,4) rec1(5,6) rec2(7,8). Capture
-	// rec1 frame (5,6), replay it in place of rec2 (7,8).
-	rc := &replayConn{Conn: cRaw, capture: 6, replayAt: 8}
+	// Client writes: hello(1) finish(2) rec1(3) rec2(4). Capture the rec1
+	// frame, replay it in place of rec2.
+	rc := &replayConn{Conn: cRaw, capture: 3, replayAt: 4}
 	c, err := Client(rc, Config{Identity: ci, Verify: verify})
 	if err != nil {
 		t.Fatal(err)

@@ -109,5 +109,5 @@ func (s *Server) Serve(l net.Listener, verify secchan.VerifyPeer) {
 // most once and replays the recorded response to retried duplicates, so a
 // redelivered terminate cannot kill a reincarnated VM.
 func (s *Server) ServeOpts(l net.Listener, verify secchan.VerifyPeer, opts rpc.ServeOptions) {
-	go rpc.ServeOpts(l, secchan.Config{Identity: s.Identity(), Verify: verify}, s.Handler(), opts)
+	go rpc.ServeOpts(l, secchan.Config{Identity: s.Identity(), Verify: verify, Tickets: s.tickets}, s.Handler(), opts)
 }

@@ -19,6 +19,7 @@ import (
 	"cloudmonatt/internal/image"
 	"cloudmonatt/internal/monitor"
 	"cloudmonatt/internal/obs"
+	"cloudmonatt/internal/secchan"
 	"cloudmonatt/internal/sim"
 	"cloudmonatt/internal/trust"
 	"cloudmonatt/internal/trust/driver"
@@ -123,6 +124,10 @@ type Server struct {
 
 	dom0     *xen.Domain
 	dom0Prog *dom0Program
+
+	// tickets issues secure-channel resumption tickets, so the attestation
+	// server's periodic reconnects skip the asymmetric handshake.
+	tickets *secchan.TicketKeeper
 }
 
 // dom0Program models the host VM: it executes queued management work (like
@@ -194,6 +199,10 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	tickets, err := secchan.NewTicketKeeper(0)
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
 		cfg:      cfg,
 		hv:       hv,
@@ -203,6 +212,7 @@ func New(cfg Config) (*Server, error) {
 		tracer:   obs.NewTracer(cfg.Obs, cfg.Name, cfg.Clock.Now),
 		vms:      make(map[string]*hostedVM),
 		dom0Prog: &dom0Program{},
+		tickets:  tickets,
 	}
 	s.dom0 = hv.NewDomain(cfg.Name+"/dom0", 512, 0, s.dom0Prog)
 	s.dom0.WakeAll()
