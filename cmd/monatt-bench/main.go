@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	monatt-bench [-seed N] [-exp all|table1|fig4|fig5|fig6|fig7|fig9|fig10|fig11|ablation|hotpath|traces]
+//	monatt-bench [-seed N] [-exp all|table1|fig4|fig5|fig6|fig7|fig9|fig10|fig11|ablation|hotpath|traces|shards]
+//
+// The shards experiment is sized by -shards (max shard count, doubling from
+// 1), -shard-tasks, -shard-freq and -shard-window; it reads the wall clock
+// and runs for roughly (1.5·freq + window) per shard count, so it is not
+// part of -exp all.
 package main
 
 import (
@@ -18,11 +23,16 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
-	exp := flag.String("exp", "all", "experiment to run (all, table1, fig4, fig5, fig6, fig7, fig9, fig10, fig11, ablation, comparison, rfa, hotpath, traces)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1, fig4, fig5, fig6, fig7, fig9, fig10, fig11, ablation, comparison, rfa, hotpath, traces, shards)")
+	shards := flag.Int("shards", 8, "shards: max shard count (curve doubles 1, 2, ... up to this)")
+	shardTasks := flag.Int("shard-tasks", 120000, "shards: periodic attestation streams across the fleet")
+	shardServers := flag.Int("shard-servers", 48, "shards: simulated cloud servers the streams spread over")
+	shardFreq := flag.Duration("shard-freq", 4*time.Second, "shards: mean per-stream attestation frequency")
+	shardWindow := flag.Duration("shard-window", 8*time.Second, "shards: measured window per shard count (after a 1.5x freq warm-up)")
 	flag.Parse()
 
 	run := func(name string, f func() (string, error)) {
-		if *exp != "all" && *exp != name {
+		if *exp != name && (*exp != "all" || name == "shards") {
 			return
 		}
 		start := time.Now()
@@ -90,6 +100,13 @@ func main() {
 	})
 	run("hotpath", func() (string, error) {
 		r, err := bench.HotPath(*seed, 50, 200)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("shards", func() (string, error) {
+		r, err := bench.Shards(*seed, *shardTasks, *shards, *shardServers, *shardFreq, *shardWindow)
 		if err != nil {
 			return "", err
 		}

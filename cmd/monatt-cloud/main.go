@@ -12,7 +12,7 @@
 //
 // Usage:
 //
-//	monatt-cloud [-servers 3] [-seed 1] [-bootstrap monatt-bootstrap.json]
+//	monatt-cloud [-servers 3] [-shards N] [-seed 1] [-bootstrap monatt-bootstrap.json]
 //	             [-admin-addr 127.0.0.1:9190]
 //	             [-codec binary|gob] [-resume] [-batch-verify]
 package main
@@ -48,6 +48,7 @@ type Bootstrap struct {
 
 func main() {
 	servers := flag.Int("servers", 3, "number of cloud servers")
+	shards := flag.Int("shards", 0, "attestation-server shards behind the consistent-hash ring; 0 keeps the static cluster split")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	bootstrapPath := flag.String("bootstrap", "monatt-bootstrap.json", "bootstrap file for monatt-cli")
 	pump := flag.Duration("pump", 200*time.Millisecond, "virtual-clock pump interval (real time)")
@@ -103,6 +104,7 @@ func main() {
 	tb, err := cloudsim.New(cloudsim.Options{
 		Seed:        *seed,
 		Servers:     *servers,
+		Shards:      *shards,
 		Backends:    backends,
 		Network:     network,
 		CallTimeout: *callTimeout,
@@ -142,6 +144,11 @@ func main() {
 			"attestsrv":  tb.Attest.Metrics(),
 			"ledger":     tb.Ledger.Metrics(),
 		}
+		if *shards > 0 {
+			for _, as := range tb.AttestServers {
+				regs["attestsrv-"+as.Shard()] = as.Metrics()
+			}
+		}
 		mux := obs.AdminMux(obs.AdminConfig{
 			Registries: regs,
 			Store:      tb.Obs,
@@ -158,6 +165,9 @@ func main() {
 	fmt.Printf("CloudMonatt cloud is up:\n")
 	fmt.Printf("  controller (nova api):  %s\n", tb.ControllerAddr)
 	fmt.Printf("  cloud servers:          %d (backends: %s)\n", *servers, *trustBackend)
+	if *shards > 0 {
+		fmt.Printf("  attestation shards:     %d (consistent-hash ring, epoch %d)\n", *shards, tb.Ring.Epoch())
+	}
 	fmt.Printf("  bootstrap written to:   %s\n", *bootstrapPath)
 	if *adminAddr != "" {
 		fmt.Printf("  operator surface:       http://%s/{metrics,healthz,traces,debug/pprof}\n", *adminAddr)

@@ -27,6 +27,7 @@ import (
 	"cloudmonatt/internal/rpc"
 	"cloudmonatt/internal/secchan"
 	"cloudmonatt/internal/server"
+	"cloudmonatt/internal/shard"
 	"cloudmonatt/internal/trust/driver"
 	"cloudmonatt/internal/trust/driver/sevsnp"
 	"cloudmonatt/internal/vclock"
@@ -115,6 +116,14 @@ type Config struct {
 	// channels: reconnects to a cloud server ride a ticket instead of
 	// re-running the asymmetric handshake.
 	Resume bool
+	// Ring, when set, makes this server one shard of a sharded attestation
+	// plane: VM-addressed requests for VMs the ring assigns elsewhere are
+	// refused with a WrongShardError naming the owner, instead of being
+	// served from possibly-stale local state.
+	Ring *shard.Ring
+	// ShardName is this server's name on the Ring. Empty defaults to the
+	// identity name.
+	ShardName string
 }
 
 // verifier returns the signature verifier appraisals should use.
@@ -143,6 +152,9 @@ type Server struct {
 
 // New creates an Attestation Server.
 func New(cfg Config) *Server {
+	if cfg.Ring != nil && cfg.ShardName == "" && cfg.Identity != nil {
+		cfg.ShardName = cfg.Identity.Name
+	}
 	s := &Server{
 		cfg:     cfg,
 		servers: make(map[string]*ServerRecord),
@@ -545,4 +557,84 @@ func (s *Server) RunDue() []*wire.Report {
 // periodic tasks are armed.
 func (s *Server) NextDue() (time.Duration, bool) {
 	return s.periodic.nextDue()
+}
+
+// --- sharded attestation plane ---
+
+// Shard returns this server's name on the ring ("" when unsharded).
+func (s *Server) Shard() string { return s.cfg.ShardName }
+
+// checkOwner enforces ring ownership for a VM-addressed request. Nil ring
+// (unsharded deployment) or local ownership passes; otherwise the caller
+// gets a WrongShardError naming the owner under this shard's current view,
+// so it can retry against the right shard without a view refresh.
+func (s *Server) checkOwner(vid string) error {
+	r := s.cfg.Ring
+	if r == nil {
+		return nil
+	}
+	owner, epoch, ok := r.Lookup(vid)
+	if ok && owner == s.cfg.ShardName {
+		return nil
+	}
+	s.metrics.Counter("attestsrv/wrong-shard-rejections").Inc()
+	return &shard.WrongShardError{Key: vid, Owner: owner, Epoch: epoch}
+}
+
+// ShardState is the portable slice of a shard's VM-addressed state: the
+// appraisal reference records and the armed periodic streams for a set of
+// VMs. It is what moves between shards on a rebalance.
+type ShardState struct {
+	VMs   []VMRecord
+	Tasks []PeriodicTaskState
+}
+
+// ExportNotOwned removes and returns the state of every VM the ring no
+// longer assigns to this shard. In-flight periodic appraisals of exported
+// tasks resolve as counted stopped-discards locally; all future ticks
+// belong to the importing shard. On a nil ring it exports nothing.
+func (s *Server) ExportNotOwned() ShardState {
+	r := s.cfg.Ring
+	if r == nil {
+		return ShardState{}
+	}
+	moved := func(vid string) bool { return !r.Owns(s.cfg.ShardName, vid) }
+	var st ShardState
+	s.mu.Lock()
+	for vid, rec := range s.vms {
+		if moved(vid) {
+			st.VMs = append(st.VMs, *rec)
+			delete(s.vms, vid)
+		}
+	}
+	s.mu.Unlock()
+	st.Tasks = s.periodic.exportWhere(moved)
+	return st
+}
+
+// ImportShardState installs handed-off VM state. VM records overwrite (they
+// are immutable launch references, so last-write is identical); task
+// imports are idempotent — a (vid, prop) stream already armed here is left
+// untouched, so a retried handoff cannot double-arm. Returns how many
+// tasks were newly armed.
+func (s *Server) ImportShardState(st ShardState) int {
+	s.mu.Lock()
+	for i := range st.VMs {
+		cp := st.VMs[i]
+		s.vms[cp.Vid] = &cp
+	}
+	s.mu.Unlock()
+	armed := 0
+	for _, t := range st.Tasks {
+		if s.periodic.importTask(t) {
+			armed++
+		}
+	}
+	return armed
+}
+
+// PeriodicTaskKeys lists the armed (vid, prop) streams; the churn race test
+// uses it to prove a handoff conserved the task set.
+func (s *Server) PeriodicTaskKeys() []string {
+	return s.periodic.taskKeys()
 }

@@ -273,6 +273,99 @@ func (e *periodicEngine) drainLocked(t *periodicTask) PeriodicBatch {
 	return b
 }
 
+// PeriodicTaskState is the portable snapshot of one armed monitoring
+// stream: everything a shard needs to continue the stream exactly where
+// its previous owner left it — the preserved deadline (no re-jitter, so a
+// handoff cannot stretch a measurement interval), the undelivered reports,
+// and the loss accounting.
+type PeriodicTaskState struct {
+	Vid      string
+	ServerID string
+	Prop     properties.Property
+	Freq     time.Duration
+	Random   bool
+	NextDue  time.Duration
+	Reports  []*wire.Report
+	Dropped  uint64
+	Skipped  uint64
+}
+
+// exportWhere disarms and returns every task whose VM the predicate says
+// to move. In-flight appraisals of exported tasks resolve as counted
+// stopped-discards here — the importing shard owns all future ticks, so
+// a report landing after export would risk double delivery.
+func (e *periodicEngine) exportWhere(move func(vid string) bool) []PeriodicTaskState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []PeriodicTaskState
+	for key, t := range e.tasks {
+		if !move(t.vid) {
+			continue
+		}
+		delete(e.tasks, key)
+		e.unlink(t)
+		out = append(out, PeriodicTaskState{
+			Vid:      t.vid,
+			ServerID: t.serverID,
+			Prop:     t.prop,
+			Freq:     t.freq,
+			Random:   t.random,
+			NextDue:  t.nextDue,
+			Reports:  t.drain(),
+			Dropped:  t.dropped,
+			Skipped:  t.skipped,
+		})
+	}
+	return out
+}
+
+// importTask arms a handed-off task at its preserved deadline. Returns
+// false without touching anything if (vid, prop) is already armed here:
+// that guard is what makes a retried handoff idempotent — an import can
+// never double-arm a stream.
+func (e *periodicEngine) importTask(st PeriodicTaskState) bool {
+	if st.Freq <= 0 {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := taskKey(st.Vid, st.Prop)
+	if _, ok := e.tasks[key]; ok {
+		return false
+	}
+	t := &periodicTask{
+		vid:      st.Vid,
+		serverID: st.ServerID,
+		prop:     st.Prop,
+		freq:     st.Freq,
+		random:   st.Random,
+		nextDue:  st.NextDue,
+		heapIdx:  -1,
+		dropped:  st.Dropped,
+		skipped:  st.Skipped,
+	}
+	for _, rep := range st.Reports {
+		if t.push(rep, e.cfg.ResultBuffer) {
+			e.reg.Counter("periodic/dropped").Inc()
+		}
+	}
+	e.tasks[key] = t
+	heap.Push(&e.queue, t)
+	return true
+}
+
+// taskKeys lists the armed (vid, prop) keys; tests use it to assert a
+// handoff conserved the task set.
+func (e *periodicEngine) taskKeys() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.tasks))
+	for k := range e.tasks {
+		out = append(out, k)
+	}
+	return out
+}
+
 // rebind points a VM's tasks at its new host after a migration.
 func (e *periodicEngine) rebind(vid, serverID string) {
 	e.mu.Lock()

@@ -38,12 +38,23 @@ type PeriodicControl struct {
 }
 
 // Handler returns the RPC dispatch for the Attestation Server.
+//
+// Every VM-addressed method is gated on ring ownership (checkOwner) at the
+// RPC boundary, not inside the Server methods: in-process periodic
+// appraisals of a task exported mid-flight must still resolve through the
+// engine's stopped-discard accounting rather than erroring. A misrouted
+// request is refused with a WrongShardError, which reaches the caller as a
+// handler refusal (rpc.RemoteError) — deliberately outside the transport
+// retry taxonomy, since re-sending the same bytes here can never succeed.
 func (s *Server) Handler() rpc.Handler {
 	return func(peer rpc.Peer, method string, body []byte) ([]byte, error) {
 		switch method {
 		case MethodAppraise:
 			var req wire.AppraisalRequest
 			if err := rpc.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			if err := s.checkOwner(req.Vid); err != nil {
 				return nil, err
 			}
 			rep, err := s.AppraiseTraced(peer.Trace, req)
@@ -56,6 +67,9 @@ func (s *Server) Handler() rpc.Handler {
 			if err := rpc.Decode(body, &rec); err != nil {
 				return nil, err
 			}
+			if err := s.checkOwner(rec.Vid); err != nil {
+				return nil, err
+			}
 			s.RegisterVM(rec)
 			return rpc.Encode(true)
 		case MethodForgetVM:
@@ -63,11 +77,17 @@ func (s *Server) Handler() rpc.Handler {
 			if err := rpc.Decode(body, &req); err != nil {
 				return nil, err
 			}
+			if err := s.checkOwner(req.Vid); err != nil {
+				return nil, err
+			}
 			s.ForgetVM(req.Vid)
 			return rpc.Encode(true)
 		case MethodPeriodicStart:
 			var req PeriodicControl
 			if err := rpc.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			if err := s.checkOwner(req.Vid); err != nil {
 				return nil, err
 			}
 			var err error
@@ -85,16 +105,25 @@ func (s *Server) Handler() rpc.Handler {
 			if err := rpc.Decode(body, &req); err != nil {
 				return nil, err
 			}
+			if err := s.checkOwner(req.Vid); err != nil {
+				return nil, err
+			}
 			return rpc.Encode(s.StopPeriodicBatch(req.Vid, req.Prop))
 		case MethodPeriodicFetch:
 			var req PeriodicControl
 			if err := rpc.Decode(body, &req); err != nil {
 				return nil, err
 			}
+			if err := s.checkOwner(req.Vid); err != nil {
+				return nil, err
+			}
 			return rpc.Encode(s.FetchPeriodicBatch(req.Vid, req.Prop))
 		case MethodRebindVM:
 			var req RebindRequest
 			if err := rpc.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			if err := s.checkOwner(req.Vid); err != nil {
 				return nil, err
 			}
 			s.RebindVM(req.Vid, req.ServerID)

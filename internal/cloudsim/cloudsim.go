@@ -31,7 +31,9 @@ import (
 	"cloudmonatt/internal/rpc"
 	"cloudmonatt/internal/secchan"
 	"cloudmonatt/internal/server"
+	"cloudmonatt/internal/shard"
 	"cloudmonatt/internal/sim"
+	"cloudmonatt/internal/trust"
 	"cloudmonatt/internal/trust/driver"
 	"cloudmonatt/internal/trust/driver/sevsnp"
 	"cloudmonatt/internal/vclock"
@@ -48,6 +50,18 @@ type Options struct {
 	// Servers (paper §3.2.3's scalability claim). Default 1. Cloud server i
 	// belongs to cluster i mod AttestServers.
 	AttestServers int
+	// Shards, when positive, replaces the static cluster split with a
+	// consistent-hash ring: this many Attestation Server shards join the
+	// ring, every cloud server registers with every shard, and a VM's
+	// appraisal state lives on the shard owning its id. JoinShard/LeaveShard
+	// then grow and shrink the plane at runtime, moving only ~1/N of the
+	// fleet per step. Overrides AttestServers.
+	Shards int
+	// SessionMaxUses bounds attestation-session key reuse on the cloud
+	// servers (server.Config.SessionMaxUses). 0 in ring mode defaults to 8
+	// so the privacy CA's per-session cert cache carries the repeat
+	// certification load; 0 otherwise keeps one fresh key per attestation.
+	SessionMaxUses int
 	// TamperPlatform lists server names booted with a trojaned hypervisor.
 	TamperPlatform map[string]bool
 	// Backends assigns trust backends to the cloud servers: server i runs
@@ -132,6 +146,10 @@ type Testbed struct {
 	// Batch is the Attestation Servers' shared signature batcher (nil
 	// unless Options.BatchVerify); its Stats show what batching saved.
 	Batch *cryptoutil.BatchVerifier
+	// Ring is the data-plane consistent-hash ring (nil unless
+	// Options.Shards): the view the Attestation Server shards enforce
+	// ownership against.
+	Ring *shard.Ring
 
 	// ControllerAddr is where the nova api listens (useful with TCP).
 	ControllerAddr string
@@ -150,6 +168,32 @@ type Testbed struct {
 	attIDs      []*cryptoutil.Identity
 	serverAddrs map[string]string
 	attestAddrs []string
+
+	// Ring-mode state. The controller routes against its own ring instance
+	// (ctrlRing), normally mirrored join-for-join with the data-plane Ring:
+	// both are built from the same seed, so identical memberships map
+	// identically. SplitRing stops the mirroring, leaving the controller
+	// with a stale view — the stale-routing experiments' lever.
+	ctrlRing    *shard.Ring
+	ringSplit   bool
+	shardByName map[string]*attestsrv.Server
+	caID        *cryptoutil.Identity
+	certSwitch  *certifierSwitch
+}
+
+// certifierSwitch is the indirection between the cloud servers and the
+// privacy CA, so RestartPCA can swap in a restarted pCA process (same
+// identity, same ledger) behind the fleet's existing Certifier reference.
+type certifierSwitch struct {
+	mu sync.Mutex
+	ca *pca.PCA
+}
+
+func (cs *certifierSwitch) Certify(req *trust.CertRequest) (*cryptoutil.Certificate, error) {
+	cs.mu.Lock()
+	ca := cs.ca
+	cs.mu.Unlock()
+	return ca.Certify(req)
 }
 
 // serverName formats the i-th cloud server's name.
@@ -169,6 +213,12 @@ func New(opts Options) (*Testbed, error) {
 	if opts.AttestServers <= 0 {
 		opts.AttestServers = 1
 	}
+	if opts.Shards > 0 {
+		opts.AttestServers = opts.Shards
+		if opts.SessionMaxUses == 0 {
+			opts.SessionMaxUses = 8
+		}
+	}
 	kernel := sim.NewKernel(opts.Seed)
 	network := opts.Network
 	if network == nil {
@@ -184,28 +234,7 @@ func New(opts Options) (*Testbed, error) {
 		directory: make(map[string]ed25519.PublicKey),
 		opts:      opts,
 	}
-	// listen binds an endpoint: symbolic names on the in-memory network,
-	// OS-assigned loopback ports on TCP. Wrappers like rpc.FaultNetwork are
-	// unwrapped so addressing follows the transport underneath.
-	listen := func(role string) (net.Listener, string, error) {
-		base := network
-		for {
-			w, ok := base.(interface{ Inner() rpc.Network })
-			if !ok {
-				break
-			}
-			base = w.Inner()
-		}
-		bind := role
-		if _, isMem := base.(*rpc.MemNetwork); !isMem {
-			bind = "127.0.0.1:0"
-		}
-		l, err := network.Listen(bind)
-		if err != nil {
-			return nil, "", err
-		}
-		return l, l.Addr().String(), nil
-	}
+	listen := tb.listen
 
 	// Ledger latency summaries run on the testbed's virtual clock so a
 	// seeded run replays to identical metrics.
@@ -217,12 +246,20 @@ func New(opts Options) (*Testbed, error) {
 	}
 	tb.Ledger = led
 
-	caSrv, err := pca.New("privacy-ca", rand.Reader)
+	// The pCA identity outlives pCA restarts (RestartPCA builds a fresh
+	// process around the same key pair and ledger), and the servers reach
+	// it through the certifierSwitch so the swap is invisible to them.
+	caID, err := cryptoutil.NewIdentity("privacy-ca", rand.Reader)
 	if err != nil {
 		return nil, err
 	}
+	tb.caID = caID
+	caSrv := pca.NewWithIdentity(caID)
 	tb.PCA = caSrv
-	caSrv.SetLedger(led, tb.Clock.Now)
+	tb.certSwitch = &certifierSwitch{ca: caSrv}
+	if err := caSrv.SetLedger(led, tb.Clock.Now); err != nil {
+		return nil, err
+	}
 
 	ctrlID := cryptoutil.MustIdentity("cloud-controller")
 	tb.register("cloud-controller", ctrlID.Public())
@@ -237,25 +274,21 @@ func New(opts Options) (*Testbed, error) {
 	}
 
 	// Cloud servers.
-	backendOf := func(i int) driver.Backend {
-		if len(opts.Backends) == 0 {
-			return driver.BackendTPM
-		}
-		return opts.Backends[i%len(opts.Backends)]
-	}
+	backendOf := tb.backendOf
 	serverAddrs := make(map[string]string, opts.Servers)
 	for i := 0; i < opts.Servers; i++ {
 		name := serverName(i)
 		cfg := server.Config{
-			Name:        name,
-			Clock:       tb.Clock,
-			PCPUs:       opts.PCPUsPerServer,
-			Capacity:    opts.Capacity,
-			Certifier:   caSrv,
-			Rand:        rand.Reader,
-			SchedConfig: opts.SchedConfig,
-			Obs:         tb.Obs,
-			Backend:     backendOf(i),
+			Name:           name,
+			Clock:          tb.Clock,
+			PCPUs:          opts.PCPUsPerServer,
+			Capacity:       opts.Capacity,
+			Certifier:      tb.certSwitch,
+			Rand:           rand.Reader,
+			SchedConfig:    opts.SchedConfig,
+			Obs:            tb.Obs,
+			Backend:        backendOf(i),
+			SessionMaxUses: opts.SessionMaxUses,
 		}
 		if opts.TamperPlatform[name] {
 			cfg.Platform = trojanedPlatform()
@@ -278,8 +311,20 @@ func New(opts Options) (*Testbed, error) {
 		srv.Serve(l, tb.Verify)
 	}
 
-	// Attestation Servers, one per cluster; each cloud server registers
-	// with its cluster's appraiser only.
+	// Attestation Servers. Cluster mode: one per cluster, each cloud server
+	// registered with its cluster's appraiser only. Ring mode: every shard
+	// joins the consistent-hash ring and every cloud server registers with
+	// every shard, since the shard owning a VM is decided by the VM id, not
+	// the host.
+	if opts.Shards > 0 {
+		tb.Ring = shard.NewRing(opts.Seed+3, 0)
+		tb.ctrlRing = shard.NewRing(opts.Seed+3, 0)
+		tb.shardByName = make(map[string]*attestsrv.Server, opts.Shards)
+		for _, id := range attIDs {
+			tb.Ring.Join(id.Name)
+			tb.ctrlRing.Join(id.Name)
+		}
+	}
 	attestAddrs := make([]string, opts.AttestServers)
 	if opts.BatchVerify {
 		// One verifier shared by every cluster: concurrent appraisals
@@ -305,8 +350,12 @@ func New(opts Options) (*Testbed, error) {
 			MinTCB:      opts.MinTCB,
 			Batch:       tb.Batch,
 			Resume:      opts.Resume,
+			Ring:        tb.Ring,
 		})
 		tb.AttestServers = append(tb.AttestServers, as)
+		if tb.shardByName != nil {
+			tb.shardByName[id.Name] = as
+		}
 		al, addr, err := listen(id.Name)
 		if err != nil {
 			return nil, err
@@ -319,14 +368,21 @@ func New(opts Options) (*Testbed, error) {
 		name := serverName(i)
 		srv := tb.Servers[name]
 		b := backendOf(i)
-		tb.AttestServers[i%opts.AttestServers].RegisterServer(attestsrv.ServerRecord{
+		rec := attestsrv.ServerRecord{
 			Name:        name,
 			Addr:        serverAddrs[name],
 			IdentityKey: srv.IdentityKey(),
 			AIK:         srv.AIK(),
 			Properties:  driver.AttestableProps(b),
 			Backend:     b,
-		})
+		}
+		if opts.Shards > 0 {
+			for _, as := range tb.AttestServers {
+				as.RegisterServer(rec)
+			}
+		} else {
+			tb.AttestServers[i%opts.AttestServers].RegisterServer(rec)
+		}
 	}
 
 	// Cloud Controller. The construction recipe is retained on the testbed
@@ -356,17 +412,43 @@ func New(opts Options) (*Testbed, error) {
 	return tb, nil
 }
 
+// listen binds an endpoint: symbolic names on the in-memory network,
+// OS-assigned loopback ports on TCP. Wrappers like rpc.FaultNetwork are
+// unwrapped so addressing follows the transport underneath.
+func (tb *Testbed) listen(role string) (net.Listener, string, error) {
+	base := tb.Net
+	for {
+		w, ok := base.(interface{ Inner() rpc.Network })
+		if !ok {
+			break
+		}
+		base = w.Inner()
+	}
+	bind := role
+	if _, isMem := base.(*rpc.MemNetwork); !isMem {
+		bind = "127.0.0.1:0"
+	}
+	l, err := tb.Net.Listen(bind)
+	if err != nil {
+		return nil, "", err
+	}
+	return l, l.Addr().String(), nil
+}
+
+// backendOf returns the trust backend assigned to the i-th cloud server.
+func (tb *Testbed) backendOf(i int) driver.Backend {
+	if len(tb.opts.Backends) == 0 {
+		return driver.BackendTPM
+	}
+	return tb.opts.Backends[i%len(tb.opts.Backends)]
+}
+
 // newController assembles a cloud controller against the testbed's fleet:
 // same identity, network, ledger, and server registry every time. fp is
 // the crash-injection hook; a restarted controller gets none, like a
 // freshly exec'd process.
 func (tb *Testbed) newController(fp func(string) bool) *controller.Controller {
-	backendOf := func(i int) driver.Backend {
-		if len(tb.opts.Backends) == 0 {
-			return driver.BackendTPM
-		}
-		return tb.opts.Backends[i%len(tb.opts.Backends)]
-	}
+	backendOf := tb.backendOf
 	c := controller.New(controller.Config{
 		Identity:      tb.ctrlID,
 		Network:       tb.Net,
@@ -387,9 +469,16 @@ func (tb *Testbed) newController(fp func(string) bool) *controller.Controller {
 		Obs:           tb.Obs,
 		ReattestEvery: tb.opts.ReattestEvery,
 		FailPoint:     fp,
+		Ring:          tb.ctrlRing,
 	})
-	for i, id := range tb.attIDs {
-		c.SetAttestKeyFor(i, id.Public())
+	if tb.ctrlRing != nil {
+		for i, id := range tb.attIDs {
+			c.RegisterAttestShard(id.Name, tb.attestAddrs[i], id.Public())
+		}
+	} else {
+		for i, id := range tb.attIDs {
+			c.SetAttestKeyFor(i, id.Public())
+		}
 	}
 	for i := 0; i < tb.opts.Servers; i++ {
 		name := serverName(i)
@@ -418,6 +507,206 @@ func (tb *Testbed) RestartController() error {
 	tb.Ctrl = ctrl
 	tb.mu.Unlock()
 	return ctrl.Recover()
+}
+
+// newShard assembles one ring-mode Attestation Server against the
+// testbed's fleet (same recipe New uses for the initial shards).
+func (tb *Testbed) newShard(id *cryptoutil.Identity) *attestsrv.Server {
+	return attestsrv.New(attestsrv.Config{
+		Identity:    id,
+		PCAName:     tb.PCA.Name(),
+		PCAKey:      tb.PCA.PublicKey(),
+		Network:     tb.Net,
+		Clock:       tb.Clock,
+		Latency:     tb.Lat,
+		Verify:      tb.Verify,
+		Rand:        rand.Reader,
+		Ledger:      tb.Ledger,
+		CallTimeout: tb.opts.CallTimeout,
+		Retry:       tb.opts.Retry,
+		Breaker:     tb.opts.Breaker,
+		Periodic:    tb.opts.Periodic,
+		Obs:         tb.Obs,
+		MinTCB:      tb.opts.MinTCB,
+		Batch:       tb.Batch,
+		Resume:      tb.opts.Resume,
+		Ring:        tb.Ring,
+	})
+}
+
+// JoinShard grows the ring-mode attestation plane by one shard: a fresh
+// Attestation Server joins the ring, the controller learns its endpoint and
+// report-signing key, and the ~1/N of the fleet the ring now assigns to it
+// is handed off — periodic tasks keep their deadlines and buffered results,
+// nothing is lost or double-armed. Returns the new shard's name and how
+// many periodic tasks moved.
+func (tb *Testbed) JoinShard() (string, int, error) {
+	tb.opMu.Lock()
+	defer tb.opMu.Unlock()
+	if tb.Ring == nil {
+		return "", 0, fmt.Errorf("cloudsim: not a ring-mode testbed (set Options.Shards)")
+	}
+	id := cryptoutil.MustIdentity(fmt.Sprintf("attestation-server-%d", len(tb.attIDs)))
+	tb.register(id.Name, id.Public())
+	as := tb.newShard(id)
+	l, addr, err := tb.listen(id.Name)
+	if err != nil {
+		return "", 0, err
+	}
+	as.Serve(l, tb.Verify)
+	for i := 0; i < tb.opts.Servers; i++ {
+		name := serverName(i)
+		srv := tb.Servers[name]
+		b := tb.backendOf(i)
+		as.RegisterServer(attestsrv.ServerRecord{
+			Name:        name,
+			Addr:        tb.serverAddrs[name],
+			IdentityKey: srv.IdentityKey(),
+			AIK:         srv.AIK(),
+			Properties:  driver.AttestableProps(b),
+			Backend:     b,
+		})
+	}
+	tb.mu.Lock()
+	tb.AttestServers = append(tb.AttestServers, as)
+	tb.shardByName[id.Name] = as
+	tb.attIDs = append(tb.attIDs, id)
+	tb.attestAddrs = append(tb.attestAddrs, addr)
+	ctrl := tb.Ctrl
+	tb.mu.Unlock()
+	ctrl.RegisterAttestShard(id.Name, addr, id.Public())
+	tb.Ring.Join(id.Name)
+	if !tb.ringSplit {
+		tb.ctrlRing.Join(id.Name)
+	}
+	return id.Name, tb.rebalance(), nil
+}
+
+// LeaveShard drains a shard out of the ring: its entire ownership (~1/N of
+// the fleet) is exported to the shards the ring now names. The process
+// keeps serving — a straggler request that still reaches it is refused
+// with a wrong-shard redirect, never answered from dead state. Returns how
+// many periodic tasks moved.
+func (tb *Testbed) LeaveShard(name string) (int, error) {
+	tb.opMu.Lock()
+	defer tb.opMu.Unlock()
+	if tb.Ring == nil {
+		return 0, fmt.Errorf("cloudsim: not a ring-mode testbed (set Options.Shards)")
+	}
+	if _, ok := tb.shardByName[name]; !ok {
+		return 0, fmt.Errorf("cloudsim: no shard %q", name)
+	}
+	if tb.Ring.Size() <= 1 {
+		return 0, fmt.Errorf("cloudsim: cannot drain the last shard")
+	}
+	tb.Ring.Leave(name)
+	if !tb.ringSplit {
+		tb.ctrlRing.Leave(name)
+	}
+	return tb.rebalance(), nil
+}
+
+// rebalance converges shard ownership after a ring change: every shard
+// exports the VM records and periodic tasks it no longer owns, and each
+// bundle lands on the shard the ring now names. Import is idempotent by
+// (vid, property), so a re-run moves nothing twice. Returns the number of
+// periodic tasks re-armed on new owners.
+func (tb *Testbed) rebalance() int {
+	names := make([]string, 0, len(tb.shardByName))
+	for n := range tb.shardByName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	inbound := make(map[string]*attestsrv.ShardState)
+	to := func(owner string) *attestsrv.ShardState {
+		st := inbound[owner]
+		if st == nil {
+			st = &attestsrv.ShardState{}
+			inbound[owner] = st
+		}
+		return st
+	}
+	for _, n := range names {
+		st := tb.shardByName[n].ExportNotOwned()
+		for _, rec := range st.VMs {
+			if owner, _, ok := tb.Ring.Lookup(rec.Vid); ok {
+				to(owner).VMs = append(to(owner).VMs, rec)
+			}
+		}
+		for _, t := range st.Tasks {
+			if owner, _, ok := tb.Ring.Lookup(t.Vid); ok {
+				to(owner).Tasks = append(to(owner).Tasks, t)
+			}
+		}
+	}
+	moved := 0
+	for _, n := range names {
+		if in := inbound[n]; in != nil {
+			moved += tb.shardByName[n].ImportShardState(*in)
+		}
+	}
+	return moved
+}
+
+// SplitRing freezes the controller's ring view: subsequent JoinShard and
+// LeaveShard calls move only the data-plane ring, so the controller routes
+// on stale membership and must recover through the shards' wrong-shard
+// redirects — the deterministic way to exercise that path.
+func (tb *Testbed) SplitRing() {
+	tb.opMu.Lock()
+	tb.ringSplit = true
+	tb.opMu.Unlock()
+}
+
+// HealRing reconverges the controller's ring view with the data plane and
+// resumes mirroring.
+func (tb *Testbed) HealRing() {
+	tb.opMu.Lock()
+	defer tb.opMu.Unlock()
+	tb.ringSplit = false
+	if tb.Ring == nil {
+		return
+	}
+	have := make(map[string]bool)
+	for _, n := range tb.ctrlRing.Nodes() {
+		have[n] = true
+	}
+	want := make(map[string]bool)
+	for _, n := range tb.Ring.Nodes() {
+		want[n] = true
+		if !have[n] {
+			tb.ctrlRing.Join(n)
+		}
+	}
+	for n := range have {
+		if !want[n] {
+			tb.ctrlRing.Leave(n)
+		}
+	}
+}
+
+// RestartPCA simulates a privacy-CA crash and recovery: a fresh pCA
+// process around the same identity key and evidence ledger is swapped in
+// behind the fleet's Certifier reference. Ledger replay restores the
+// serial-number high-water mark, so certificates issued after the restart
+// continue the strictly increasing sequence instead of reusing serials.
+func (tb *Testbed) RestartPCA() error {
+	tb.opMu.Lock()
+	defer tb.opMu.Unlock()
+	ca := pca.NewWithIdentity(tb.caID)
+	if err := ca.SetLedger(tb.Ledger, tb.Clock.Now); err != nil {
+		return err
+	}
+	for name, srv := range tb.Servers {
+		ca.RegisterServer(name, srv.Identity().Public())
+	}
+	tb.certSwitch.mu.Lock()
+	tb.certSwitch.ca = ca
+	tb.certSwitch.mu.Unlock()
+	tb.mu.Lock()
+	tb.PCA = ca
+	tb.mu.Unlock()
+	return nil
 }
 
 // trojanedPlatform returns a platform stack with a modified hypervisor, as

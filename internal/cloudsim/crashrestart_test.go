@@ -1,6 +1,7 @@
 package cloudsim
 
 import (
+	"encoding/json"
 	"strings"
 	"sync"
 	"testing"
@@ -8,6 +9,7 @@ import (
 
 	"cloudmonatt/internal/controller"
 	"cloudmonatt/internal/cryptoutil"
+	"cloudmonatt/internal/ledger"
 	"cloudmonatt/internal/properties"
 	"cloudmonatt/internal/rpc"
 	"cloudmonatt/internal/server"
@@ -440,5 +442,73 @@ func TestChaosInfraFailureNeverRemediatesAcrossRestart(t *testing.T) {
 	}
 	if v, err := cu.Attest(res.Vid, properties.RuntimeIntegrity); err != nil || !v.Healthy {
 		t.Fatalf("post-recovery attest: %v %v", v, err)
+	}
+}
+
+// TestChaosInfraPCARestartSerialsMonotonic crashes and restarts the
+// privacy CA mid-fleet. The pCA's serial counter used to live only in
+// process memory, so a restarted pCA would re-issue anon-1, anon-2, … and
+// silently break certificate-subject uniqueness. Recovery must replay the
+// high-water mark from the KindCertIssue ledger entries and keep the
+// sequence strictly increasing across the restart.
+func TestChaosInfraPCARestartSerialsMonotonic(t *testing.T) {
+	tb := newTB(t, Options{Seed: 17})
+	cu, err := tb.NewCustomer("dana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := launch(t, cu, basicLaunch())
+	for i := 0; i < 3; i++ {
+		if v, err := cu.Attest(res.Vid, properties.RuntimeIntegrity); err != nil || !v.Healthy {
+			t.Fatalf("pre-restart attest %d: %v %v", i, v, err)
+		}
+	}
+	before := tb.PCA.SerialHighWater()
+	if before == 0 {
+		t.Fatal("no certificates issued before the restart")
+	}
+
+	if err := tb.RestartPCA(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.PCA.SerialHighWater(); got != before {
+		t.Fatalf("restarted pCA recovered high-water %d, want %d", got, before)
+	}
+	for i := 0; i < 3; i++ {
+		if v, err := cu.Attest(res.Vid, properties.RuntimeIntegrity); err != nil || !v.Healthy {
+			t.Fatalf("post-restart attest %d: %v %v", i, v, err)
+		}
+	}
+	if got := tb.PCA.SerialHighWater(); got <= before {
+		t.Fatalf("post-restart issuance did not advance serials: %d <= %d", got, before)
+	}
+
+	// The ledgered issuance chain must show one strictly increasing serial
+	// sequence with no subject reused across the restart.
+	entries, err := tb.Ledger.Query(ledger.Filter{Kind: ledger.KindCertIssue})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 6 {
+		t.Fatalf("expected >=6 issuance entries, got %d", len(entries))
+	}
+	last := uint64(0)
+	subjects := make(map[string]bool)
+	for _, e := range entries {
+		var rec struct {
+			Subject string `json:"subject"`
+			Serial  uint64 `json:"serial"`
+		}
+		if err := json.Unmarshal(e.Payload, &rec); err != nil {
+			t.Fatalf("issuance payload: %v", err)
+		}
+		if rec.Serial <= last {
+			t.Fatalf("serial %d issued after %d — sequence not strictly increasing", rec.Serial, last)
+		}
+		last = rec.Serial
+		if subjects[rec.Subject] {
+			t.Fatalf("certificate subject %q reused across restart", rec.Subject)
+		}
+		subjects[rec.Subject] = true
 	}
 }

@@ -65,14 +65,20 @@ func (c *Controller) AttestTraced(parent obs.SpanContext, req wire.AttestRequest
 	if err != nil {
 		return nil, err
 	}
-	ac, cluster, err := c.attestClientOfVM(req.Vid)
+	rt, err := c.routeForVM(req.Vid)
 	if err != nil {
 		return nil, err
 	}
 	sp := c.tracer.Start(parent, "controller.attest")
 	sp.SetVM(req.Vid, string(req.Prop))
 	c.cfg.Clock.Advance(c.cfg.Latency.HopRTT)
-	rep, n2, err := c.appraise(obs.ContextWith(context.Background(), sp), ac, req.Vid, rec.Server, req.Prop)
+	var rep *wire.Report
+	var n2 cryptoutil.Nonce
+	rt, err = c.callRouted(rt, func(rt attestRoute) error {
+		var aerr error
+		rep, n2, aerr = c.appraise(obs.ContextWith(context.Background(), sp), rt.client, req.Vid, rec.Server, req.Prop)
+		return aerr
+	})
 	if err != nil {
 		var rerr *rpc.RemoteError
 		if errors.As(err, &rerr) {
@@ -89,7 +95,7 @@ func (c *Controller) AttestTraced(parent obs.SpanContext, req wire.AttestRequest
 		sp.EndErr(err)
 		return nil, fmt.Errorf("controller: appraisal failed: %w", err)
 	}
-	if err := wire.VerifyReport(rep, c.attestKey(cluster), req.Vid, req.Prop, n2); err != nil {
+	if err := wire.VerifyReport(rep, rt.key, req.Vid, req.Prop, n2); err != nil {
 		sp.EndErr(err)
 		return nil, fmt.Errorf("controller: rejecting attestation report: %w", err)
 	}
@@ -136,15 +142,18 @@ func (c *Controller) StartPeriodic(req wire.PeriodicRequest) error {
 	if err != nil {
 		return err
 	}
-	ac, _, err := c.attestClientOfVM(req.Vid)
+	rt, err := c.routeForVM(req.Vid)
 	if err != nil {
 		return err
 	}
 	ctx, cancel := c.opCtx()
 	defer cancel()
-	return ac.CallCtx(ctx, attestsrv.MethodPeriodicStart, attestsrv.PeriodicControl{
-		Vid: req.Vid, ServerID: rec.Server, Prop: req.Prop, Freq: req.Freq, Random: req.Random,
-	}, nil)
+	_, err = c.callRouted(rt, func(rt attestRoute) error {
+		return rt.client.CallCtx(ctx, attestsrv.MethodPeriodicStart, attestsrv.PeriodicControl{
+			Vid: req.Vid, ServerID: rec.Server, Prop: req.Prop, Freq: req.Freq, Random: req.Random,
+		}, nil)
+	})
+	return err
 }
 
 // StopPeriodic serves stop_attest_periodic, returning undelivered results.
@@ -165,7 +174,7 @@ func (c *Controller) drainPeriodic(req wire.StopPeriodicRequest, method string) 
 	if _, err := c.vmFor(req.Vid, req.Prop); err != nil {
 		return nil, err
 	}
-	ac, cluster, err := c.attestClientOfVM(req.Vid)
+	rt, err := c.routeForVM(req.Vid)
 	if err != nil {
 		return nil, err
 	}
@@ -174,8 +183,10 @@ func (c *Controller) drainPeriodic(req wire.StopPeriodicRequest, method string) 
 	defer cancel()
 	// Drains are destructive server-side; the idempotency key makes a
 	// retried drain replay the recorded batch instead of losing it.
-	if err := ac.CallIdem(ctx, method, rpc.NewIdemKey(),
-		attestsrv.PeriodicControl{Vid: req.Vid, Prop: req.Prop}, &batch); err != nil {
+	if rt, err = c.callRouted(rt, func(rt attestRoute) error {
+		return rt.client.CallIdem(ctx, method, rpc.NewIdemKey(),
+			attestsrv.PeriodicControl{Vid: req.Vid, Prop: req.Prop}, &batch)
+	}); err != nil {
 		return nil, err
 	}
 	if batch.Dropped > 0 || batch.Skipped > 0 {
@@ -186,19 +197,37 @@ func (c *Controller) drainPeriodic(req wire.StopPeriodicRequest, method string) 
 			Skipped uint64 `json:"skipped,omitempty"`
 		}{batch.Dropped, batch.Skipped})
 	}
-	return c.repackage(req.Vid, req.Prop, req.N1, cluster, batch.Reports)
+	return c.repackage(req.Vid, req.Prop, req.N1, rt, batch.Reports)
+}
+
+// verifyShardReport verifies a drained report against the answering
+// route's key first and then, in ring mode, any registered shard's key: a
+// report buffered before a rebalance was signed by the task's previous
+// owner, travels to the new owner inside the handoff state, and is still
+// genuine — just under a sibling shard's signature.
+func (c *Controller) verifyShardReport(rt attestRoute, rep *wire.Report, vid string, p properties.Property) error {
+	err := wire.VerifyReport(rep, rt.key, vid, p, rep.N2)
+	if err == nil || !c.ringMode() {
+		return err
+	}
+	for _, key := range c.shardKeys() {
+		if wire.VerifyReport(rep, key, vid, p, rep.N2) == nil {
+			return nil
+		}
+	}
+	return err
 }
 
 // repackage validates appraiser reports and re-signs them for the customer.
 // Failed verdicts trigger the Response Module (once per batch).
-func (c *Controller) repackage(vid string, p properties.Property, n1 cryptoutil.Nonce, cluster int, reports []*wire.Report) ([]*wire.CustomerReport, error) {
+func (c *Controller) repackage(vid string, p properties.Property, n1 cryptoutil.Nonce, rt attestRoute, reports []*wire.Report) ([]*wire.CustomerReport, error) {
 	var out []*wire.CustomerReport
 	responded := false
 	for _, rep := range reports {
 		if rep.Vid != vid || rep.Prop != p {
 			continue
 		}
-		if err := wire.VerifyReport(rep, c.attestKey(cluster), vid, p, rep.N2); err != nil {
+		if err := c.verifyShardReport(rt, rep, vid, p); err != nil {
 			continue
 		}
 		c.storeLastGood(vid, p, rep.Verdict)
@@ -357,18 +386,24 @@ func (c *Controller) RecheckAndResume(vid string) (properties.Verdict, bool, err
 	if err := c.ResumeVM(vid); err != nil {
 		return properties.Verdict{}, false, err
 	}
-	ac, cluster, err := c.attestClientOfVM(vid)
+	rt, err := c.routeForVM(vid)
 	if err != nil {
 		return properties.Verdict{}, false, err
 	}
 	c.cfg.Clock.Advance(c.cfg.Latency.HopRTT)
-	rep, n2, err := c.appraise(context.Background(), ac, vid, srv, prop)
+	var rep *wire.Report
+	var n2 cryptoutil.Nonce
+	rt, err = c.callRouted(rt, func(rt attestRoute) error {
+		var aerr error
+		rep, n2, aerr = c.appraise(context.Background(), rt.client, vid, srv, prop)
+		return aerr
+	})
 	if err != nil {
 		// Could not re-check: fail safe, back to suspended.
 		c.SuspendVM(vid)
 		return properties.Verdict{}, false, fmt.Errorf("controller: recheck failed: %w", err)
 	}
-	if err := wire.VerifyReport(rep, c.attestKey(cluster), vid, prop, n2); err != nil {
+	if err := wire.VerifyReport(rep, rt.key, vid, prop, n2); err != nil {
 		c.SuspendVM(vid)
 		return properties.Verdict{}, false, fmt.Errorf("controller: rejecting recheck report: %w", err)
 	}
@@ -409,9 +444,15 @@ func (c *Controller) MigrateVM(vid string) (string, error) {
 	ctx, cancel := c.opCtx()
 	defer cancel()
 
-	// Destinations are restricted to the VM's attestation cluster so its
-	// appraisal state stays with one Attestation Server (paper §3.2.3).
-	cands := c.candidates(flavor, props, src, c.clusterOfServer(src))
+	// Cluster mode restricts destinations to the VM's attestation cluster so
+	// its appraisal state stays with one Attestation Server (paper §3.2.3).
+	// Ring mode shards by VM id, so ownership follows the VM to any host and
+	// every qualified server is a candidate.
+	wantCluster := -1
+	if !c.ringMode() {
+		wantCluster = c.clusterOfServer(src)
+	}
+	cands := c.candidates(flavor, props, src, wantCluster)
 	if len(cands) == 0 {
 		return "", fmt.Errorf("controller: no qualified destination for %s", vid)
 	}
@@ -463,9 +504,13 @@ func (c *Controller) MigrateVM(vid string) (string, error) {
 		Phase: "end", Op: "migrated", ID: c.intentID(), OK: true, Server: dest.Name,
 	})
 	c.setCond(rec, reconcile.CondPlaced, reconcile.True, "Migrated", dest.Name)
-	// Ongoing periodic monitoring follows the VM to its new host.
-	if ac, err := c.attestClientFor(dest.Cluster); err == nil {
-		ac.CallCtx(ctx, attestsrv.MethodRebindVM, attestsrv.RebindRequest{Vid: vid, ServerID: dest.Name}, nil)
+	// Ongoing periodic monitoring follows the VM to its new host. In ring
+	// mode the owning shard is unchanged (ownership hashes the VM id, not
+	// the host), so the rebind goes to the same route either way.
+	if rt, err := c.routeForVMOnServer(vid, dest.Name); err == nil {
+		c.callRouted(rt, func(rt attestRoute) error {
+			return rt.client.CallCtx(ctx, attestsrv.MethodRebindVM, attestsrv.RebindRequest{Vid: vid, ServerID: dest.Name}, nil)
+		})
 	}
 	return dest.Name, nil
 }

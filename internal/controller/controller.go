@@ -31,6 +31,7 @@ import (
 	"cloudmonatt/internal/rpc"
 	"cloudmonatt/internal/secchan"
 	"cloudmonatt/internal/server"
+	"cloudmonatt/internal/shard"
 	"cloudmonatt/internal/vclock"
 	"cloudmonatt/internal/wire"
 )
@@ -170,6 +171,11 @@ type Config struct {
 	AttestAddr string
 	// AttestAddrs lists one Attestation Server endpoint per cluster.
 	AttestAddrs []string
+	// Ring, when set, shards the attestation plane by consistent hashing of
+	// VM ids instead of the static cluster split: routes resolve through the
+	// ring, shards are registered with RegisterAttestShard, and wrong-shard
+	// refusals are followed to the owner the refusing shard names.
+	Ring *shard.Ring
 	Policy      map[properties.Property]ResponseKind
 	// AutoRespond executes the policy response when an attestation comes
 	// back unhealthy (paper §5.2). On by default in the testbed.
@@ -243,7 +249,11 @@ type Controller struct {
 	mgmt       map[string]*rpc.ReconnectClient
 	attest     map[int]*rpc.ReconnectClient
 	attestPubs map[int][]byte
-	nextVid    int
+	// Ring-mode shard registry (RegisterAttestShard); unused in cluster mode.
+	shardAddrs   map[string]string
+	shardPubs    map[string][]byte
+	shardClients map[string]*rpc.ReconnectClient
+	nextVid      int
 	nextIntent int
 	replay     *cryptoutil.ReplayCache
 	events     []ResponseEvent // bounded drop-oldest ring (Config.EventsCap)
@@ -279,6 +289,9 @@ func New(cfg Config) *Controller {
 		mgmt:       make(map[string]*rpc.ReconnectClient),
 		attest:     make(map[int]*rpc.ReconnectClient),
 		attestPubs: make(map[int][]byte),
+		shardAddrs:   make(map[string]string),
+		shardPubs:    make(map[string][]byte),
+		shardClients: make(map[string]*rpc.ReconnectClient),
 		replay:     cryptoutil.NewReplayCache(4096),
 		policy:     cfg.Policy,
 		lastGood:   make(map[string]lastVerdict),
@@ -306,6 +319,9 @@ func (c *Controller) Health() obs.EntityHealth {
 		clients[rc.Peer()] = rc
 	}
 	for _, rc := range c.attest {
+		clients[rc.Peer()] = rc
+	}
+	for _, rc := range c.shardClients {
 		clients[rc.Peer()] = rc
 	}
 	c.mu.Unlock()
@@ -908,22 +924,30 @@ func (c *Controller) placeAndAttest(lsp *obs.ActiveSpan, vid string, req LaunchR
 		return false, "", properties.Verdict{}, err
 	}
 
-	// Register appraisal references (with the candidate's cluster
-	// Attestation Server) and record the VM before attesting. From here on
-	// every failure must unwind the spawn and the reservation — leaving
-	// either behind leaks capacity until the host is drained.
-	ac, err := c.attestClientFor(cand.Cluster)
+	// Register appraisal references (with the VM's owning shard in ring
+	// mode, the candidate's cluster Attestation Server otherwise) and
+	// record the VM before attesting. From here on every failure must
+	// unwind the spawn and the reservation — leaving either behind leaks
+	// capacity until the host is drained.
+	var rt attestRoute
+	if c.ringMode() {
+		rt, err = c.routeForVMOnServer(vid, cand.Name)
+	} else {
+		rt, err = c.routeForCluster(cand.Cluster)
+	}
 	if err != nil {
 		c.unplace(vid, cand.Name, flavor)
 		c.intentEnd(vid, intentRecord{Op: "place", ID: placeIntent, OK: false})
 		return false, "", properties.Verdict{}, err
 	}
-	if err := ac.CallCtx(ctx, attestsrv.MethodRegisterVM, attestsrv.VMRecord{
-		Vid:           vid,
-		ExpectedImage: golden,
-		TaskAllowlist: req.Allowlist,
-		MinCPUShare:   req.MinShare,
-	}, nil); err != nil {
+	if rt, err = c.callRouted(rt, func(rt attestRoute) error {
+		return rt.client.CallCtx(ctx, attestsrv.MethodRegisterVM, attestsrv.VMRecord{
+			Vid:           vid,
+			ExpectedImage: golden,
+			TaskAllowlist: req.Allowlist,
+			MinCPUShare:   req.MinShare,
+		}, nil)
+	}); err != nil {
 		c.unplace(vid, cand.Name, flavor)
 		c.intentEnd(vid, intentRecord{Op: "place", ID: placeIntent, OK: false})
 		return false, "", properties.Verdict{}, err
@@ -942,14 +966,20 @@ func (c *Controller) placeAndAttest(lsp *obs.ActiveSpan, vid string, req LaunchR
 	asp := lsp.Child("stage:attestation")
 	asp.SetVM(vid, string(properties.StartupIntegrity))
 	c.cfg.Clock.Advance(c.cfg.Latency.HopRTT) // controller ↔ attestation server
-	rep, n2, err := c.appraise(obs.ContextWith(context.Background(), asp), ac, vid, cand.Name, properties.StartupIntegrity)
+	var rep *wire.Report
+	var n2 cryptoutil.Nonce
+	rt, err = c.callRouted(rt, func(rt attestRoute) error {
+		var aerr error
+		rep, n2, aerr = c.appraise(obs.ContextWith(context.Background(), asp), rt.client, vid, cand.Name, properties.StartupIntegrity)
+		return aerr
+	})
 	if err != nil {
 		asp.EndErr(err)
 		c.teardown(vid)
 		c.intentEnd(vid, intentRecord{Op: "place", ID: placeIntent, OK: false})
 		return false, fmt.Sprintf("startup attestation failed: %v", err), properties.Verdict{}, nil
 	}
-	if err := wire.VerifyReport(rep, c.attestKey(cand.Cluster), vid, properties.StartupIntegrity, n2); err != nil {
+	if err := wire.VerifyReport(rep, rt.key, vid, properties.StartupIntegrity, n2); err != nil {
 		asp.EndErr(err)
 		c.teardown(vid)
 		c.intentEnd(vid, intentRecord{Op: "place", ID: placeIntent, OK: false})
@@ -1042,8 +1072,10 @@ func (c *Controller) teardown(vid string) {
 	if mgmt, err := c.mgmtClient(rec.Server); err == nil {
 		mgmt.CallIdem(ctx, server.MethodTerminate, rpc.NewIdemKey(), server.VidRequest{Vid: vid}, nil)
 	}
-	if ac, err := c.attestClientFor(c.clusterOfServer(rec.Server)); err == nil {
-		ac.CallCtx(ctx, attestsrv.MethodForgetVM, struct{ Vid string }{vid}, nil)
+	if rt, err := c.routeForVMOnServer(vid, rec.Server); err == nil {
+		c.callRouted(rt, func(rt attestRoute) error {
+			return rt.client.CallCtx(ctx, attestsrv.MethodForgetVM, struct{ Vid string }{vid}, nil)
+		})
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"cloudmonatt/internal/attestsrv"
+	"cloudmonatt/internal/cryptoutil"
 	"cloudmonatt/internal/ledger"
 	"cloudmonatt/internal/obs"
 	"cloudmonatt/internal/properties"
@@ -273,10 +274,12 @@ func (c *Controller) finalizeTeardown(rec *vmRecord) error {
 			return err
 		}
 	}
-	if ac, err := c.attestClientFor(c.clusterOfServer(srv)); err == nil {
+	if rt, err := c.routeForVMOnServer(vid, srv); err == nil {
 		// Best effort, matching the pre-existing teardown semantics: the
 		// Attestation Server tolerates appraising a forgotten VM.
-		ac.CallCtx(ctx, attestsrv.MethodForgetVM, struct{ Vid string }{vid}, nil)
+		c.callRouted(rt, func(rt attestRoute) error {
+			return rt.client.CallCtx(ctx, attestsrv.MethodForgetVM, struct{ Vid string }{vid}, nil)
+		})
 	}
 	c.intentEnd(vid, intentRecord{Op: "terminate", ID: intentID, OK: true})
 	c.mu.Lock()
@@ -428,7 +431,7 @@ func (c *Controller) reattest(rec *vmRecord) {
 	if len(props) == 0 {
 		props = []properties.Property{properties.RuntimeIntegrity}
 	}
-	ac, cluster, err := c.attestClientOfVM(vid)
+	rt0, err := c.routeForVM(vid)
 	if err != nil {
 		return
 	}
@@ -437,7 +440,13 @@ func (c *Controller) reattest(rec *vmRecord) {
 	defer sp.End("")
 	for _, p := range props {
 		c.cfg.Clock.Advance(c.cfg.Latency.HopRTT)
-		rep, n2, err := c.appraise(obs.ContextWith(context.Background(), sp), ac, vid, srv, p)
+		var rep *wire.Report
+		var n2 cryptoutil.Nonce
+		rt, err := c.callRouted(rt0, func(rt attestRoute) error {
+			var aerr error
+			rep, n2, aerr = c.appraise(obs.ContextWith(context.Background(), sp), rt.client, vid, srv, p)
+			return aerr
+		})
 		if err != nil {
 			var rerr *rpc.RemoteError
 			if !errors.As(err, &rerr) {
@@ -449,7 +458,7 @@ func (c *Controller) reattest(rec *vmRecord) {
 			}
 			continue
 		}
-		if err := wire.VerifyReport(rep, c.attestKey(cluster), vid, p, n2); err != nil {
+		if err := wire.VerifyReport(rep, rt.key, vid, p, n2); err != nil {
 			c.setCond(rec, reconcile.CondAttested, reconcile.False, "BadReport", err.Error())
 			continue
 		}

@@ -1,0 +1,163 @@
+package controller
+
+// Attestation-plane routing. The controller reaches Attestation Servers two
+// ways:
+//
+//   - Cluster mode (the paper's §3.2.3 static split): each cloud server
+//     belongs to a cluster, each cluster has one Attestation Server, and a
+//     VM's appraisal state lives wherever its host's cluster points.
+//   - Ring mode (Config.Ring set): shards joined to a consistent-hash ring
+//     own VMs by hashing the VM id, so ownership survives migration across
+//     hosts and Join/Leave moves only ~1/N of the fleet.
+//
+// Both modes resolve to an attestRoute — a client plus the report-signing
+// key to verify against. In ring mode a route can be stale the moment it is
+// computed (a shard joined between lookup and call); the misrouted shard
+// answers with a WrongShardError naming the owner under its newer view, and
+// callRouted retries directly against that named owner. The redirect works
+// even when the controller's own ring is behind, because the error carries
+// the answer — no view refresh sits on the hot path.
+
+import (
+	"errors"
+	"fmt"
+
+	"cloudmonatt/internal/rpc"
+	"cloudmonatt/internal/shard"
+)
+
+// attestRoute is one resolved path to an Attestation Server.
+type attestRoute struct {
+	client *rpc.ReconnectClient
+	key    []byte // the server's report-signing public key
+	node   string // shard name in ring mode; "" in cluster mode
+	cluster int   // cluster index in cluster mode; -1 in ring mode
+}
+
+// ringMode reports whether the attestation plane is sharded by ring.
+func (c *Controller) ringMode() bool { return c.cfg.Ring != nil }
+
+// RegisterAttestShard records one shard of the ring-mode attestation plane:
+// its name on the ring, its endpoint, and its report-signing key
+// (provisioned out of band, like any trust anchor). Re-registering a name
+// replaces the endpoint and key.
+func (c *Controller) RegisterAttestShard(node, addr string, pub []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.shardAddrs[node] = addr
+	c.shardPubs[node] = append([]byte(nil), pub...)
+	// Drop a stale client so the next route re-dials the new endpoint.
+	delete(c.shardClients, node)
+}
+
+// routeForNode resolves a route to a named shard.
+func (c *Controller) routeForNode(node string) (attestRoute, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	addr, ok := c.shardAddrs[node]
+	if !ok {
+		return attestRoute{}, fmt.Errorf("controller: unknown attestation shard %q", node)
+	}
+	cl, ok := c.shardClients[node]
+	if !ok {
+		cl = c.newClient("attest-"+node, addr)
+		c.shardClients[node] = cl
+	}
+	return attestRoute{client: cl, key: c.shardPubs[node], node: node, cluster: -1}, nil
+}
+
+// routeForCluster resolves a route in cluster mode.
+func (c *Controller) routeForCluster(cluster int) (attestRoute, error) {
+	cl, err := c.attestClientFor(cluster)
+	if err != nil {
+		return attestRoute{}, err
+	}
+	return attestRoute{client: cl, key: c.attestKey(cluster), cluster: cluster}, nil
+}
+
+// routeForVM resolves the route for a VM-addressed request: by ring
+// ownership of the VM id in ring mode, by the VM's host's cluster
+// otherwise.
+func (c *Controller) routeForVM(vid string) (attestRoute, error) {
+	if c.ringMode() {
+		owner, _, ok := c.cfg.Ring.Lookup(vid)
+		if !ok {
+			return attestRoute{}, fmt.Errorf("controller: attestation ring is empty")
+		}
+		return c.routeForNode(owner)
+	}
+	c.mu.Lock()
+	rec, ok := c.vms[vid]
+	var cluster int
+	if ok {
+		if e, okS := c.servers[rec.Server]; okS {
+			cluster = e.Cluster
+		}
+	}
+	c.mu.Unlock()
+	if !ok {
+		return attestRoute{}, fmt.Errorf("controller: no such VM %q", vid)
+	}
+	return c.routeForCluster(cluster)
+}
+
+// routeForVMOnServer resolves the route for a VM whose record may already
+// be gone (teardown, crash recovery): ring mode still routes by the VM id;
+// cluster mode falls back to the named host's cluster.
+func (c *Controller) routeForVMOnServer(vid, srv string) (attestRoute, error) {
+	if c.ringMode() {
+		owner, _, ok := c.cfg.Ring.Lookup(vid)
+		if !ok {
+			return attestRoute{}, fmt.Errorf("controller: attestation ring is empty")
+		}
+		return c.routeForNode(owner)
+	}
+	return c.routeForCluster(c.clusterOfServer(srv))
+}
+
+// maxShardRedirects bounds how many wrong-shard answers one logical call
+// follows. Each redirect goes straight to the owner the refusing shard
+// named, so one hop suffices unless the ring moved again mid-flight; two
+// covers that narrow race without letting a confused plane loop.
+const maxShardRedirects = 2
+
+// callRouted runs fn against a route, following wrong-shard refusals to
+// the named owner. It returns the route that finally answered (or the last
+// one tried), so callers verify reports against the key that actually
+// signed them. Errors other than a parseable wrong-shard refusal — and
+// wrong-shard refusals naming no owner — propagate unchanged, keeping the
+// existing degradation taxonomy intact: redirects happen strictly before
+// the RemoteError-vs-transport classification at the call sites.
+func (c *Controller) callRouted(rt attestRoute, fn func(attestRoute) error) (attestRoute, error) {
+	for hop := 0; ; hop++ {
+		err := fn(rt)
+		if err == nil || hop >= maxShardRedirects {
+			return rt, err
+		}
+		var rerr *rpc.RemoteError
+		if !errors.As(err, &rerr) {
+			return rt, err
+		}
+		ws, ok := shard.ParseWrongShard(rerr.Msg)
+		if !ok || ws.Owner == "" || ws.Owner == rt.node {
+			return rt, err
+		}
+		next, routeErr := c.routeForNode(ws.Owner)
+		if routeErr != nil {
+			return rt, err
+		}
+		c.cfg.Metrics.Counter("controller/wrong-shard-redirects").Inc()
+		rt = next
+	}
+}
+
+// shardKeys snapshots every registered shard's report-signing key.
+func (c *Controller) shardKeys() [][]byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([][]byte, 0, len(c.shardPubs))
+	for _, k := range c.shardPubs {
+		out = append(out, append([]byte(nil), k...))
+	}
+	return out
+}

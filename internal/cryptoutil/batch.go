@@ -40,10 +40,17 @@ var Direct Verifier = VerifierFunc(Verify)
 // bytes, so one caller handing in an aliased or concurrently mutated
 // buffer can never condemn another caller's valid signature.
 //
+// Leadership is bounded: a leader drains at most maxDrains consecutive
+// batches past the one holding its own request. Under sustained load the
+// queue never empties, and an uncapped leader would be trapped running
+// other callers' verifications forever after its own verdict was ready.
+// At the cap it promotes the oldest queued follower to leader and returns.
+//
 // The zero value is not usable; construct with NewBatchVerifier. A
 // BatchVerifier implements Verifier and is safe for concurrent use.
 type BatchVerifier struct {
-	workers int
+	workers   int
+	maxDrains int
 
 	mu      sync.Mutex
 	queue   []*batchReq
@@ -52,6 +59,11 @@ type BatchVerifier struct {
 	stats BatchStats
 }
 
+// DefaultMaxDrains bounds how many consecutive batches one caller leads.
+// Small enough that a leader's extra latency is a handful of group
+// commits; large enough that leadership churn stays off the hot path.
+const DefaultMaxDrains = 4
+
 // BatchStats counts what the batching achieved.
 type BatchStats struct {
 	Batches   uint64 // group commits run
@@ -59,6 +71,8 @@ type BatchStats struct {
 	Coalesced uint64 // requests answered by another request's verification
 	Fallbacks uint64 // individual re-verifications after a group failure
 	MaxBatch  uint64 // largest single group commit
+	Handoffs  uint64 // leaderships handed to a queued follower at the drain cap
+	MaxDrains uint64 // most consecutive batches led by one caller
 }
 
 type batchReq struct {
@@ -67,6 +81,7 @@ type batchReq struct {
 	sig  []byte
 	ok   bool
 	done chan struct{}
+	lead chan struct{} // signaled instead of waited-on when promoted to leader
 }
 
 // NewBatchVerifier creates a batch verifier fanning out over at most
@@ -75,23 +90,42 @@ func NewBatchVerifier(workers int) *BatchVerifier {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &BatchVerifier{workers: workers}
+	return &BatchVerifier{workers: workers, maxDrains: DefaultMaxDrains}
+}
+
+// SetMaxDrains overrides the consecutive-drain cap (n <= 0 restores the
+// default). Tests use a tiny cap to force handoffs deterministically.
+func (b *BatchVerifier) SetMaxDrains(n int) {
+	if n <= 0 {
+		n = DefaultMaxDrains
+	}
+	b.mu.Lock()
+	b.maxDrains = n
+	b.mu.Unlock()
 }
 
 // Verify enqueues one signature check and blocks until a group commit
 // answers it. Call it from the goroutine that needs the verdict; the
 // batching comes from concurrent callers, not from deferred evaluation.
 func (b *BatchVerifier) Verify(pub ed25519.PublicKey, msg, sig []byte) bool {
-	r := &batchReq{pub: pub, msg: msg, sig: sig, done: make(chan struct{})}
+	r := &batchReq{pub: pub, msg: msg, sig: sig, done: make(chan struct{}), lead: make(chan struct{})}
 	b.mu.Lock()
 	b.queue = append(b.queue, r)
 	if b.leading {
-		// A leader is running; it (or its successor drain) will take us.
+		// A leader is running; it (or its successor) will take us. We may
+		// instead be promoted to leader ourselves if the current leader
+		// hits its drain cap while we are still queued.
 		b.mu.Unlock()
-		<-r.done
-		return r.ok
+		select {
+		case <-r.done:
+			return r.ok
+		case <-r.lead:
+			b.mu.Lock()
+		}
+	} else {
+		b.leading = true
 	}
-	b.leading = true
+	drains := 0
 	for {
 		// Yield once before draining: callers already runnable get to
 		// enqueue and join this commit instead of forming a one-element
@@ -105,14 +139,29 @@ func (b *BatchVerifier) Verify(pub ed25519.PublicKey, msg, sig []byte) bool {
 		b.queue = nil
 		b.mu.Unlock()
 		b.run(batch)
+		drains++
 		b.mu.Lock()
+		if uint64(drains) > b.stats.MaxDrains {
+			b.stats.MaxDrains = uint64(drains)
+		}
 		if len(b.queue) == 0 {
 			b.leading = false
 			b.mu.Unlock()
 			break
 		}
 		// Followers queued while we verified: lead their batch too rather
-		// than leaving them to wait for a fresh caller.
+		// than leaving them to wait for a fresh caller — up to the drain
+		// cap. Past it, promote the oldest queued follower so this caller
+		// (whose own verdict landed in its first batch) can return. The
+		// leading flag stays set across the handoff: there is never a
+		// moment where a fresh caller could seize leadership and race the
+		// promoted follower for the queue.
+		if drains >= b.maxDrains {
+			b.stats.Handoffs++
+			close(b.queue[0].lead)
+			b.mu.Unlock()
+			break
+		}
 	}
 	<-r.done
 	return r.ok

@@ -2,6 +2,7 @@ package cryptoutil
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 )
@@ -114,5 +115,62 @@ func TestBatchVerifierConcurrent(t *testing.T) {
 	}
 	if st.Batches == 0 || st.Batches > n {
 		t.Errorf("batches %d out of range", st.Batches)
+	}
+}
+
+// TestBatchVerifierLeaderNotStarved is the regression test for the
+// unbounded leader loop: under sustained concurrent load the queue never
+// drains, and before the drain cap one caller could be trapped leading
+// batch after batch long after its own verdict was ready. With the cap,
+// no leader stint may exceed maxDrains consecutive drains, and sustained
+// load must actually exercise the handoff path.
+func TestBatchVerifierLeaderNotStarved(t *testing.T) {
+	// Starvation needs genuine overlap: followers must enqueue while the
+	// leader is inside a group commit. On a single-P runtime the leader
+	// re-checks the queue before woken followers get scheduled, so the
+	// queue looks empty and the re-drain path never fires. Raise P so the
+	// feeders preempt the leader mid-verification like a loaded server.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+
+	id := MustIdentity("signer")
+	b := NewBatchVerifier(2)
+	const drainCap = 2
+	b.SetMaxDrains(drainCap)
+
+	const feeders = 16
+	const callsPer = 150
+	// Pre-sign everything: a woken feeder's very next step is re-enqueue,
+	// keeping the queue hot instead of pausing to sign.
+	msgs := make([][]byte, 4)
+	sigs := make([][]byte, 4)
+	for i := range msgs {
+		msgs[i] = []byte(fmt.Sprintf("feed-%d", i))
+		sigs[i] = id.Sign(msgs[i])
+	}
+	var wg sync.WaitGroup
+	for f := 0; f < feeders; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			for i := 0; i < callsPer; i++ {
+				k := (f + i) % len(msgs)
+				if !b.Verify(id.Public(), msgs[k], sigs[k]) {
+					t.Errorf("feeder %d call %d: valid signature rejected", f, i)
+					return
+				}
+			}
+		}(f)
+	}
+	wg.Wait()
+
+	st := b.Stats()
+	if st.Items != feeders*callsPer {
+		t.Errorf("items %d, want %d", st.Items, feeders*callsPer)
+	}
+	if st.MaxDrains > drainCap {
+		t.Errorf("a leader drained %d consecutive batches, cap is %d", st.MaxDrains, drainCap)
+	}
+	if st.Handoffs == 0 {
+		t.Error("sustained load never handed leadership off (cap path untested)")
 	}
 }

@@ -25,15 +25,38 @@ import (
 // PurposeAttestationKey is the certificate purpose for session AVKs.
 const PurposeAttestationKey = "cloudmonatt-attestation-key"
 
+// certCacheSize bounds the issued-certificate cache. One live session per
+// (server, shard) pair is the steady state, so even a large fleet stays
+// far under this; the bound only guards against a session-thrashing
+// client turning the cache into a leak.
+const certCacheSize = 4096
+
 // PCA is the privacy Certificate Authority.
 type PCA struct {
 	identity *cryptoutil.Identity
 
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	servers map[string]ed25519.PublicKey
 	serial  uint64
 	ledger  *ledger.Ledger
 	now     func() time.Duration
+
+	// cache maps Hash(server, session key) → the issued certificate, so
+	// repeat certifications of a still-live session key (N shards
+	// appraising the same server, or a server re-presenting its session)
+	// skip the identity-signature verification and the signing, and do
+	// not burn a fresh serial. Idempotent re-issue is safe: the
+	// certificate binds only the public key, so the same request can only
+	// ever yield an equivalent certificate.
+	cache      map[[32]byte]*cryptoutil.Certificate
+	cacheOrder [][32]byte // FIFO eviction order
+	stats      Stats
+}
+
+// Stats counts pCA certification work.
+type Stats struct {
+	Issued    uint64 // certificates signed (serials consumed)
+	CacheHits uint64 // certifications answered from the session cache
 }
 
 // New creates a pCA with a fresh identity drawn from r.
@@ -42,7 +65,19 @@ func New(name string, r io.Reader) (*PCA, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pca: %w", err)
 	}
-	return &PCA{identity: id, servers: make(map[string]ed25519.PublicKey)}, nil
+	return NewWithIdentity(id), nil
+}
+
+// NewWithIdentity creates a pCA around an existing identity. A restarted
+// pCA must come back with the same key pair (its certificates are verified
+// against the escrowed public key), so restart paths reconstruct the
+// identity and hand it in here rather than minting a fresh one.
+func NewWithIdentity(id *cryptoutil.Identity) *PCA {
+	return &PCA{
+		identity: id,
+		servers:  make(map[string]ed25519.PublicKey),
+		cache:    make(map[[32]byte]*cryptoutil.Certificate),
+	}
 }
 
 // Name returns the CA's name as it appears in issued certificates.
@@ -62,36 +97,100 @@ func (p *PCA) RegisterServer(name string, key ed25519.PublicKey) {
 
 // Certify validates a session-key certification request against the
 // registered identity key of the requesting server and, if genuine, issues
-// an anonymous certificate for the attestation key.
+// an anonymous certificate for the attestation key. Re-certifying a
+// (server, key) pair this pCA already certified returns the cached
+// certificate without consuming a serial.
 func (p *PCA) Certify(req *trust.CertRequest) (*cryptoutil.Certificate, error) {
 	if req == nil {
 		return nil, fmt.Errorf("pca: nil request")
 	}
-	p.mu.Lock()
+	cacheKey := cryptoutil.Hash("pca-cert-cache", []byte(req.Server), req.Key)
+	p.mu.RLock()
 	vk, ok := p.servers[req.Server]
-	p.mu.Unlock()
+	cached := p.cache[cacheKey]
+	p.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("pca: unknown server %q", req.Server)
+	}
+	if cached != nil {
+		p.mu.Lock()
+		p.stats.CacheHits++
+		p.mu.Unlock()
+		return cached, nil
 	}
 	if err := trust.VerifyCertRequest(req, vk); err != nil {
 		return nil, fmt.Errorf("pca: rejecting request from %q: %w", req.Server, err)
 	}
 	p.mu.Lock()
+	if cached := p.cache[cacheKey]; cached != nil {
+		// A concurrent certification of the same session won the race.
+		p.stats.CacheHits++
+		p.mu.Unlock()
+		return cached, nil
+	}
 	p.serial++
 	serial := p.serial
+	p.stats.Issued++
 	p.mu.Unlock()
 	subject := fmt.Sprintf("anon-%d", serial)
 	cert := cryptoutil.IssueCertificate(p.identity, subject, PurposeAttestationKey, req.Key, serial)
+	p.mu.Lock()
+	if _, dup := p.cache[cacheKey]; !dup {
+		p.cache[cacheKey] = cert
+		p.cacheOrder = append(p.cacheOrder, cacheKey)
+		if len(p.cacheOrder) > certCacheSize {
+			delete(p.cache, p.cacheOrder[0])
+			p.cacheOrder = p.cacheOrder[1:]
+		}
+	}
+	p.mu.Unlock()
 	p.recordIssuance(subject, serial)
 	return cert, nil
 }
 
-// SetLedger routes certificate issuances into the evidence ledger. now
-// supplies the virtual event time (the pCA has no clock of its own).
-func (p *PCA) SetLedger(l *ledger.Ledger, now func() time.Duration) {
+// SetLedger routes certificate issuances into the evidence ledger and
+// recovers the serial high-water mark from prior KindCertIssue entries.
+// The serial counter was in-memory only: a restarted pCA would reissue
+// anon-1, anon-2, … and silently break the serial uniqueness every
+// verifier assumes. now supplies the virtual event time (the pCA has no
+// clock of its own).
+func (p *PCA) SetLedger(l *ledger.Ledger, now func() time.Duration) error {
+	var high uint64
+	if l != nil {
+		issued, err := l.Query(ledger.Filter{Kind: ledger.KindCertIssue})
+		if err != nil {
+			return fmt.Errorf("pca: recovering serial high-water mark: %w", err)
+		}
+		for _, e := range issued {
+			var rec struct {
+				Serial uint64 `json:"serial"`
+			}
+			if json.Unmarshal(e.Payload, &rec) == nil && rec.Serial > high {
+				high = rec.Serial
+			}
+		}
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.ledger, p.now = l, now
+	if high > p.serial {
+		p.serial = high
+	}
+	return nil
+}
+
+// SerialHighWater returns the last serial issued (or recovered).
+func (p *PCA) SerialHighWater() uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.serial
+}
+
+// CertStats snapshots the certification counters.
+func (p *PCA) CertStats() Stats {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.stats
 }
 
 // recordIssuance appends the issuance evidence, best-effort. The entry
@@ -99,9 +198,9 @@ func (p *PCA) SetLedger(l *ledger.Ledger, now func() time.Duration) {
 // requesting server here would undo the privacy the pCA exists to provide
 // (paper §3.4.2).
 func (p *PCA) recordIssuance(subject string, serial uint64) {
-	p.mu.Lock()
+	p.mu.RLock()
 	l, now := p.ledger, p.now
-	p.mu.Unlock()
+	p.mu.RUnlock()
 	if l == nil {
 		return
 	}

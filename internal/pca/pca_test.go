@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 
+	"cloudmonatt/internal/cryptoutil"
+	"cloudmonatt/internal/ledger"
 	"cloudmonatt/internal/trust"
 )
 
@@ -111,5 +113,117 @@ func TestSerialsIncrease(t *testing.T) {
 	}
 	if c1.Subject == c2.Subject {
 		t.Fatal("two certificates share an anonymous subject")
+	}
+}
+
+// TestSerialsSurviveRestart is the regression test for the in-memory
+// serial counter: a restarted pCA (same identity, same ledger) used to
+// reissue anon-1, anon-2, … and break the serial uniqueness every verifier
+// assumes. SetLedger must recover the high-water mark from KindCertIssue
+// entries before the first post-restart issuance.
+func TestSerialsSurviveRestart(t *testing.T) {
+	seed := make([]byte, 32)
+	for i := range seed {
+		seed[i] = byte(i)
+	}
+	id, err := cryptoutil.IdentityFromSeed("pca", seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	led, err := ledger.Open(ledger.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer led.Close()
+
+	m, err := trust.NewModule("server-1", 0, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ca := NewWithIdentity(id)
+	if err := ca.SetLedger(led, nil); err != nil {
+		t.Fatal(err)
+	}
+	ca.RegisterServer(m.Name(), m.IdentityKey())
+	var last uint64
+	subjects := map[string]bool{}
+	for i := 0; i < 5; i++ {
+		_, req, _ := m.NewSession()
+		c, err := ca.Certify(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = c.Serial
+		subjects[c.Subject] = true
+	}
+
+	// "Restart": a fresh process reconstructs the pCA from its escrowed
+	// identity and the surviving ledger.
+	ca2 := NewWithIdentity(id)
+	if err := ca2.SetLedger(led, nil); err != nil {
+		t.Fatal(err)
+	}
+	if hw := ca2.SerialHighWater(); hw != last {
+		t.Fatalf("recovered high-water mark %d, want %d", hw, last)
+	}
+	ca2.RegisterServer(m.Name(), m.IdentityKey())
+	for i := 0; i < 5; i++ {
+		_, req, _ := m.NewSession()
+		c, err := ca2.Certify(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Serial <= last {
+			t.Fatalf("post-restart serial %d not above pre-restart high-water %d", c.Serial, last)
+		}
+		last = c.Serial
+		if subjects[c.Subject] {
+			t.Fatalf("post-restart certificate reused anonymous subject %q", c.Subject)
+		}
+		subjects[c.Subject] = true
+	}
+}
+
+// TestCertifyCachesSessions: re-certifying the same (server, session key)
+// returns the identical certificate without consuming a serial, so N
+// shards appraising one server don't turn the pCA into a bottleneck.
+func TestCertifyCachesSessions(t *testing.T) {
+	ca, m := setup(t)
+	sess, req, err := m.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := ca.Certify(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := cryptoutil.Ops()
+	c2, err := ca.Certify(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := cryptoutil.Ops().Sub(before)
+	if c2 != c1 {
+		t.Fatal("repeat certification did not return the cached certificate")
+	}
+	if delta.Sign != 0 || delta.Verify != 0 {
+		t.Fatalf("cache hit still did crypto: %d signs, %d verifies", delta.Sign, delta.Verify)
+	}
+	st := ca.CertStats()
+	if st.Issued != 1 || st.CacheHits != 1 {
+		t.Fatalf("stats %+v, want 1 issued / 1 cache hit", st)
+	}
+	if err := VerifyAttestationCert(c2, ca.Name(), ca.PublicKey(), sess.Public()); err != nil {
+		t.Fatal(err)
+	}
+	// A different session from the same server is a different key: no hit.
+	_, req2, _ := m.NewSession()
+	c3, err := ca.Certify(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3.Serial == c1.Serial {
+		t.Fatal("distinct session keys shared a serial")
 	}
 }

@@ -74,6 +74,15 @@ type Config struct {
 	// Obs, when set, receives one span per served measurement (the entity
 	// is the server's Name).
 	Obs *obs.Store
+	// SessionMaxUses bounds how many measurements reuse one attestation
+	// session key before the Trust Module mints a fresh one (<=1 = a fresh
+	// key per measurement, the paper's per-attestation key). The
+	// certification request is still sent to the privacy CA every
+	// measurement; within the reuse window the pCA answers from its
+	// per-session certificate cache without re-verifying or re-signing,
+	// which is what makes certification cheap on the sharded hot path. The
+	// bound keeps the unlinkability window (§3.4.2) short.
+	SessionMaxUses int
 }
 
 // LaunchSpec describes a VM to place on this server.
@@ -128,6 +137,12 @@ type Server struct {
 	// tickets issues secure-channel resumption tickets, so the attestation
 	// server's periodic reconnects skip the asymmetric handshake.
 	tickets *secchan.TicketKeeper
+
+	// Bounded attestation-session reuse (Config.SessionMaxUses).
+	sessMu   sync.Mutex
+	sess     *trust.Session
+	sessCSR  *trust.CertRequest
+	sessUses int
 }
 
 // dom0Program models the host VM: it executes queued management work (like
@@ -508,19 +523,51 @@ func (s *Server) Measure(req wire.MeasureRequest) (*wire.Evidence, error) {
 	if _, err := s.vm(req.Vid); err != nil {
 		return nil, err
 	}
-	sess, csr, err := s.tm.NewSession()
+	sess, err := s.certifiedSession()
 	if err != nil {
 		return nil, err
 	}
-	cert, err := s.cfg.Certifier.Certify(csr)
-	if err != nil {
-		return nil, fmt.Errorf("server %s: session key certification failed: %w", s.cfg.Name, err)
-	}
-	sess.Cert = cert
 	s.dom0Prog.enqueue(s.cfg.Dom0CostPerCollection)
 	ms, err := s.mon.Collect(req.Vid, req.Req, req.N3, func(w sim.Time) { s.cfg.Clock.Advance(w) })
 	if err != nil {
 		return nil, err
 	}
 	return wire.BuildEvidence(sess, req.Vid, req.Req, ms, req.N3, string(s.drv.Backend())), nil
+}
+
+// certifiedSession returns an attestation session with a fresh pCA
+// certificate. With SessionMaxUses <= 1 each call mints a new key pair (one
+// session per attestation, paper Fig. 2 step 3); otherwise the key pair is
+// reused for up to SessionMaxUses measurements, with the certification
+// request re-sent each time so the privacy CA's per-session cert cache —
+// not this server — decides how much certification work repeats cost.
+func (s *Server) certifiedSession() (*trust.Session, error) {
+	if s.cfg.SessionMaxUses <= 1 {
+		sess, csr, err := s.tm.NewSession()
+		if err != nil {
+			return nil, err
+		}
+		cert, err := s.cfg.Certifier.Certify(csr)
+		if err != nil {
+			return nil, fmt.Errorf("server %s: session key certification failed: %w", s.cfg.Name, err)
+		}
+		sess.Cert = cert
+		return sess, nil
+	}
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	if s.sess == nil || s.sessUses >= s.cfg.SessionMaxUses {
+		sess, csr, err := s.tm.NewSession()
+		if err != nil {
+			return nil, err
+		}
+		s.sess, s.sessCSR, s.sessUses = sess, csr, 0
+	}
+	cert, err := s.cfg.Certifier.Certify(s.sessCSR)
+	if err != nil {
+		return nil, fmt.Errorf("server %s: session key certification failed: %w", s.cfg.Name, err)
+	}
+	s.sess.Cert = cert
+	s.sessUses++
+	return s.sess, nil
 }

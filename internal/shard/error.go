@@ -1,0 +1,71 @@
+package shard
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// WrongShardError is returned by an Attestation Server when it receives a
+// request for a VM the ring no longer (or never) assigned to it. It names
+// the owner under the responder's current view plus that view's epoch, so
+// a client routed under a stale ring can re-resolve and retry directly
+// against the named owner without refreshing its whole view first.
+//
+// The error crosses the RPC boundary as a handler refusal (rpc.RemoteError),
+// which the safe-retry taxonomy deliberately never retries at the transport
+// layer: re-sending the same bytes to the same shard cannot succeed. The
+// redirect is a routing decision and lives in the controller.
+type WrongShardError struct {
+	Key   string // the VM id that was misrouted
+	Owner string // owning node under the responder's view ("" if unknown)
+	Epoch uint64 // responder's ring epoch
+}
+
+// wrongShardMarker starts the machine-parseable tail of Error(). It must
+// survive fmt wrapping and the RemoteError round-trip, so ParseWrongShard
+// scans for the marker anywhere in the string.
+const wrongShardMarker = "wrong-shard "
+
+func (e *WrongShardError) Error() string {
+	return fmt.Sprintf("shard: %skey=%s owner=%s epoch=%d", wrongShardMarker, e.Key, e.Owner, e.Epoch)
+}
+
+// ParseWrongShard recovers a WrongShardError from an error string that
+// crossed the wire (e.g. rpc.RemoteError.Msg). Returns false if the string
+// does not carry the wrong-shard marker or the fields don't parse.
+func ParseWrongShard(msg string) (*WrongShardError, bool) {
+	i := strings.Index(msg, wrongShardMarker)
+	if i < 0 {
+		return nil, false
+	}
+	rest := msg[i+len(wrongShardMarker):]
+	fields := strings.Fields(rest)
+	e := &WrongShardError{}
+	seen := 0
+	for _, f := range fields {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			continue
+		}
+		switch k {
+		case "key":
+			e.Key = v
+			seen++
+		case "owner":
+			e.Owner = v
+			seen++
+		case "epoch":
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return nil, false
+			}
+			e.Epoch = n
+			seen++
+		}
+	}
+	if seen < 3 {
+		return nil, false
+	}
+	return e, true
+}
