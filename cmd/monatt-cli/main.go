@@ -44,10 +44,10 @@ import (
 )
 
 type bootstrap struct {
-	ControllerAddr string `json:"controller_addr"`
-	ControllerKey  string `json:"controller_key"`
-	CustomerName   string `json:"customer_name"`
-	CustomerSeed   string `json:"customer_seed"`
+	ControllerAddr   string `json:"controller_addr"`
+	ControllerKey    string `json:"controller_key"`
+	CustomerName     string `json:"customer_name"`
+	CustomerSeedPath string `json:"customer_seed_path"` // raw Ed25519 seed file
 }
 
 type cli struct {
@@ -75,9 +75,11 @@ func connect(path string, timeout time.Duration, retries int) (*cli, error) {
 	if err != nil {
 		return nil, err
 	}
-	seed, err := base64.StdEncoding.DecodeString(bs.CustomerSeed)
+	// The seed is provisioned out of band from the public bootstrap JSON:
+	// a raw 0600 file monatt-cloud wrote through WriteSecretFile.
+	seed, err := os.ReadFile(bs.CustomerSeedPath)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("reading customer seed: %w", err)
 	}
 	id, err := cryptoutil.IdentityFromSeed(bs.CustomerName, seed)
 	if err != nil {

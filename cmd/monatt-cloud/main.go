@@ -38,12 +38,16 @@ import (
 	"cloudmonatt/internal/trust/driver"
 )
 
-// Bootstrap is the connection info monatt-cli consumes.
+// Bootstrap is the connection info monatt-cli consumes. It carries only
+// public material; the customer's private seed lives in a separate file
+// (CustomerSeedPath) written through cryptoutil.WriteSecretFile, so the
+// human-readable bootstrap JSON can be pasted into a terminal, a bug
+// report, or a CI log without leaking a signing key.
 type Bootstrap struct {
-	ControllerAddr string `json:"controller_addr"`
-	ControllerKey  string `json:"controller_key"` // base64 Ed25519 public key
-	CustomerName   string `json:"customer_name"`
-	CustomerSeed   string `json:"customer_seed"` // base64 Ed25519 seed
+	ControllerAddr   string `json:"controller_addr"`
+	ControllerKey    string `json:"controller_key"` // base64 Ed25519 public key
+	CustomerName     string `json:"customer_name"`
+	CustomerSeedPath string `json:"customer_seed_path"` // raw Ed25519 seed, 0600
 }
 
 func main() {
@@ -124,11 +128,15 @@ func main() {
 
 	customer := cryptoutil.MustIdentity("cli-customer")
 	tb.RegisterIdentity(customer.Name, customer.Public())
+	seedPath := *bootstrapPath + ".seed"
+	if err := cryptoutil.WriteSecretFile(seedPath, customer.Seed()); err != nil {
+		log.Fatalf("writing customer seed: %v", err)
+	}
 	bs := Bootstrap{
-		ControllerAddr: tb.ControllerAddr,
-		ControllerKey:  base64.StdEncoding.EncodeToString(tb.Ctrl.PublicKey()),
-		CustomerName:   customer.Name,
-		CustomerSeed:   base64.StdEncoding.EncodeToString(customer.Seed()),
+		ControllerAddr:   tb.ControllerAddr,
+		ControllerKey:    base64.StdEncoding.EncodeToString(tb.Ctrl.PublicKey()),
+		CustomerName:     customer.Name,
+		CustomerSeedPath: seedPath,
 	}
 	data, err := json.MarshalIndent(bs, "", "  ")
 	if err != nil {
@@ -169,6 +177,7 @@ func main() {
 		fmt.Printf("  attestation shards:     %d (consistent-hash ring, epoch %d)\n", *shards, tb.Ring.Epoch())
 	}
 	fmt.Printf("  bootstrap written to:   %s\n", *bootstrapPath)
+	fmt.Printf("  customer seed:          %s (%s)\n", seedPath, cryptoutil.Redact(customer.Seed()))
 	if *adminAddr != "" {
 		fmt.Printf("  operator surface:       http://%s/{metrics,healthz,traces,debug/pprof}\n", *adminAddr)
 	}

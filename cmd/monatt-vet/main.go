@@ -5,6 +5,7 @@
 //
 //	go run ./cmd/monatt-vet ./...
 //	go run ./cmd/monatt-vet -only consttime,ctxdeadline ./internal/rpc
+//	go run ./cmd/monatt-vet -json -facts-dir .cache/monatt-facts ./...
 //	go run ./cmd/monatt-vet -list
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load error.
@@ -13,12 +14,21 @@
 // discipline (vclockonly), nonce freshness across retries (noncefresh),
 // constant-time comparison of secret-derived material (consttime), RPC
 // deadlines at every entity boundary (ctxdeadline), span hygiene
-// (spanend), and the metric naming convention (metricsname). Suppress a
+// (spanend), metric naming (metricsname), secret-taint flow (secretflow),
+// intent-ledger bracketing of side effects (intentbracket), shard-routing
+// provenance (shardroute), and lock discipline (lockorder). Suppress a
 // finding only with an audited directive: //lint:wallclock <why> or
-// //lint:ignore <analyzer> <why>.
+// //lint:ignore <analyzer> <why>; a directive that suppresses nothing is
+// itself a finding.
+//
+// -facts-dir caches per-package analysis facts keyed by a hash of the
+// package's sources, so warm runs skip the facts phase for unchanged
+// packages. -json emits one object per finding (analyzer, pos, message,
+// suppression state) including directive-suppressed ones.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,19 +38,30 @@ import (
 	"cloudmonatt/internal/lint"
 )
 
+// jsonDiag is the -json wire form of one finding.
+type jsonDiag struct {
+	Analyzer     string `json:"analyzer"`
+	Pos          string `json:"pos"`
+	Message      string `json:"message"`
+	Suppressed   bool   `json:"suppressed"`
+	SuppressedBy string `json:"suppressedBy,omitempty"`
+}
+
 func main() {
 	var (
-		only    = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
-		list    = flag.Bool("list", false, "list analyzers and exit")
-		timing  = flag.Bool("t", false, "print load/analysis wall times")
-		exclude = flag.String("exclude", "", "comma-separated analyzer names to skip")
+		only     = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list     = flag.Bool("list", false, "list analyzers and exit")
+		timing   = flag.Bool("t", false, "print load/analysis wall times and facts-cache stats")
+		exclude  = flag.String("exclude", "", "comma-separated analyzer names to skip")
+		asJSON   = flag.Bool("json", false, "emit findings as JSON lines (includes suppressed findings, marked)")
+		factsDir = flag.String("facts-dir", "", "directory for the per-package facts cache (keyed by source hash)")
 	)
 	flag.Parse()
 
 	analyzers := lint.All()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-13s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -69,18 +90,38 @@ func main() {
 	tLoad := time.Since(t0)
 
 	t1 := time.Now()
-	diags := lint.RunAll(pkgs, analyzers)
+	diags, stats := lint.Analyze(pkgs, analyzers, lint.AnalyzeOptions{
+		Loader:         loader,
+		FactsDir:       *factsDir,
+		KeepSuppressed: *asJSON,
+	})
 	tRun := time.Since(t1)
 
+	failing := 0
+	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
+		if !d.Suppressed {
+			failing++
+		}
+		if *asJSON {
+			_ = enc.Encode(jsonDiag{
+				Analyzer:     d.Analyzer,
+				Pos:          loader.Fset.Position(d.Pos).String(),
+				Message:      d.Message,
+				Suppressed:   d.Suppressed,
+				SuppressedBy: d.SuppressedBy,
+			})
+			continue
+		}
 		fmt.Println(d.String(loader.Fset))
 	}
 	if *timing {
-		fmt.Fprintf(os.Stderr, "monatt-vet: %d packages, load+typecheck %v, analysis %v\n",
-			len(pkgs), tLoad.Round(time.Millisecond), tRun.Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "monatt-vet: %d packages, load+typecheck %v, analysis %v, facts %d/%d cached\n",
+			len(pkgs), tLoad.Round(time.Millisecond), tRun.Round(time.Millisecond),
+			stats.FactsCached, stats.FactPackages)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "monatt-vet: %d finding(s)\n", len(diags))
+	if failing > 0 {
+		fmt.Fprintf(os.Stderr, "monatt-vet: %d finding(s)\n", failing)
 		os.Exit(1)
 	}
 }

@@ -365,7 +365,7 @@ func (s *Server) AppraiseTraced(parent obs.SpanContext, req wire.AppraisalReques
 	}
 	backend := srvRec.BackendOrDefault()
 	sp.Annotate("backend", string(backend))
-	s.metrics.Counter("appraise-backend/" + string(backend)).Inc()
+	s.metrics.Counter("appraise/backend-" + string(backend)).Inc()
 	if !driver.Attestable(backend, req.Prop) {
 		// The paper's V_fail: the property is outside the backend's
 		// capability map, so there is no measurement to request. The signed

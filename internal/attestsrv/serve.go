@@ -12,14 +12,20 @@ import (
 )
 
 // RPC methods served by the Attestation Server (for the Cloud Controller).
+//
+// Every method below is vm-addressed: the handler gates on ring ownership
+// of the VM id (checkOwner), so a call landing on the wrong shard draws a
+// typed WrongShardError. The marker is machine-read by monatt-vet's
+// shardroute analyzer — call sites must reach these through an
+// attestRoute/callRouted pair, never a raw rpc client.
 const (
-	MethodAppraise      = "appraise"
-	MethodRegisterVM    = "register-vm"
-	MethodForgetVM      = "forget-vm"
-	MethodPeriodicStart = "periodic-start"
-	MethodPeriodicStop  = "periodic-stop"
-	MethodPeriodicFetch = "periodic-fetch"
-	MethodRebindVM      = "rebind-vm"
+	MethodAppraise      = "appraise"       // vm-addressed
+	MethodRegisterVM    = "register-vm"    // vm-addressed
+	MethodForgetVM      = "forget-vm"      // vm-addressed
+	MethodPeriodicStart = "periodic-start" // vm-addressed
+	MethodPeriodicStop  = "periodic-stop"  // vm-addressed
+	MethodPeriodicFetch = "periodic-fetch" // vm-addressed
+	MethodRebindVM      = "rebind-vm"      // vm-addressed
 )
 
 // RebindRequest re-points a VM's periodic tasks after migration.

@@ -76,7 +76,7 @@ func (c *Controller) AttestTraced(parent obs.SpanContext, req wire.AttestRequest
 	var n2 cryptoutil.Nonce
 	rt, err = c.callRouted(rt, func(rt attestRoute) error {
 		var aerr error
-		rep, n2, aerr = c.appraise(obs.ContextWith(context.Background(), sp), rt.client, req.Vid, rec.Server, req.Prop)
+		rep, n2, aerr = c.appraise(obs.ContextWith(context.Background(), sp), rt, req.Vid, rec.Server, req.Prop)
 		return aerr
 	})
 	if err != nil {
@@ -357,6 +357,10 @@ func (c *Controller) ResumeVM(vid string) error {
 	if err := mgmt.CallCtx(ctx, server.MethodResume, server.VidRequest{Vid: vid}, nil); err != nil {
 		return err
 	}
+	// Mirror SuspendVM: without the state intent, a controller restart
+	// replays the ledger to "suspended" and the recovered record disagrees
+	// with the running guest.
+	c.stateIntent(vid, "active")
 	c.record(ledger.KindRemediation, vid, "", "", struct {
 		Response string `json:"response"`
 	}{"resume"})
@@ -395,7 +399,7 @@ func (c *Controller) RecheckAndResume(vid string) (properties.Verdict, bool, err
 	var n2 cryptoutil.Nonce
 	rt, err = c.callRouted(rt, func(rt attestRoute) error {
 		var aerr error
-		rep, n2, aerr = c.appraise(context.Background(), rt.client, vid, srv, prop)
+		rep, n2, aerr = c.appraise(context.Background(), rt, vid, srv, prop)
 		return aerr
 	})
 	if err != nil {

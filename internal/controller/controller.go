@@ -175,8 +175,8 @@ type Config struct {
 	// VM ids instead of the static cluster split: routes resolve through the
 	// ring, shards are registered with RegisterAttestShard, and wrong-shard
 	// refusals are followed to the owner the refusing shard names.
-	Ring *shard.Ring
-	Policy      map[properties.Property]ResponseKind
+	Ring   *shard.Ring
+	Policy map[properties.Property]ResponseKind
 	// AutoRespond executes the policy response when an attestation comes
 	// back unhealthy (paper §5.2). On by default in the testbed.
 	AutoRespond bool
@@ -254,11 +254,11 @@ type Controller struct {
 	shardPubs    map[string][]byte
 	shardClients map[string]*rpc.ReconnectClient
 	nextVid      int
-	nextIntent int
-	replay     *cryptoutil.ReplayCache
-	events     []ResponseEvent // bounded drop-oldest ring (Config.EventsCap)
-	policy     map[properties.Property]ResponseKind
-	lastGood   map[string]lastVerdict
+	nextIntent   int
+	replay       *cryptoutil.ReplayCache
+	events       []ResponseEvent // bounded drop-oldest ring (Config.EventsCap)
+	policy       map[properties.Property]ResponseKind
+	lastGood     map[string]lastVerdict
 }
 
 // lastVerdict caches the most recent verified verdict for one (vid, prop),
@@ -280,21 +280,21 @@ func New(cfg Config) *Controller {
 		cfg.Metrics = metrics.NewRegistry()
 	}
 	c := &Controller{
-		cfg:        cfg,
-		apiTracer:  obs.NewTracer(cfg.Obs, "customer-api", cfg.Clock.Now),
-		tracer:     obs.NewTracer(cfg.Obs, "controller", cfg.Clock.Now),
-		servers:    make(map[string]*ServerEntry),
-		used:       make(map[string]server.Capacity),
-		vms:        make(map[string]*vmRecord),
-		mgmt:       make(map[string]*rpc.ReconnectClient),
-		attest:     make(map[int]*rpc.ReconnectClient),
-		attestPubs: make(map[int][]byte),
+		cfg:          cfg,
+		apiTracer:    obs.NewTracer(cfg.Obs, "customer-api", cfg.Clock.Now),
+		tracer:       obs.NewTracer(cfg.Obs, "controller", cfg.Clock.Now),
+		servers:      make(map[string]*ServerEntry),
+		used:         make(map[string]server.Capacity),
+		vms:          make(map[string]*vmRecord),
+		mgmt:         make(map[string]*rpc.ReconnectClient),
+		attest:       make(map[int]*rpc.ReconnectClient),
+		attestPubs:   make(map[int][]byte),
 		shardAddrs:   make(map[string]string),
 		shardPubs:    make(map[string][]byte),
 		shardClients: make(map[string]*rpc.ReconnectClient),
-		replay:     cryptoutil.NewReplayCache(4096),
-		policy:     cfg.Policy,
-		lastGood:   make(map[string]lastVerdict),
+		replay:       cryptoutil.NewReplayCache(4096),
+		policy:       cfg.Policy,
+		lastGood:     make(map[string]lastVerdict),
 	}
 	c.loop = reconcile.NewLoop(reconcile.LoopConfig{
 		Queue:     reconcile.QueueConfig{Now: cfg.Clock.Now},
@@ -970,7 +970,7 @@ func (c *Controller) placeAndAttest(lsp *obs.ActiveSpan, vid string, req LaunchR
 	var n2 cryptoutil.Nonce
 	rt, err = c.callRouted(rt, func(rt attestRoute) error {
 		var aerr error
-		rep, n2, aerr = c.appraise(obs.ContextWith(context.Background(), asp), rt.client, vid, cand.Name, properties.StartupIntegrity)
+		rep, n2, aerr = c.appraise(obs.ContextWith(context.Background(), asp), rt, vid, cand.Name, properties.StartupIntegrity)
 		return aerr
 	})
 	if err != nil {
@@ -1023,10 +1023,13 @@ func (c *Controller) unplace(vid, srv string, flavor image.Flavor) {
 // so the Attestation Server's replay cache never rejects a re-issue. It
 // returns the nonce the delivered report must answer. ctx may carry a span
 // (obs.ContextWith), under which each RPC attempt records a child span.
-func (c *Controller) appraise(ctx context.Context, ac *rpc.ReconnectClient, vid, serverID string, p properties.Property) (*wire.Report, cryptoutil.Nonce, error) {
+// Taking the attestRoute — not a bare client — keeps routing provenance in
+// the signature: the appraisal goes to the shard the routing layer
+// resolved, and every caller sits inside a callRouted redirect loop.
+func (c *Controller) appraise(ctx context.Context, rt attestRoute, vid, serverID string, p properties.Property) (*wire.Report, cryptoutil.Nonce, error) {
 	var n2 cryptoutil.Nonce
 	var rep wire.Report
-	err := ac.CallFresh(ctx, attestsrv.MethodAppraise, func(int) (any, error) {
+	err := rt.client.CallFresh(ctx, attestsrv.MethodAppraise, func(int) (any, error) {
 		n, err := cryptoutil.NewNonce(c.cfg.Rand)
 		if err != nil {
 			return nil, err

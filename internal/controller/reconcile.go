@@ -444,7 +444,7 @@ func (c *Controller) reattest(rec *vmRecord) {
 		var n2 cryptoutil.Nonce
 		rt, err := c.callRouted(rt0, func(rt attestRoute) error {
 			var aerr error
-			rep, n2, aerr = c.appraise(obs.ContextWith(context.Background(), sp), rt.client, vid, srv, p)
+			rep, n2, aerr = c.appraise(obs.ContextWith(context.Background(), sp), rt, vid, srv, p)
 			return aerr
 		})
 		if err != nil {

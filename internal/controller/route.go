@@ -28,10 +28,10 @@ import (
 
 // attestRoute is one resolved path to an Attestation Server.
 type attestRoute struct {
-	client *rpc.ReconnectClient
-	key    []byte // the server's report-signing public key
-	node   string // shard name in ring mode; "" in cluster mode
-	cluster int   // cluster index in cluster mode; -1 in ring mode
+	client  *rpc.ReconnectClient
+	key     []byte // the server's report-signing public key
+	node    string // shard name in ring mode; "" in cluster mode
+	cluster int    // cluster index in cluster mode; -1 in ring mode
 }
 
 // ringMode reports whether the attestation plane is sharded by ring.

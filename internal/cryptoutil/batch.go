@@ -163,6 +163,7 @@ func (b *BatchVerifier) Verify(pub ed25519.PublicKey, msg, sig []byte) bool {
 			break
 		}
 	}
+	//lint:ignore lockorder every exit from the drain loop above releases b.mu before this wait
 	<-r.done
 	return r.ok
 }

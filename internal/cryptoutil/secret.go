@@ -1,0 +1,60 @@
+package cryptoutil
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Redact returns a short, non-invertible fingerprint of secret material,
+// safe for logs, error strings, span annotations, and metric labels:
+// "redacted:" plus the first four bytes of a domain-separated SHA-256.
+// Eight hex digits identify a key across log lines without revealing it —
+// brute-forcing a 32-byte seed from 32 bits of hash is hopeless, and the
+// "redact" domain tag keeps the fingerprint from colliding with any
+// protocol hash of the same bytes.
+//
+// monatt-vet's secretflow analyzer recognizes Redact (and Hash) as the
+// sanctioned sanitizers: a value that has passed through one may reach
+// operator-visible sinks.
+func Redact(secret []byte) string {
+	h := sha256.New()
+	h.Write([]byte("cloudmonatt/redact\x00"))
+	h.Write(secret)
+	return "redacted:" + hex.EncodeToString(h.Sum(nil)[:4])
+}
+
+// WriteSecretFile is the sanctioned persistence path for secret material:
+// owner-only permissions, parent directory created, and the write staged
+// through a same-directory temp file so a crash never leaves a
+// half-written key on disk. secretflow allows tainted values to flow here
+// and nowhere else on the filesystem.
+func WriteSecretFile(path string, secret []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return fmt.Errorf("cryptoutil: preparing secret dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("cryptoutil: staging secret file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	if err := tmp.Chmod(0o600); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cryptoutil: restricting secret file: %w", err)
+	}
+	if _, err := tmp.Write(secret); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cryptoutil: writing secret file: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("cryptoutil: closing secret file: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("cryptoutil: installing secret file: %w", err)
+	}
+	return nil
+}

@@ -316,7 +316,6 @@ func open(opts Options, st store) (*Ledger, error) {
 		reg = metrics.NewRegistry()
 	}
 	if opts.Now == nil {
-		//lint:wallclock default latency clock when no virtual clock is injected
 		opts.Now = time.Now
 	}
 	l := &Ledger{

@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The dataflow core is a small intraprocedural taint engine shared by the
+// flow-sensitive analyzers (secretflow today; the design is generic). It
+// tracks which local objects carry a value derived from a configured source
+// through assignments, field reads, composite literals, conversions,
+// concatenation, and calls to configured propagators, iterating a function
+// body to a fixed point. Closures share the enclosing function's taint set,
+// so a secret captured by a func literal stays tainted inside it.
+//
+// The engine is deliberately conservative in one direction only: it never
+// invents taint for calls it does not recognize (an unknown call's result
+// is clean), so unsanitized flows must pass through the configured source,
+// propagator, or fact-carrying functions to be reported. That keeps
+// signatures like Sign (secret in, public signature out) from poisoning
+// the whole program.
+
+// A flowConfig parameterizes the taint engine for one analyzer.
+type flowConfig struct {
+	// source classifies an expression as an original taint source,
+	// returning a human-readable description of what it carries.
+	source func(info *types.Info, expr ast.Expr) (string, bool)
+	// propagates reports whether a call forwards taint from its arguments
+	// (or receiver) to its results. Conversions always propagate.
+	propagates func(info *types.Info, call *ast.CallExpr) bool
+	// sanitizes reports whether a call launders its arguments: the result
+	// is clean even when arguments are tainted.
+	sanitizes func(info *types.Info, call *ast.CallExpr) bool
+}
+
+// A taintSet maps tainted objects to the description of their source.
+type taintSet map[types.Object]string
+
+// A flow is one function body's taint analysis.
+type flow struct {
+	info    *types.Info
+	cfg     flowConfig
+	tainted taintSet
+}
+
+// analyzeFlow runs the engine over a function body (params is the
+// function's parameter list for engines that pre-taint parameters; pass
+// nil otherwise) and returns the resulting flow for querying.
+func analyzeFlow(info *types.Info, cfg flowConfig, body *ast.BlockStmt, pretainted taintSet) *flow {
+	fl := &flow{info: info, cfg: cfg, tainted: make(taintSet)}
+	for obj, why := range pretainted {
+		fl.tainted[obj] = why
+	}
+	if body == nil {
+		return fl
+	}
+	// Fixed point: each pass may discover taint that earlier statements
+	// feed into later reads (or loops feed backward).
+	for {
+		before := len(fl.tainted)
+		fl.walkStmts(body)
+		if len(fl.tainted) == before {
+			break
+		}
+	}
+	return fl
+}
+
+// taintOf reports whether expr carries tainted data and from which source.
+func (fl *flow) taintOf(expr ast.Expr) (string, bool) {
+	if expr == nil {
+		return "", false
+	}
+	if why, ok := fl.cfg.source(fl.info, expr); ok {
+		return why, true
+	}
+	// Error values never carry taint: an error returned alongside a secret
+	// (key, err := derive(...)) describes the failure, it does not embed
+	// the input. The one construction that does embed data in an error —
+	// fmt.Errorf("%x", key) — is a sink, caught at the call itself.
+	if isErrorExpr(fl.info, expr) {
+		return "", false
+	}
+	switch e := expr.(type) {
+	case *ast.Ident:
+		if obj := fl.info.ObjectOf(e); obj != nil {
+			if why, ok := fl.tainted[obj]; ok {
+				return why, true
+			}
+		}
+	case *ast.ParenExpr:
+		return fl.taintOf(e.X)
+	case *ast.StarExpr:
+		return fl.taintOf(e.X)
+	case *ast.UnaryExpr:
+		return fl.taintOf(e.X)
+	case *ast.IndexExpr:
+		return fl.taintOf(e.X)
+	case *ast.SliceExpr:
+		return fl.taintOf(e.X)
+	case *ast.SelectorExpr:
+		// Reading a field of a tainted struct yields tainted data.
+		return fl.taintOf(e.X)
+	case *ast.BinaryExpr:
+		if why, ok := fl.taintOf(e.X); ok {
+			return why, true
+		}
+		return fl.taintOf(e.Y)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			v := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if why, ok := fl.taintOf(v); ok {
+				return why, true
+			}
+		}
+	case *ast.CallExpr:
+		return fl.taintOfCall(e)
+	}
+	return "", false
+}
+
+// taintOfCall classifies a call's result.
+func (fl *flow) taintOfCall(call *ast.CallExpr) (string, bool) {
+	if fl.cfg.sanitizes != nil && fl.cfg.sanitizes(fl.info, call) {
+		return "", false
+	}
+	// Type conversions pass the value through unchanged.
+	if tv, ok := fl.info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return fl.taintOf(call.Args[0])
+	}
+	// Builtins append and copy forward their operands.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj := fl.info.ObjectOf(id); obj != nil {
+			if _, isBuiltin := obj.(*types.Builtin); isBuiltin {
+				switch id.Name {
+				case "append", "min", "max":
+					return fl.anyArgTaint(call)
+				}
+				return "", false
+			}
+		}
+	}
+	if fl.cfg.propagates != nil && fl.cfg.propagates(fl.info, call) {
+		if why, ok := fl.anyArgTaint(call); ok {
+			return why, true
+		}
+		// Method propagators forward receiver taint too.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return fl.taintOf(sel.X)
+		}
+	}
+	return "", false
+}
+
+func (fl *flow) anyArgTaint(call *ast.CallExpr) (string, bool) {
+	for _, arg := range call.Args {
+		if why, ok := fl.taintOf(arg); ok {
+			return why, true
+		}
+	}
+	return "", false
+}
+
+// walkStmts propagates taint through every assignment-like construct in
+// the body, descending into nested blocks and function literals.
+func (fl *flow) walkStmts(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			fl.assign(s.Lhs, s.Rhs)
+		case *ast.ValueSpec:
+			fl.assign(identExprs(s.Names), s.Values)
+		case *ast.RangeStmt:
+			if why, ok := fl.taintOf(s.X); ok {
+				fl.markLHS(s.Key, why)
+				fl.markLHS(s.Value, why)
+			}
+		}
+		return true
+	})
+}
+
+// assign applies rhs taint to lhs targets, handling both the paired form
+// (a, b = x, y) and the tuple form (a, b = f()).
+func (fl *flow) assign(lhs, rhs []ast.Expr) {
+	switch {
+	case len(lhs) == len(rhs):
+		for i := range lhs {
+			if why, ok := fl.taintOf(rhs[i]); ok {
+				fl.markLHS(lhs[i], why)
+			}
+		}
+	case len(rhs) == 1:
+		// Tuple assignment: if the single rhs is tainted, every target is.
+		if why, ok := fl.taintOf(rhs[0]); ok {
+			for _, l := range lhs {
+				fl.markLHS(l, why)
+			}
+		}
+	}
+}
+
+// markLHS taints the object behind an assignment target. Writing a tainted
+// value into a field taints the whole containing object (conservative:
+// reading any field of it later reports taint).
+func (fl *flow) markLHS(target ast.Expr, why string) {
+	switch t := ast.Unparen(target).(type) {
+	case *ast.Ident:
+		if t.Name == "_" {
+			return
+		}
+		if obj := fl.info.ObjectOf(t); obj != nil {
+			if isErrorType(obj.Type()) {
+				return // see taintOf: errors do not carry secrets
+			}
+			fl.tainted[obj] = why
+		}
+	case *ast.SelectorExpr:
+		fl.markLHS(t.X, why)
+	case *ast.StarExpr:
+		fl.markLHS(t.X, why)
+	case *ast.IndexExpr:
+		fl.markLHS(t.X, why)
+	}
+}
+
+func isErrorExpr(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	return ok && tv.Type != nil && isErrorType(tv.Type)
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error"
+}
+
+func identExprs(ids []*ast.Ident) []ast.Expr {
+	out := make([]ast.Expr, len(ids))
+	for i, id := range ids {
+		out[i] = id
+	}
+	return out
+}

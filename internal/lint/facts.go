@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The facts layer makes the analyzers cross-package, in the style of
+// golang.org/x/tools/go/analysis facts: while analyzing one package, an
+// analyzer may attach a named, JSON-serializable fact to any package-level
+// object it can see (a function, method, constant, or interface method).
+// Packages are analyzed in dependency order, so when a dependent package is
+// analyzed the facts of everything it imports are already present and can
+// be imported by object.
+//
+// Facts are what let lockorder know that ledger.Append parks the caller on
+// the group-commit channel three packages away, let intentbracket know that
+// a helper takes custody of an open intent, and let shardroute recognize a
+// VM-addressed method constant it has never seen the declaration of.
+//
+// A FactStore optionally persists each package's facts to a cache
+// directory, keyed by a hash of the package's sources, so repeated CI runs
+// skip the fact-computation passes for unchanged packages (-facts-dir).
+
+// factsFormatVersion invalidates cached facts when the encoding or the
+// fact-producing analyzers change shape.
+const factsFormatVersion = 1
+
+// A FactKey names one fact: the object it is attached to plus the fact name.
+type FactKey struct {
+	// Object is the stable object key: "pkg/path.Name" for package-level
+	// functions, constants and variables, "pkg/path.(Type).Name" for
+	// methods (including interface methods).
+	Object string
+	// Name is the fact name, scoped by convention to one analyzer
+	// ("blocks", "effect", "returnsSecret", "vmAddressed", ...).
+	Name string
+}
+
+// A FactStore holds every exported fact of a run, grouped by the package
+// that exported it.
+type FactStore struct {
+	byPkg map[string]map[FactKey]json.RawMessage
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{byPkg: make(map[string]map[FactKey]json.RawMessage)}
+}
+
+// ObjectKey renders the stable cross-package key for a package-level
+// object, or "" when the object has no package (builtins, locals whose
+// parent scope is not the package scope are keyed too — facts on locals are
+// simply never importable from elsewhere, which is harmless).
+func ObjectKey(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	if f, ok := obj.(*types.Func); ok {
+		if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+			recv := sig.Recv().Type()
+			if named := namedOf(recv); named != nil {
+				return f.Pkg().Path() + ".(" + named.Obj().Name() + ")." + f.Name()
+			}
+		}
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// export records one fact. value must be JSON-marshalable.
+func (s *FactStore) export(pkgPath string, obj types.Object, name string, value any) error {
+	key := ObjectKey(obj)
+	if key == "" {
+		return fmt.Errorf("lint: cannot attach fact %q to object without a package", name)
+	}
+	raw, err := json.Marshal(value)
+	if err != nil {
+		return fmt.Errorf("lint: marshaling fact %q on %s: %w", name, key, err)
+	}
+	m := s.byPkg[pkgPath]
+	if m == nil {
+		m = make(map[FactKey]json.RawMessage)
+		s.byPkg[pkgPath] = m
+	}
+	m[FactKey{Object: key, Name: name}] = raw
+	return nil
+}
+
+// lookup finds a fact by object key, searching the exporting package first
+// (facts live with the package that declares the object).
+func (s *FactStore) lookup(obj types.Object, name string) (json.RawMessage, bool) {
+	key := ObjectKey(obj)
+	if key == "" || obj.Pkg() == nil {
+		return nil, false
+	}
+	raw, ok := s.byPkg[obj.Pkg().Path()][FactKey{Object: key, Name: name}]
+	return raw, ok
+}
+
+// serializedFact is the on-disk form of one fact.
+type serializedFact struct {
+	Object string          `json:"object"`
+	Name   string          `json:"name"`
+	Value  json.RawMessage `json:"value"`
+}
+
+// factsFile is the on-disk form of one package's facts.
+type factsFile struct {
+	Version    int              `json:"version"`
+	Package    string           `json:"package"`
+	SourceHash string           `json:"source_hash"`
+	Facts      []serializedFact `json:"facts"`
+}
+
+// Save writes pkgPath's facts (and the source hash they were computed
+// from) into dir, creating it if needed.
+func (s *FactStore) Save(dir, pkgPath, sourceHash string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	ff := factsFile{Version: factsFormatVersion, Package: pkgPath, SourceHash: sourceHash}
+	keys := make([]FactKey, 0, len(s.byPkg[pkgPath]))
+	for k := range s.byPkg[pkgPath] {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Object != keys[j].Object {
+			return keys[i].Object < keys[j].Object
+		}
+		return keys[i].Name < keys[j].Name
+	})
+	for _, k := range keys {
+		ff.Facts = append(ff.Facts, serializedFact{Object: k.Object, Name: k.Name, Value: s.byPkg[pkgPath][k]})
+	}
+	data, err := json.MarshalIndent(ff, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, factsFileName(pkgPath)), data, 0o644)
+}
+
+// LoadCached loads pkgPath's facts from dir into the store if a cache file
+// exists whose source hash matches. It reports whether the cache was fresh.
+func (s *FactStore) LoadCached(dir, pkgPath, sourceHash string) (bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, factsFileName(pkgPath)))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, err
+	}
+	var ff factsFile
+	if err := json.Unmarshal(data, &ff); err != nil {
+		return false, nil // corrupt cache: recompute
+	}
+	if ff.Version != factsFormatVersion || ff.Package != pkgPath || ff.SourceHash != sourceHash {
+		return false, nil
+	}
+	m := make(map[FactKey]json.RawMessage, len(ff.Facts))
+	for _, f := range ff.Facts {
+		m[FactKey{Object: f.Object, Name: f.Name}] = f.Value
+	}
+	s.byPkg[pkgPath] = m
+	return true, nil
+}
+
+// factsFileName maps an import path to a flat, filesystem-safe file name.
+func factsFileName(pkgPath string) string {
+	sum := sha256.Sum256([]byte(pkgPath))
+	base := strings.NewReplacer("/", "_", ".", "_").Replace(pkgPath)
+	return base + "-" + hex.EncodeToString(sum[:6]) + ".json"
+}
+
+// SourceHash hashes the non-test Go sources of a package directory (names
+// and contents), the input key for the facts cache.
+func SourceHash(dir string) (string, error) {
+	srcs, err := goSources(dir)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "v%d\n", factsFormatVersion)
+	for _, src := range srcs {
+		data, err := os.ReadFile(src)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "%s %d\n", filepath.Base(src), len(data))
+		h.Write(data)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// dependencyOrder topologically sorts packages so every package appears
+// after the packages it imports (module-internal edges only). The input
+// order breaks ties, keeping runs deterministic.
+func dependencyOrder(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	var (
+		out     []*Package
+		done    = make(map[string]bool)
+		visit   func(p *Package)
+		onStack = make(map[string]bool)
+	)
+	visit = func(p *Package) {
+		if done[p.Path] || onStack[p.Path] {
+			return
+		}
+		onStack[p.Path] = true
+		for _, imp := range p.Types.Imports() {
+			if dep, ok := byPath[imp.Path()]; ok {
+				visit(dep)
+			}
+		}
+		onStack[p.Path] = false
+		done[p.Path] = true
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
+}

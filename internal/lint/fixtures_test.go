@@ -17,15 +17,28 @@ func TestAnalyzerFixtures(t *testing.T) {
 		dir      string
 		asPath   string
 		analyzer *Analyzer
+		// deps maps synthetic import paths to fixture dirs the main package
+		// imports — the cross-package-fact cases. They are registered as
+		// loader aliases, and the facts phase covers them via the Loader
+		// option, so facts exported in a dep are importable in the fixture.
+		deps map[string]string
 	}{
-		{"vclockonly", "cloudmonatt/internal/vclockonlyfix", VClockOnly},
-		{"noncefresh", "cloudmonatt/internal/noncefreshfix", NonceFresh},
+		{"vclockonly", "cloudmonatt/internal/vclockonlyfix", VClockOnly, nil},
+		{"noncefresh", "cloudmonatt/internal/noncefreshfix", NonceFresh, nil},
 		// consttime's math/rand rule only applies inside key-handling
 		// packages; the synthetic path plants the fixture there.
-		{"consttime", "cloudmonatt/internal/cryptoutil/consttimefix", ConstTime},
-		{"ctxdeadline", "cloudmonatt/internal/ctxdeadlinefix", CtxDeadline},
-		{"spanend", "cloudmonatt/internal/spanendfix", SpanEnd},
-		{"metricsname", "cloudmonatt/internal/metricsnamefix", MetricsName},
+		{"consttime", "cloudmonatt/internal/cryptoutil/consttimefix", ConstTime, nil},
+		{"ctxdeadline", "cloudmonatt/internal/ctxdeadlinefix", CtxDeadline, nil},
+		{"spanend", "cloudmonatt/internal/spanendfix", SpanEnd, nil},
+		{"metricsname", "cloudmonatt/internal/metricsnamefix", MetricsName, nil},
+		{"secretflow", "cloudmonatt/internal/secretflowfix", SecretFlow,
+			map[string]string{"cloudmonatt/internal/secretflowdep": "secretflowdep"}},
+		{"intentbracket", "cloudmonatt/internal/intentbracketfix", IntentBracket,
+			map[string]string{"cloudmonatt/internal/intentbracketdep": "intentbracketdep"}},
+		{"shardroute", "cloudmonatt/internal/shardroutefix", ShardRoute,
+			map[string]string{"cloudmonatt/internal/shardroutedep": "shardroutedep"}},
+		{"lockorder", "cloudmonatt/internal/lockorderfix", LockOrder,
+			map[string]string{"cloudmonatt/internal/lockorderdep": "lockorderdep"}},
 	}
 	loader, err := NewLoader(".")
 	if err != nil {
@@ -33,6 +46,9 @@ func TestAnalyzerFixtures(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {
+			for path, dir := range tc.deps {
+				loader.Alias(path, filepath.Join("testdata", "src", dir))
+			}
 			runFixture(t, loader, tc.dir, tc.asPath, tc.analyzer)
 		})
 	}
@@ -70,8 +86,12 @@ func runFixture(t *testing.T, loader *Loader, dir, asPath string, analyzer *Anal
 		}
 	}
 
+	// The full Analyze driver (rather than single-package Run) computes
+	// facts over every package the loader has cached — in particular the
+	// aliased dep packages — in dependency order before diagnosing.
+	ds, _ := Analyze([]*Package{pkg}, []*Analyzer{analyzer}, AnalyzeOptions{Loader: loader})
 	matched := make(map[lineKey]bool)
-	for _, d := range Run(pkg, []*Analyzer{analyzer}) {
+	for _, d := range ds {
 		pos := pkg.Fset.Position(d.Pos)
 		k := lineKey{pos.Filename, pos.Line}
 		re, ok := wants[k]

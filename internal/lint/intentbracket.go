@@ -1,0 +1,343 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// IntentBracket enforces the two-phase intent contract of DESIGN.md §13:
+// every controller operation with a side effect on the fleet — launching,
+// terminating, migrating, suspending or resuming a VM — must be bracketed
+// by KindIntent ledger entries so a crashed controller replays to a
+// consistent view. Begin-phase ops (launch, terminate, migrate-out) need
+// the begin entry appended before the effect: the dangerous crash window
+// is between deciding and doing. State-transition ops (suspend, resume)
+// are end-only: the completed transition is appended after the effect so
+// replay folds the VM's final state.
+//
+// The rule is intraprocedural plus facts. A function that performs an
+// effect RPC and touches the intent ledger is self-bracketed. An
+// unexported function that performs a raw effect without intents exports
+// an "effect" fact — the bracketing burden moves to its callers. An
+// exported function that performs an effect (directly or via a
+// fact-carrying callee) with no intent activity is a finding: a crash
+// inside it strands the fleet in a state replay cannot reconstruct.
+// Functions with an intent-custody parameter (a string parameter whose
+// name contains "intent") inherit an open intent from their caller and
+// export a "needsIntent" fact instead.
+var IntentBracket = &Analyzer{
+	Name: "intentbracket",
+	Doc: "side-effecting VM operations (launch/terminate/migrate/suspend/resume) must " +
+		"append two-phase KindIntent ledger entries: begin before begin-phase effects, " +
+		"a state/end entry after transitions; unbracketed exported performers are findings",
+	Run:   runIntentBracket,
+	Facts: intentBracketFacts,
+}
+
+// effectFact marks a function that performs a raw fleet side effect
+// without bracketing it, passing the obligation to callers.
+type effectFact struct {
+	Op string `json:"op"` // the wire method, e.g. "terminate"
+}
+
+// needsIntentFact marks a function that takes custody of an open intent
+// via parameter: callers must have begun one.
+type needsIntentFact struct {
+	Param string `json:"param"`
+}
+
+// funcEffects summarizes one function body for the bracket rule.
+type funcEffects struct {
+	effects      []effectSite  // effect calls, direct or via fact
+	intents      []intentTouch // intent-ledger touches
+	custodyParam string        // intent-custody parameter name, if any
+}
+
+// intentTouch is one intent-ledger call; begin distinguishes phase-1
+// appends (intentBegin, record with Phase "begin") from phase-2 closes
+// (intentEnd, stateIntent, record with Phase "end").
+type intentTouch struct {
+	pos   token.Pos
+	begin bool
+}
+
+func (fx funcEffects) beginTouches() []token.Pos {
+	var out []token.Pos
+	for _, t := range fx.intents {
+		if t.begin {
+			out = append(out, t.pos)
+		}
+	}
+	return out
+}
+
+type effectSite struct {
+	pos  token.Pos
+	op   string
+	kind effectKind
+	via  string // callee name when the effect arrives via fact
+}
+
+// collectEffects walks one function body.
+func collectEffects(pass *Pass, fd *ast.FuncDecl) funcEffects {
+	var fx funcEffects
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if containsFold(name.Name, "intent") && isStringType(pass.Info, name) {
+					fx.custodyParam = name.Name
+				}
+			}
+		}
+	}
+	if fd.Body == nil {
+		return fx
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Intent-ledger touches: the intent helper family, or any call
+		// passing ledger.KindIntent (MigrateVM appends records directly).
+		if _, name := splitCallee(pass.Info, call); intentCallNames[name] {
+			fx.intents = append(fx.intents, intentTouch{pos: call.Pos(), begin: name == "intentBegin"})
+			return true
+		}
+		for _, arg := range call.Args {
+			if isLedgerKindIntent(pass.Info, arg) {
+				fx.intents = append(fx.intents, intentTouch{pos: call.Pos(), begin: recordsBeginPhase(call)})
+				return true
+			}
+		}
+		// Direct effect RPCs: a Call* on an rpc client whose method
+		// argument folds to an effect method.
+		if recv, _ := methodOf(pass.Info, call); rpcClientTypes[recv] {
+			for _, arg := range call.Args {
+				if m, ok := constString(pass.Info, arg); ok {
+					if kind, isEffect := effectMethods[m]; isEffect {
+						fx.effects = append(fx.effects, effectSite{pos: call.Pos(), op: m, kind: kind})
+					}
+					break // first constant string is the method
+				}
+			}
+			return true
+		}
+		// Effects via facts: calling a function another pass marked as a
+		// raw performer.
+		if obj := calleeObject(pass.Info, call); obj != nil {
+			var ef effectFact
+			if pass.ImportFact(obj, "effect", &ef) {
+				kind := effectMethods[ef.Op]
+				fx.effects = append(fx.effects, effectSite{pos: call.Pos(), op: ef.Op, kind: kind, via: obj.Name()})
+			}
+			var nf needsIntentFact
+			if pass.ImportFact(obj, "needsIntent", &nf) {
+				// Calling a custody-taking helper is itself an effect that
+				// demands an open intent here.
+				fx.effects = append(fx.effects, effectSite{pos: call.Pos(), op: "remediate", kind: effectBegin, via: obj.Name()})
+			}
+		}
+		return true
+	})
+	return fx
+}
+
+// intentBracketFacts exports effect/needsIntent facts for unbracketed
+// performers, so the diagnostic pass sees through helper layers.
+func intentBracketFacts(pass *Pass) {
+	// Iterate to a fixed point within the package: helpers calling helpers
+	// settle in as many rounds as the call chain is deep.
+	for i := 0; i < 5; i++ {
+		changed := false
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj := pass.Info.ObjectOf(fd.Name)
+				if obj == nil {
+					continue
+				}
+				fx := collectEffects(pass, fd)
+				if len(fx.effects) == 0 || len(fx.intents) > 0 {
+					continue // no effects, or self-bracketed
+				}
+				if fx.custodyParam != "" {
+					var prev needsIntentFact
+					if !pass.ImportFact(obj, "needsIntent", &prev) {
+						pass.ExportFact(obj, "needsIntent", needsIntentFact{Param: fx.custodyParam})
+						changed = true
+					}
+					continue
+				}
+				if !fd.Name.IsExported() {
+					var prev effectFact
+					if !pass.ImportFact(obj, "effect", &prev) {
+						pass.ExportFact(obj, "effect", effectFact{Op: fx.effects[0].op})
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// runIntentBracket reports the violations.
+func runIntentBracket(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fx := collectEffects(pass, fd)
+			if len(fx.effects) == 0 {
+				continue
+			}
+			if len(fx.intents) == 0 {
+				// Unexported performers without custody export facts; the
+				// obligation lands on their callers. Exported ones are the
+				// API surface — a crash here is unrecoverable by replay.
+				if fd.Name.IsExported() && fx.custodyParam == "" {
+					e := fx.effects[0]
+					how := "performs"
+					if e.via != "" {
+						how = "performs (via " + e.via + ")"
+					}
+					pass.Reportf(fd.Name.Pos(),
+						"%s %s a %q side effect but appends no KindIntent ledger entry; "+
+							"a controller crash here is invisible to replay (DESIGN.md §13 two-phase intent contract)",
+						fd.Name.Name, how, e.op)
+				}
+				continue
+			}
+			// Self-bracketed: check ordering for begin-phase effects. The
+			// rule binds only functions that append their own begin entry —
+			// phase-2 executors (finalizeTeardown, MigrateVM's convergent
+			// steps, crash recovery) close intents that were made durable
+			// by an earlier pass, so end-only touches after the effect are
+			// the contract working, not a violation.
+			begins := fx.beginTouches()
+			if len(begins) == 0 {
+				continue
+			}
+			for _, e := range fx.effects {
+				if e.kind != effectBegin {
+					continue
+				}
+				anyBefore := false
+				for _, ip := range begins {
+					if ip < e.pos {
+						anyBefore = true
+						break
+					}
+				}
+				if !anyBefore {
+					pass.Reportf(e.pos,
+						"begin-phase effect %q happens before its begin intent is appended; "+
+							"append the intent first (the crash window is between deciding and doing)", e.op)
+				}
+			}
+		}
+	}
+}
+
+// splitCallee returns (pkgPath-or-recv, bare name) for plain and method calls.
+func splitCallee(info *types.Info, call *ast.CallExpr) (string, string) {
+	if pkg, name := calleeOf(info, call); pkg != "" {
+		return pkg, name
+	}
+	if recv, method := methodOf(info, call); recv != "" {
+		return recv, method
+	}
+	// Unresolved selector (e.g. method on a local interface): fall back to
+	// the syntactic name so intentCallNames still matches helpers.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return "", sel.Sel.Name
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		return "", id.Name
+	}
+	return "", ""
+}
+
+// recordsBeginPhase reports whether a direct KindIntent record call
+// carries a Phase: "begin" field in one of its composite-literal
+// arguments (the c.record(ledger.KindIntent, ..., intentRecord{Phase:
+// "begin", ...}) form). Anything else is a phase-2 close.
+func recordsBeginPhase(call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		lit, ok := ast.Unparen(arg).(*ast.CompositeLit)
+		if !ok {
+			continue
+		}
+		for _, elt := range lit.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok || key.Name != "Phase" {
+				continue
+			}
+			if val, ok := ast.Unparen(kv.Value).(*ast.BasicLit); ok && val.Value == `"begin"` {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isLedgerKindIntent reports whether expr denotes ledger.KindIntent.
+func isLedgerKindIntent(info *types.Info, expr ast.Expr) bool {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := info.ObjectOf(sel.Sel)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == "cloudmonatt/internal/ledger" && obj.Name() == "KindIntent"
+}
+
+func isStringType(info *types.Info, id *ast.Ident) bool {
+	obj := info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	basic, ok := obj.Type().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.String
+}
+
+func containsFold(s, sub string) bool {
+	return len(s) >= len(sub) && indexFold(s, sub) >= 0
+}
+
+func indexFold(s, sub string) int {
+	lower := func(b byte) byte {
+		if 'A' <= b && b <= 'Z' {
+			return b + 'a' - 'A'
+		}
+		return b
+	}
+	for i := 0; i+len(sub) <= len(s); i++ {
+		ok := true
+		for j := 0; j < len(sub); j++ {
+			if lower(s[i+j]) != lower(sub[j]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return i
+		}
+	}
+	return -1
+}

@@ -21,6 +21,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -37,6 +38,11 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
+	// Facts, when set, is the analyzer's fact-computation pass. It runs
+	// over every package in dependency order before any Run pass, so the
+	// facts a package exports are visible when its dependents are
+	// analyzed. Facts passes report nothing; they only ExportFact.
+	Facts func(*Pass)
 }
 
 // A Diagnostic is one finding, positioned in the shared FileSet.
@@ -44,6 +50,11 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Analyzer string
 	Message  string
+	// Suppressed marks a finding waived by an audited directive;
+	// SuppressedBy carries the directive's justification. Run and RunAll
+	// drop suppressed findings; Analyze keeps them when asked (-json).
+	Suppressed   bool
+	SuppressedBy string
 }
 
 // String renders a diagnostic as file:line:col: message [analyzer].
@@ -59,6 +70,7 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	facts *FactStore
 	diags []Diagnostic
 }
 
@@ -71,6 +83,28 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ExportFact attaches a named, JSON-serializable fact to a package-level
+// object, visible to later passes over packages that import this one.
+func (p *Pass) ExportFact(obj types.Object, name string, value any) {
+	if p.facts == nil {
+		return
+	}
+	_ = p.facts.export(p.Pkg.Path(), obj, name, value)
+}
+
+// ImportFact loads a fact attached to obj (by this or an earlier-analyzed
+// package) into out, reporting whether one existed.
+func (p *Pass) ImportFact(obj types.Object, name string, out any) bool {
+	if p.facts == nil {
+		return false
+	}
+	raw, ok := p.facts.lookup(obj, name)
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(raw, out) == nil
+}
+
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
 	return []*Analyzer{
@@ -80,42 +114,147 @@ func All() []*Analyzer {
 		CtxDeadline,
 		SpanEnd,
 		MetricsName,
+		SecretFlow,
+		IntentBracket,
+		ShardRoute,
+		LockOrder,
 	}
 }
 
-// Run executes the given analyzers over one loaded package and returns the
-// surviving diagnostics: directive-suppressed findings are dropped,
-// malformed directives are added.
-func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+// AnalyzeOptions configures a full analysis session.
+type AnalyzeOptions struct {
+	// Loader, when set, contributes every module package it has cached
+	// (dependencies of the requested ones) to the facts phase.
+	Loader *Loader
+	// FactsDir, when set, persists per-package facts keyed by source hash
+	// and reuses fresh entries on later runs.
+	FactsDir string
+	// KeepSuppressed returns directive-suppressed findings (marked) rather
+	// than dropping them.
+	KeepSuppressed bool
+}
+
+// AnalyzeStats reports what the facts phase did.
+type AnalyzeStats struct {
+	FactPackages int // packages whose facts were needed
+	FactsCached  int // of those, how many came from the cache
+}
+
+// Analyze is the full driver: it computes (or loads) facts for the
+// dependency closure of pkgs in topological order, then runs the
+// analyzers' diagnostic passes over pkgs.
+func Analyze(pkgs []*Package, analyzers []*Analyzer, opt AnalyzeOptions) ([]Diagnostic, AnalyzeStats) {
+	store := NewFactStore()
+	stats := AnalyzeStats{}
+
+	factPkgs := pkgs
+	if opt.Loader != nil {
+		seen := make(map[string]bool, len(pkgs))
+		for _, p := range pkgs {
+			seen[p.Path] = true
+		}
+		for _, p := range opt.Loader.Cached() {
+			if !seen[p.Path] {
+				factPkgs = append(factPkgs, p)
+				seen[p.Path] = true
+			}
+		}
+	}
+	for _, pkg := range dependencyOrder(factPkgs) {
+		stats.FactPackages++
+		var hash string
+		if opt.FactsDir != "" {
+			if h, err := SourceHash(pkg.Dir); err == nil {
+				hash = h
+				if fresh, _ := store.LoadCached(opt.FactsDir, pkg.Path, hash); fresh {
+					stats.FactsCached++
+					continue
+				}
+			}
+		}
+		runFacts(pkg, analyzers, store)
+		if opt.FactsDir != "" && hash != "" {
+			_ = store.Save(opt.FactsDir, pkg.Path, hash)
+		}
+	}
+
 	var out []Diagnostic
-	dirs := collectDirectives(pkg.Fset, pkg.Files)
+	for _, pkg := range pkgs {
+		ds := runDiagnostics(pkg, analyzers, store)
+		for _, d := range ds {
+			if d.Suppressed && !opt.KeepSuppressed {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	return out, stats
+}
+
+// runFacts executes every analyzer's facts pass over one package.
+func runFacts(pkg *Package, analyzers []*Analyzer, store *FactStore) {
 	for _, a := range analyzers {
+		if a.Facts == nil {
+			continue
+		}
 		pass := &Pass{
 			Analyzer: a,
 			Fset:     pkg.Fset,
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			facts:    store,
+		}
+		a.Facts(pass)
+	}
+}
+
+// runDiagnostics executes the diagnostic passes over one package, marking
+// directive-suppressed findings, appending malformed-directive and
+// unused-waiver diagnostics, and sorting the result.
+func runDiagnostics(pkg *Package, analyzers []*Analyzer, store *FactStore) []Diagnostic {
+	var out []Diagnostic
+	dirs := collectDirectives(pkg.Fset, pkg.Files)
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			facts:    store,
 		}
 		a.Run(pass)
 		for _, d := range pass.diags {
-			if !dirs.suppresses(pkg.Fset, d) {
-				out = append(out, d)
+			if dir := dirs.suppressing(pkg.Fset, d); dir != nil {
+				d.Suppressed = true
+				d.SuppressedBy = dir.reason
 			}
+			out = append(out, d)
 		}
 	}
 	out = append(out, dirs.malformed...)
+	out = append(out, dirs.unused(ran)...)
 	sortDiagnostics(pkg.Fset, out)
 	return out
 }
 
-// RunAll runs analyzers over every package and concatenates the findings.
+// Run executes the given analyzers over one loaded package and returns the
+// surviving diagnostics: facts are computed for this package alone,
+// directive-suppressed findings are dropped, malformed directives and
+// unused waivers are added. Cross-package facts require Analyze.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	ds, _ := Analyze([]*Package{pkg}, analyzers, AnalyzeOptions{})
+	return ds
+}
+
+// RunAll runs analyzers over every package — facts first, in dependency
+// order — and concatenates the surviving findings.
 func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var out []Diagnostic
-	for _, pkg := range pkgs {
-		out = append(out, Run(pkg, analyzers)...)
-	}
-	return out
+	ds, _ := Analyze(pkgs, analyzers, AnalyzeOptions{})
+	return ds
 }
 
 func sortDiagnostics(fset *token.FileSet, ds []Diagnostic) {
@@ -136,19 +275,24 @@ func sortDiagnostics(fset *token.FileSet, ds []Diagnostic) {
 // directive is one parsed //lint: comment.
 type directive struct {
 	analyzer string // analyzer suppressed ("vclockonly" for wallclock)
+	verb     string // "wallclock" or "ignore"
+	reason   string // the justification text
 	file     string
-	line     int // the directive's own line
+	line     int       // the directive's own line
+	pos      token.Pos // for unused-waiver diagnostics
+	used     bool      // did it suppress at least one finding?
 }
 
 type directiveSet struct {
-	byLine    map[string]map[int][]directive // file → line → directives
+	byLine    map[string]map[int][]*directive // file → line → directives
+	all       []*directive
 	malformed []Diagnostic
 }
 
 // collectDirectives scans all comments for //lint:wallclock and
 // //lint:ignore, validating that each carries a justification.
 func collectDirectives(fset *token.FileSet, files []*ast.File) *directiveSet {
-	ds := &directiveSet{byLine: make(map[string]map[int][]directive)}
+	ds := &directiveSet{byLine: make(map[string]map[int][]*directive)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -159,7 +303,7 @@ func collectDirectives(fset *token.FileSet, files []*ast.File) *directiveSet {
 				pos := fset.Position(c.Pos())
 				verb, rest, _ := strings.Cut(text, " ")
 				rest = strings.TrimSpace(rest)
-				var d directive
+				var d *directive
 				switch verb {
 				case "wallclock":
 					if rest == "" {
@@ -170,10 +314,11 @@ func collectDirectives(fset *token.FileSet, files []*ast.File) *directiveSet {
 						})
 						continue
 					}
-					d = directive{analyzer: "vclockonly"}
+					d = &directive{analyzer: "vclockonly", verb: "wallclock", reason: rest}
 				case "ignore":
 					name, reason, _ := strings.Cut(rest, " ")
-					if name == "" || strings.TrimSpace(reason) == "" {
+					reason = strings.TrimSpace(reason)
+					if name == "" || reason == "" {
 						ds.malformed = append(ds.malformed, Diagnostic{
 							Pos:      c.Pos(),
 							Analyzer: "directive",
@@ -181,7 +326,7 @@ func collectDirectives(fset *token.FileSet, files []*ast.File) *directiveSet {
 						})
 						continue
 					}
-					d = directive{analyzer: name}
+					d = &directive{analyzer: name, verb: "ignore", reason: reason}
 				default:
 					ds.malformed = append(ds.malformed, Diagnostic{
 						Pos:      c.Pos(),
@@ -190,31 +335,53 @@ func collectDirectives(fset *token.FileSet, files []*ast.File) *directiveSet {
 					})
 					continue
 				}
-				d.file, d.line = pos.Filename, pos.Line
+				d.file, d.line, d.pos = pos.Filename, pos.Line, c.Pos()
 				if ds.byLine[d.file] == nil {
-					ds.byLine[d.file] = make(map[int][]directive)
+					ds.byLine[d.file] = make(map[int][]*directive)
 				}
 				ds.byLine[d.file][d.line] = append(ds.byLine[d.file][d.line], d)
+				ds.all = append(ds.all, d)
 			}
 		}
 	}
 	return ds
 }
 
-// suppresses reports whether a directive on the diagnostic's line, or on
-// the line directly above it, names the diagnostic's analyzer.
-func (ds *directiveSet) suppresses(fset *token.FileSet, d Diagnostic) bool {
+// suppressing returns the directive — on the diagnostic's line, or on the
+// line directly above it — that names the diagnostic's analyzer, marking
+// it used; nil when none applies.
+func (ds *directiveSet) suppressing(fset *token.FileSet, d Diagnostic) *directive {
 	pos := fset.Position(d.Pos)
 	lines := ds.byLine[pos.Filename]
 	if lines == nil {
-		return false
+		return nil
 	}
 	for _, line := range []int{pos.Line, pos.Line - 1} {
 		for _, dir := range lines[line] {
 			if dir.analyzer == d.Analyzer {
-				return true
+				dir.used = true
+				return dir
 			}
 		}
 	}
-	return false
+	return nil
+}
+
+// unused reports a diagnostic for every directive that suppressed nothing,
+// provided the analyzer it targets actually ran (a waiver for an analyzer
+// excluded from this run cannot be judged stale).
+func (ds *directiveSet) unused(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, dir := range ds.all {
+		if dir.used || !ran[dir.analyzer] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:      dir.pos,
+			Analyzer: "directive",
+			Message: fmt.Sprintf("unused //lint:%s directive: no %s finding here to suppress — remove it",
+				dir.verb, dir.analyzer),
+		})
+	}
+	return out
 }

@@ -38,7 +38,8 @@ type Loader struct {
 
 	std   types.Importer // stdlib, type-checked from GOROOT source
 	cache map[string]*Package
-	busy  map[string]bool // cycle detection
+	busy  map[string]bool   // cycle detection
+	alias map[string]string // synthetic import path → dir (fixtures)
 }
 
 // NewLoader creates a loader for the module containing dir.
@@ -201,8 +202,13 @@ func (l *Loader) loadPath(path string) (*Package, error) {
 	if l.busy[path] {
 		return nil, fmt.Errorf("lint: import cycle through %s", path)
 	}
-	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
-	dir := filepath.Join(l.ModRoot, filepath.FromSlash(rel))
+	var dir string
+	if d, ok := l.alias[path]; ok {
+		dir = d
+	} else {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+		dir = filepath.Join(l.ModRoot, filepath.FromSlash(rel))
+	}
 	l.busy[path] = true
 	defer delete(l.busy, path)
 	pkg, err := l.check(dir, path)
@@ -218,7 +224,36 @@ func (l *Loader) loadPath(path string) (*Package, error) {
 // testdata (invisible to the go tool) but are checked against the real
 // module packages they import.
 func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
-	return l.check(dir, asPath)
+	pkg, err := l.check(dir, asPath)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[asPath] = pkg
+	return pkg, nil
+}
+
+// Alias maps a synthetic import path to a source directory, letting one
+// fixture package import another (the cross-package-fact test cases).
+func (l *Loader) Alias(importPath, dir string) {
+	if l.alias == nil {
+		l.alias = make(map[string]string)
+	}
+	l.alias[importPath] = dir
+}
+
+// Cached returns every package this loader has loaded so far, including
+// dependencies pulled in during type-checking. Order is deterministic.
+func (l *Loader) Cached() []*Package {
+	paths := make([]string, 0, len(l.cache))
+	for p := range l.cache {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		out = append(out, l.cache[p])
+	}
+	return out
 }
 
 func (l *Loader) check(dir, path string) (*Package, error) {

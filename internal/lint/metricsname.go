@@ -3,6 +3,9 @@ package lint
 import (
 	"go/ast"
 	"regexp"
+	"strings"
+
+	"cloudmonatt/internal/metrics"
 )
 
 // MetricsName keeps the Prometheus surface coherent: every counter and
@@ -14,12 +17,18 @@ import (
 // strings, and one "attestsrv.rpc.retries" among "ledger/append" splits
 // dashboards and alert rules across two grammars.
 //
+// The first segment (the "entity") must additionally come from
+// metrics.KnownEntities — the shared subsystem table both the runtime and
+// this analyzer read — so a new metric lands inside an existing dashboard
+// grouping or the table is extended deliberately.
+//
 // Names built at runtime are checked on their constant prefix
 // ("appraise/" + prop); fully dynamic names are skipped.
 var MetricsName = &Analyzer{
 	Name: "metricsname",
 	Doc: "metrics.Registry names must follow the entity/noun-verb " +
-		"convention: lowercase segments separated by '/', hyphens within a segment",
+		"convention: lowercase segments separated by '/', hyphens within a segment, " +
+		"first segment from metrics.KnownEntities",
 	Run: runMetricsName,
 }
 
@@ -50,17 +59,39 @@ func runMetricsName(pass *Pass) {
 					pass.Reportf(arg.Pos(),
 						"metric name %q breaks the entity/noun-verb convention "+
 							"(lowercase segments joined by '/', hyphens within a segment, at least two segments)", name)
+					return true
 				}
+				checkEntity(pass, arg, name)
 				return true
 			}
 			// Dynamic name: validate the leftmost constant prefix if any.
-			if prefix, ok := constPrefix(pass, arg); ok && !metricPrefix.MatchString(prefix) {
-				pass.Reportf(arg.Pos(),
-					"metric name prefix %q breaks the entity/noun-verb convention "+
-						"(lowercase segments joined by '/', hyphens within a segment)", prefix)
+			if prefix, ok := constPrefix(pass, arg); ok {
+				if !metricPrefix.MatchString(prefix) {
+					pass.Reportf(arg.Pos(),
+						"metric name prefix %q breaks the entity/noun-verb convention "+
+							"(lowercase segments joined by '/', hyphens within a segment)", prefix)
+					return true
+				}
+				// The entity is decided once the prefix covers the first
+				// separator; shorter prefixes leave it dynamic, unchecked.
+				if strings.Contains(prefix, "/") {
+					checkEntity(pass, arg, prefix)
+				}
 			}
 			return true
 		})
+	}
+}
+
+// checkEntity validates the first segment against the shared subsystem
+// table in internal/metrics.
+func checkEntity(pass *Pass, arg ast.Expr, name string) {
+	entity, _, _ := strings.Cut(name, "/")
+	if !metrics.KnownEntities[entity] {
+		pass.Reportf(arg.Pos(),
+			"metric entity %q is not in metrics.KnownEntities; pick an existing "+
+				"subsystem entity or add the new one to the shared table so dashboards "+
+				"can group it", entity)
 	}
 }
 

@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SecretFlow tracks key material from its sources to operator-visible
+// sinks. The PR 8 resumption path mints long-lived secrets — traffic keys,
+// resumption master secrets, ticket-sealing keys — and the protocol's
+// confidentiality argument assumes they exist only inside the secure
+// channel's key schedule. A secret that reaches an error string, a log
+// line, a span annotation, a metric name, or a plaintext file outlives the
+// session in places replicated to operators, trace stores, and dashboards.
+//
+// Sources: cryptoutil.Identity.Seed, the secchan key-derivation family
+// (deriveKeys/deriveRMS/resumeKeys/nextRMS), Ticket.RMS field reads, and
+// any call carrying a "returnsSecret" fact exported by an earlier-analyzed
+// package. Deliberately not a source: merely holding an Identity value —
+// the taint begins where raw key bytes are extracted. Sanctioned sanitizers:
+// cryptoutil.Redact (fingerprint for logs) and cryptoutil.Hash
+// (domain-separated, non-invertible); cryptoutil.WriteSecretFile is the
+// one sanctioned persistence path (0600, documented provisioning).
+var SecretFlow = &Analyzer{
+	Name: "secretflow",
+	Doc: "key material (session keys, RMS, ticket keys, private keys) must not " +
+		"flow into error strings, logs, span annotations, metric names, or plaintext files; " +
+		"redact with cryptoutil.Redact or persist via cryptoutil.WriteSecretFile",
+	Run:   runSecretFlow,
+	Facts: secretFlowFacts,
+}
+
+// returnsSecretFact marks a function whose results carry secret material.
+type returnsSecretFact struct {
+	Source string `json:"source"` // what kind of secret, for the report
+}
+
+// secretFlowConfig builds the taint-engine configuration, closing over the
+// pass for fact imports.
+func secretFlowConfig(pass *Pass) flowConfig {
+	return flowConfig{
+		source: func(info *types.Info, expr ast.Expr) (string, bool) {
+			switch e := expr.(type) {
+			case *ast.CallExpr:
+				if recv, method := methodOf(info, e); recv != "" {
+					if secretSourceMethods[recv+"."+method] {
+						return "identity seed", true
+					}
+				}
+				if pkg, name := calleeOf(info, e); pkg != "" {
+					if secretSourceFuncs[pkg+"."+name] {
+						return "derived key material", true
+					}
+				}
+				if obj := calleeObject(info, e); obj != nil {
+					var fact returnsSecretFact
+					if pass.ImportFact(obj, "returnsSecret", &fact) {
+						return fact.Source, true
+					}
+				}
+			case *ast.SelectorExpr:
+				if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+					if named := namedOf(sel.Recv()); named != nil && named.Obj().Pkg() != nil {
+						key := named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + e.Sel.Name
+						if secretFields[key] {
+							return "resumption master secret", true
+						}
+					}
+				}
+			}
+			return "", false
+		},
+		propagates: func(info *types.Info, call *ast.CallExpr) bool {
+			if pkg, name := calleeOf(info, call); pkg != "" {
+				if secretPropagators[pkg+"."+name] || secretPropagatorFuncs[pkg+"."+name] {
+					return true
+				}
+			}
+			if recv, method := methodOf(info, call); recv != "" {
+				return secretPropagatorMethods[recv+"."+method]
+			}
+			return false
+		},
+		sanitizes: func(info *types.Info, call *ast.CallExpr) bool {
+			pkg, name := calleeOf(info, call)
+			return pkg != "" && secretSanitizers[pkg+"."+name]
+		},
+	}
+}
+
+// calleeObject resolves the called function's object (for fact lookup) for
+// both plain and method calls.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		return info.ObjectOf(fun.Sel)
+	}
+	return nil
+}
+
+// secretFlowFacts exports "returnsSecret" for every function whose return
+// values carry taint, making the source set transitive across packages.
+func secretFlowFacts(pass *Pass) {
+	cfg := secretFlowConfig(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := pass.Info.ObjectOf(fd.Name)
+			if obj == nil {
+				continue
+			}
+			fl := analyzeFlow(pass.Info, cfg, fd.Body, nil)
+			secret := ""
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if secret != "" {
+					return false
+				}
+				// Skip nested function literals: their returns are not
+				// this function's returns.
+				if _, isLit := n.(*ast.FuncLit); isLit {
+					return false
+				}
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok {
+					return true
+				}
+				for _, res := range ret.Results {
+					if why, tainted := fl.taintOf(res); tainted {
+						secret = why
+						return false
+					}
+				}
+				return true
+			})
+			if secret != "" {
+				pass.ExportFact(obj, "returnsSecret", returnsSecretFact{Source: secret})
+			}
+		}
+	}
+}
+
+// runSecretFlow reports tainted values reaching sinks.
+func runSecretFlow(pass *Pass) {
+	cfg := secretFlowConfig(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fl := analyzeFlow(pass.Info, cfg, fd.Body, nil)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sink, args := secretSinkOf(pass, call)
+				if sink == "" {
+					return true
+				}
+				for _, arg := range args {
+					if why, tainted := fl.taintOf(arg); tainted {
+						pass.Reportf(call.Pos(),
+							"secret material (%s) flows into a %s sink; redact with cryptoutil.Redact "+
+								"or route through a sanctioned secret-handling helper", why, sink)
+						break
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// secretSinkOf classifies a call as a sink, returning the sink description
+// and the arguments that must stay clean.
+func secretSinkOf(pass *Pass, call *ast.CallExpr) (string, []ast.Expr) {
+	if pkg, name := calleeOf(pass.Info, call); pkg != "" {
+		key := pkg + "." + name
+		if secretWriteHelpers[key] {
+			return "", nil // sanctioned persistence
+		}
+		if desc, ok := secretSinkFuncs[key]; ok {
+			return desc, call.Args
+		}
+	}
+	if recv, method := methodOf(pass.Info, call); recv != "" {
+		switch {
+		case recv == "cloudmonatt/internal/obs.ActiveSpan" && method == "Annotate":
+			return "span annotation", call.Args
+		case recv == "cloudmonatt/internal/metrics.Registry" && registryCtors[method]:
+			if len(call.Args) > 0 {
+				return "metric name", call.Args[:1]
+			}
+		}
+	}
+	return "", nil
+}

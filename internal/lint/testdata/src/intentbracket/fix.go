@@ -1,0 +1,73 @@
+// Package intentbracketfix exercises the intentbracket analyzer: fleet
+// side effects must be bracketed by KindIntent ledger entries, begin
+// entries appended before begin-phase effects.
+package intentbracketfix
+
+import (
+	"cloudmonatt/internal/intentbracketdep"
+	"cloudmonatt/internal/rpc"
+)
+
+// intentBegin, intentEnd and stateIntent stand in for the controller's
+// ledger helpers; the analyzer matches them by bare name.
+func intentBegin(op, vm string)    { _, _ = op, vm }
+func intentEnd(op, vm string)      { _, _ = op, vm }
+func stateIntent(vm, state string) { _, _ = vm, state }
+
+func Terminate(c *rpc.ReconnectClient) error { // want `Terminate performs a "terminate" side effect but appends no KindIntent ledger entry`
+	return c.Call("terminate", nil, nil)
+}
+
+func TerminateBracketed(c *rpc.ReconnectClient, vm string) error {
+	intentBegin("terminate", vm)
+	err := c.Call("terminate", nil, nil)
+	intentEnd("terminate", vm)
+	return err
+}
+
+func TerminateInverted(c *rpc.ReconnectClient, vm string) error {
+	err := c.Call("terminate", nil, nil) // want `begin-phase effect "terminate" happens before its begin intent is appended`
+	intentBegin("terminate", vm)
+	return err
+}
+
+// Resume is end-only: suspend/resume are state transitions, so the
+// completed transition is appended after the effect and no begin entry
+// is demanded.
+func Resume(c *rpc.ReconnectClient, vm string) error {
+	err := c.Call("resume", nil, nil)
+	stateIntent(vm, "active")
+	return err
+}
+
+// rawSuspend performs the effect without bracketing; being unexported it
+// exports an effect fact instead of drawing a finding.
+func rawSuspend(c *rpc.ReconnectClient) error {
+	return c.Call("suspend", nil, nil)
+}
+
+func Suspend(c *rpc.ReconnectClient) error { // want `Suspend performs \(via rawSuspend\) a "suspend" side effect but appends no KindIntent ledger entry`
+	return rawSuspend(c)
+}
+
+func SuspendBracketed(c *rpc.ReconnectClient, vm string) error {
+	err := rawSuspend(c)
+	stateIntent(vm, "suspended")
+	return err
+}
+
+func Evict(c *rpc.ReconnectClient, vm string) error { // want `Evict performs \(via Remediate\) a "remediate" side effect but appends no KindIntent ledger entry`
+	return intentbracketdep.Remediate(c, vm+"-intent")
+}
+
+func EvictUnderIntent(c *rpc.ReconnectClient, vm string) error {
+	intentBegin("terminate", vm)
+	err := intentbracketdep.Remediate(c, vm+"-intent")
+	intentEnd("terminate", vm)
+	return err
+}
+
+//lint:ignore intentbracket fixture: bare effect audited by hand
+func Purge(c *rpc.ReconnectClient) error {
+	return c.Call("terminate", nil, nil)
+}

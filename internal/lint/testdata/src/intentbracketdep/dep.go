@@ -1,0 +1,14 @@
+// Package intentbracketdep is the cross-package half of the
+// intentbracket fixture: a custody-taking teardown helper whose intentID
+// parameter makes the facts pass export a needsIntent fact, shifting the
+// bracketing obligation onto importing callers.
+package intentbracketdep
+
+import "cloudmonatt/internal/rpc"
+
+// Remediate tears the VM down under an intent the caller has already
+// made durable; intentID is the custody handle.
+func Remediate(c *rpc.ReconnectClient, intentID string) error {
+	_ = intentID
+	return c.Call("terminate", nil, nil)
+}

@@ -1,0 +1,12 @@
+// Package lockorderdep is the cross-package half of the lockorder
+// fixture: an interface whose method carries the blocking marker, so the
+// facts pass exports a contractual blocks fact that the importing
+// fixture's call sites pick up.
+package lockorderdep
+
+// Certifier abstracts a certification round-trip to the privacy CA.
+type Certifier interface {
+	// Certify submits the CSR and waits for the signed certificate.
+	// lockorder: blocking
+	Certify(csr []byte) ([]byte, error)
+}

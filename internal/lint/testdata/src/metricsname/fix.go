@@ -9,6 +9,8 @@ func register(reg *metrics.Registry, prop string) {
 	reg.Counter("single").Inc()                // want `breaks the entity/noun-verb convention`
 	reg.Summary("Ledger/Append")               // want `breaks the entity/noun-verb convention`
 	reg.Counter("engine." + prop)              // want `metric name prefix "engine\." breaks`
+	reg.Counter("warpcore/flux").Inc()         // want `metric entity "warpcore" is not in metrics.KnownEntities`
+	reg.Summary("warpcore/" + prop)            // want `metric entity "warpcore" is not in metrics.KnownEntities`
 
 	reg.Counter("periodic/ticks").Inc()
 	reg.Summary("ledger/batch-size")

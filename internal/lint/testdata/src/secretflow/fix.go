@@ -1,0 +1,57 @@
+// Package secretflowfix exercises the secretflow analyzer: key material
+// must not reach error strings, logs, span annotations, or plaintext
+// files unless laundered through cryptoutil.Redact or persisted via
+// cryptoutil.WriteSecretFile.
+package secretflowfix
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"cloudmonatt/internal/cryptoutil"
+	"cloudmonatt/internal/obs"
+	"cloudmonatt/internal/secchan"
+	"cloudmonatt/internal/secretflowdep"
+)
+
+func direct(id *cryptoutil.Identity) error {
+	seed := id.Seed()
+	return fmt.Errorf("bad seed %x", seed) // want `secret material \(identity seed\) flows into a error string sink`
+}
+
+func propagated(id *cryptoutil.Identity) {
+	line := fmt.Sprintf("seed=%x", id.Seed())
+	log.Println(line) // want `secret material \(identity seed\) flows into a log sink`
+}
+
+func persisted(t secchan.Ticket) error {
+	rms := t.RMS
+	return os.WriteFile("/tmp/rms", rms[:], 0o600) // want `secret material \(resumption master secret\) flows into a plaintext file sink`
+}
+
+func annotated(sp *obs.ActiveSpan, t secchan.Ticket) {
+	sp.Annotate("rms", string(t.RMS[:])) // want `secret material \(resumption master secret\) flows into a span annotation sink`
+}
+
+func imported(id *cryptoutil.Identity) {
+	material := secretflowdep.MintSeed(id)
+	log.Printf("minted %x", material) // want `secret material \(identity seed\) flows into a log sink`
+}
+
+func redacted(id *cryptoutil.Identity) {
+	log.Printf("identity %s", cryptoutil.Redact(id.Seed()))
+}
+
+func sanctioned(id *cryptoutil.Identity) error {
+	return cryptoutil.WriteSecretFile("/tmp/seed", id.Seed())
+}
+
+func waived(id *cryptoutil.Identity) {
+	//lint:ignore secretflow fixture demonstrates an audited waiver
+	log.Printf("seed %x", id.Seed())
+}
+
+func stale() {
+	//lint:ignore secretflow nothing leaks here // want `unused //lint:ignore directive: no secretflow finding here to suppress`
+}

@@ -1,0 +1,12 @@
+// Package secretflowdep is the cross-package half of the secretflow
+// fixture: its exported function returns raw keying material, which the
+// facts pass records as a returnsSecret fact for the importing fixture
+// package to pick up.
+package secretflowdep
+
+import "cloudmonatt/internal/cryptoutil"
+
+// MintSeed hands back the identity's raw seed bytes.
+func MintSeed(id *cryptoutil.Identity) []byte {
+	return id.Seed()
+}

@@ -1,0 +1,44 @@
+// Package shardroutefix exercises the shardroute analyzer: VM-addressed
+// methods must carry attestRoute provenance, and wrong-shard errors must
+// be classified with the typed parser rather than substring matching.
+package shardroutefix
+
+import (
+	"strings"
+
+	"cloudmonatt/internal/rpc"
+	"cloudmonatt/internal/shardroutedep"
+)
+
+// attestRoute mirrors the controller's routing-provenance type: values
+// of it are only minted by the route resolver, so a call through its
+// client field is sanctioned.
+type attestRoute struct {
+	client *rpc.ReconnectClient
+	shard  int
+}
+
+func rawCall(c *rpc.ReconnectClient) error {
+	return c.Call("appraise", nil, nil) // want `direct rpc call to VM-addressed method "appraise" bypasses shard routing`
+}
+
+func routed(rt attestRoute) error {
+	return rt.client.Call("appraise", nil, nil)
+}
+
+func harmless(c *rpc.ReconnectClient) error {
+	return c.Call("ping", nil, nil)
+}
+
+func factCarried(c *rpc.ReconnectClient) error {
+	return c.Call(shardroutedep.MethodRebind, nil, nil) // want `direct rpc call to VM-addressed method "rebind-fixture" bypasses shard routing`
+}
+
+func stringly(err error) bool {
+	return strings.Contains(err.Error(), "wrong-shard (") // want `wrong-shard errors are typed; classify with shard\.ParseWrongShard`
+}
+
+func waived(c *rpc.ReconnectClient) error {
+	//lint:ignore shardroute fixture: single-shard harness talks to its own server
+	return c.Call("appraise", nil, nil)
+}

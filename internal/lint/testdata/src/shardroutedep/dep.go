@@ -1,0 +1,9 @@
+// Package shardroutedep is the cross-package half of the shardroute
+// fixture: a marker-carrying method constant whose value is deliberately
+// absent from the taxonomy seed list, so detection must ride the
+// exported vmAddressed fact.
+package shardroutedep
+
+// MethodRebind rebinds a VM to a new shard owner; handlers gate it on
+// ring ownership. vm-addressed
+const MethodRebind = "rebind-fixture"

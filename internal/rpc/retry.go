@@ -122,7 +122,6 @@ func NewReconnectClient(cfg ClientConfig) *ReconnectClient {
 		cfg.CallTimeout = 30 * time.Second
 	}
 	if cfg.Now == nil {
-		//lint:wallclock default breaker clock when no virtual clock is injected
 		cfg.Now = time.Now
 	}
 	seed := cfg.Seed

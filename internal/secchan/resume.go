@@ -136,8 +136,7 @@ func NewTicketKeeper(lifetime time.Duration) (*TicketKeeper, error) {
 		lifetime: lifetime,
 		replay:   cryptoutil.NewReplayCache(4096),
 		rand:     rand.Reader,
-		//lint:wallclock ticket expiry is real wall-clock time by protocol design
-		now: time.Now,
+		now:      time.Now,
 	}
 	if err := k.Rotate(); err != nil {
 		return nil, err

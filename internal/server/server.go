@@ -39,6 +39,10 @@ import (
 // In the in-process testbed it is the pCA itself; in a distributed
 // deployment it is an RPC stub.
 type Certifier interface {
+	// Certify is a privacy-CA round-trip (issuance, ledger group-commit
+	// waits, possibly an RPC); callers must not hold locks across it.
+	//
+	// lockorder: blocking
 	Certify(req *trust.CertRequest) (*cryptoutil.Certificate, error)
 }
 
@@ -554,20 +558,40 @@ func (s *Server) certifiedSession() (*trust.Session, error) {
 		sess.Cert = cert
 		return sess, nil
 	}
+	// Mint (or reuse) the session under the lock, but certify outside it:
+	// Certify is a privacy-CA round-trip, and holding sessMu across it
+	// would serialize every concurrent measurement on this server behind
+	// one certification. The pCA's per-session cert cache makes concurrent
+	// certifications of the same CSR cheap.
 	s.sessMu.Lock()
-	defer s.sessMu.Unlock()
 	if s.sess == nil || s.sessUses >= s.cfg.SessionMaxUses {
 		sess, csr, err := s.tm.NewSession()
 		if err != nil {
+			s.sessMu.Unlock()
 			return nil, err
 		}
 		s.sess, s.sessCSR, s.sessUses = sess, csr, 0
 	}
-	cert, err := s.cfg.Certifier.Certify(s.sessCSR)
+	sess, csr := s.sess, s.sessCSR
+	s.sessMu.Unlock()
+
+	cert, err := s.cfg.Certifier.Certify(csr)
 	if err != nil {
 		return nil, fmt.Errorf("server %s: session key certification failed: %w", s.cfg.Name, err)
 	}
-	s.sess.Cert = cert
-	s.sessUses++
-	return s.sess, nil
+
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	sess.Cert = cert
+	if s.sess == sess {
+		// Concurrent callers may each bump the count before either
+		// measures, overshooting SessionMaxUses by at most the number of
+		// in-flight measurements — reuse stays bounded, which is all the
+		// rotation exists for.
+		s.sessUses++
+	}
+	// If the session rotated while we certified, ours is still a validly
+	// certified key pair: use it for this measurement and let later calls
+	// pick up the new session.
+	return sess, nil
 }
